@@ -1,0 +1,234 @@
+package cloudburst_test
+
+// One benchmark per table and figure of the paper's evaluation (§6).
+// Each iteration runs the experiment's CI-scale configuration end to end
+// on the virtual-time kernel and reports the headline simulated metrics
+// via b.ReportMetric (sim-ms medians, sim-req/s throughputs, anomaly
+// counts). The ns/op numbers measure the harness itself — the real time
+// it takes to simulate the experiment — while the custom metrics carry
+// the reproduced results. cmd/cb-bench runs the same experiments with
+// the paper's full parameters and prints the tables; EXPERIMENTS.md
+// records paper-vs-measured for every row.
+
+import (
+	"runtime/debug"
+	"testing"
+
+	cloudburst "cloudburst"
+	"cloudburst/internal/bench"
+)
+
+// reportRows exports each system's median/p99 as benchmark metrics.
+func reportRows(b *testing.B, rows []bench.Summary) {
+	b.Helper()
+	for _, s := range rows {
+		b.ReportMetric(s.Median, "ms_median:"+metricName(s.Name))
+	}
+}
+
+// freeMem returns the heap to the OS after an experiment; the paper
+// benches boot and tear down whole clusters, and a full -bench=. sweep
+// must fit small machines.
+func freeMem(b *testing.B) { b.Cleanup(debug.FreeOSMemory) }
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '(', r == ')', r == '+':
+			// skip
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig1Composition reproduces Figure 1: two-function composition
+// latency across Cloudburst, Dask, SAND, Lambda variants, and Step
+// Functions.
+func BenchmarkFig1Composition(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig1(bench.Fig1Quick())
+		reportRows(b, r.Rows)
+	}
+}
+
+// BenchmarkFig5DataLocality reproduces Figure 5: the 10-array sum across
+// cache-hot/cold Cloudburst and Lambda over Redis/S3.
+func BenchmarkFig5DataLocality(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig5(bench.Fig5Quick())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Summary.Median, "ms_median:"+metricName(row.Summary.Name))
+		}
+	}
+}
+
+// BenchmarkFig6Aggregation reproduces Figure 6: gossip vs gather
+// distributed aggregation.
+func BenchmarkFig6Aggregation(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig6(bench.Fig6Quick())
+		reportRows(b, r.Rows)
+	}
+}
+
+// BenchmarkFig7Autoscaling reproduces Figure 7: the load-spike/drain
+// timeline with replica pinning and node scaling.
+func BenchmarkFig7Autoscaling(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig7(bench.Fig7Quick())
+		b.ReportMetric(r.PeakThroughput, "simreq/s_peak")
+		b.ReportMetric(float64(r.IndexMedianB), "B_index_median")
+		b.ReportMetric(float64(r.IndexP99B), "B_index_p99")
+	}
+}
+
+// BenchmarkFig8Consistency reproduces Figure 8: per-depth DAG latency
+// under the five consistency levels.
+func BenchmarkFig8Consistency(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig8(bench.Fig8Quick())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Summary.Median, "ms_median:"+metricName(row.Summary.Name))
+			b.ReportMetric(row.Summary.P99, "ms_p99:"+metricName(row.Summary.Name))
+		}
+	}
+}
+
+// BenchmarkTable2Anomalies reproduces Table 2: anomalies flagged per
+// consistency level over LWW executions.
+func BenchmarkTable2Anomalies(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunTable2(bench.Table2Quick())
+		b.ReportMetric(float64(r.Report.SK), "anomalies_SK")
+		b.ReportMetric(float64(r.Report.MK), "anomalies_MK")
+		b.ReportMetric(float64(r.Report.DSC), "anomalies_DSC")
+		b.ReportMetric(float64(r.Report.DSRR), "anomalies_DSRR")
+	}
+}
+
+// BenchmarkFig9PredictionServing reproduces Figure 9: the three-stage
+// model pipeline across systems.
+func BenchmarkFig9PredictionServing(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig9(bench.Fig9Quick())
+		reportRows(b, r.Rows)
+	}
+}
+
+// BenchmarkFig10PredictionScaling reproduces Figure 10: pipeline
+// latency/throughput as worker threads scale.
+func BenchmarkFig10PredictionScaling(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig10(bench.Fig10Quick())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Throughput, "simreq/s_"+metricName(row.Summary.Name))
+		}
+	}
+}
+
+// BenchmarkFig11Retwis reproduces Figure 11: Retwis on Cloudburst
+// LWW/causal vs serverful Redis, with anomaly rates.
+func BenchmarkFig11Retwis(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig11(bench.Fig11Quick())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Summary.Median, "ms_median:"+metricName(row.Summary.Name))
+			b.ReportMetric(row.AnomalyRate*100, "pct_anomaly:"+metricName(row.Summary.Name))
+		}
+	}
+}
+
+// BenchmarkFig12RetwisScaling reproduces Figure 12: Retwis throughput
+// scaling in causal mode.
+func BenchmarkFig12RetwisScaling(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig12(bench.Fig12Quick())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.ThroughputKOp*1000, "simops/s_"+metricName(row.Summary.Name))
+		}
+	}
+}
+
+// BenchmarkAblationLocalityScheduling quantifies the §4.3 design choice:
+// locality-aware executor picks vs random placement on the Figure 5 hot
+// workload.
+func BenchmarkAblationLocalityScheduling(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunAblationLocality(bench.AblationQuick())
+		b.ReportMetric(r.Locality.Median, "ms_median:locality")
+		b.ReportMetric(r.Random.Median, "ms_median:random")
+	}
+}
+
+// BenchmarkAblationCaching quantifies the co-located cache itself:
+// normal caches vs forced misses on every read.
+func BenchmarkAblationCaching(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunAblationCaching(bench.AblationQuick())
+		b.ReportMetric(r.Cached.Median, "ms_median:cached")
+		b.ReportMetric(r.Uncached.Median, "ms_median:uncached")
+	}
+}
+
+// BenchmarkSingleInvocation measures the end-to-end single-function hot
+// path (client → scheduler → executor → client) per invocation.
+func BenchmarkSingleInvocation(b *testing.B) {
+	cfg := cloudburst.DefaultConfig()
+	c := cloudburst.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("nop", func(ctx *cloudburst.Ctx, args []any) (any, error) { return 1, nil }); err != nil {
+		b.Fatal(err)
+	}
+	c.Run(func(cl *cloudburst.Client) { cl.Sleep(3e9) })
+	b.ResetTimer()
+	c.Run(func(cl *cloudburst.Client) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Call("nop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDAGInvocation measures the two-function DAG hot path per
+// request.
+func BenchmarkDAGInvocation(b *testing.B) {
+	cfg := cloudburst.DefaultConfig()
+	c := cloudburst.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("a", func(ctx *cloudburst.Ctx, args []any) (any, error) { return 1, nil }); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterFunction("bb", func(ctx *cloudburst.Ctx, args []any) (any, error) { return 2, nil }); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterDAG(cloudburst.LinearDAG("ab", "a", "bb"), 1); err != nil {
+		b.Fatal(err)
+	}
+	c.Run(func(cl *cloudburst.Client) { cl.Sleep(3e9) })
+	b.ResetTimer()
+	c.Run(func(cl *cloudburst.Client) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.CallDAG("ab", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,328 @@
+package cloudburst
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
+	"cloudburst/internal/executor"
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/scheduler"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// Ref marks a function argument as a KVS reference: the runtime resolves
+// it through the executor's co-located cache at invocation time, and the
+// scheduler uses it for locality-aware placement (§3, §4.3).
+type Ref string
+
+// ErrTimedOut is returned when a call receives no response in time.
+var ErrTimedOut = errors.New("cloudburst: request timed out")
+
+// Client is an application's handle to the cluster, bound to its own
+// network endpoint. Obtain one inside Cluster.Run/RunN. A Client must
+// only be used from the goroutine it was handed to.
+type Client struct {
+	c    *Cluster
+	ep   *simnet.Endpoint
+	anna *anna.Client
+	k    *vtime.Kernel
+	seq  int64
+	// vcTick makes client causal writes per-key monotonic.
+	vcTick map[string]uint64
+	// Timeout bounds every synchronous operation.
+	Timeout time.Duration
+}
+
+func (c *Cluster) newClient() *Client {
+	ep := c.in.NewClientEndpoint()
+	return &Client{
+		c:       c,
+		ep:      ep,
+		anna:    c.in.AnnaClientFor(ep),
+		k:       c.in.K,
+		vcTick:  make(map[string]uint64),
+		Timeout: 30 * time.Second,
+	}
+}
+
+// Now returns the current virtual time.
+func (cl *Client) Now() time.Duration { return time.Duration(cl.k.Now()) }
+
+// Sleep pauses the client's process in virtual time.
+func (cl *Client) Sleep(d time.Duration) { cl.k.Sleep(d) }
+
+// Put stores a value in the KVS, encapsulating it in the lattice for the
+// cluster's consistency mode (§5.2's lattice capsules: an LWW capsule by
+// default, a causal capsule in the causal modes).
+func (cl *Client) Put(key string, val any) error {
+	payload, err := codec.Encode(val)
+	if err != nil {
+		return err
+	}
+	var lat lattice.Lattice
+	if cl.c.cfg.Mode.mode().Causal() {
+		cl.vcTick[key]++
+		vc := lattice.VectorClock{string(cl.ep.ID()): cl.vcTick[key]}
+		lat = lattice.NewCausal(vc, nil, payload)
+	} else {
+		lat = lattice.NewLWW(lattice.Timestamp{Clock: int64(cl.k.Now()), Node: clientHash(string(cl.ep.ID()))}, payload)
+	}
+	return cl.anna.Put(key, lat)
+}
+
+// Get fetches a key directly from the KVS and de-encapsulates it.
+func (cl *Client) Get(key string) (val any, found bool, err error) {
+	lat, found, err := cl.anna.Get(key)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	payload, err := capsulePayload(lat)
+	if err != nil {
+		return nil, true, err
+	}
+	v, err := codec.Decode(payload)
+	if err != nil {
+		return nil, true, err
+	}
+	return v, true, nil
+}
+
+// Delete removes a key from the KVS.
+func (cl *Client) Delete(key string) error { return cl.anna.Delete(key) }
+
+// capsulePayload unwraps a lattice capsule to the stored payload.
+func capsulePayload(lat lattice.Lattice) ([]byte, error) {
+	var p []byte
+	switch l := lat.(type) {
+	case *lattice.LWW:
+		p = l.Value
+	case *lattice.Causal:
+		p = l.DisplayValue()
+	default:
+		return nil, fmt.Errorf("cloudburst: unexpected capsule %s", lat.TypeName())
+	}
+	_, inner := executor.Untag(p)
+	return inner, nil
+}
+
+// encodeArgs converts call arguments to wire form; Ref arguments become
+// KVS references.
+func encodeArgs(args []any) ([]core.Arg, error) {
+	out := make([]core.Arg, len(args))
+	for i, a := range args {
+		if r, ok := a.(Ref); ok {
+			out[i] = core.Arg{Ref: string(r)}
+			continue
+		}
+		b, err := codec.Encode(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = core.Arg{Val: b}
+	}
+	return out, nil
+}
+
+func (cl *Client) nextReq() string {
+	cl.seq++
+	return fmt.Sprintf("%s-r%d", cl.ep.ID(), cl.seq)
+}
+
+// Call invokes a registered function synchronously and returns its
+// result (Figure 2's sq(reference) path). Arguments may be plain values
+// or Refs.
+func (cl *Client) Call(fn string, args ...any) (any, error) {
+	res, err := cl.callResult(fn, args, false)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(res)
+}
+
+// CallAsync invokes a function with the result stored in the KVS and
+// returns a Future immediately (Figure 2's store_in_kvs=True path): the
+// response key is derived from the request, so there is nothing to wait
+// for.
+func (cl *Client) CallAsync(fn string, args ...any) (*Future, error) {
+	reqID, err := cl.sendCall(fn, args, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{cl: cl, Key: reqID + "-result"}, nil
+}
+
+func (cl *Client) callResult(fn string, args []any, store bool) (core.Result, error) {
+	reqID, err := cl.sendCall(fn, args, store)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return cl.awaitResult(reqID)
+}
+
+// sendCall dispatches an invocation to a load-balanced scheduler and
+// returns the request id.
+func (cl *Client) sendCall(fn string, args []any, store bool) (string, error) {
+	wireArgs, err := encodeArgs(args)
+	if err != nil {
+		return "", err
+	}
+	reqID := cl.nextReq()
+	req := core.InvokeRequest{
+		ReqID:      reqID,
+		Function:   fn,
+		Args:       wireArgs,
+		RespondTo:  cl.ep.ID(),
+		StoreInKVS: store,
+		ResultKey:  reqID + "-result",
+	}
+	size := 96
+	for _, a := range wireArgs {
+		size += len(a.Val) + len(a.Ref)
+	}
+	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
+	return reqID, nil
+}
+
+// CallDAG invokes a registered DAG synchronously. args supplies each
+// function's client-provided arguments by function name; upstream
+// results are appended automatically by the runtime.
+func (cl *Client) CallDAG(dagName string, args map[string][]any) (any, error) {
+	res, err := cl.callDAGResult(dagName, args, false)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(res)
+}
+
+// CallDAGDetail is CallDAG plus the runtime's hop count (used to
+// normalize latencies by DAG depth as in Figure 8).
+func (cl *Client) CallDAGDetail(dagName string, args map[string][]any) (any, int, error) {
+	res, err := cl.callDAGResult(dagName, args, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	v, err := decodeResult(res)
+	return v, res.Hops, err
+}
+
+// CallDAGAsync invokes a DAG with the result stored in the KVS,
+// returning the Future immediately.
+func (cl *Client) CallDAGAsync(dagName string, args map[string][]any) (*Future, error) {
+	reqID, err := cl.sendDAGCall(dagName, args, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{cl: cl, Key: reqID + "-result"}, nil
+}
+
+func (cl *Client) callDAGResult(dagName string, args map[string][]any, store bool) (core.Result, error) {
+	reqID, err := cl.sendDAGCall(dagName, args, store)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return cl.awaitResult(reqID)
+}
+
+func (cl *Client) sendDAGCall(dagName string, args map[string][]any, store bool) (string, error) {
+	wire := make(map[string][]core.Arg, len(args))
+	size := 128
+	for fn, as := range args {
+		ea, err := encodeArgs(as)
+		if err != nil {
+			return "", err
+		}
+		wire[fn] = ea
+		for _, a := range ea {
+			size += len(a.Val) + len(a.Ref)
+		}
+	}
+	reqID := cl.nextReq()
+	req := scheduler.DAGInvokeReq{
+		ReqID:      reqID,
+		DAG:        dagName,
+		Args:       wire,
+		RespondTo:  cl.ep.ID(),
+		StoreInKVS: store,
+		ResultKey:  reqID + "-result",
+	}
+	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
+	return reqID, nil
+}
+
+// awaitResult waits for the Result matching reqID, discarding stale
+// duplicates from re-executed DAGs.
+func (cl *Client) awaitResult(reqID string) (core.Result, error) {
+	deadline := cl.k.Now().Add(cl.Timeout)
+	for {
+		remaining := deadline.Sub(cl.k.Now())
+		if remaining <= 0 {
+			return core.Result{}, fmt.Errorf("%w (request %s)", ErrTimedOut, reqID)
+		}
+		m, ok := cl.ep.RecvTimeout(remaining)
+		if !ok {
+			return core.Result{}, fmt.Errorf("%w (request %s)", ErrTimedOut, reqID)
+		}
+		res, isResult := m.Payload.(core.Result)
+		if !isResult || res.ReqID != reqID {
+			continue // stale duplicate from a retry; drop it
+		}
+		return res, nil
+	}
+}
+
+// decodeResult unwraps a successful Result's payload.
+func decodeResult(res core.Result) (any, error) {
+	if !res.OK() {
+		return nil, errors.New(res.Err)
+	}
+	if res.Val == nil {
+		return nil, nil
+	}
+	_, inner := executor.Untag(res.Val)
+	return codec.Decode(inner)
+}
+
+// Future is a handle to a result stored in the KVS (CloudburstFuture in
+// Figure 2).
+type Future struct {
+	cl  *Client
+	Key string
+}
+
+// Get blocks (in virtual time) until the result is available, polling
+// the KVS.
+func (f *Future) Get() (any, error) {
+	deadline := f.cl.k.Now().Add(f.cl.Timeout)
+	for {
+		v, found, err := f.cl.Get(f.Key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			return v, nil
+		}
+		if f.cl.k.Now() >= deadline {
+			return nil, fmt.Errorf("%w (future %s)", ErrTimedOut, f.Key)
+		}
+		f.cl.k.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Endpoint exposes the client's network endpoint for advanced uses
+// (benchmarks that need raw messaging).
+func (cl *Client) Endpoint() *simnet.Endpoint { return cl.ep }
+
+// Kernel exposes the virtual-time kernel for in-simulation helpers.
+func (cl *Client) Kernel() *vtime.Kernel { return cl.k }
+
+func clientHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}

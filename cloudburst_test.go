@@ -1,0 +1,380 @@
+package cloudburst
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c := NewCluster(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func registerArith(t *testing.T, c *Cluster) {
+	t.Helper()
+	if err := c.RegisterFunction("increment", func(ctx *Ctx, args []any) (any, error) {
+		return args[0].(int) + 1, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterFunction("square", func(ctx *Ctx, args []any) (any, error) {
+		return args[0].(int) * args[0].(int), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	c.Run(func(cl *Client) {
+		if err := cl.Put("greeting", "hello"); err != nil {
+			t.Fatal(err)
+		}
+		v, found, err := cl.Get("greeting")
+		if err != nil || !found || v.(string) != "hello" {
+			t.Fatalf("get = %v %v %v", v, found, err)
+		}
+		_, found, err = cl.Get("missing")
+		if err != nil || found {
+			t.Fatalf("missing key: %v %v", found, err)
+		}
+	})
+}
+
+func TestSingleFunctionCall(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		out, err := cl.Call("square", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(int) != 49 {
+			t.Fatalf("square(7) = %v", out)
+		}
+	})
+}
+
+func TestCallWithKVSReference(t *testing.T) {
+	// Figure 2: sq(CloudburstReference('key')) with key=2 returns 4.
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		if err := cl.Put("key", 2); err != nil {
+			t.Fatal(err)
+		}
+		out, err := cl.Call("square", Ref("key"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(int) != 4 {
+			t.Fatalf("square(ref key=2) = %v", out)
+		}
+	})
+}
+
+func TestCallAsyncFuture(t *testing.T) {
+	// Figure 2 lines 11-12: future = sq(3, store_in_kvs=True).
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		fut, err := cl.CallAsync("square", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := fut.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(int) != 9 {
+			t.Fatalf("future = %v", out)
+		}
+	})
+}
+
+func TestLinearDAGComposition(t *testing.T) {
+	// §6.1.1's square(increment(x)).
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	if err := c.RegisterDAG(LinearDAG("pipeline", "increment", "square"), 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		out, err := cl.CallDAG("pipeline", map[string][]any{"increment": {5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(int) != 36 {
+			t.Fatalf("square(increment(5)) = %v, want 36", out)
+		}
+	})
+}
+
+func TestDAGHopsReported(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	if err := c.RegisterDAG(LinearDAG("pipe3", "increment", "increment", "square"), 1); err == nil {
+		t.Fatal("duplicate function names in DAG must be rejected")
+	}
+	if err := c.RegisterDAG(LinearDAG("pipe2", "increment", "square"), 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		out, hops, err := cl.CallDAGDetail("pipe2", map[string][]any{"increment": {1}})
+		if err != nil || out.(int) != 4 {
+			t.Fatalf("result = %v err = %v", out, err)
+		}
+		if hops != 2 {
+			t.Fatalf("hops = %d, want 2", hops)
+		}
+	})
+}
+
+func TestFanOutFanInDAG(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	for _, spec := range []struct {
+		name string
+		fn   Function
+	}{
+		{"src", func(ctx *Ctx, args []any) (any, error) { return 10, nil }},
+		{"left", func(ctx *Ctx, args []any) (any, error) { return args[0].(int) * 2, nil }},
+		{"right", func(ctx *Ctx, args []any) (any, error) { return args[0].(int) * 3, nil }},
+		{"join", func(ctx *Ctx, args []any) (any, error) {
+			// Parent results arrive sorted by parent name: left, right.
+			return args[0].(int) + args[1].(int), nil
+		}},
+	} {
+		if err := c.RegisterFunction(spec.name, spec.fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDAG("diamond", []string{"src", "left", "right", "join"},
+		[][2]string{{"src", "left"}, {"src", "right"}, {"left", "join"}, {"right", "join"}})
+	if err := c.RegisterDAG(d, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		out, err := cl.CallDAG("diamond", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(int) != 50 { // 10*2 + 10*3
+			t.Fatalf("diamond = %v, want 50", out)
+		}
+	})
+}
+
+func TestStatefulFunctionPutGet(t *testing.T) {
+	// One VM: all three worker threads share the co-located cache, so
+	// the counter's read-modify-write cycles observe each other
+	// immediately (cross-VM visibility is eventual under LWW and is
+	// tested separately).
+	cfg := DefaultConfig()
+	cfg.VMs = 1
+	c := testCluster(t, cfg)
+	if err := c.RegisterFunction("counter", func(ctx *Ctx, args []any) (any, error) {
+		v, found, err := ctx.Get("count")
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		if found {
+			n = v.(int)
+		}
+		n++
+		if err := ctx.Put("count", n); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		var last int
+		for i := 1; i <= 5; i++ {
+			out, err := cl.Call("counter")
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = out.(int)
+		}
+		if last != 5 {
+			t.Fatalf("counter after 5 calls = %d", last)
+		}
+	})
+}
+
+func TestDirectMessagingBetweenFunctions(t *testing.T) {
+	// Table 1 send/recv: a responder advertises its ID under a
+	// well-known key; a pinger sends to it and the responder echoes.
+	c := testCluster(t, DefaultConfig())
+	if err := c.RegisterFunction("responder", func(ctx *Ctx, args []any) (any, error) {
+		if err := ctx.Put("responder-id", ctx.ID()); err != nil {
+			return nil, err
+		}
+		msgs, err := ctx.RecvWait(5*time.Second, 2*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) == 0 {
+			return nil, errors.New("no ping received")
+		}
+		return fmt.Sprintf("got:%v", msgs[0]), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterFunction("pinger", func(ctx *Ctx, args []any) (any, error) {
+		var target string
+		for {
+			v, found, err := ctx.Get("responder-id")
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				target = v.(string)
+				break
+			}
+			ctx.Compute(2 * time.Millisecond)
+		}
+		return "pinged", ctx.Send(target, "ping!")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		futR, err := cl.CallAsync("responder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Call("pinger"); err != nil {
+			t.Fatal(err)
+		}
+		out, err := futR.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(string) != "got:ping!" {
+			t.Fatalf("responder result = %v", out)
+		}
+	})
+}
+
+func TestUnknownFunctionAndDAGErrors(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	c.Run(func(cl *Client) {
+		if _, err := cl.Call("ghost"); err == nil {
+			t.Fatal("call to unregistered function succeeded")
+		}
+		if _, err := cl.CallDAG("ghost-dag", nil); err == nil {
+			t.Fatal("call to unregistered DAG succeeded")
+		}
+	})
+	if err := c.RegisterDAG(LinearDAG("bad", "nope"), 1); err == nil {
+		t.Fatal("DAG over unregistered function accepted")
+	}
+}
+
+func TestFunctionErrorPropagates(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	if err := c.RegisterFunction("boom", func(ctx *Ctx, args []any) (any, error) {
+		return nil, errors.New("kaboom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		_, err := cl.Call("boom")
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestRunNConcurrentClients(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	results := make([]int, 8)
+	c.RunN(8, func(i int, cl *Client) {
+		out, err := cl.Call("square", i)
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+			return
+		}
+		results[i] = out.(int)
+	})
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("client %d got %d", i, r)
+		}
+	}
+}
+
+func TestCausalModeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = Causal
+	c := testCluster(t, cfg)
+	if err := c.RegisterFunction("read-both", func(ctx *Ctx, args []any) (any, error) {
+		a, _, err := ctx.Get("ka")
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := ctx.Get("kb")
+		if err != nil {
+			return nil, err
+		}
+		return fmt.Sprintf("%v/%v", a, b), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		cl.Put("ka", "va")
+		cl.Put("kb", "vb")
+		out, err := cl.Call("read-both")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(string) != "va/vb" {
+			t.Fatalf("causal read = %v", out)
+		}
+	})
+}
+
+func TestDAGReexecutionAfterVMFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VMs = 3
+	c := testCluster(t, cfg)
+	if err := c.RegisterFunction("step", func(ctx *Ctx, args []any) (any, error) {
+		ctx.Compute(200 * time.Millisecond)
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(LinearDAG("fragile", "step"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up the metric views so re-scheduling sees live executors.
+	c.Run(func(cl *Client) { cl.Sleep(5 * time.Second) })
+
+	// Kill two of the three VMs right after issuing the request, so the
+	// executor running it is very likely dead mid-flight: the scheduler
+	// must time out and re-execute the whole DAG elsewhere (§4.5).
+	c.Run(func(cl *Client) {
+		cl.Timeout = 2 * time.Minute
+		victims := c.Internal().VMs()
+		cl.Kernel().Go("killer", func() {
+			cl.Sleep(50 * time.Millisecond)
+			c.Internal().KillVM(victims[0].Name)
+			c.Internal().KillVM(victims[1].Name)
+		})
+		out, err := cl.CallDAG("fragile", nil)
+		if err != nil {
+			t.Fatalf("DAG did not recover from VM failure: %v", err)
+		}
+		if out.(string) != "done" {
+			t.Fatalf("result = %v", out)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Command cb-bench reproduces every table and figure of the paper's
+// evaluation (§6) and prints the corresponding rows/series. By default
+// it runs CI-scale "quick" configurations (seconds each); -full runs the
+// paper's parameters (the Figure 7 and Figure 8 full runs simulate
+// millions of requests and take minutes of real time).
+//
+// Usage:
+//
+//	cb-bench                 # all experiments, quick parameters
+//	cb-bench -run fig5,fig6  # a subset
+//	cb-bench -run table2 -full
+//	cb-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudburst/internal/bench"
+)
+
+// experiment binds a name to its quick and full runners.
+type experiment struct {
+	name  string
+	about string
+	quick func() string
+	full  func() string
+}
+
+var experiments = []experiment{
+	{
+		name:  "fig1",
+		about: "function composition latency across systems (§6.1.1)",
+		quick: func() string { return bench.RunFig1(bench.Fig1Quick()).Print() },
+		full:  func() string { return bench.RunFig1(bench.Fig1Paper()).Print() },
+	},
+	{
+		name:  "fig5",
+		about: "data locality: sum of 10 arrays, 80KB-80MB (§6.1.2)",
+		quick: func() string { return bench.RunFig5(bench.Fig5Quick()).Print() },
+		full:  func() string { return bench.RunFig5(bench.Fig5Paper()).Print() },
+	},
+	{
+		name:  "fig6",
+		about: "distributed aggregation: gossip vs gather (§6.1.3)",
+		quick: func() string { return bench.RunFig6(bench.Fig6Quick()).Print() },
+		full:  func() string { return bench.RunFig6(bench.Fig6Paper()).Print() },
+	},
+	{
+		name:  "fig7",
+		about: "autoscaling timeline under a load spike (§6.1.4)",
+		quick: func() string { return bench.RunFig7(bench.Fig7Quick()).Print() },
+		full:  func() string { return bench.RunFig7(bench.Fig7Paper()).Print() },
+	},
+	{
+		name:  "fig8",
+		about: "consistency-model latency overheads (§6.2.1)",
+		quick: func() string { return bench.RunFig8(bench.Fig8Quick()).Print() },
+		full:  func() string { return bench.RunFig8(bench.Fig8Paper()).Print() },
+	},
+	{
+		name:  "table2",
+		about: "anomalies flagged per consistency level (§6.2.2)",
+		quick: func() string { return bench.RunTable2(bench.Table2Quick()).Print() },
+		full:  func() string { return bench.RunTable2(bench.Table2Paper()).Print() },
+	},
+	{
+		name:  "fig9",
+		about: "prediction-serving pipeline latency (§6.3.1)",
+		quick: func() string { return bench.RunFig9(bench.Fig9Quick()).Print() },
+		full:  func() string { return bench.RunFig9(bench.Fig9Paper()).Print() },
+	},
+	{
+		name:  "fig10",
+		about: "prediction-serving scaling (§6.3.1)",
+		quick: func() string { return bench.RunFig10(bench.Fig10Quick()).Print() },
+		full:  func() string { return bench.RunFig10(bench.Fig10Paper()).Print() },
+	},
+	{
+		name:  "fig11",
+		about: "Retwis latency and anomaly rates (§6.3.2)",
+		quick: func() string { return bench.RunFig11(bench.Fig11Quick()).Print() },
+		full:  func() string { return bench.RunFig11(bench.Fig11Paper()).Print() },
+	},
+	{
+		name:  "fig12",
+		about: "Retwis causal-mode scaling (§6.3.2)",
+		quick: func() string { return bench.RunFig12(bench.Fig12Quick()).Print() },
+		full:  func() string { return bench.RunFig12(bench.Fig12Paper()).Print() },
+	},
+	{
+		name:  "ablation-locality",
+		about: "locality-aware vs random scheduling (§4.3)",
+		quick: func() string { return bench.RunAblationLocality(bench.AblationQuick()).Print() },
+		full:  func() string { return bench.RunAblationLocality(bench.AblationQuick()).Print() },
+	},
+	{
+		name:  "ablation-caching",
+		about: "co-located cache on vs off (LDPC, §2.2)",
+		quick: func() string { return bench.RunAblationCaching(bench.AblationQuick()).Print() },
+		full:  func() string { return bench.RunAblationCaching(bench.AblationQuick()).Print() },
+	},
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment names, or 'all'")
+	full := flag.Bool("full", false, "use the paper's full parameters (slow)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-18s %s\n", e.name, e.about)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, n := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range experiments {
+			known[e.name] = true
+		}
+		var unknown []string
+		for n := range want {
+			if !known[n] {
+				unknown = append(unknown, n)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "cb-bench: unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full (paper parameters)"
+	}
+	fmt.Printf("cb-bench: reproducing the Cloudburst (VLDB'20) evaluation — %s configuration\n", mode)
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		var out string
+		if *full {
+			out = e.full()
+		} else {
+			out = e.quick()
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %.1fs of real time]\n", e.name, time.Since(start).Seconds())
+		// Each experiment boots and tears down whole clusters; return
+		// the heap to the OS so a long -run list fits small machines.
+		debug.FreeOSMemory()
+	}
+}

@@ -1,0 +1,40 @@
+// Package cloudburst is a from-scratch Go reproduction of Cloudburst
+// (Sreekanti et al., "Cloudburst: Stateful Functions-as-a-Service",
+// PVLDB 13(11), 2020): a stateful Function-as-a-Service platform built
+// on the principle of logical disaggregation with physical colocation
+// (LDPC).
+//
+// The platform combines an autoscaling lattice key-value store (a
+// reproduction of Anna) with mutable caches co-located with function
+// executors, DAG-structured function composition, direct
+// executor-to-executor messaging, autoscaling, and distributed session
+// consistency protocols (repeatable read and causal) that hold even when
+// one logical request executes across many machines.
+//
+// Because the paper's testbed is AWS, the whole system runs on a
+// deterministic virtual-time kernel (internal/vtime): components are
+// real concurrent processes exchanging real protocol messages, but time
+// is simulated, so a ten-minute autoscaling trace replays in well under
+// a second of wall-clock time and every run is reproducible for a fixed
+// seed.
+//
+// # Quick start
+//
+//	cfg := cloudburst.DefaultConfig()
+//	cb := cloudburst.NewCluster(cfg)
+//	defer cb.Close()
+//
+//	cb.RegisterFunction("square", func(ctx *cloudburst.Ctx, args []any) (any, error) {
+//		x := args[0].(int)
+//		return x * x, nil
+//	})
+//
+//	cb.Run(func(cl *cloudburst.Client) {
+//		cl.Put("key", 2)
+//		out, _ := cl.Call("square", cloudburst.Ref("key"))
+//		fmt.Println(out) // 4
+//	})
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// paper-reproduction results.
+package cloudburst

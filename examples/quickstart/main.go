@@ -1,0 +1,52 @@
+// Quickstart mirrors Figure 2 of the paper: create a cluster, register a
+// function, call it with a KVS reference, and use a future for an
+// asynchronous invocation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cloudburst "cloudburst"
+)
+
+func main() {
+	// Boot a small simulated deployment: 2 VMs × 3 executor threads, a
+	// 3-node Anna KVS. Virtual time makes this instant and reproducible.
+	cb := cloudburst.NewCluster(cloudburst.DefaultConfig())
+	defer cb.Close()
+
+	// def sqfun(x): return x * x
+	// sq = cloud.register(sqfun, name='square')
+	if err := cb.RegisterFunction("square", func(ctx *cloudburst.Ctx, args []any) (any, error) {
+		x := args[0].(int)
+		return x * x, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	cb.Run(func(cloud *cloudburst.Client) {
+		// cloud.put('key', 2)
+		if err := cloud.Put("key", 2); err != nil {
+			log.Fatal(err)
+		}
+
+		// reference = CloudburstReference('key'); print(sq(reference))
+		out, err := cloud.Call("square", cloudburst.Ref("key"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result: %d\n", out) // result: 4
+
+		// future = sq(3, store_in_kvs=True); print(future.get())
+		future, err := cloud.CallAsync("square", 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err = future.Get()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result: %d\n", out) // result: 9
+	})
+}

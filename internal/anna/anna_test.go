@@ -1,0 +1,477 @@
+package anna
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// harness boots a kernel, network, and KVS for tests.
+func harness(t *testing.T, cfg Config) (*vtime.Kernel, *simnet.Network, *KVS, *Client) {
+	t.Helper()
+	k := vtime.NewKernel(99)
+	t.Cleanup(k.Stop)
+	net := simnet.New(k, simnet.Link{Latency: simnet.Constant(200 * time.Microsecond)})
+	kv := NewKVS(k, net, cfg)
+	cl := kv.NewClient(net.AddNode("test-client"), 0)
+	return k, net, kv, cl
+}
+
+func lww(k *vtime.Kernel, val string) *lattice.LWW {
+	return lattice.NewLWW(lattice.Timestamp{Clock: int64(k.Now()), Node: 1}, []byte(val))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	k, _, _, cl := harness(t, DefaultConfig())
+	k.Run("main", func() {
+		if err := cl.Put("k1", lww(k, "v1")); err != nil {
+			t.Fatal(err)
+		}
+		lat, found, err := cl.Get("k1")
+		if err != nil || !found {
+			t.Fatalf("get: found=%v err=%v", found, err)
+		}
+		if string(lat.(*lattice.LWW).Value) != "v1" {
+			t.Fatalf("value = %q", lat.(*lattice.LWW).Value)
+		}
+	})
+}
+
+func TestGetMissingKey(t *testing.T) {
+	k, _, _, cl := harness(t, DefaultConfig())
+	k.Run("main", func() {
+		_, found, err := cl.Get("nope")
+		if err != nil || found {
+			t.Fatalf("missing key: found=%v err=%v", found, err)
+		}
+	})
+}
+
+func TestPutMergesConcurrentWriters(t *testing.T) {
+	k, net, kv, _ := harness(t, DefaultConfig())
+	c1 := kv.NewClient(net.AddNode("c1"), 0)
+	c2 := kv.NewClient(net.AddNode("c2"), 0)
+	k.Run("main", func() {
+		a := lattice.NewGCounter()
+		a.Incr("c1", 5)
+		b := lattice.NewGCounter()
+		b.Incr("c2", 7)
+		if err := c1.Put("ctr", a); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Put("ctr", b); err != nil {
+			t.Fatal(err)
+		}
+		k.Sleep(200 * time.Millisecond) // let gossip settle
+		lat, found, _ := c1.Get("ctr")
+		if !found || lat.(*lattice.GCounter).Value() != 12 {
+			t.Fatalf("merged counter = %+v found=%v", lat, found)
+		}
+	})
+}
+
+func TestLWWLastWriteWinsAcrossClients(t *testing.T) {
+	k, net, kv, _ := harness(t, DefaultConfig())
+	c1 := kv.NewClient(net.AddNode("c1"), 0)
+	c2 := kv.NewClient(net.AddNode("c2"), 0)
+	k.Run("main", func() {
+		c1.Put("k", lattice.NewLWW(lattice.Timestamp{Clock: 100, Node: 1}, []byte("old")))
+		c2.Put("k", lattice.NewLWW(lattice.Timestamp{Clock: 200, Node: 2}, []byte("new")))
+		c1.Put("k", lattice.NewLWW(lattice.Timestamp{Clock: 150, Node: 1}, []byte("mid")))
+		lat, _, _ := c1.Get("k")
+		if got := string(lat.(*lattice.LWW).Value); got != "new" {
+			t.Fatalf("LWW = %q, want new", got)
+		}
+	})
+}
+
+func TestReplicationGossipConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Replication = 3
+	k, _, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		if err := cl.Put("rk", lww(k, "v")); err != nil {
+			t.Fatal(err)
+		}
+		k.Sleep(300 * time.Millisecond) // > gossip interval
+		owners := kv.Ring().OwnersFor("rk")
+		if len(owners) != 3 {
+			t.Fatalf("owners = %v", owners)
+		}
+		for _, o := range owners {
+			var n *Node
+			for _, nd := range kv.Nodes() {
+				if nd.ID() == o {
+					n = nd
+				}
+			}
+			if exists, _ := n.HasKey("rk"); !exists {
+				t.Fatalf("replica %s missing key after gossip", o)
+			}
+		}
+	})
+}
+
+func TestFaultToleranceReadFromReplica(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	cfg.Replication = 2
+	k, net, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		cl.Put("fk", lww(k, "survives"))
+		k.Sleep(200 * time.Millisecond) // replicate
+		// Kill the primary; reads must fall through to the replica.
+		primary := kv.Ring().PrimaryFor("fk")
+		net.SetDown(primary, true)
+		lat, found, err := cl.Get("fk")
+		if err != nil || !found {
+			t.Fatalf("get after primary death: found=%v err=%v", found, err)
+		}
+		if string(lat.(*lattice.LWW).Value) != "survives" {
+			t.Fatal("wrong value from replica")
+		}
+		// Writes must also succeed against the surviving replica.
+		if err := cl.Put("fk", lww(k, "updated")); err != nil {
+			t.Fatalf("put after primary death: %v", err)
+		}
+	})
+}
+
+func TestAllReplicasDownReturnsUnavailable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.Replication = 1
+	k, net, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		cl.Put("dk", lww(k, "x"))
+		for _, n := range kv.Nodes() {
+			net.SetDown(n.ID(), true)
+		}
+		if _, _, err := cl.Get("dk"); err == nil {
+			t.Fatal("expected unavailable error")
+		}
+		if err := cl.Put("dk", lww(k, "y")); err == nil {
+			t.Fatal("expected put failure")
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	k, _, _, cl := harness(t, DefaultConfig())
+	k.Run("main", func() {
+		cl.Put("dk", lww(k, "x"))
+		if err := cl.Delete("dk"); err != nil {
+			t.Fatal(err)
+		}
+		_, found, _ := cl.Get("dk")
+		if found {
+			t.Fatal("key survived delete")
+		}
+	})
+}
+
+func TestAddNodeRebalancesAndDataSurvives(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	k, _, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		for i := 0; i < 200; i++ {
+			if err := cl.Put(fmt.Sprintf("key-%d", i), lww(k, fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		added := kv.AddNode()
+		k.Sleep(500 * time.Millisecond) // let transfers land
+		var onNew int
+		for _, n := range kv.Nodes() {
+			if n.ID() == added {
+				onNew = n.StoredKeys()
+			}
+		}
+		if onNew == 0 {
+			t.Fatal("new node received no keys")
+		}
+		for i := 0; i < 200; i++ {
+			lat, found, err := cl.Get(fmt.Sprintf("key-%d", i))
+			if err != nil || !found {
+				t.Fatalf("key-%d lost after rebalance: found=%v err=%v", i, found, err)
+			}
+			if string(lat.(*lattice.LWW).Value) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("key-%d corrupted", i)
+			}
+		}
+	})
+}
+
+func TestRemoveNodeDrainsKeys(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	k, _, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		for i := 0; i < 150; i++ {
+			cl.Put(fmt.Sprintf("key-%d", i), lww(k, "v"))
+		}
+		victim := kv.Nodes()[0].ID()
+		kv.RemoveNode(victim)
+		k.Sleep(500 * time.Millisecond)
+		for i := 0; i < 150; i++ {
+			_, found, err := cl.Get(fmt.Sprintf("key-%d", i))
+			if err != nil || !found {
+				t.Fatalf("key-%d lost after drain: found=%v err=%v", i, found, err)
+			}
+		}
+	})
+}
+
+func TestTieredStoreDemotionAndPromotion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.Node.MemCapacity = 4096
+	k, _, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		// Write far beyond memory capacity.
+		for i := 0; i < 40; i++ {
+			val := make([]byte, 256)
+			cl.Put(fmt.Sprintf("big-%d", i), lattice.NewLWW(lattice.Timestamp{Clock: int64(i)}, val))
+			k.Sleep(time.Millisecond) // distinct LRU timestamps
+		}
+		n := kv.Nodes()[0]
+		if len(n.st.disk) == 0 {
+			t.Fatal("nothing demoted to disk tier")
+		}
+		if n.st.memBytes > 4096 {
+			t.Fatalf("memory tier over capacity: %d", n.st.memBytes)
+		}
+		// Access an old (demoted) key: it must be served and promoted.
+		before := k.Now()
+		lat, found, err := cl.Get("big-0")
+		if err != nil || !found || lat == nil {
+			t.Fatalf("disk-tier get failed: %v %v", found, err)
+		}
+		coldLatency := k.Now().Sub(before)
+		if exists, onDisk := n.HasKey("big-0"); !exists || onDisk {
+			t.Fatal("key not promoted to memory tier")
+		}
+		before = k.Now()
+		cl.Get("big-0")
+		hotLatency := k.Now().Sub(before)
+		if coldLatency <= hotLatency {
+			t.Fatalf("disk penalty missing: cold=%v hot=%v", coldLatency, hotLatency)
+		}
+	})
+}
+
+func TestKeysetIndexAndUpdatePush(t *testing.T) {
+	k, net, _, cl := harness(t, DefaultConfig())
+	cacheEP := net.AddNode("cache-vm0")
+	k.Run("main", func() {
+		cl.Put("watched", lww(k, "v1"))
+		// The cache subscribes via a keyset snapshot.
+		cl.PublishKeyset("cache-vm0", []string{"watched"}, nil)
+		k.Sleep(50 * time.Millisecond)
+		// An update must be pushed to the cache within the push interval.
+		cl.Put("watched", lww(k, "v2"))
+		deadline := 300 * time.Millisecond
+		m, ok := cacheEP.RecvTimeout(deadline)
+		if !ok {
+			t.Fatal("no update push received")
+		}
+		push, isPush := m.Payload.(KeyUpdatePush)
+		if !isPush || push.Key != "watched" {
+			t.Fatalf("unexpected message %+v", m.Payload)
+		}
+		if string(push.Lat.(*lattice.LWW).Value) != "v2" {
+			t.Fatalf("pushed stale value %q", push.Lat.(*lattice.LWW).Value)
+		}
+		// Unsubscribe; further updates must not be pushed.
+		cl.PublishKeyset("cache-vm0", nil, []string{"watched"})
+		k.Sleep(50 * time.Millisecond)
+		cl.Put("watched", lww(k, "v3"))
+		if m, ok := cacheEP.RecvTimeout(deadline); ok {
+			t.Fatalf("push after unsubscribe: %+v", m.Payload)
+		}
+	})
+}
+
+func TestIndexOverheadAccounting(t *testing.T) {
+	k, _, kv, cl := harness(t, DefaultConfig())
+	k.Run("main", func() {
+		cl.Put("idx", lww(k, "v"))
+		cl.PublishKeyset("cache-a", []string{"idx"}, nil)
+		cl.PublishKeyset("cache-bb", []string{"idx"}, nil)
+		k.Sleep(10 * time.Millisecond)
+		overheads := kv.IndexOverheads()
+		if len(overheads) != 1 {
+			t.Fatalf("index entries = %d, want 1", len(overheads))
+		}
+		want := len("cache-a") + 4 + len("cache-bb") + 4
+		if overheads[0] != want {
+			t.Fatalf("overhead = %d, want %d", overheads[0], want)
+		}
+	})
+}
+
+func TestSelectiveReplicationPromotesHotKey(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Replication = 1
+	cfg.EnableSelectiveReplication = true
+	cfg.HotKeyThresholdPerSec = 100
+	cfg.HotReplication = 3
+	cfg.PolicyInterval = time.Second
+	k, _, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		cl.Put("hot", lww(k, "x"))
+		if got := len(kv.Ring().OwnersFor("hot")); got != 1 {
+			t.Fatalf("initial owners = %d", got)
+		}
+		// Hammer the key past the threshold for a few policy windows.
+		for i := 0; i < 3000; i++ {
+			cl.Get("hot")
+			k.Sleep(time.Millisecond)
+		}
+		if got := len(kv.Ring().OwnersFor("hot")); got != 3 {
+			t.Fatalf("owners after hot promotion = %d, want 3", got)
+		}
+		// The new replicas must actually serve the value.
+		k.Sleep(100 * time.Millisecond)
+		served := 0
+		for _, o := range kv.Ring().OwnersFor("hot") {
+			for _, n := range kv.Nodes() {
+				if n.ID() == o {
+					if ok, _ := n.HasKey("hot"); ok {
+						served++
+					}
+				}
+			}
+		}
+		if served != 3 {
+			t.Fatalf("replicas holding hot key = %d, want 3", served)
+		}
+		// Cool off: the override must be dropped.
+		k.Sleep(5 * time.Second)
+		if got := len(kv.Ring().OwnersFor("hot")); got != 1 {
+			t.Fatalf("owners after cooldown = %d, want 1", got)
+		}
+	})
+}
+
+func TestRingDistributesKeys(t *testing.T) {
+	r := NewRing(1, 64)
+	for i := 0; i < 4; i++ {
+		r.AddNode(simnet.NodeID(fmt.Sprintf("n%d", i)))
+	}
+	counts := map[simnet.NodeID]int{}
+	for i := 0; i < 4000; i++ {
+		counts[r.PrimaryFor(fmt.Sprintf("key-%d", i))]++
+	}
+	for n, c := range counts {
+		if c < 400 || c > 2200 {
+			t.Fatalf("node %s owns %d of 4000 keys — distribution too skewed: %v", n, c, counts)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing(3, 32)
+	for i := 0; i < 5; i++ {
+		r.AddNode(simnet.NodeID(fmt.Sprintf("n%d", i)))
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.OwnersFor(key)
+		if len(owners) != 3 {
+			t.Fatalf("owners = %v", owners)
+		}
+		seen := map[simnet.NodeID]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner for %s: %v", key, owners)
+			}
+			seen[o] = true
+		}
+		again := r.OwnersFor(key)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatal("owner order unstable")
+			}
+		}
+	}
+}
+
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	r := NewRing(1, 64)
+	for i := 0; i < 4; i++ {
+		r.AddNode(simnet.NodeID(fmt.Sprintf("n%d", i)))
+	}
+	before := map[string]simnet.NodeID{}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before[key] = r.PrimaryFor(key)
+	}
+	r.AddNode("n4")
+	moved := 0
+	for key, owner := range before {
+		if r.PrimaryFor(key) != owner {
+			moved++
+		}
+	}
+	// Expect roughly 1/5 of keys to move; far more means the hash ring
+	// is reshuffling globally.
+	if moved > 900 {
+		t.Fatalf("%d of 2000 keys moved on add — not consistent hashing", moved)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node")
+	}
+}
+
+func TestRingHotKeyOverride(t *testing.T) {
+	r := NewRing(1, 32)
+	r.AddNode("a")
+	r.AddNode("b")
+	r.AddNode("c")
+	if len(r.OwnersFor("k")) != 1 {
+		t.Fatal("base replication wrong")
+	}
+	r.SetHot("k", 3)
+	if len(r.OwnersFor("k")) != 3 {
+		t.Fatal("hot override not applied")
+	}
+	if len(r.OwnersFor("other")) != 1 {
+		t.Fatal("override leaked to other keys")
+	}
+	r.SetHot("k", 0)
+	if len(r.OwnersFor("k")) != 1 {
+		t.Fatal("override not cleared")
+	}
+}
+
+func TestStatsReporting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	k, net, kv, cl := harness(t, cfg)
+	probe := net.AddNode("probe")
+	k.Run("main", func() {
+		for i := 0; i < 50; i++ {
+			cl.Put(fmt.Sprintf("s%d", i), lww(k, "v"))
+		}
+		k.Sleep(time.Second)
+		resp, err := probe.Call(kv.Nodes()[0].ID(), StatsReq{}, 16, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := resp.(StatsResp)
+		if st.Keys != 50 {
+			t.Fatalf("stats keys = %d", st.Keys)
+		}
+		if st.OpsPerSec <= 0 {
+			t.Fatalf("ops/sec = %v", st.OpsPerSec)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package anna
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+)
+
+// ErrUnavailable is returned when no replica of a key answered.
+var ErrUnavailable = errors.New("anna: no replica available")
+
+// Client is a caller's handle to the KVS, bound to that caller's network
+// endpoint. Routing uses the shared ring (the paper's routing tier,
+// folded into the client); requests spread across a key's replicas and
+// fall back through the owner list on timeout, which is what makes the
+// storage tier k-fault tolerant from the caller's perspective.
+type Client struct {
+	kv      *KVS
+	ep      *simnet.Endpoint
+	timeout time.Duration
+}
+
+// NewClient creates a client for endpoint ep. A zero timeout uses 200ms.
+func (kv *KVS) NewClient(ep *simnet.Endpoint, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 200 * time.Millisecond
+	}
+	return &Client{kv: kv, ep: ep, timeout: timeout}
+}
+
+// Get fetches the lattice stored at key. found is false when no replica
+// has the key.
+func (c *Client) Get(key string) (lat lattice.Lattice, found bool, err error) {
+	owners := c.kv.ring.OwnersFor(key)
+	if len(owners) == 0 {
+		return nil, false, ErrUnavailable
+	}
+	// Spread reads across replicas; fall back to the primary (which
+	// serves writes first) when a secondary hasn't converged yet, then
+	// walk the rest of the owner list on timeouts.
+	first := c.kv.k.Rand().Intn(len(owners))
+	tried := make(map[simnet.NodeID]bool, len(owners))
+	order := append([]simnet.NodeID{owners[first], owners[0]}, owners...)
+	answered := false
+	for _, o := range order {
+		if tried[o] {
+			continue
+		}
+		tried[o] = true
+		resp, err := c.ep.Call(o, GetReq{Key: key}, 24+len(key), c.timeout)
+		if err != nil {
+			continue // replica down; try the next owner
+		}
+		answered = true
+		gr := resp.(GetResp)
+		if gr.Found {
+			return gr.Lat, true, nil
+		}
+		// A miss on a non-primary may be replication lag — keep going.
+	}
+	if !answered {
+		return nil, false, ErrUnavailable
+	}
+	return nil, false, nil
+}
+
+// Put merges lat into key. The client clones before sending, so the
+// caller keeps ownership of lat.
+func (c *Client) Put(key string, lat lattice.Lattice) error {
+	owners := c.kv.ring.OwnersFor(key)
+	size := 24 + len(key) + lat.ByteSize()
+	// Writes go to any replica (merge is commutative); start at a random
+	// owner for load spreading and walk the list on failure.
+	first := c.kv.k.Rand().Intn(len(owners))
+	for i := 0; i < len(owners); i++ {
+		o := owners[(first+i)%len(owners)]
+		resp, err := c.ep.Call(o, PutReq{Key: key, Lat: lat.Clone()}, size, c.timeout)
+		if err != nil {
+			continue
+		}
+		if pr, ok := resp.(PutResp); ok && pr.OK {
+			return nil
+		}
+	}
+	return fmt.Errorf("anna: put %q: %w", key, ErrUnavailable)
+}
+
+// Delete removes key from all owners (operational delete; see DeleteReq).
+func (c *Client) Delete(key string) error {
+	owners := c.kv.ring.OwnersFor(key)
+	var lastErr error = ErrUnavailable
+	okAny := false
+	for _, o := range owners {
+		resp, err := c.ep.Call(o, DeleteReq{Key: key}, 24+len(key), c.timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, ok := resp.(DeleteResp); ok {
+			okAny = true
+		}
+	}
+	if okAny {
+		return nil
+	}
+	return fmt.Errorf("anna: delete %q: %w", key, lastErr)
+}
+
+// PublishKeyset sends a cache's keyset delta, partitioned to each key's
+// primary owner (the index is partitioned with the key space, §4.2).
+// Fire-and-forget.
+func (c *Client) PublishKeyset(cache simnet.NodeID, added, removed []string) {
+	type delta struct{ add, rm []string }
+	byOwner := make(map[simnet.NodeID]*delta)
+	group := func(keys []string, rm bool) {
+		for _, key := range keys {
+			o := c.kv.ring.PrimaryFor(key)
+			d, ok := byOwner[o]
+			if !ok {
+				d = &delta{}
+				byOwner[o] = d
+			}
+			if rm {
+				d.rm = append(d.rm, key)
+			} else {
+				d.add = append(d.add, key)
+			}
+		}
+	}
+	group(added, false)
+	group(removed, true)
+	owners := make([]simnet.NodeID, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, o := range owners {
+		d := byOwner[o]
+		size := 16
+		for _, s := range d.add {
+			size += len(s)
+		}
+		for _, s := range d.rm {
+			size += len(s)
+		}
+		c.ep.Send(o, KeysetUpdate{Cache: cache, Added: d.add, Removed: d.rm}, size)
+	}
+}

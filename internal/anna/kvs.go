@@ -1,0 +1,228 @@
+package anna
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// Config sizes an Anna deployment.
+type Config struct {
+	// Nodes is the initial storage-node count.
+	Nodes int
+	// Replication is the base replication factor k (§4.5: Anna's
+	// replication provides k-fault tolerance).
+	Replication int
+	// VNodesPerNode controls partitioning granularity.
+	VNodesPerNode int
+	// Node holds per-node service constants.
+	Node NodeConfig
+
+	// Selective replication policy (§2.2: Anna responds to workload
+	// changes by selectively replicating frequently-accessed data).
+	EnableSelectiveReplication bool
+	HotKeyThresholdPerSec      float64
+	HotReplication             int
+	PolicyInterval             time.Duration
+}
+
+// DefaultConfig returns a small in-simulation deployment.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:                      3,
+		Replication:                1,
+		VNodesPerNode:              32,
+		Node:                       DefaultNodeConfig(),
+		EnableSelectiveReplication: false,
+		HotKeyThresholdPerSec:      500,
+		HotReplication:             4,
+		PolicyInterval:             2 * time.Second,
+	}
+}
+
+// KVS is the deployed Anna cluster: the ring, the storage nodes, and the
+// management policy loop (selective replication). Storage autoscaling is
+// exposed as AddNode/RemoveNode, invoked by callers' policies.
+type KVS struct {
+	k     *vtime.Kernel
+	net   *simnet.Network
+	ring  *Ring
+	cfg   Config
+	nodes map[simnet.NodeID]*Node
+	mgr   *simnet.Endpoint
+	next  int
+
+	// ScaleEvents records node additions/removals for reports.
+	ScaleEvents []string
+}
+
+// NewKVS boots an Anna cluster on the given network.
+func NewKVS(k *vtime.Kernel, net *simnet.Network, cfg Config) *KVS {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	kv := &KVS{
+		k:     k,
+		net:   net,
+		ring:  NewRing(cfg.Replication, cfg.VNodesPerNode),
+		cfg:   cfg,
+		nodes: make(map[simnet.NodeID]*Node),
+		mgr:   net.AddNode("anna-mgr"),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		kv.addNodeNoRebalance()
+	}
+	if cfg.EnableSelectiveReplication {
+		k.Go("anna-mgr/policy", kv.policyLoop)
+	}
+	return kv
+}
+
+// Ring exposes the hash ring (clients use it for routing; the paper's
+// standalone routing tier is folded into the client, which caches the
+// same information).
+func (kv *KVS) Ring() *Ring { return kv.ring }
+
+// Nodes returns the live storage nodes.
+func (kv *KVS) Nodes() []*Node {
+	out := make([]*Node, 0, len(kv.nodes))
+	for _, id := range kv.ring.Nodes() {
+		if n, ok := kv.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (kv *KVS) addNodeNoRebalance() *Node {
+	id := simnet.NodeID(fmt.Sprintf("anna-%d", kv.next))
+	kv.next++
+	ep := kv.net.AddNode(id)
+	n := NewNode(kv.k, ep, kv.ring, kv.cfg.Node)
+	kv.nodes[id] = n
+	kv.ring.AddNode(id)
+	n.Start()
+	return n
+}
+
+// AddNode grows the cluster by one storage node and rebalances key
+// ownership onto it. Must be called from a kernel process.
+func (kv *KVS) AddNode() simnet.NodeID {
+	n := kv.addNodeNoRebalance()
+	kv.rebalance()
+	kv.ScaleEvents = append(kv.ScaleEvents, fmt.Sprintf("t=%v add %s", kv.k.Now(), n.ID()))
+	return n.ID()
+}
+
+// RemoveNode drains a storage node's keys to their new owners and takes
+// it out of service.
+func (kv *KVS) RemoveNode(id simnet.NodeID) {
+	n, ok := kv.nodes[id]
+	if !ok {
+		return
+	}
+	kv.ring.RemoveNode(id)
+	n.transferForRing() // node owns nothing now: everything drains
+	n.Stop()
+	delete(kv.nodes, id)
+	kv.ScaleEvents = append(kv.ScaleEvents, fmt.Sprintf("t=%v remove %s", kv.k.Now(), id))
+}
+
+// rebalance asks every node to migrate keys per the current ring, in
+// deterministic order.
+func (kv *KVS) rebalance() {
+	for _, n := range kv.Nodes() {
+		n.transferForRing()
+	}
+}
+
+// policyLoop is the selective-replication policy: keys hotter than the
+// threshold get their replication factor raised so client load spreads;
+// keys that cool off revert.
+func (kv *KVS) policyLoop() {
+	hotSince := make(map[string]vtime.Time)
+	for {
+		kv.k.Sleep(kv.cfg.PolicyInterval)
+		seen := make(map[string]bool)
+		for _, n := range kv.Nodes() { // sorted: deterministic poll order
+			resp, err := kv.mgr.Call(n.ID(), StatsReq{}, 16, time.Second)
+			if err != nil {
+				continue
+			}
+			st := resp.(StatsResp)
+			for _, h := range st.HotKeys {
+				if h.PerSec >= kv.cfg.HotKeyThresholdPerSec {
+					seen[h.Key] = true
+					if _, ok := hotSince[h.Key]; !ok {
+						hotSince[h.Key] = kv.k.Now()
+						kv.promoteHotKey(h.Key, n)
+					}
+				}
+			}
+		}
+		// Demote keys that cooled off.
+		var cooled []string
+		for key := range hotSince {
+			if !seen[key] {
+				cooled = append(cooled, key)
+			}
+		}
+		sort.Strings(cooled)
+		for _, key := range cooled {
+			delete(hotSince, key)
+			kv.ring.SetHot(key, 0)
+		}
+	}
+}
+
+// promoteHotKey raises a key's replication factor and seeds the new
+// replicas with the current value.
+func (kv *KVS) promoteHotKey(key string, src *Node) {
+	kv.ring.SetHot(key, kv.cfg.HotReplication)
+	lat, ok := src.Peek(key)
+	if !ok {
+		return
+	}
+	for _, owner := range kv.ring.OwnersFor(key) {
+		if owner == src.ID() {
+			continue
+		}
+		kv.mgr.Send(owner, GossipMsg{Key: key, Lat: lat.Clone()}, 24+lat.ByteSize())
+	}
+}
+
+// Preload inserts a key directly into its owners' stores, bypassing the
+// network. Experiment setup only: the paper's workloads preload a
+// million keys, which would otherwise dominate both simulated and real
+// time.
+func (kv *KVS) Preload(key string, lat lattice.Lattice) {
+	for _, o := range kv.ring.OwnersFor(key) {
+		if n, ok := kv.nodes[o]; ok {
+			n.st.merge(key, lat.Clone(), kv.k.Now())
+		}
+	}
+}
+
+// IndexOverheads gathers per-key index sizes across all nodes (Figure 7's
+// index-overhead measurement).
+func (kv *KVS) IndexOverheads() []int {
+	var out []int
+	for _, n := range kv.nodes {
+		out = append(out, n.IndexOverheads()...)
+	}
+	return out
+}
+
+// TotalKeys reports the number of stored keys across nodes (replicas
+// counted once per node).
+func (kv *KVS) TotalKeys() int {
+	total := 0
+	for _, n := range kv.nodes {
+		total += n.StoredKeys()
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+package anna
+
+import (
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+)
+
+// GetReq fetches a key's lattice.
+type GetReq struct {
+	Key string
+}
+
+// GetResp answers a GetReq. Lat is a clone owned by the receiver.
+type GetResp struct {
+	Key   string
+	Lat   lattice.Lattice
+	Found bool
+}
+
+// PutReq merges a lattice into a key. Lat must be a clone the receiver
+// may take ownership of.
+type PutReq struct {
+	Key string
+	Lat lattice.Lattice
+}
+
+// PutResp acknowledges a PutReq.
+type PutResp struct {
+	OK bool
+}
+
+// DeleteReq removes a key from one storage node. True lattice deletion
+// needs tombstones; Cloudburst's delete is the pragmatic operational kind
+// (client fans the delete out to all owners), which this reproduction
+// mirrors.
+type DeleteReq struct {
+	Key string
+}
+
+// DeleteResp acknowledges a DeleteReq.
+type DeleteResp struct {
+	OK bool
+}
+
+// KeysetUpdate is a cache's periodic snapshot delta of its cached keys
+// (§4.2), already partitioned by the sender so every key belongs to the
+// receiving node. Fire-and-forget.
+type KeysetUpdate struct {
+	Cache   simnet.NodeID
+	Added   []string
+	Removed []string
+}
+
+// GossipMsg propagates a key's lattice to a replica. Fire-and-forget;
+// Lat is a clone owned by the receiver.
+type GossipMsg struct {
+	Key string
+	Lat lattice.Lattice
+}
+
+// KeyUpdatePush notifies a subscribed cache that a key changed, carrying
+// the merged lattice (§4.2's update propagation). Fire-and-forget.
+type KeyUpdatePush struct {
+	Key string
+	Lat lattice.Lattice
+}
+
+// TransferMsg hands keys (and their index entries) to a node that became
+// an owner after a ring change. Fire-and-forget; entries are clones.
+type TransferMsg struct {
+	Entries []TransferEntry
+}
+
+// TransferEntry is one migrated key.
+type TransferEntry struct {
+	Key         string
+	Lat         lattice.Lattice
+	Subscribers []string // cache ids from the key→cache index
+}
+
+// StatsReq asks a node for its load report.
+type StatsReq struct{}
+
+// KeyRate reports one key's recent access rate.
+type KeyRate struct {
+	Key    string
+	PerSec float64
+}
+
+// StatsResp is a node's load report, consumed by the selective
+// replication and storage autoscaling policies.
+type StatsResp struct {
+	Node       simnet.NodeID
+	Keys       int
+	MemBytes   int
+	DiskKeys   int
+	OpsPerSec  float64
+	HotKeys    []KeyRate
+	IndexKeys  int
+	IndexBytes int
+}

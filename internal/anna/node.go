@@ -1,0 +1,402 @@
+package anna
+
+import (
+	"sort"
+	"time"
+
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// NodeConfig carries a storage node's service-time and policy constants.
+type NodeConfig struct {
+	// GetServiceTime and PutServiceTime model per-operation server CPU
+	// cost; requests on one node are served serially, so queueing delay
+	// emerges under load.
+	GetServiceTime time.Duration
+	PutServiceTime time.Duration
+	// DiskPenalty is the extra latency for an operation that touches the
+	// disk tier.
+	DiskPenalty time.Duration
+	// GossipInterval is how often dirty keys are propagated to replicas.
+	GossipInterval time.Duration
+	// PushInterval is how often dirty keys are pushed to subscribed
+	// caches via the key→cache index (§4.2).
+	PushInterval time.Duration
+	// MemCapacity bounds the memory tier in bytes; 0 means unbounded.
+	MemCapacity int
+	// StatsWindow is the load-report aggregation window.
+	StatsWindow time.Duration
+	// HotKeyTopN bounds the hot-key list in stats reports.
+	HotKeyTopN int
+	// ServeBandwidth is the per-node value (de)serialization throughput
+	// in bytes/second: large values cost server time proportional to
+	// size, which is what separates cold cache misses from hot hits in
+	// §6.1.2.
+	ServeBandwidth float64
+}
+
+// DefaultNodeConfig returns the calibrated defaults (see DESIGN.md §5).
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		GetServiceTime: 25 * time.Microsecond,
+		PutServiceTime: 35 * time.Microsecond,
+		DiskPenalty:    1500 * time.Microsecond,
+		GossipInterval: 50 * time.Millisecond,
+		PushInterval:   100 * time.Millisecond,
+		StatsWindow:    time.Second,
+		HotKeyTopN:     16,
+		ServeBandwidth: 300e6,
+	}
+}
+
+// Node is one Anna storage node: a serially-served lattice store with
+// replica gossip, the Cloudburst key→cache index, and tiered storage.
+type Node struct {
+	id   simnet.NodeID
+	ep   *simnet.Endpoint
+	k    *vtime.Kernel
+	ring *Ring
+	cfg  NodeConfig
+	st   *tieredStore
+
+	// index maps each locally-owned key to the caches that reported
+	// caching it. Partitioned across nodes with the key space.
+	index map[string]map[simnet.NodeID]bool
+
+	stopped     bool
+	ops         int64
+	windowStart vtime.Time
+}
+
+// NewNode creates (but does not start) a storage node bound to an
+// endpoint.
+func NewNode(k *vtime.Kernel, ep *simnet.Endpoint, ring *Ring, cfg NodeConfig) *Node {
+	return &Node{
+		id:    ep.ID(),
+		ep:    ep,
+		k:     k,
+		ring:  ring,
+		cfg:   cfg,
+		st:    newTieredStore(cfg.MemCapacity),
+		index: make(map[string]map[simnet.NodeID]bool),
+	}
+}
+
+// ID returns the node's network id.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// Start launches the node's serve, gossip, and push processes.
+func (n *Node) Start() {
+	n.windowStart = n.k.Now()
+	n.k.Go(string(n.id)+"/serve", n.serveLoop)
+	n.k.Go(string(n.id)+"/gossip", n.gossipLoop)
+	n.k.Go(string(n.id)+"/push", n.pushLoop)
+}
+
+// Stop makes the node stop processing after in-flight work; used for
+// scale-in after its keys are drained.
+func (n *Node) Stop() { n.stopped = true }
+
+func (n *Node) serveLoop() {
+	for {
+		m := n.ep.Recv()
+		if n.stopped {
+			return
+		}
+		n.handle(m)
+	}
+}
+
+func (n *Node) handle(m simnet.Message) {
+	req, isRPC := m.Payload.(*simnet.Request)
+	body := m.Payload
+	if isRPC {
+		body = req.Body
+	}
+	switch b := body.(type) {
+	case GetReq:
+		n.ops++
+		e, fromDisk := n.st.get(b.Key, n.k.Now())
+		if e == nil {
+			n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, 0))
+			req.Reply(GetResp{Key: b.Key, Found: false}, 24)
+			return
+		}
+		n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size))
+		req.Reply(GetResp{Key: b.Key, Lat: e.lat.Clone(), Found: true}, 24+e.size)
+	case PutReq:
+		n.ops++
+		e, fromDisk := n.st.merge(b.Key, b.Lat, n.k.Now())
+		e.dirtyRepl, e.dirtyPush = true, true
+		n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, fromDisk, e.size))
+		req.Reply(PutResp{OK: true}, 8)
+	case DeleteReq:
+		n.ops++
+		ok := n.st.delete(b.Key)
+		n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, false, 0))
+		req.Reply(DeleteResp{OK: ok}, 8)
+	case GossipMsg:
+		e, _ := n.st.merge(b.Key, b.Lat, n.k.Now())
+		// Replicas do not re-gossip (the writer reaches all owners),
+		// but must push to their own subscribed caches.
+		e.dirtyPush = true
+		n.k.Sleep(n.cfg.PutServiceTime)
+	case KeysetUpdate:
+		n.applyKeyset(b)
+	case TransferMsg:
+		for _, te := range b.Entries {
+			e, _ := n.st.merge(te.Key, te.Lat, n.k.Now())
+			e.dirtyPush = true
+			e.dirtyRepl = true // propagate to any further new replicas
+			for _, c := range te.Subscribers {
+				n.subscribe(te.Key, simnet.NodeID(c))
+			}
+		}
+	case StatsReq:
+		req.Reply(n.stats(), 256)
+	}
+}
+
+func (n *Node) serviceTime(base time.Duration, disk bool, size int) time.Duration {
+	d := base
+	if disk {
+		d += n.cfg.DiskPenalty
+	}
+	if n.cfg.ServeBandwidth > 0 && size > 0 {
+		d += time.Duration(float64(size) / n.cfg.ServeBandwidth * float64(time.Second))
+	}
+	return d
+}
+
+func (n *Node) applyKeyset(u KeysetUpdate) {
+	for _, key := range u.Added {
+		n.subscribe(key, u.Cache)
+	}
+	for _, key := range u.Removed {
+		if subs, ok := n.index[key]; ok {
+			delete(subs, u.Cache)
+			if len(subs) == 0 {
+				delete(n.index, key)
+			}
+		}
+	}
+}
+
+func (n *Node) subscribe(key string, cache simnet.NodeID) {
+	subs, ok := n.index[key]
+	if !ok {
+		subs = make(map[simnet.NodeID]bool)
+		n.index[key] = subs
+	}
+	subs[cache] = true
+}
+
+// gossipLoop propagates dirty keys to the other owners on a fixed cadence
+// — Anna's asynchronous replica propagation.
+func (n *Node) gossipLoop() {
+	for {
+		n.k.Sleep(n.cfg.GossipInterval)
+		if n.stopped {
+			return
+		}
+		n.st.each(func(e *entry, onDisk bool) {
+			if !e.dirtyRepl {
+				return
+			}
+			e.dirtyRepl = false
+			for _, owner := range n.ring.OwnersFor(e.key) {
+				if owner == n.id {
+					continue
+				}
+				n.ep.Send(owner, GossipMsg{Key: e.key, Lat: e.lat.Clone()}, 24+e.size)
+			}
+		})
+	}
+}
+
+// pushLoop sends updated keys to their subscribed caches (§4.2).
+func (n *Node) pushLoop() {
+	for {
+		n.k.Sleep(n.cfg.PushInterval)
+		if n.stopped {
+			return
+		}
+		n.st.each(func(e *entry, onDisk bool) {
+			if !e.dirtyPush {
+				return
+			}
+			e.dirtyPush = false
+			for _, cache := range sortedSubs(n.index[e.key]) {
+				n.ep.Send(cache, KeyUpdatePush{Key: e.key, Lat: e.lat.Clone()}, 24+e.size)
+			}
+		})
+	}
+}
+
+// sortedSubs returns a subscriber set in deterministic order.
+func sortedSubs(subs map[simnet.NodeID]bool) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(subs))
+	for c := range subs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stats builds a load report and resets the stats window.
+func (n *Node) stats() StatsResp {
+	elapsed := n.k.Now().Sub(n.windowStart).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	resp := StatsResp{
+		Node:      n.id,
+		Keys:      n.st.totalKeys(),
+		MemBytes:  n.st.memBytes,
+		DiskKeys:  len(n.st.disk),
+		OpsPerSec: float64(n.ops) / elapsed,
+		IndexKeys: len(n.index),
+	}
+	for _, subs := range n.index {
+		for c := range subs {
+			resp.IndexBytes += len(c) + 4
+		}
+	}
+	// Hot keys by access count in this window.
+	type kr struct {
+		key string
+		n   int64
+	}
+	var hot []kr
+	n.st.each(func(e *entry, onDisk bool) {
+		if e.accesses > 0 {
+			hot = append(hot, kr{e.key, e.accesses})
+			e.accesses = 0
+		}
+	})
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].key < hot[j].key
+	})
+	for i, h := range hot {
+		if i >= n.cfg.HotKeyTopN {
+			break
+		}
+		resp.HotKeys = append(resp.HotKeys, KeyRate{Key: h.key, PerSec: float64(h.n) / elapsed})
+	}
+	n.ops = 0
+	n.windowStart = n.k.Now()
+	return resp
+}
+
+// IndexOverheads returns the per-key index metadata size in bytes for
+// every indexed key on this node — the quantity §6.1.4 reports the
+// median/p99 of.
+func (n *Node) IndexOverheads() []int {
+	out := make([]int, 0, len(n.index))
+	for _, subs := range n.index {
+		b := 0
+		for c := range subs {
+			b += len(c) + 4
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// transferForRing migrates keys this node no longer owns to their new
+// primary, and re-marks still-owned keys dirty so gossip reaches any new
+// replicas. Called by the manager after a ring change.
+func (n *Node) transferForRing() {
+	type out struct {
+		dst     simnet.NodeID
+		entries []TransferEntry
+		bytes   int
+	}
+	batches := make(map[simnet.NodeID]*out)
+	var dropped []string
+	n.st.each(func(e *entry, onDisk bool) {
+		owners := n.ring.OwnersFor(e.key)
+		owned := false
+		for _, o := range owners {
+			if o == n.id {
+				owned = true
+				break
+			}
+		}
+		if owned {
+			e.dirtyRepl = true
+			return
+		}
+		dst := owners[0]
+		b, ok := batches[dst]
+		if !ok {
+			b = &out{dst: dst}
+			batches[dst] = b
+		}
+		var subs []string
+		for c := range n.index[e.key] {
+			subs = append(subs, string(c))
+		}
+		sort.Strings(subs)
+		b.entries = append(b.entries, TransferEntry{Key: e.key, Lat: e.lat.Clone(), Subscribers: subs})
+		b.bytes += e.size + len(e.key)
+		dropped = append(dropped, e.key)
+	})
+	dsts := make([]simnet.NodeID, 0, len(batches))
+	for d := range batches {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		b := batches[d]
+		n.ep.Send(b.dst, TransferMsg{Entries: b.entries}, b.bytes)
+	}
+	for _, key := range dropped {
+		n.st.delete(key)
+		delete(n.index, key)
+	}
+}
+
+// StoredKeys returns the number of keys on the node (test hook).
+func (n *Node) StoredKeys() int { return n.st.totalKeys() }
+
+// CausalMetadataSizes samples the causal metadata overhead (vector
+// clocks plus dependency sets) of every causal capsule stored on this
+// node — the §6.2.1 measurement (median 624B, p99 7.1KB in the paper).
+func (n *Node) CausalMetadataSizes() []int {
+	var out []int
+	n.st.each(func(e *entry, onDisk bool) {
+		if c, ok := e.lat.(*lattice.Causal); ok {
+			out = append(out, c.MetadataSize())
+		}
+	})
+	return out
+}
+
+// HasKey reports whether key is stored locally, and on which tier.
+func (n *Node) HasKey(key string) (exists, onDisk bool) {
+	if _, ok := n.st.mem[key]; ok {
+		return true, false
+	}
+	if _, ok := n.st.disk[key]; ok {
+		return true, true
+	}
+	return false, false
+}
+
+// Peek returns a clone of the local lattice for key (test hook — real
+// clients go through the network).
+func (n *Node) Peek(key string) (lattice.Lattice, bool) {
+	if e, ok := n.st.mem[key]; ok {
+		return e.lat.Clone(), true
+	}
+	if e, ok := n.st.disk[key]; ok {
+		return e.lat.Clone(), true
+	}
+	return nil, false
+}

@@ -1,0 +1,177 @@
+// Package anna is a from-scratch reproduction of the Anna KVS at the
+// level of detail Cloudburst depends on (§2.2, §4.2 of the Cloudburst
+// paper; design from Wu et al., "Anna: A KVS for Any Scale" and
+// "Autoscaling Tiered Cloud Storage in Anna"):
+//
+//   - lattice values with merge-on-put, so all replicas converge
+//     coordination-free;
+//   - consistent-hash partitioning with virtual nodes and replication
+//     factor k;
+//   - asynchronous replica propagation (gossip);
+//   - selective replication for hot keys;
+//   - a memory tier with LRU demotion to a slower disk tier;
+//   - storage-node autoscaling with key handoff;
+//   - the Cloudburst extension: a key→cache index built from periodic
+//     cached-keyset snapshots, used to push key updates to subscribed
+//     caches, partitioned across nodes like the key space.
+package anna
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"cloudburst/internal/simnet"
+)
+
+// vnode is one virtual node position on the hash ring.
+type vnode struct {
+	hash uint64
+	node simnet.NodeID
+}
+
+// Ring is a consistent-hash ring with virtual nodes. All mutation happens
+// under the cooperative kernel (one runnable process at a time), so no
+// locking is needed.
+type Ring struct {
+	vnodes      []vnode
+	nodes       map[simnet.NodeID]bool
+	replication int            // base replication factor k
+	hot         map[string]int // per-key replication overrides (selective replication)
+	perNode     int            // virtual nodes per physical node
+}
+
+// NewRing creates a ring with replication factor k and vnodesPerNode
+// virtual nodes per storage node.
+func NewRing(k, vnodesPerNode int) *Ring {
+	if k < 1 {
+		k = 1
+	}
+	if vnodesPerNode < 1 {
+		vnodesPerNode = 16
+	}
+	return &Ring{
+		nodes:       make(map[simnet.NodeID]bool),
+		replication: k,
+		hot:         make(map[string]int),
+		perNode:     vnodesPerNode,
+	}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV clusters badly on short, similar strings ("key-1", "key-2",
+	// ...), which skews ring placement; finish with murmur3's fmix64 to
+	// scatter the bits across the full 64-bit space.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// AddNode inserts a storage node's virtual nodes.
+func (r *Ring) AddNode(id simnet.NodeID) {
+	if r.nodes[id] {
+		return
+	}
+	r.nodes[id] = true
+	for i := 0; i < r.perNode; i++ {
+		r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", id, i)), node: id})
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+}
+
+// RemoveNode deletes a storage node from the ring.
+func (r *Ring) RemoveNode(id simnet.NodeID) {
+	if !r.nodes[id] {
+		return
+	}
+	delete(r.nodes, id)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.node != id {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+}
+
+// Nodes returns the member nodes in sorted order.
+func (r *Ring) Nodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size reports the number of physical nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// SetHot overrides the replication factor for one key (selective
+// replication of frequently-accessed data). factor <= base clears the
+// override.
+func (r *Ring) SetHot(key string, factor int) {
+	if factor <= r.replication {
+		delete(r.hot, key)
+		return
+	}
+	r.hot[key] = factor
+}
+
+// ReplicationFor reports the effective replication factor for key.
+func (r *Ring) ReplicationFor(key string) int {
+	if f, ok := r.hot[key]; ok {
+		return f
+	}
+	return r.replication
+}
+
+// OwnersFor returns the distinct storage nodes responsible for key, in
+// preference order (primary first): the first k distinct nodes clockwise
+// from the key's hash.
+func (r *Ring) OwnersFor(key string) []simnet.NodeID {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	k := r.ReplicationFor(key)
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]simnet.NodeID, 0, k)
+	seen := make(map[simnet.NodeID]bool, k)
+	for n := 0; len(out) < k && n < len(r.vnodes); n++ {
+		v := r.vnodes[(i+n)%len(r.vnodes)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			out = append(out, v.node)
+		}
+	}
+	return out
+}
+
+// PrimaryFor returns the first owner for key.
+func (r *Ring) PrimaryFor(key string) simnet.NodeID {
+	owners := r.OwnersFor(key)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owns reports whether node is among key's owners.
+func (r *Ring) Owns(node simnet.NodeID, key string) bool {
+	for _, o := range r.OwnersFor(key) {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package anna
+
+import (
+	"sort"
+
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/vtime"
+)
+
+// entry is one stored key on a node.
+type entry struct {
+	key        string
+	lat        lattice.Lattice
+	size       int
+	lastAccess vtime.Time
+	accesses   int64 // accesses in the current stats window
+	dirtyRepl  bool  // changed since last gossip round
+	dirtyPush  bool  // changed since last cache-push round
+}
+
+// tieredStore is a node's two-tier storage: a bounded memory tier with
+// LRU demotion to an unbounded disk tier (the EBS volume of Anna's
+// flash/disk tier, folded into the node — the behaviour Cloudburst
+// depends on is only the latency difference and capacity pressure).
+type tieredStore struct {
+	mem         map[string]*entry
+	disk        map[string]*entry
+	memBytes    int
+	memCapacity int // 0 = unbounded
+}
+
+func newTieredStore(memCapacity int) *tieredStore {
+	return &tieredStore{
+		mem:         make(map[string]*entry),
+		disk:        make(map[string]*entry),
+		memCapacity: memCapacity,
+	}
+}
+
+// get returns the entry for key and whether it was served from disk
+// (and therefore promoted, paying the disk penalty).
+func (s *tieredStore) get(key string, now vtime.Time) (e *entry, fromDisk bool) {
+	if e, ok := s.mem[key]; ok {
+		e.lastAccess = now
+		e.accesses++
+		return e, false
+	}
+	if e, ok := s.disk[key]; ok {
+		delete(s.disk, key)
+		// Refresh recency before inserting, or the eviction scan inside
+		// insertMem would see the stale timestamp and demote the entry
+		// straight back to disk.
+		e.lastAccess = now
+		e.accesses++
+		s.insertMem(e, now)
+		return e, true
+	}
+	return nil, false
+}
+
+// merge folds lat into key, creating it if absent. It reports whether the
+// write landed on disk-resident data (paying the penalty) and the entry.
+func (s *tieredStore) merge(key string, lat lattice.Lattice, now vtime.Time) (e *entry, fromDisk bool) {
+	e, fromDisk = s.get(key, now)
+	if e == nil {
+		e = &entry{key: key, lat: lat, size: lat.ByteSize(), lastAccess: now}
+		s.insertMem(e, now)
+		return e, false
+	}
+	s.memBytes -= e.size
+	e.lat.Merge(lat)
+	e.size = e.lat.ByteSize()
+	s.memBytes += e.size
+	s.evictIfNeeded(now)
+	return e, fromDisk
+}
+
+// delete removes key from both tiers and reports whether it existed.
+func (s *tieredStore) delete(key string) bool {
+	if e, ok := s.mem[key]; ok {
+		s.memBytes -= e.size
+		delete(s.mem, key)
+		return true
+	}
+	if _, ok := s.disk[key]; ok {
+		delete(s.disk, key)
+		return true
+	}
+	return false
+}
+
+// insertMem places e in the memory tier, demoting LRU entries if the
+// capacity is exceeded.
+func (s *tieredStore) insertMem(e *entry, now vtime.Time) {
+	s.mem[e.key] = e
+	s.memBytes += e.size
+	s.evictIfNeeded(now)
+}
+
+// evictIfNeeded demotes least-recently-used memory entries to disk until
+// under capacity. The incoming entry itself can be demoted if it is the
+// coldest, matching Anna's policy of keeping the hot working set in
+// memory.
+func (s *tieredStore) evictIfNeeded(now vtime.Time) {
+	for s.memCapacity > 0 && s.memBytes > s.memCapacity && len(s.mem) > 1 {
+		var victim *entry
+		for _, e := range s.mem {
+			if victim == nil || e.lastAccess < victim.lastAccess ||
+				(e.lastAccess == victim.lastAccess && e.key < victim.key) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(s.mem, victim.key)
+		s.memBytes -= victim.size
+		s.disk[victim.key] = victim
+	}
+}
+
+// each iterates over all entries (memory then disk) in sorted key order.
+// Deterministic order matters: callers send network messages per entry,
+// and message order consumes the kernel's random source — unsorted map
+// iteration would break run-to-run reproducibility. fn must not mutate
+// the store.
+func (s *tieredStore) each(fn func(e *entry, onDisk bool)) {
+	for _, k := range sortedEntryKeys(s.mem) {
+		fn(s.mem[k], false)
+	}
+	for _, k := range sortedEntryKeys(s.disk) {
+		fn(s.disk[k], true)
+	}
+}
+
+func sortedEntryKeys(m map[string]*entry) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// totalKeys reports the number of stored keys across tiers.
+func (s *tieredStore) totalKeys() int { return len(s.mem) + len(s.disk) }

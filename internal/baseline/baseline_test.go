@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"cloudburst/internal/cloud"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+func rig(t *testing.T) (*vtime.Kernel, *Env) {
+	t.Helper()
+	k := vtime.NewKernel(9)
+	t.Cleanup(k.Stop)
+	net := simnet.New(k, simnet.Link{Latency: simnet.Constant(200 * time.Microsecond)})
+	clientEP := net.AddNode("client")
+	stores := map[string]*cloud.Client{}
+	for name, p := range map[string]cloud.Profile{
+		"s3": cloud.S3Profile(), "dynamo": cloud.DynamoProfile(), "redis": cloud.RedisProfile(),
+	} {
+		svc := cloud.NewService(k, net.AddNode(simnet.NodeID("svc-"+name)), p)
+		stores[name] = svc.NewClient(clientEP)
+	}
+	return k, &Env{K: k, Stores: stores}
+}
+
+// measure runs fn once inside the kernel and returns virtual elapsed.
+func measure(k *vtime.Kernel, fn func()) time.Duration {
+	var d time.Duration
+	k.Run("measure", func() {
+		start := k.Now()
+		fn()
+		d = time.Duration(k.Now() - start)
+	})
+	return d
+}
+
+func nop(env *Env) any { return nil }
+
+func TestLambdaInvocationPaysOverhead(t *testing.T) {
+	k, env := rig(t)
+	l := NewLambda(k, env)
+	d := measure(k, func() { l.Invoke(nop) })
+	if d < 2*time.Millisecond {
+		t.Fatalf("lambda invocation cost only %v", d)
+	}
+	// Composition compounds the overhead (§2.1).
+	d2 := measure(k, func() { l.InvokeChain(nop, nop) })
+	if d2 < d {
+		t.Fatalf("two invocations (%v) cheaper than one (%v)", d2, d)
+	}
+}
+
+func TestLambdaChainViaStoragePaysRoundTrips(t *testing.T) {
+	k, env := rig(t)
+	l := NewLambda(k, env)
+	direct := measure(k, func() { l.InvokeChain(nop, nop) })
+	viaS3 := measure(k, func() { l.InvokeChainVia("s3", 64, nop, nop) })
+	viaDyn := measure(k, func() { l.InvokeChainVia("dynamo", 64, nop, nop) })
+	if viaS3 <= direct || viaDyn <= direct {
+		t.Fatalf("storage hand-off free: direct=%v dynamo=%v s3=%v", direct, viaDyn, viaS3)
+	}
+	if viaS3 <= viaDyn {
+		t.Fatalf("S3 hand-off (%v) not slower than DynamoDB (%v)", viaS3, viaDyn)
+	}
+}
+
+func TestStepFunctionsSlowerThanLambda(t *testing.T) {
+	k, env := rig(t)
+	l := NewLambda(k, env)
+	sfn := NewStepFunctions(l)
+	lambda := measure(k, func() { l.InvokeChain(nop, nop) })
+	step := measure(k, func() { sfn.RunChain(nop, nop) })
+	if step < 4*lambda {
+		t.Fatalf("Step Functions (%v) should be several times Lambda (%v)", step, lambda)
+	}
+}
+
+func TestSANDSecondHopIsCheap(t *testing.T) {
+	k, env := rig(t)
+	s := NewSAND(k, env)
+	one := measure(k, func() { s.RunChain(nop) })
+	two := measure(k, func() { s.RunChain(nop, nop) })
+	// The second function rides the local bus: far cheaper than the
+	// platform entry.
+	if two-one > one/2 {
+		t.Fatalf("SAND local-bus hop too expensive: 1fn=%v 2fn=%v", one, two)
+	}
+}
+
+func TestDaskIsFastest(t *testing.T) {
+	k, env := rig(t)
+	d := NewDask(k, env)
+	l := NewLambda(k, env)
+	dask := measure(k, func() { d.RunChain(nop, nop) })
+	lambda := measure(k, func() { l.InvokeChain(nop, nop) })
+	if dask >= lambda {
+		t.Fatalf("Dask (%v) not faster than Lambda (%v)", dask, lambda)
+	}
+	if dask > 10*time.Millisecond {
+		t.Fatalf("Dask composition too slow: %v", dask)
+	}
+}
+
+func TestSageMakerChargesPerStage(t *testing.T) {
+	k, env := rig(t)
+	sm := NewSageMaker(k, env)
+	one := measure(k, func() { sm.RunPipeline(nop) })
+	three := measure(k, func() { sm.RunPipeline(nop, nop, nop) })
+	if three < one+40*time.Millisecond {
+		t.Fatalf("per-stage overhead missing: 1=%v 3=%v", one, three)
+	}
+}
+
+func TestPythonNearZeroOverhead(t *testing.T) {
+	k, env := rig(t)
+	py := NewPython(k, env)
+	compute := 50 * time.Millisecond
+	d := measure(k, func() {
+		py.RunChain(func(env *Env) any { env.Compute(compute); return nil })
+	})
+	if d < compute || d > compute+time.Millisecond {
+		t.Fatalf("python chain = %v, want ≈%v", d, compute)
+	}
+}
+
+func TestWorkCanUseStorage(t *testing.T) {
+	k, env := rig(t)
+	l := NewLambda(k, env)
+	k.Run("main", func() {
+		out := l.Invoke(func(env *Env) any {
+			if err := env.Stores["redis"].Put("x", []byte("1")); err != nil {
+				t.Errorf("put: %v", err)
+			}
+			v, found, err := env.Stores["redis"].Get("x")
+			if err != nil || !found {
+				t.Errorf("get: %v %v", found, err)
+			}
+			return string(v)
+		})
+		if out.(string) != "1" {
+			t.Errorf("work result = %v", out)
+		}
+	})
+}

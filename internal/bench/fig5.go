@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	cb "cloudburst"
+	"cloudburst/internal/baseline"
+	"cloudburst/internal/vtime"
+	"cloudburst/internal/workload"
+)
+
+// Fig5Config parameterizes the §6.1.2 data-locality experiment.
+type Fig5Config struct {
+	// Elems sweeps per-array element counts (×10 arrays ×8B = total
+	// size); the paper uses 1k..1M (80KB..80MB total).
+	Elems   []int
+	Clients int
+	Trials  int // per client per size
+	Seed    int64
+}
+
+// Fig5Quick returns CI-friendly parameters (largest size trimmed).
+func Fig5Quick() Fig5Config {
+	return Fig5Config{Elems: []int{1000, 10000, 100000}, Clients: 4, Trials: 12, Seed: 11}
+}
+
+// Fig5Paper returns the paper's sweep.
+func Fig5Paper() Fig5Config {
+	return Fig5Config{Elems: []int{1000, 10000, 100000, 1000000}, Clients: 12, Trials: 250, Seed: 11}
+}
+
+// Fig5Row is one (size, system) cell.
+type Fig5Row struct {
+	TotalBytes int
+	Summary    Summary
+}
+
+// Fig5Result groups rows by system.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Print renders the figure.
+func (r Fig5Result) Print() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			sizeLabel(row.TotalBytes),
+			row.Summary.Name,
+			fmt.Sprintf("%d", row.Summary.N),
+			fmt.Sprintf("%.2f", row.Summary.Median),
+			fmt.Sprintf("%.2f", row.Summary.P95),
+			fmt.Sprintf("%.2f", row.Summary.P99),
+		}
+	}
+	return Table("Figure 5: sum of 10 arrays (data locality)",
+		[]string{"total", "system", "n", "median(ms)", "p95(ms)", "p99(ms)"}, rows)
+}
+
+func sizeLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// RunFig5 sweeps input sizes across Cloudburst (hot/cold caches) and
+// Lambda over Redis and S3.
+func RunFig5(cfg Fig5Config) Fig5Result {
+	var out Fig5Result
+	for _, elems := range cfg.Elems {
+		a := workload.ArraySum{NumArrays: 10, Elems: elems}
+		hot := fig5Cloudburst(cfg, a, false)
+		cold := fig5Cloudburst(cfg, a, true)
+		redis := fig5Lambda(cfg, a, "redis")
+		s3 := fig5Lambda(cfg, a, "s3")
+		for _, s := range []Summary{hot, cold, redis, s3} {
+			out.Rows = append(out.Rows, Fig5Row{TotalBytes: a.TotalBytes(), Summary: s})
+		}
+	}
+	return out
+}
+
+// fig5Cloudburst measures the sum function with warm (hot) or evicted
+// (cold) caches; 7 execution VMs as in the paper.
+func fig5Cloudburst(cfg Fig5Config, a workload.ArraySum, cold bool) Summary {
+	ccfg := cb.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	ccfg.VMs = 7
+	ccfg.AnnaNodes = 4
+	c := cb.NewCluster(ccfg)
+	defer c.Close()
+	if err := a.Register(c); err != nil {
+		panic(err)
+	}
+	a.Preload(c, 0)
+	args := a.RefArgs(0)
+	name := "Cloudburst (Hot)"
+	if cold {
+		name = "Cloudburst (Cold)"
+	}
+	want := a.Expected()
+	var durs []time.Duration
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+	if !cold {
+		// Warm the caches and let keyset metrics reach the schedulers,
+		// so the locality policy can route to cached copies ("every
+		// retrieval after the first is a cache hit", §6.1.2).
+		c.Run(func(cl *cb.Client) {
+			cl.Timeout = 5 * time.Minute
+			for w := 0; w < 3; w++ {
+				if _, err := cl.Call("sum10", args...); err != nil {
+					panic(fmt.Sprintf("fig5 warmup: %v", err))
+				}
+			}
+			cl.Sleep(5 * time.Second)
+		})
+	}
+	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
+		cl.Timeout = 5 * time.Minute
+		for t := 0; t < cfg.Trials; t++ {
+			if cold {
+				a.EvictEverywhere(c, 0)
+			}
+			start := cl.Now()
+			out, err := cl.Call("sum10", args...)
+			if err != nil {
+				panic(fmt.Sprintf("fig5 %s: %v", name, err))
+			}
+			if got := out.(float64); got != want {
+				panic(fmt.Sprintf("fig5: sum = %v, want %v", got, want))
+			}
+			durs = append(durs, cl.Now()-start)
+		}
+	})
+	return Summarize(name, durs)
+}
+
+// fig5Lambda measures the Lambda implementation fetching the arrays from
+// a storage service in parallel.
+func fig5Lambda(cfg Fig5Config, a workload.ArraySum, store string) Summary {
+	r := newBaselineRig(cfg.Seed + int64(len(store)))
+	defer r.k.Stop()
+	payload := make([]byte, a.Elems*8)
+	keys := a.Keys(0)
+	for _, key := range keys {
+		r.svc[store].Preload(key, payload)
+	}
+	l := baseline.NewLambda(r.k, r.env)
+	sum := func(env *baseline.Env) any {
+		wg := vtime.NewWaitGroup(r.k)
+		for _, key := range keys {
+			key := key
+			wg.Add(1)
+			r.k.Go("fetch", func() {
+				defer wg.Done()
+				if _, found, err := env.Stores[store].Get(key); err != nil || !found {
+					panic(fmt.Sprintf("fig5 lambda fetch %s: found=%v err=%v", key, found, err))
+				}
+			})
+		}
+		wg.Wait()
+		env.Compute(workload.SumCompute(a.TotalBytes()))
+		return nil
+	}
+	name := map[string]string{"redis": "Lambda (Redis)", "s3": "Lambda (S3)"}[store]
+	var durs []time.Duration
+	wg := vtime.NewWaitGroup(r.k)
+	r.k.Run("fig5-"+store, func() {
+		for cIdx := 0; cIdx < cfg.Clients; cIdx++ {
+			wg.Add(1)
+			r.k.Go("client", func() {
+				defer wg.Done()
+				for t := 0; t < cfg.Trials; t++ {
+					start := r.k.Now()
+					l.Invoke(sum)
+					durs = append(durs, time.Duration(r.k.Now()-start))
+				}
+			})
+		}
+		wg.Wait()
+	})
+	return Summarize(name, durs)
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	cb "cloudburst"
+	"cloudburst/internal/audit"
+	"cloudburst/internal/workload"
+)
+
+// Fig8Config parameterizes the §6.2 consistency-overhead experiments
+// (Figure 8 and, with the audit recorder, Table 2).
+type Fig8Config struct {
+	Keys     int // Zipf(1.0) keyspace (1M in the paper)
+	DAGs     int // random linear DAGs (250 in the paper)
+	Clients  int // 8 in the paper
+	Requests int // per client (500 in the paper)
+	VMs      int // 5 execution nodes (15 threads) in the paper
+	Seed     int64
+}
+
+// Fig8Quick returns CI-friendly parameters.
+func Fig8Quick() Fig8Config {
+	return Fig8Config{Keys: 10_000, DAGs: 40, Clients: 4, Requests: 40, VMs: 5, Seed: 23}
+}
+
+// Fig8Paper returns the paper's parameters.
+func Fig8Paper() Fig8Config {
+	return Fig8Config{Keys: 1_000_000, DAGs: 250, Clients: 8, Requests: 500, VMs: 5, Seed: 23}
+}
+
+// Fig8Row is one consistency level's digest.
+type Fig8Row struct {
+	Summary Summary // latency normalized per DAG depth
+	// MetaMedianB / MetaP99B are the per-key causal metadata sizes
+	// (vector clocks plus dependency sets) observed in storage.
+	MetaMedianB int
+	MetaP99B    int
+}
+
+// Fig8Result holds one row per mode.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Print renders the figure.
+func (r Fig8Result) Print() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Summary.Name,
+			fmt.Sprintf("%d", row.Summary.N),
+			fmt.Sprintf("%.2f", row.Summary.Median),
+			fmt.Sprintf("%.2f", row.Summary.P99),
+			fmt.Sprintf("%d", row.MetaMedianB),
+			fmt.Sprintf("%d", row.MetaP99B),
+		}
+	}
+	return Table("Figure 8: consistency-model latency (normalized per DAG depth)",
+		[]string{"mode", "n", "median(ms)", "p99(ms)", "meta-med(B)", "meta-p99(B)"}, rows)
+}
+
+// fig8Modes is the figure's mode order.
+var fig8Modes = []cb.Consistency{cb.LWW, cb.RepeatableRead, cb.SingleKeyCausal, cb.MultiKeyCausal, cb.Causal}
+
+func modeLabel(m cb.Consistency) string {
+	switch m {
+	case cb.LWW:
+		return "LWW"
+	case cb.RepeatableRead:
+		return "DSRR"
+	case cb.SingleKeyCausal:
+		return "SK"
+	case cb.MultiKeyCausal:
+		return "MK"
+	case cb.Causal:
+		return "DSC"
+	}
+	return m.String()
+}
+
+// RunFig8 measures per-depth-normalized DAG latency under all five
+// consistency levels.
+func RunFig8(cfg Fig8Config) Fig8Result {
+	var out Fig8Result
+	for _, mode := range fig8Modes {
+		sum, meta := fig8Mode(cfg, mode, nil)
+		out.Rows = append(out.Rows, Fig8Row{
+			Summary:     sum,
+			MetaMedianB: PercentileInts(meta, 0.50),
+			MetaP99B:    PercentileInts(meta, 0.99),
+		})
+	}
+	return out
+}
+
+// fig8Mode runs the random-DAG workload under one mode; the optional
+// tracer feeds the Table 2 audit.
+func fig8Mode(cfg Fig8Config, mode cb.Consistency, tracer *audit.Recorder) (Summary, []int) {
+	ccfg := cb.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	ccfg.Mode = mode
+	ccfg.VMs = cfg.VMs
+	ccfg.AnnaNodes = 3
+	c := newClusterWithTracer(ccfg, tracer)
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w, err := workload.SetupConsistency(c, rng, cfg.Keys, cfg.DAGs, 2)
+	if err != nil {
+		panic(err)
+	}
+	var durs []time.Duration
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
+		cl.Timeout = time.Minute
+		for t := 0; t < cfg.Requests; t++ {
+			start := cl.Now()
+			depth, _, err := w.Request(cl)
+			if err != nil {
+				// Upstream-snapshot races during retries surface as
+				// errors and re-execute; skip the sample.
+				continue
+			}
+			durs = append(durs, (cl.Now()-start)/time.Duration(depth))
+		}
+	})
+
+	// Sample causal metadata sizes from storage.
+	var meta []int
+	if mode == cb.SingleKeyCausal || mode == cb.MultiKeyCausal || mode == cb.Causal {
+		for _, n := range c.Internal().KV.Nodes() {
+			for _, m := range n.CausalMetadataSizes() {
+				meta = append(meta, m)
+			}
+		}
+	} else {
+		meta = []int{8} // the LWW timestamp
+	}
+	return Summarize(modeLabel(mode), durs), meta
+}
+
+// newClusterWithTracer builds a cluster, optionally wiring the audit
+// recorder into every executor.
+func newClusterWithTracer(ccfg cb.Config, tracer *audit.Recorder) *cb.Cluster {
+	if tracer == nil {
+		return cb.NewCluster(ccfg)
+	}
+	return cb.NewClusterWithTracer(ccfg, tracer)
+}
+
+// Table2Config parameterizes the §6.2.2 anomaly count.
+type Table2Config struct {
+	Fig8       Fig8Config
+	Executions int // total DAG executions (4000 in the paper)
+}
+
+// Table2Quick returns CI-friendly parameters.
+func Table2Quick() Table2Config {
+	c := Fig8Quick()
+	c.Clients = 4
+	c.Requests = 150
+	return Table2Config{Fig8: c, Executions: 600}
+}
+
+// Table2Paper returns the paper's parameters.
+func Table2Paper() Table2Config {
+	c := Fig8Paper()
+	c.Requests = 500
+	return Table2Config{Fig8: c, Executions: 4000}
+}
+
+// Table2Result is the audit report.
+type Table2Result struct {
+	Report audit.Report
+}
+
+// Print renders Table 2.
+func (r Table2Result) Print() string {
+	rep := r.Report
+	rows := [][]string{{
+		"0",
+		fmt.Sprintf("%d", rep.SK),
+		fmt.Sprintf("%d", rep.MK),
+		fmt.Sprintf("%d", rep.DSC),
+		fmt.Sprintf("%d", rep.DSRR),
+	}}
+	out := Table("Table 2: inconsistencies observed under LWW execution",
+		[]string{"LWW", "SK", "MK", "DSC", "DSRR"}, rows)
+	out += fmt.Sprintf("(over %d DAG executions, %d reads, %d writes; MK adds %d to SK, DSC adds %d to MK)\n",
+		rep.Executions, rep.Reads, rep.Writes, rep.MKExtra, rep.DSCExtra)
+	return out
+}
+
+// RunTable2 executes the Fig 8 workload in LWW mode with the audit
+// recorder attached and replays the trace through the per-level anomaly
+// detectors.
+func RunTable2(cfg Table2Config) Table2Result {
+	f := cfg.Fig8
+	perClient := cfg.Executions / f.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	f.Requests = perClient
+	rec := audit.NewRecorder()
+	fig8Mode(f, cb.LWW, rec)
+	return Table2Result{Report: rec.Analyze()}
+}

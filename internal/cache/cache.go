@@ -1,0 +1,460 @@
+// Package cache implements Cloudburst's co-located mutable cache (§4.2)
+// and the distributed session consistency protocols (§5.3). One cache
+// runs per function-execution VM; executors reach it over IPC, and the
+// cache intermediates between executors and Anna: reads fill from the
+// KVS, writes are acknowledged locally and written back asynchronously,
+// and Anna pushes updates for keys the cache advertises in its periodic
+// keyset snapshots.
+//
+// The cache supports the five consistency levels of §6.2: last-writer
+// wins (LWW), distributed session repeatable read (Algorithm 1),
+// single-key causality, multi-key (bolt-on) causality — each cache holds
+// a causal cut — and distributed session causal consistency (Algorithm
+// 2), which ships read-set and dependency metadata down the DAG and
+// fetches version snapshots from upstream caches when the local cut is
+// too old.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/core"
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// ErrSnapshotGone is returned when an upstream cache no longer holds a
+// required version snapshot (e.g. it failed and restarted); the runtime
+// reacts by re-executing the DAG from scratch (§5.3).
+var ErrSnapshotGone = errors.New("cache: upstream version snapshot unavailable")
+
+// Config carries the cache's latency and policy constants.
+type Config struct {
+	// IPC is the executor↔cache hop cost on one VM.
+	IPC time.Duration
+	// KeysetInterval is how often the cached-keyset delta is published
+	// to Anna (§4.2).
+	KeysetInterval time.Duration
+	// Mode is the consistency level.
+	Mode core.Mode
+	// DepFetchRetries bounds how often the causal-cut maintainer
+	// re-fetches a lagging dependency from Anna before giving up.
+	DepFetchRetries int
+	// DepFetchBackoff is the wait between those retries.
+	DepFetchBackoff time.Duration
+}
+
+// DefaultConfig returns calibrated defaults (DESIGN.md §5).
+func DefaultConfig(mode core.Mode) Config {
+	return Config{
+		IPC:             50 * time.Microsecond,
+		KeysetInterval:  500 * time.Millisecond,
+		Mode:            mode,
+		DepFetchRetries: 20,
+		DepFetchBackoff: 5 * time.Millisecond,
+	}
+}
+
+// SnapshotFetchReq asks an upstream cache for the version snapshot of key
+// under a DAG request (Algorithms 1 and 2's fetch_from_upstream).
+type SnapshotFetchReq struct {
+	ReqID string
+	Key   string
+}
+
+// SnapshotFetchResp answers a SnapshotFetchReq.
+type SnapshotFetchResp struct {
+	Lat   lattice.Lattice
+	Found bool
+}
+
+// Stats counts cache activity for reports and experiments.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	UpstreamFetch  int64 // version-snapshot fetches from other caches
+	DepFetches     int64 // causal-cut dependency fills from Anna
+	UpdatesPushed  int64 // updates ingested from Anna's push path
+	WritesAcked    int64
+	SnapshotsTaken int64
+}
+
+// Cache is one VM's co-located cache process.
+type Cache struct {
+	k    *vtime.Kernel
+	ep   *simnet.Endpoint
+	anna *anna.Client
+	cfg  Config
+	vm   string
+
+	mu    *vtime.Mutex
+	store map[string]lattice.Lattice
+
+	// snapshots holds per-request version snapshots: reqID → key →
+	// exact capsule read (or written) by this DAG at this cache.
+	snapshots map[string]map[string]lattice.Lattice
+
+	// Pending keyset delta for the next publication round.
+	added   map[string]bool
+	removed map[string]bool
+
+	// wbq is the asynchronous write-back queue to Anna: writes are
+	// acknowledged locally and merged into the KVS in the background
+	// (§4.2).
+	wbq        *vtime.Chan[wbItem]
+	wbInFlight int
+
+	Stats Stats
+}
+
+// wbItem is one queued write-back.
+type wbItem struct {
+	key string
+	lat lattice.Lattice
+}
+
+// New creates a cache for the given VM, bound to endpoint ep, backed by
+// the Anna client ac (which must be bound to the same endpoint).
+func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, vm string, cfg Config) *Cache {
+	return &Cache{
+		k:         k,
+		ep:        ep,
+		anna:      ac,
+		cfg:       cfg,
+		vm:        vm,
+		mu:        vtime.NewMutex(k),
+		store:     make(map[string]lattice.Lattice),
+		snapshots: make(map[string]map[string]lattice.Lattice),
+		added:     make(map[string]bool),
+		removed:   make(map[string]bool),
+		wbq:       vtime.NewChan[wbItem](k, -1),
+	}
+}
+
+// writeBack enqueues an asynchronous KVS merge of lat (which the queue
+// takes ownership of).
+func (c *Cache) writeBack(key string, lat lattice.Lattice) {
+	c.wbq.TrySend(wbItem{key: key, lat: lat})
+}
+
+// writeBackLoop drains the write-back queue into Anna. Each put runs in
+// its own process: write-backs are unordered across keys, exactly like
+// the paper's cache (which is what lets a timeline update become visible
+// before the tweet it references — the LWW anomaly of §6.3.2 that the
+// causal modes repair).
+func (c *Cache) writeBackLoop() {
+	for {
+		item, ok := c.wbq.Recv()
+		if !ok {
+			return
+		}
+		c.wbInFlight++
+		c.k.Go(string(c.ep.ID())+"/wb", func() {
+			// Errors are dropped: an unreachable replica set converges
+			// via a later write or gossip; the local cache remains the
+			// freshest copy meanwhile.
+			_ = c.anna.Put(item.key, item.lat)
+			c.wbInFlight--
+		})
+	}
+}
+
+// FlushWrites blocks until the write-back queue is drained and all
+// in-flight puts have completed (test hook and graceful-drain aid).
+func (c *Cache) FlushWrites() {
+	for c.wbq.Len() > 0 || c.wbInFlight > 0 {
+		c.k.Sleep(time.Millisecond)
+	}
+}
+
+// ID returns the cache's network id.
+func (c *Cache) ID() simnet.NodeID { return c.ep.ID() }
+
+// IPC returns the executor↔cache hop cost.
+func (c *Cache) IPC() time.Duration { return c.cfg.IPC }
+
+// Mode returns the configured consistency level.
+func (c *Cache) Mode() core.Mode { return c.cfg.Mode }
+
+// Start launches the cache's server loop, keyset publisher, and
+// write-back drainer.
+func (c *Cache) Start() {
+	c.k.Go(string(c.ep.ID())+"/serve", c.serveLoop)
+	c.k.Go(string(c.ep.ID())+"/keyset", c.keysetLoop)
+	c.k.Go(string(c.ep.ID())+"/writeback", c.writeBackLoop)
+}
+
+// serveLoop handles network traffic: update pushes from Anna, snapshot
+// fetches from peer caches, and DAG-completion notifications.
+func (c *Cache) serveLoop() {
+	for {
+		m := c.ep.Recv()
+		switch b := m.Payload.(type) {
+		case anna.KeyUpdatePush:
+			c.ingestUpdate(b.Key, b.Lat)
+		case core.DAGDone:
+			c.mu.Lock()
+			delete(c.snapshots, b.ReqID)
+			c.mu.Unlock()
+		case *simnet.Request:
+			switch rb := b.Body.(type) {
+			case SnapshotFetchReq:
+				c.mu.Lock()
+				var resp SnapshotFetchResp
+				if snaps, ok := c.snapshots[rb.ReqID]; ok {
+					if lat, ok := snaps[rb.Key]; ok {
+						resp = SnapshotFetchResp{Lat: lat.Clone(), Found: true}
+					}
+				}
+				c.mu.Unlock()
+				size := 16
+				if resp.Found {
+					size += resp.Lat.ByteSize()
+				}
+				b.Reply(resp, size)
+			}
+		}
+	}
+}
+
+// ingestUpdate merges a pushed key update, maintaining the causal cut in
+// causal modes: the new version is only applied once its dependencies are
+// satisfied locally (bolt-on causal consistency).
+func (c *Cache) ingestUpdate(key string, lat lattice.Lattice) {
+	c.Stats.UpdatesPushed++
+	if c.cfg.Mode == core.MK || c.cfg.Mode == core.DSC {
+		if cap, ok := lat.(*lattice.Causal); ok {
+			c.ensureCut(cap.DepsUnion())
+		}
+	}
+	c.mu.Lock()
+	c.mergeLocked(key, lat)
+	c.mu.Unlock()
+}
+
+// mergeLocked folds lat into the local store; caller holds mu. The cache
+// takes ownership of lat.
+func (c *Cache) mergeLocked(key string, lat lattice.Lattice) {
+	if cur, ok := c.store[key]; ok {
+		cur.Merge(lat)
+		return
+	}
+	c.store[key] = lat
+	c.added[key] = true
+	delete(c.removed, key)
+}
+
+// keysetLoop periodically publishes the cached-keyset delta to Anna so
+// storage nodes can maintain the key→cache index (§4.2).
+func (c *Cache) keysetLoop() {
+	for {
+		c.k.Sleep(c.cfg.KeysetInterval)
+		c.mu.Lock()
+		if len(c.added) == 0 && len(c.removed) == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		added := setToSlice(c.added)
+		removed := setToSlice(c.removed)
+		c.added = make(map[string]bool)
+		c.removed = make(map[string]bool)
+		c.mu.Unlock()
+		c.anna.PublishKeyset(c.ep.ID(), added, removed)
+	}
+}
+
+func setToSlice(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys returns the currently cached key set (for metrics publication and
+// the scheduler's locality index).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.store))
+	for k := range c.store {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether key is cached (test hook).
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.store[key]
+	return ok
+}
+
+// DropSnapshots discards all version snapshots (failure injection for
+// §5.3's upstream-cache-failure path).
+func (c *Cache) DropSnapshots() {
+	c.mu.Lock()
+	c.snapshots = make(map[string]map[string]lattice.Lattice)
+	c.mu.Unlock()
+}
+
+// Evict removes key locally (test hook; also used by delete).
+func (c *Cache) Evict(key string) {
+	c.mu.Lock()
+	if _, ok := c.store[key]; ok {
+		delete(c.store, key)
+		c.removed[key] = true
+		delete(c.added, key)
+	}
+	c.mu.Unlock()
+}
+
+// Delete removes key locally and from the KVS.
+func (c *Cache) Delete(key string) error {
+	c.k.Sleep(c.cfg.IPC)
+	c.Evict(key)
+	return c.anna.Delete(key)
+}
+
+// fetchFromAnna misses to the KVS and installs the result locally.
+func (c *Cache) fetchFromAnna(key string) (lattice.Lattice, bool, error) {
+	lat, found, err := c.anna.Get(key)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	if c.cfg.Mode == core.MK || c.cfg.Mode == core.DSC {
+		if cap, ok := lat.(*lattice.Causal); ok {
+			c.ensureCut(cap.DepsUnion())
+		}
+	}
+	c.mu.Lock()
+	c.mergeLocked(key, lat)
+	cur := c.store[key].Clone()
+	c.mu.Unlock()
+	return cur, true, nil
+}
+
+// ensureCut makes the local store satisfy the given dependency
+// requirements (key → minimum vector clock): every dependency must be
+// locally present at a version concurrent with or dominating the
+// required clock. Missing or stale dependencies are fetched from Anna,
+// with bounded retries to ride out replication lag. This is the bolt-on
+// causal consistency shim (§5.3).
+func (c *Cache) ensureCut(deps map[string]lattice.VectorClock) {
+	c.ensureCutDepth(deps, 0)
+}
+
+// maxCutDepth bounds transitive dependency filling. Deeper chains are
+// completed lazily by later reads; unbounded recursion would walk an
+// entire causal history on one ingest.
+const maxCutDepth = 6
+
+func (c *Cache) ensureCutDepth(deps map[string]lattice.VectorClock, depth int) {
+	if depth > maxCutDepth {
+		return
+	}
+	// Deterministic iteration order.
+	keys := make([]string, 0, len(deps))
+	for k := range deps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, dk := range keys {
+		need := deps[dk]
+		for attempt := 0; ; attempt++ {
+			c.mu.Lock()
+			cur, ok := c.store[dk]
+			satisfied := false
+			if ok {
+				if cap, isCausal := cur.(*lattice.Causal); isCausal {
+					// Satisfied when the cached version did not happen
+					// before the required version (concurrent or newer
+					// both preserve the cut).
+					satisfied = !cap.VC().HappensBefore(need)
+				}
+			}
+			c.mu.Unlock()
+			if satisfied {
+				break
+			}
+			if attempt >= c.cfg.DepFetchRetries {
+				break // expose best-effort; anti-entropy will converge
+			}
+			c.Stats.DepFetches++
+			lat, found, err := c.anna.Get(dk)
+			if err == nil && found {
+				if cap, isCausal := lat.(*lattice.Causal); isCausal {
+					// Recurse (depth-bounded): the fetched version's
+					// own deps must also hold locally for the store to
+					// stay a causal cut.
+					c.ensureCutDepth(cap.DepsUnion(), depth+1)
+				}
+				c.mu.Lock()
+				c.mergeLocked(dk, lat)
+				c.mu.Unlock()
+				continue // re-check satisfaction
+			}
+			c.k.Sleep(c.cfg.DepFetchBackoff)
+		}
+	}
+}
+
+// snapshotLocked records the exact capsule a DAG read here; the first
+// read's version sticks for the DAG's lifetime. Caller holds mu.
+func (c *Cache) snapshotLocked(reqID, key string, lat lattice.Lattice) {
+	snaps := c.snapshotMapLocked(reqID)
+	if _, exists := snaps[key]; !exists {
+		snaps[key] = lat.Clone()
+		c.Stats.SnapshotsTaken++
+	}
+}
+
+// snapshotWriteLocked records a DAG's own write, which supersedes any
+// earlier read snapshot: downstream functions must observe the most
+// recent update made within the DAG. Caller holds mu.
+func (c *Cache) snapshotWriteLocked(reqID, key string, lat lattice.Lattice) {
+	snaps := c.snapshotMapLocked(reqID)
+	if _, exists := snaps[key]; !exists {
+		c.Stats.SnapshotsTaken++
+	}
+	snaps[key] = lat.Clone()
+}
+
+func (c *Cache) snapshotMapLocked(reqID string) map[string]lattice.Lattice {
+	snaps, ok := c.snapshots[reqID]
+	if !ok {
+		snaps = make(map[string]lattice.Lattice)
+		c.snapshots[reqID] = snaps
+	}
+	return snaps
+}
+
+// fetchUpstream retrieves a version snapshot from the upstream cache that
+// recorded it.
+func (c *Cache) fetchUpstream(upstream simnet.NodeID, reqID, key string) (lattice.Lattice, error) {
+	c.Stats.UpstreamFetch++
+	resp, err := c.ep.Call(upstream, SnapshotFetchReq{ReqID: reqID, Key: key}, 32+len(key), 500*time.Millisecond)
+	if err != nil {
+		return nil, fmt.Errorf("cache: upstream %s: %w", upstream, err)
+	}
+	r := resp.(SnapshotFetchResp)
+	if !r.Found {
+		return nil, ErrSnapshotGone
+	}
+	return r.Lat, nil
+}
+
+// SnapshotCount reports live snapshot requests (test hook).
+func (c *Cache) SnapshotCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.snapshots)
+}

@@ -1,0 +1,394 @@
+package cache
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"cloudburst/internal/core"
+	"cloudburst/internal/lattice"
+)
+
+// ErrNotFound is returned when a key exists nowhere (cache or KVS).
+var ErrNotFound = errors.New("cache: key not found")
+
+// Read performs a consistency-mode-aware read (§5.3). meta is the DAG
+// session's metadata and is updated in place; it may be nil for
+// single-shot reads outside a DAG. The returned VersionRef identifies
+// exactly which version was read (for downstream protocol checks and the
+// consistency audit).
+func (c *Cache) Read(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+	c.k.Sleep(c.cfg.IPC)
+	if meta != nil && meta.Caches != nil {
+		meta.Caches[c.ID()] = true
+	}
+	switch c.cfg.Mode {
+	case core.LWW:
+		return c.readLWW(key)
+	case core.DSRR:
+		return c.readRR(reqID, key, meta)
+	case core.SK:
+		return c.readSK(key)
+	case core.MK:
+		return c.readMK(key, meta)
+	case core.DSC:
+		return c.readDSC(reqID, key, meta)
+	}
+	return nil, core.VersionRef{}, errors.New("cache: unknown mode")
+}
+
+// readLWW is the default path: local value if cached, else fill from
+// Anna. No session metadata.
+func (c *Cache) readLWW(key string) ([]byte, core.VersionRef, error) {
+	c.mu.Lock()
+	if cur, ok := c.store[key]; ok {
+		l := cur.(*lattice.LWW)
+		val := append([]byte(nil), l.Value...)
+		ver := core.VersionRef{Cache: c.ID(), TS: l.TS}
+		c.mu.Unlock()
+		c.Stats.Hits++
+		return val, ver, nil
+	}
+	c.mu.Unlock()
+	c.Stats.Misses++
+	lat, found, err := c.fetchFromAnna(key)
+	if err != nil {
+		return nil, core.VersionRef{}, err
+	}
+	if !found {
+		return nil, core.VersionRef{}, ErrNotFound
+	}
+	l := lat.(*lattice.LWW)
+	return append([]byte(nil), l.Value...), core.VersionRef{Cache: c.ID(), TS: l.TS}, nil
+}
+
+// readRR implements Algorithm 1 (distributed session repeatable read).
+func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+	if meta != nil {
+		if prior, ok := meta.ReadSet[key]; ok {
+			// Key previously read in this DAG: an exact version match
+			// is required.
+			c.mu.Lock()
+			cur, hasLocal := c.store[key]
+			if hasLocal {
+				if l := cur.(*lattice.LWW); l.TS == prior.TS {
+					val := append([]byte(nil), l.Value...)
+					c.mu.Unlock()
+					c.Stats.Hits++
+					return val, prior, nil
+				}
+			}
+			c.mu.Unlock()
+			// Local version missing or different: fetch the snapshot
+			// from the upstream cache that recorded it (line 5).
+			lat, err := c.fetchUpstream(prior.Cache, reqID, key)
+			if err != nil {
+				return nil, core.VersionRef{}, err
+			}
+			l := lat.(*lattice.LWW)
+			return append([]byte(nil), l.Value...), prior, nil
+		}
+	}
+	// First read of this key in the DAG: any available version (line 9),
+	// snapshotted for the DAG's lifetime.
+	c.mu.Lock()
+	cur, ok := c.store[key]
+	if ok {
+		c.Stats.Hits++
+		l := cur.(*lattice.LWW)
+		c.snapshotLocked(reqID, key, l)
+		val := append([]byte(nil), l.Value...)
+		ver := core.VersionRef{Cache: c.ID(), TS: l.TS}
+		c.mu.Unlock()
+		if meta != nil {
+			meta.ReadSet[key] = ver
+		}
+		return val, ver, nil
+	}
+	c.mu.Unlock()
+	c.Stats.Misses++
+	lat, found, err := c.fetchFromAnna(key)
+	if err != nil {
+		return nil, core.VersionRef{}, err
+	}
+	if !found {
+		return nil, core.VersionRef{}, ErrNotFound
+	}
+	l := lat.(*lattice.LWW)
+	c.mu.Lock()
+	c.snapshotLocked(reqID, key, l)
+	c.mu.Unlock()
+	ver := core.VersionRef{Cache: c.ID(), TS: l.TS}
+	if meta != nil {
+		meta.ReadSet[key] = ver
+	}
+	return append([]byte(nil), l.Value...), ver, nil
+}
+
+// readSK is single-key causality: causal capsules with per-key vector
+// clocks (siblings preserved), but no cross-key or cross-node metadata.
+func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
+	c.mu.Lock()
+	if cur, ok := c.store[key]; ok {
+		cap := cur.(*lattice.Causal)
+		val := append([]byte(nil), cap.DisplayValue()...)
+		ver := core.VersionRef{Cache: c.ID(), VC: cap.VC()}
+		c.mu.Unlock()
+		c.Stats.Hits++
+		return val, ver, nil
+	}
+	c.mu.Unlock()
+	c.Stats.Misses++
+	lat, found, err := c.fetchFromAnna(key)
+	if err != nil {
+		return nil, core.VersionRef{}, err
+	}
+	if !found {
+		return nil, core.VersionRef{}, ErrNotFound
+	}
+	cap := lat.(*lattice.Causal)
+	return append([]byte(nil), cap.DisplayValue()...), core.VersionRef{Cache: c.ID(), VC: cap.VC()}, nil
+}
+
+// readMK is multi-key (bolt-on) causality: the local store is maintained
+// as a causal cut (fills run ensureCut), and the session's read set is
+// tracked locally so writes can record their dependencies — but nothing
+// is shipped across executors.
+func (c *Cache) readMK(key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+	val, ver, err := c.readSK(key)
+	if err != nil {
+		return nil, ver, err
+	}
+	if meta != nil {
+		meta.ReadSet[key] = ver
+	}
+	return val, ver, nil
+}
+
+// readDSC implements Algorithm 2 (distributed session causal
+// consistency): reads must not observe versions older than those read by
+// upstream functions (read set) or required by their dependencies.
+func (c *Cache) readDSC(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+	var cap *lattice.Causal
+	needCheck := func(required core.VersionRef) (*lattice.Causal, error) {
+		c.mu.Lock()
+		cur, ok := c.store[key]
+		if ok {
+			local := cur.(*lattice.Causal)
+			// valid: the local version is concurrent with or newer than
+			// the required version snapshot (lines 4-6, 11-12).
+			if !local.VC().HappensBefore(required.VC) {
+				out := local.Clone().(*lattice.Causal)
+				c.mu.Unlock()
+				c.Stats.Hits++
+				return out, nil
+			}
+		}
+		c.mu.Unlock()
+		// Local version is causally too old (or absent): fetch the
+		// version snapshot from the upstream cache (lines 7-8, 13-14).
+		lat, err := c.fetchUpstream(required.Cache, reqID, key)
+		if err != nil {
+			return nil, err
+		}
+		return lat.(*lattice.Causal), nil
+	}
+
+	switch {
+	case meta != nil && hasKey(meta.ReadSet, key):
+		got, err := needCheck(meta.ReadSet[key])
+		if err != nil {
+			return nil, core.VersionRef{}, err
+		}
+		cap = got
+	case meta != nil && hasKey(meta.Deps, key):
+		got, err := needCheck(meta.Deps[key])
+		if err != nil {
+			return nil, core.VersionRef{}, err
+		}
+		cap = got
+	default:
+		c.mu.Lock()
+		if cur, ok := c.store[key]; ok {
+			cap = cur.Clone().(*lattice.Causal)
+			c.mu.Unlock()
+			c.Stats.Hits++
+		} else {
+			c.mu.Unlock()
+			c.Stats.Misses++
+			lat, found, err := c.fetchFromAnna(key)
+			if err != nil {
+				return nil, core.VersionRef{}, err
+			}
+			if !found {
+				return nil, core.VersionRef{}, ErrNotFound
+			}
+			cap = lat.(*lattice.Causal)
+		}
+	}
+
+	ver := core.VersionRef{Cache: c.ID(), VC: cap.VC()}
+	c.mu.Lock()
+	// Snapshot the version read and the locally-held versions of its
+	// dependencies, so downstream caches can fetch them (§5.3: "caches
+	// upstream store version snapshots of these causal dependencies").
+	c.snapshotLocked(reqID, key, cap)
+	for dk := range cap.DepsUnion() {
+		if dep, ok := c.store[dk]; ok {
+			c.snapshotLocked(reqID, dk, dep)
+		}
+	}
+	c.mu.Unlock()
+	if meta != nil {
+		meta.ReadSet[key] = ver
+		// Ship the read version's dependencies downstream.
+		for dk, dvc := range cap.DepsUnion() {
+			cur, ok := meta.Deps[dk]
+			if !ok || cur.VC.HappensBefore(dvc) {
+				meta.Deps[dk] = core.VersionRef{Cache: c.ID(), VC: dvc}
+			}
+		}
+	}
+	return append([]byte(nil), cap.DisplayValue()...), ver, nil
+}
+
+func hasKey(m map[string]core.VersionRef, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// ReadAll is Read but returns every concurrent sibling payload (§5.2:
+// applications can retrieve all concurrent versions and resolve updates
+// manually — Retwis merges timeline siblings this way). In the LWW modes
+// there is exactly one version. The session protocol runs exactly as in
+// Read; the version ref covers the joined clock.
+func (c *Cache) ReadAll(reqID, key string, meta *core.SessionMeta) ([][]byte, core.VersionRef, error) {
+	if !c.cfg.Mode.Causal() {
+		val, ver, err := c.Read(reqID, key, meta)
+		if err != nil {
+			return nil, ver, err
+		}
+		return [][]byte{val}, ver, nil
+	}
+	// Run the mode's protocol for its session effects, then surface the
+	// local capsule's full sibling set.
+	_, ver, err := c.Read(reqID, key, meta)
+	if err != nil {
+		return nil, ver, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.store[key]
+	if !ok {
+		return nil, ver, ErrNotFound
+	}
+	cap := cur.(*lattice.Causal)
+	sibs := cap.Siblings()
+	out := make([][]byte, len(sibs))
+	for i, s := range sibs {
+		out[i] = append([]byte(nil), s...)
+	}
+	return out, ver, nil
+}
+
+// Write performs a consistency-mode-aware write: update locally,
+// acknowledge, and write back to Anna asynchronously (§4.2). writerID is
+// the executor thread's unique id (the vector-clock slot in causal
+// modes). In the causal modes the write's dependency set is the
+// session's entire read set (bolt-on tracking).
+func (c *Cache) Write(reqID, key string, payload []byte, meta *core.SessionMeta, writerID string) (core.VersionRef, error) {
+	return c.write(reqID, key, payload, meta, writerID, nil)
+}
+
+// WriteWithDeps is Write with explicit causality specification (Bailis
+// et al.'s mitigation the paper cites in §7): only the listed keys —
+// intersected with what the session actually read — become causal
+// dependencies. Read-modify-write fan-out (Retwis timeline delivery)
+// needs this: tracking the full read set would make every timeline
+// depend on every other timeline the poster touched, and dependency
+// closure would grow quadratically.
+func (c *Cache) WriteWithDeps(reqID, key string, payload []byte, meta *core.SessionMeta, writerID string, depKeys []string) (core.VersionRef, error) {
+	if depKeys == nil {
+		depKeys = []string{}
+	}
+	return c.write(reqID, key, payload, meta, writerID, depKeys)
+}
+
+// write implements Write/WriteWithDeps; depKeys == nil means "all keys
+// the session read".
+func (c *Cache) write(reqID, key string, payload []byte, meta *core.SessionMeta, writerID string, depKeys []string) (core.VersionRef, error) {
+	c.k.Sleep(c.cfg.IPC)
+	if meta != nil && meta.Caches != nil {
+		meta.Caches[c.ID()] = true
+	}
+	c.Stats.WritesAcked++
+	var ver core.VersionRef
+	var wb lattice.Lattice
+	switch c.cfg.Mode {
+	case core.LWW, core.DSRR:
+		l := lattice.NewLWW(lattice.Timestamp{Clock: int64(c.k.Now()), Node: nodeHash(writerID)}, payload)
+		ver = core.VersionRef{Cache: c.ID(), TS: l.TS}
+		c.mu.Lock()
+		c.mergeLocked(key, l.Clone())
+		if c.cfg.Mode == core.DSRR {
+			// The DAG's own update becomes the version downstream
+			// functions must see (the RR invariant), so snapshot it and
+			// replace the read-set entry.
+			c.snapshotWriteLocked(reqID, key, l)
+		}
+		c.mu.Unlock()
+		if c.cfg.Mode == core.DSRR && meta != nil {
+			meta.ReadSet[key] = ver
+		}
+		wb = l
+	case core.SK, core.MK, core.DSC:
+		c.mu.Lock()
+		vc := lattice.VectorClock{}
+		if cur, ok := c.store[key]; ok {
+			vc = cur.(*lattice.Causal).VC().Copy()
+		}
+		vc.Tick(writerID)
+		var deps map[string]lattice.VectorClock
+		if c.cfg.Mode != core.SK && meta != nil {
+			// The write causally depends on the versions this session
+			// read (bolt-on dependency tracking) — restricted to the
+			// explicitly-declared keys when the caller provided any.
+			want := func(k string) bool { return true }
+			if depKeys != nil {
+				set := make(map[string]bool, len(depKeys))
+				for _, dk := range depKeys {
+					set[dk] = true
+				}
+				want = func(k string) bool { return set[k] }
+			}
+			deps = make(map[string]lattice.VectorClock)
+			for rk, rv := range meta.ReadSet {
+				if rk == key || !want(rk) {
+					continue // self-dependency is implied by the clock
+				}
+				deps[rk] = rv.VC.Copy()
+			}
+		}
+		cap := lattice.NewCausal(vc, deps, payload)
+		ver = core.VersionRef{Cache: c.ID(), VC: cap.VC()}
+		c.mergeLocked(key, cap.Clone())
+		if c.cfg.Mode == core.DSC {
+			c.snapshotWriteLocked(reqID, key, cap)
+		}
+		c.mu.Unlock()
+		if meta != nil && c.cfg.Mode != core.SK {
+			meta.ReadSet[key] = ver
+		}
+		wb = cap
+	default:
+		return ver, errors.New("cache: unknown mode")
+	}
+	c.writeBack(key, wb)
+	return ver, nil
+}
+
+// nodeHash folds a writer id into the LWW timestamp's node component.
+func nodeHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}

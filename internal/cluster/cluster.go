@@ -1,0 +1,342 @@
+// Package cluster assembles a complete Cloudburst deployment on the
+// virtual-time kernel: an Anna KVS cluster, function-execution VMs (each
+// several executor threads plus a co-located cache), one or more
+// schedulers behind a random load-balancer, and the monitoring system.
+// It also plays the role the paper delegates to Kubernetes (§4): booting
+// VMs (with an EC2-like spin-up delay), tearing them down, and failure
+// injection.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/cache"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
+	"cloudburst/internal/dag"
+	"cloudburst/internal/executor"
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/monitor"
+	"cloudburst/internal/scheduler"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// Config sizes a deployment.
+type Config struct {
+	Seed         int64
+	Mode         core.Mode
+	Schedulers   int
+	InitialVMs   int
+	ThreadsPerVM int // the paper runs 3 worker threads + 1 cache per VM
+
+	Anna      anna.Config
+	Cache     cache.Config
+	Scheduler scheduler.Config
+	Monitor   monitor.Config
+
+	// EnableMonitor turns the autoscaling policy loop on.
+	EnableMonitor bool
+	// VMSpinUp is the EC2 instance boot delay (≈2.5 minutes in §6.1.4).
+	VMSpinUp time.Duration
+	// Link is the default datacenter network link.
+	Link simnet.Link
+	// MetricsInterval is the executor metric publication cadence.
+	MetricsInterval time.Duration
+	// ExecOverhead is the per-invocation dispatch cost paid by every
+	// executor thread (see executor.Deps.InvokeOverhead).
+	ExecOverhead time.Duration
+	// Tracer, when set, feeds the consistency audit (§6.2.2).
+	Tracer executor.Tracer
+}
+
+// DefaultConfig returns a small deployment in the given consistency
+// mode.
+func DefaultConfig(mode core.Mode) Config {
+	return Config{
+		Seed:         1,
+		Mode:         mode,
+		Schedulers:   1,
+		InitialVMs:   2,
+		ThreadsPerVM: 3,
+		Anna:         anna.DefaultConfig(),
+		Cache:        cache.DefaultConfig(mode),
+		Scheduler:    scheduler.DefaultConfig(),
+		Monitor:      monitor.DefaultConfig(),
+		VMSpinUp:     150 * time.Second,
+		Link: simnet.Link{
+			// Same-AZ datacenter link: ~200µs with a light tail, 10 Gbps.
+			Latency:   simnet.LogNormal{Med: 200 * time.Microsecond, Sigma: 0.25},
+			Bandwidth: 1.25e9,
+		},
+		MetricsInterval: 2 * time.Second,
+		ExecOverhead:    800 * time.Microsecond,
+	}
+}
+
+// VMHandle bundles one VM's components.
+type VMHandle struct {
+	Name    string
+	Cache   *cache.Cache
+	VM      *executor.VM
+	Threads []*executor.Thread
+	nodeIDs []simnet.NodeID // all endpoints (threads + cache)
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	K        *vtime.Kernel
+	Net      *simnet.Network
+	KV       *anna.KVS
+	Registry *executor.Registry
+	Monitor  *monitor.Monitor
+
+	cfg        Config
+	schedulers []*scheduler.Scheduler
+	vms        map[string]*VMHandle
+	pending    int
+	nextVM     int
+	nextClient int
+
+	dagCache  map[string]*dag.DAG
+	dagClient *anna.Client
+	down      map[simnet.NodeID]bool
+}
+
+// New boots a cluster. The initial VMs and schedulers are live
+// immediately (no spin-up for the starting fleet).
+func New(cfg Config) *Cluster {
+	if cfg.ThreadsPerVM < 1 {
+		cfg.ThreadsPerVM = 3
+	}
+	if cfg.Schedulers < 1 {
+		cfg.Schedulers = 1
+	}
+	if cfg.InitialVMs < 1 {
+		cfg.InitialVMs = 1
+	}
+	k := vtime.NewKernel(cfg.Seed)
+	net := simnet.New(k, cfg.Link)
+	c := &Cluster{
+		K:        k,
+		Net:      net,
+		KV:       anna.NewKVS(k, net, cfg.Anna),
+		Registry: executor.NewRegistry(),
+		cfg:      cfg,
+		vms:      make(map[string]*VMHandle),
+		dagCache: make(map[string]*dag.DAG),
+		down:     make(map[simnet.NodeID]bool),
+	}
+	c.dagClient = c.KV.NewClient(net.AddNode("dag-resolver"), 0)
+
+	for i := 0; i < cfg.InitialVMs; i++ {
+		c.bootVM()
+	}
+	for i := 0; i < cfg.Schedulers; i++ {
+		id := simnet.NodeID(fmt.Sprintf("sched-%d", i))
+		ep := net.AddNode(id)
+		s := scheduler.New(k, ep, c.KV.NewClient(ep, 0), cfg.Scheduler)
+		s.Start()
+		c.schedulers = append(c.schedulers, s)
+	}
+	if cfg.EnableMonitor {
+		ep := net.AddNode("monitor-0")
+		c.Monitor = monitor.New(k, ep, c.KV.NewClient(ep, 0), c, cfg.Monitor)
+		c.Monitor.Start()
+	}
+	return c
+}
+
+// Close terminates all simulation processes. The cluster is unusable
+// afterwards.
+func (c *Cluster) Close() { c.K.Stop() }
+
+// Schedulers exposes the scheduler handles (tests, reports).
+func (c *Cluster) Schedulers() []*scheduler.Scheduler { return c.schedulers }
+
+// bootVM constructs and starts one VM synchronously.
+func (c *Cluster) bootVM() *VMHandle {
+	name := fmt.Sprintf("vm%d", c.nextVM)
+	c.nextVM++
+
+	cacheEP := c.Net.AddNode(simnet.NodeID("cache-" + name))
+	// The cache moves multi-MB objects; give its KVS client headroom
+	// beyond the default RPC timeout.
+	ch := cache.New(c.K, cacheEP, c.KV.NewClient(cacheEP, 2*time.Second), name, c.cfg.Cache)
+	ch.Start()
+
+	h := &VMHandle{Name: name, Cache: ch}
+	h.nodeIDs = append(h.nodeIDs, cacheEP.ID())
+	for i := 0; i < c.cfg.ThreadsPerVM; i++ {
+		id := simnet.NodeID(fmt.Sprintf("exec-%s-%d", name, i))
+		ep := c.Net.AddNode(id)
+		t := executor.NewThread(c.K, ep, name, executor.Deps{
+			Cache:          ch,
+			Anna:           c.KV.NewClient(ep, 0),
+			Registry:       c.Registry,
+			Tracer:         c.cfg.Tracer,
+			Alive:          c.Alive,
+			DAGFor:         c.dagFor,
+			InvokeOverhead: c.cfg.ExecOverhead,
+		})
+		h.Threads = append(h.Threads, t)
+		h.nodeIDs = append(h.nodeIDs, id)
+	}
+	metricsEP := c.Net.AddNode(simnet.NodeID("vmmgr-" + name))
+	h.VM = executor.NewVM(c.K, name, h.Threads, ch.Keys, func() string { return string(ch.ID()) },
+		c.KV.NewClient(metricsEP, 0), c.cfg.MetricsInterval)
+	h.nodeIDs = append(h.nodeIDs, metricsEP.ID())
+	h.VM.Start()
+	c.vms[name] = h
+	return h
+}
+
+// dagFor resolves DAG topologies for executors, memoizing Anna lookups.
+func (c *Cluster) dagFor(name string) (*dag.DAG, bool) {
+	if d, ok := c.dagCache[name]; ok {
+		return d, true
+	}
+	lat, found, err := c.dagClient.Get(core.DAGKey(name))
+	if err != nil || !found {
+		return nil, false
+	}
+	l, ok := lat.(*lattice.LWW)
+	if !ok {
+		return nil, false
+	}
+	v, err := codec.Decode(l.Value)
+	if err != nil {
+		return nil, false
+	}
+	d, ok := v.(dag.DAG)
+	if !ok {
+		return nil, false
+	}
+	c.dagCache[name] = &d
+	return &d, true
+}
+
+// Alive reports whether a node is reachable (Ctx.Send uses it to decide
+// between direct messaging and the Anna inbox fallback).
+func (c *Cluster) Alive(id simnet.NodeID) bool { return !c.down[id] }
+
+// --- monitor.ComputePool -------------------------------------------------
+
+// AddVMs boots n VMs after the EC2-like spin-up delay (asynchronously;
+// the whole batch becomes available together, which produces Figure 7's
+// plateaus).
+func (c *Cluster) AddVMs(n int) {
+	if n <= 0 {
+		return
+	}
+	c.pending += n
+	c.K.Go("cluster/spinup", func() {
+		c.K.Sleep(c.cfg.VMSpinUp)
+		for i := 0; i < n; i++ {
+			c.bootVM()
+		}
+		c.pending -= n
+	})
+}
+
+// RemoveVMs deallocates up to n VMs (highest-numbered first, never below
+// one) and returns how many were removed.
+func (c *Cluster) RemoveVMs(n int) int {
+	names := c.vmNames()
+	removed := 0
+	for i := len(names) - 1; i >= 1 && removed < n; i-- {
+		c.stopVM(names[i])
+		removed++
+	}
+	return removed
+}
+
+func (c *Cluster) stopVM(name string) {
+	h, ok := c.vms[name]
+	if !ok {
+		return
+	}
+	h.VM.Stop()
+	for _, id := range h.nodeIDs {
+		c.Net.SetDown(id, true)
+		c.down[id] = true
+	}
+	delete(c.vms, name)
+}
+
+// KillVM abruptly partitions a VM away without stopping its processes —
+// the §4.5 failure model (messages to it vanish; in-flight DAGs time out
+// and are re-executed).
+func (c *Cluster) KillVM(name string) {
+	h, ok := c.vms[name]
+	if !ok {
+		return
+	}
+	for _, id := range h.nodeIDs {
+		c.Net.SetDown(id, true)
+		c.down[id] = true
+	}
+	delete(c.vms, name)
+}
+
+// VMCount reports live VMs.
+func (c *Cluster) VMCount() int { return len(c.vms) }
+
+// PendingVMs reports VMs still spinning up.
+func (c *Cluster) PendingVMs() int { return c.pending }
+
+// Threads lists live executor threads in deterministic order.
+func (c *Cluster) Threads() []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, name := range c.vmNames() {
+		for _, t := range c.vms[name].Threads {
+			out = append(out, t.ID())
+		}
+	}
+	return out
+}
+
+// ThreadCount reports the number of live executor threads.
+func (c *Cluster) ThreadCount() int { return len(c.Threads()) }
+
+// VMs lists live VM handles in deterministic order.
+func (c *Cluster) VMs() []*VMHandle {
+	names := c.vmNames()
+	out := make([]*VMHandle, 0, len(names))
+	for _, n := range names {
+		out = append(out, c.vms[n])
+	}
+	return out
+}
+
+func (c *Cluster) vmNames() []string {
+	out := make([]string, 0, len(c.vms))
+	for n := range c.vms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PickScheduler returns a uniformly random scheduler id — the stateless
+// cloud load balancer in front of the schedulers (§4).
+func (c *Cluster) PickScheduler() simnet.NodeID {
+	return c.schedulers[c.K.Rand().Intn(len(c.schedulers))].ID()
+}
+
+// NewClientEndpoint allocates a fresh client network endpoint.
+func (c *Cluster) NewClientEndpoint() *simnet.Endpoint {
+	c.nextClient++
+	return c.Net.AddNode(simnet.NodeID(fmt.Sprintf("client-%d", c.nextClient)))
+}
+
+// AnnaClientFor builds a KVS client bound to ep.
+func (c *Cluster) AnnaClientFor(ep *simnet.Endpoint) *anna.Client {
+	return c.KV.NewClient(ep, 0)
+}
+
+// Mode returns the cluster's consistency level.
+func (c *Cluster) Mode() core.Mode { return c.cfg.Mode }

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cloudburst/internal/core"
+)
+
+func testCluster(t *testing.T, mutate func(*Config)) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig(core.LWW)
+	cfg.InitialVMs = 2
+	cfg.VMSpinUp = 10 * time.Second
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestBootInventory(t *testing.T) {
+	c := testCluster(t, func(cfg *Config) { cfg.InitialVMs = 3; cfg.ThreadsPerVM = 2; cfg.Schedulers = 2 })
+	if c.VMCount() != 3 {
+		t.Fatalf("VMs = %d", c.VMCount())
+	}
+	if c.ThreadCount() != 6 {
+		t.Fatalf("threads = %d", c.ThreadCount())
+	}
+	if len(c.Schedulers()) != 2 {
+		t.Fatalf("schedulers = %d", len(c.Schedulers()))
+	}
+	if got := len(c.KV.Nodes()); got != DefaultConfig(core.LWW).Anna.Nodes {
+		t.Fatalf("anna nodes = %d", got)
+	}
+}
+
+func TestAddVMsPaysSpinUpDelay(t *testing.T) {
+	c := testCluster(t, nil)
+	c.K.Run("main", func() {
+		c.AddVMs(2)
+		if c.PendingVMs() != 2 {
+			t.Fatalf("pending = %d", c.PendingVMs())
+		}
+		c.K.Sleep(5 * time.Second) // half the spin-up
+		if c.VMCount() != 2 {
+			t.Fatalf("VMs arrived early: %d", c.VMCount())
+		}
+		c.K.Sleep(6 * time.Second)
+		if c.VMCount() != 4 || c.PendingVMs() != 0 {
+			t.Fatalf("after spin-up: vms=%d pending=%d", c.VMCount(), c.PendingVMs())
+		}
+	})
+}
+
+func TestRemoveVMsKeepsFloor(t *testing.T) {
+	c := testCluster(t, func(cfg *Config) { cfg.InitialVMs = 3 })
+	c.K.Run("main", func() {
+		removed := c.RemoveVMs(10)
+		if removed != 2 || c.VMCount() != 1 {
+			t.Fatalf("removed=%d vms=%d (floor is 1)", removed, c.VMCount())
+		}
+	})
+}
+
+func TestKillVMMarksNodesDown(t *testing.T) {
+	c := testCluster(t, nil)
+	vm := c.VMs()[0]
+	thread := vm.Threads[0].ID()
+	if !c.Alive(thread) {
+		t.Fatal("thread dead before kill")
+	}
+	c.K.Run("main", func() { c.KillVM(vm.Name) })
+	if c.Alive(thread) {
+		t.Fatal("thread alive after kill")
+	}
+	if c.VMCount() != 1 {
+		t.Fatalf("VMs = %d after kill", c.VMCount())
+	}
+}
+
+func TestThreadsDeterministicOrder(t *testing.T) {
+	c := testCluster(t, func(cfg *Config) { cfg.InitialVMs = 3 })
+	a := c.Threads()
+	b := c.Threads()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("thread order unstable")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			t.Fatalf("threads not sorted: %v", a)
+		}
+	}
+}
+
+func TestPickSchedulerCoversAll(t *testing.T) {
+	c := testCluster(t, func(cfg *Config) { cfg.Schedulers = 3 })
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[string(c.PickScheduler())] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("load balancer only hit %d of 3 schedulers", len(seen))
+	}
+}
+
+func TestClientEndpointsUnique(t *testing.T) {
+	c := testCluster(t, nil)
+	a := c.NewClientEndpoint()
+	b := c.NewClientEndpoint()
+	if a.ID() == b.ID() {
+		t.Fatal("duplicate client endpoints")
+	}
+}

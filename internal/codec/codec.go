@@ -1,0 +1,70 @@
+// Package codec serializes user-level values for storage in Anna and for
+// argument/result passing between Cloudburst functions. The paper uses
+// cloudpickle for Python objects; the Go equivalent is gob over a small
+// envelope, which handles arbitrary registered types and gives realistic
+// serialized sizes for bandwidth accounting.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// envelope lets gob encode interface values uniformly.
+type envelope struct {
+	V any
+}
+
+func init() {
+	gob.Register([]any{})
+	gob.Register(map[string]any{})
+	gob.Register([]string{})
+	gob.Register([]float64{})
+	gob.Register([]int{})
+	gob.Register([]byte{})
+	gob.Register(map[string]string{})
+	gob.Register(map[string]float64{})
+}
+
+// Register makes a concrete type encodable when stored in an interface,
+// mirroring gob.Register.
+func Register(v any) { gob.Register(v) }
+
+// Encode serializes v.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustEncode serializes v and panics on failure; use it for values whose
+// encodability is a program invariant (benchmark workloads, test
+// fixtures).
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode deserializes a value produced by Encode.
+func Decode(data []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("codec: decode: %w", err)
+	}
+	return env.V, nil
+}
+
+// MustDecode deserializes and panics on failure.
+func MustDecode(data []byte) any {
+	v, err := Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	for _, v := range []any{int(42), int64(-7), 3.14, "hello", true, []byte{1, 2, 3}} {
+		b, err := Encode(v)
+		if err != nil {
+			t.Fatalf("encode %T: %v", v, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %T: %v", v, err)
+		}
+		switch want := v.(type) {
+		case []byte:
+			if !bytes.Equal(got.([]byte), want) {
+				t.Fatalf("[]byte round trip: %v", got)
+			}
+		default:
+			if got != v {
+				t.Fatalf("round trip %T: got %v want %v", v, got, v)
+			}
+		}
+	}
+}
+
+func TestRoundTripComposites(t *testing.T) {
+	v := map[string]any{"xs": []float64{1, 2, 3}, "name": "model"}
+	got := MustDecode(MustEncode(v)).(map[string]any)
+	if got["name"] != "model" {
+		t.Fatalf("name = %v", got["name"])
+	}
+	xs := got["xs"].([]float64)
+	if len(xs) != 3 || xs[2] != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+}
+
+type custom struct {
+	A int
+	B string
+}
+
+func TestRegisterCustomType(t *testing.T) {
+	Register(custom{})
+	got := MustDecode(MustEncode(custom{A: 1, B: "x"})).(custom)
+	if got.A != 1 || got.B != "x" {
+		t.Fatalf("custom round trip: %+v", got)
+	}
+}
+
+func TestNilValue(t *testing.T) {
+	b, err := Encode(nil)
+	if err != nil {
+		t.Fatalf("encode nil: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil || got != nil {
+		t.Fatalf("decode nil = %v, %v", got, err)
+	}
+}
+
+func TestDecodeGarbageErrors(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSizeReflectsPayload(t *testing.T) {
+	small := len(MustEncode(make([]byte, 10)))
+	big := len(MustEncode(make([]byte, 10000)))
+	if big-small < 9000 {
+		t.Fatalf("size not proportional: small=%d big=%d", small, big)
+	}
+}

@@ -1,0 +1,319 @@
+// Package core defines the shared vocabulary of the Cloudburst runtime:
+// consistency modes, the wire protocol between clients, schedulers,
+// executors, and caches, the distributed-session metadata that travels
+// along DAG executions (§5.3), and the well-known Anna keys used for
+// system metadata (§4.4).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+)
+
+// Mode selects the cache-consistency level (§5, §6.2).
+type Mode int
+
+// The five consistency levels evaluated in the paper.
+const (
+	// LWW is last-writer-wins eventual consistency, the default capsule.
+	LWW Mode = iota
+	// DSRR is distributed session repeatable read (Algorithm 1).
+	DSRR
+	// SK is single-key causality: per-key vector clocks, siblings kept.
+	SK
+	// MK is multi-key (bolt-on) causality: each cache holds a causal cut.
+	MK
+	// DSC is distributed session causal consistency (Algorithm 2).
+	DSC
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case LWW:
+		return "lww"
+	case DSRR:
+		return "dsrr"
+	case SK:
+		return "sk"
+	case MK:
+		return "mk"
+	case DSC:
+		return "dsc"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode converts a mode name to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "lww":
+		return LWW, nil
+	case "dsrr", "rr":
+		return DSRR, nil
+	case "sk":
+		return SK, nil
+	case "mk":
+		return MK, nil
+	case "dsc", "causal":
+		return DSC, nil
+	}
+	return 0, fmt.Errorf("core: unknown consistency mode %q", s)
+}
+
+// Causal reports whether the mode stores causal capsules (vs LWW).
+func (m Mode) Causal() bool { return m == SK || m == MK || m == DSC }
+
+// Arg is one function argument: either an inline serialized value or a
+// KVS reference resolved through the cache at execution time (§3).
+type Arg struct {
+	Ref string // key name when this is a CloudburstReference
+	Val []byte // codec-encoded literal otherwise
+}
+
+// IsRef reports whether the argument is a KVS reference.
+func (a Arg) IsRef() bool { return a.Ref != "" }
+
+// VersionRef names the exact version of a key that an upstream function
+// read, and which cache holds its snapshot. It is the per-key unit of the
+// read-set metadata shipped down the DAG.
+type VersionRef struct {
+	Cache simnet.NodeID       // cache holding the version snapshot
+	TS    lattice.Timestamp   // LWW version id (repeatable read)
+	VC    lattice.VectorClock // causal version id
+}
+
+// SessionMeta is the distributed-session metadata propagated from
+// upstream to downstream executors (§5.3): the versions read so far and,
+// in causal mode, their dependency sets.
+type SessionMeta struct {
+	// ReadSet maps each key read so far in the DAG to the version that
+	// was read (R in Algorithms 1 and 2).
+	ReadSet map[string]VersionRef
+	// Deps maps keys to the version lower-bounds required by causal
+	// dependencies of the read set ("dependencies" in Algorithm 2).
+	// Each entry also records which cache snapshotted a satisfying
+	// version.
+	Deps map[string]VersionRef
+	// Caches records every cache the session touched, so the sink can
+	// notify all of them on completion and version snapshots get
+	// evicted (Algorithm 1's cleanup).
+	Caches map[simnet.NodeID]bool
+}
+
+// NewSessionMeta returns empty, initialized metadata.
+func NewSessionMeta() SessionMeta {
+	return SessionMeta{
+		ReadSet: make(map[string]VersionRef),
+		Deps:    make(map[string]VersionRef),
+		Caches:  make(map[simnet.NodeID]bool),
+	}
+}
+
+// NewSessionMetaP returns a pointer to fresh metadata (convenience for
+// single-shot sessions).
+func NewSessionMetaP() *SessionMeta {
+	m := NewSessionMeta()
+	return &m
+}
+
+// Clone deep-copies the metadata so sibling DAG branches do not alias.
+func (s SessionMeta) Clone() SessionMeta {
+	c := NewSessionMeta()
+	for k, v := range s.ReadSet {
+		v.VC = v.VC.Copy()
+		c.ReadSet[k] = v
+	}
+	for k, v := range s.Deps {
+		v.VC = v.VC.Copy()
+		c.Deps[k] = v
+	}
+	for id := range s.Caches {
+		c.Caches[id] = true
+	}
+	return c
+}
+
+// Merge folds another branch's metadata in (used at DAG join points):
+// read-set entries keep the first-arrived version (the version the DAG
+// "committed" to), dependency entries keep the causally newest clock.
+func (s *SessionMeta) Merge(o SessionMeta) {
+	for k, v := range o.ReadSet {
+		if _, ok := s.ReadSet[k]; !ok {
+			s.ReadSet[k] = v
+		}
+	}
+	for k, v := range o.Deps {
+		cur, ok := s.Deps[k]
+		if !ok || cur.VC.HappensBefore(v.VC) {
+			s.Deps[k] = v
+		}
+	}
+	for id := range o.Caches {
+		s.Caches[id] = true
+	}
+}
+
+// Size estimates the metadata's serialized footprint in bytes — the
+// overhead the consistency-model experiments in §6.2.1 measure.
+func (s SessionMeta) Size() int {
+	n := 0
+	for k, v := range s.ReadSet {
+		n += len(k) + len(v.Cache) + 16 + v.VC.ByteSize()
+	}
+	for k, v := range s.Deps {
+		n += len(k) + len(v.Cache) + 16 + v.VC.ByteSize()
+	}
+	return n
+}
+
+// InvokeRequest asks a scheduler (and then an executor) to run a single
+// registered function.
+type InvokeRequest struct {
+	ReqID      string
+	Function   string
+	Args       []Arg
+	RespondTo  simnet.NodeID // where the Result goes
+	StoreInKVS bool          // store result under ResultKey instead of replying inline
+	ResultKey  string
+}
+
+// DAGSchedule is the per-request execution plan a scheduler builds for a
+// registered DAG: one executor-thread assignment per function (§4.3).
+// Schedules are immutable after creation and shared by reference.
+type DAGSchedule struct {
+	ReqID       string
+	DAG         string
+	Assignments map[string]simnet.NodeID // function name -> executor thread
+	Args        map[string][]Arg         // per-function client-supplied args
+	RespondTo   simnet.NodeID
+	Scheduler   simnet.NodeID // receives the sink's DAGComplete
+	StoreInKVS  bool
+	ResultKey   string
+}
+
+// DAGInput carries one upstream function's result to its downstream
+// function.
+type DAGInput struct {
+	From string // producing function name
+	Val  []byte // codec-encoded result
+}
+
+// DAGTrigger starts (or continues) a DAG execution at Target on the
+// executor assigned by the schedule.
+type DAGTrigger struct {
+	Schedule *DAGSchedule
+	Target   string
+	Inputs   []DAGInput
+	Meta     SessionMeta
+	// Hops counts executor transitions so far, reported in the Result
+	// for per-depth latency normalization (Figure 8).
+	Hops int
+}
+
+// Result is the terminal response for an invocation or DAG request.
+type Result struct {
+	ReqID     string
+	Val       []byte
+	Err       string
+	ResultKey string // set when the value was stored in the KVS instead
+	// Hops counts executor-to-executor transitions, used to normalize
+	// latency by DAG depth as Figure 8 does.
+	Hops int
+}
+
+// OK reports whether the execution succeeded.
+func (r Result) OK() bool { return r.Err == "" }
+
+// PinFunction tells an executor VM to load (cache) a function so it can
+// serve DAG invocations for it (§4.1, §4.4).
+type PinFunction struct {
+	Function string
+}
+
+// UnpinFunction releases a pinned function replica.
+type UnpinFunction struct {
+	Function string
+}
+
+// DAGDone tells upstream caches that a DAG request completed so version
+// snapshots can be evicted (Algorithm 1's sink notification).
+type DAGDone struct {
+	ReqID string
+}
+
+// DAGComplete is the sink's completion notification to the scheduler
+// that issued the request: it clears the §4.5 re-execution tracking and
+// feeds the completion-rate metric the monitor consumes.
+type DAGComplete struct {
+	ReqID string
+	DAG   string
+}
+
+// DirectMessage is executor-to-executor communication (Table 1 send/recv).
+type DirectMessage struct {
+	FromID string // sender invocation id
+	Body   []byte
+}
+
+// ExecutorMetrics is what each executor thread periodically publishes to
+// Anna (§4.1): utilization, pinned functions, and completion stats.
+type ExecutorMetrics struct {
+	Thread      simnet.NodeID
+	VM          string
+	Utilization float64 // busy fraction over the reporting window
+	Pinned      []string
+	Completed   int64   // requests finished since start
+	AvgLatencyS float64 // mean execution latency over the window, seconds
+	ReportedAtS float64 // virtual seconds, for staleness checks
+}
+
+// CacheMetrics is each VM cache's periodically-published key set (§4.2).
+type CacheMetrics struct {
+	VM          string
+	Cache       simnet.NodeID
+	Keys        []string
+	ReportedAtS float64
+}
+
+// SchedulerMetrics is each scheduler's published per-DAG call counts.
+type SchedulerMetrics struct {
+	Scheduler   simnet.NodeID
+	DAGCalls    map[string]int64
+	FnCalls     map[string]int64
+	ReportedAtS float64
+}
+
+// Well-known Anna key constructors for system metadata (§4.4: "Anna as
+// the source of truth for system metadata").
+func FuncKey(name string) string          { return "sys/funcs/" + name }
+func DAGKey(name string) string           { return "sys/dags/" + name }
+func FuncListKey() string                 { return "sys/funcs" }
+func DAGListKey() string                  { return "sys/dags" }
+func ExecMetricsKey(thread string) string { return "sys/metrics/exec/" + thread }
+func ExecMetricsPrefix() string           { return "sys/metrics/exec/" }
+func CacheKeysKey(vm string) string       { return "sys/metrics/cache/" + vm }
+func CacheKeysPrefix() string             { return "sys/metrics/cache/" }
+func SchedMetricsKey(id string) string    { return "sys/metrics/sched/" + id }
+func SchedMetricsPrefix() string          { return "sys/metrics/sched/" }
+func InboxKey(invocationID string) string { return "sys/inbox/" + invocationID }
+
+// SplitInvocationID recovers the executor-thread address from a function
+// invocation ID. IDs have the form "<thread-node-id>#<sequence>"; the
+// deterministic mapping from unique ID to a physical address is how
+// direct messaging resolves recipients (§3).
+func SplitInvocationID(id string) (thread simnet.NodeID, ok bool) {
+	if i := strings.IndexByte(id, '#'); i > 0 {
+		return simnet.NodeID(id[:i]), true
+	}
+	return "", false
+}
+
+// MakeInvocationID builds an invocation ID for a thread and sequence
+// number.
+func MakeInvocationID(thread simnet.NodeID, seq int64) string {
+	return fmt.Sprintf("%s#%d", thread, seq)
+}

@@ -1,0 +1,140 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func diamond() *DAG {
+	return New("diamond", []string{"a", "b", "c", "d"},
+		[][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}})
+}
+
+func TestLinearConstruction(t *testing.T) {
+	d := Linear("chain", "f", "g", "h")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsLinear() {
+		t.Fatal("chain not linear")
+	}
+	if got := d.Sources(); len(got) != 1 || got[0] != "f" {
+		t.Fatalf("sources = %v", got)
+	}
+	if got := d.Sinks(); len(got) != 1 || got[0] != "h" {
+		t.Fatalf("sinks = %v", got)
+	}
+	if d.Depth() != 3 {
+		t.Fatalf("depth = %d", d.Depth())
+	}
+}
+
+func TestDiamondTopology(t *testing.T) {
+	d := diamond()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsLinear() {
+		t.Fatal("diamond reported linear")
+	}
+	if got := d.Parents("d"); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("parents(d) = %v", got)
+	}
+	if got := d.Children("a"); len(got) != 2 {
+		t.Fatalf("children(a) = %v", got)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, f := range order {
+		pos[f] = i
+	}
+	for _, e := range d.Edges {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("topo order violates edge %v: %v", e, order)
+		}
+	}
+	if d.Depth() != 3 {
+		t.Fatalf("depth = %d", d.Depth())
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	d := New("cyc", []string{"a", "b"}, [][2]string{{"a", "b"}, {"b", "a"}})
+	if err := d.Validate(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	cases := []*DAG{
+		New("", []string{"a"}, nil),
+		New("empty", nil, nil),
+		New("dup", []string{"a", "a"}, nil),
+		New("undeclared", []string{"a"}, [][2]string{{"a", "z"}}),
+		New("self", []string{"a"}, [][2]string{{"a", "a"}}),
+	}
+	for i, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d (%s): invalid DAG accepted", i, d.Name)
+		}
+	}
+}
+
+func TestSingleFunctionDAG(t *testing.T) {
+	d := Linear("solo", "f")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsLinear() || d.Depth() != 1 {
+		t.Fatal("single-function DAG misclassified")
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	d := diamond()
+	first, _ := d.TopoOrder()
+	for i := 0; i < 10; i++ {
+		got, _ := d.TopoOrder()
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("nondeterministic topo order: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+// TestRandomDAGsValidateAndOrder generates random DAGs (edges always from
+// lower to higher index, hence acyclic) and checks invariants — the same
+// generator shape the consistency experiments use.
+func TestRandomDAGsValidateAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(5) + 1
+		fns := make([]string, n)
+		for j := range fns {
+			fns[j] = string(rune('a' + j))
+		}
+		var edges [][2]string
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, [2]string{fns[a], fns[b]})
+				}
+			}
+		}
+		d := New("rnd", fns, edges)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("random DAG rejected: %v", err)
+		}
+		order, err := d.TopoOrder()
+		if err != nil || len(order) != n {
+			t.Fatalf("topo order: %v %v", order, err)
+		}
+		if d.Depth() < 1 || d.Depth() > n {
+			t.Fatalf("depth %d out of range", d.Depth())
+		}
+	}
+}

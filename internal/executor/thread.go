@@ -1,0 +1,505 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/cache"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
+	"cloudburst/internal/dag"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// Thread is one executor worker: an independent long-running process
+// with its own network address, serving one invocation at a time (§4.1).
+type Thread struct {
+	id         simnet.NodeID
+	ep         *simnet.Endpoint
+	k          *vtime.Kernel
+	vm         string
+	cache      *cache.Cache
+	annaClient *anna.Client
+	registry   *Registry
+	tracer     Tracer
+	alive      func(simnet.NodeID) bool
+	dagFor     func(name string) (*dag.DAG, bool)
+	overhead   time.Duration
+
+	pinned   map[string]bool
+	mailbox  []core.DirectMessage
+	deferred []simnet.Message
+	seq      int64
+
+	pending map[string]*join // DAG fan-in assembly: reqID|fn → state
+
+	// Metrics window (§4.1: executors publish utilization, cached
+	// functions, and execution latencies).
+	busy        time.Duration
+	windowStart vtime.Time
+	completed   int64
+	winDone     int64
+	latencySum  time.Duration
+	latencyN    int64
+
+	stopped bool
+}
+
+// join accumulates a fan-in function's inputs until every parent
+// delivered.
+type join struct {
+	schedule *core.DAGSchedule
+	inputs   []core.DAGInput
+	meta     core.SessionMeta
+	hops     int
+	need     int
+}
+
+// Deps bundles a thread's environment, supplied by the cluster.
+type Deps struct {
+	Cache    *cache.Cache
+	Anna     *anna.Client
+	Registry *Registry
+	Tracer   Tracer
+	// Alive reports whether a peer executor thread is reachable; nil
+	// means always reachable.
+	Alive func(simnet.NodeID) bool
+	// DAGFor resolves a registered DAG's topology (from the local
+	// schedule cache or Anna).
+	DAGFor func(name string) (*dag.DAG, bool)
+	// InvokeOverhead is the per-invocation dispatch cost (the Python
+	// interpreter's function lookup/deserialization work in the paper's
+	// executor; ~0.8ms calibrates Figure 1's Cloudburst bar against
+	// Dask's).
+	InvokeOverhead time.Duration
+}
+
+// NewThread creates a worker bound to ep.
+func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread {
+	return &Thread{
+		id:          ep.ID(),
+		ep:          ep,
+		k:           k,
+		vm:          vm,
+		cache:       d.Cache,
+		annaClient:  d.Anna,
+		registry:    d.Registry,
+		tracer:      d.Tracer,
+		alive:       d.Alive,
+		dagFor:      d.DAGFor,
+		overhead:    d.InvokeOverhead,
+		pinned:      make(map[string]bool),
+		pending:     make(map[string]*join),
+		windowStart: k.Now(),
+	}
+}
+
+// ID returns the thread's network id (also its vector-clock writer id).
+func (t *Thread) ID() simnet.NodeID { return t.id }
+
+// Pinned lists the functions pinned here, sorted.
+func (t *Thread) Pinned() []string {
+	out := make([]string, 0, len(t.pinned))
+	for f := range t.pinned {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Completed reports lifetime finished invocations.
+func (t *Thread) Completed() int64 { return t.completed }
+
+// Start launches the worker loop.
+func (t *Thread) Start() { t.k.Go(string(t.id)+"/worker", t.loop) }
+
+// Stop makes the worker exit after the current message.
+func (t *Thread) Stop() { t.stopped = true }
+
+func (t *Thread) loop() {
+	for {
+		var m simnet.Message
+		if len(t.deferred) > 0 {
+			m = t.deferred[0]
+			t.deferred = t.deferred[1:]
+		} else {
+			m = t.ep.Recv()
+		}
+		if t.stopped {
+			return
+		}
+		t.handle(m)
+	}
+}
+
+func (t *Thread) handle(m simnet.Message) {
+	switch b := m.Payload.(type) {
+	case core.InvokeRequest:
+		t.runSingle(b)
+	case core.DAGTrigger:
+		t.runTrigger(b)
+	case core.DirectMessage:
+		t.mailbox = append(t.mailbox, b)
+	case core.PinFunction:
+		t.pin(b.Function)
+	case core.UnpinFunction:
+		delete(t.pinned, b.Function)
+	}
+}
+
+// drainNetwork moves queued endpoint messages into the right buckets
+// without blocking; direct messages become mailbox entries, everything
+// else is deferred for the main loop. Called from Ctx.Recv while a
+// function is executing.
+func (t *Thread) drainNetwork() {
+	for {
+		m, ok := t.ep.TryRecv()
+		if !ok {
+			return
+		}
+		if dm, isDM := m.Payload.(core.DirectMessage); isDM {
+			t.mailbox = append(t.mailbox, dm)
+		} else {
+			t.deferred = append(t.deferred, m)
+		}
+	}
+}
+
+// pin loads a function replica onto this thread: metadata is fetched
+// from Anna (the deserialize-and-cache step of §4.1).
+func (t *Thread) pin(fn string) {
+	if t.pinned[fn] {
+		return
+	}
+	t.annaClient.Get(core.FuncKey(fn)) // pay the code/metadata fetch
+	t.pinned[fn] = true
+}
+
+// newCtx builds the per-invocation context.
+func (t *Thread) newCtx(reqID, dagName, fn string, meta *core.SessionMeta) *Ctx {
+	t.seq++
+	return &Ctx{
+		t:    t,
+		req:  reqID,
+		dag:  dagName,
+		fn:   fn,
+		id:   core.MakeInvocationID(t.id, t.seq),
+		meta: meta,
+	}
+}
+
+// resolveArgs turns wire arguments into Go values, fetching KVS
+// references through the cache in parallel (§4.1).
+func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *core.SessionMeta) ([]any, error) {
+	out := make([]any, len(args))
+	errs := make([]error, len(args))
+	var refIdx []int
+	for i, a := range args {
+		if a.IsRef() {
+			refIdx = append(refIdx, i)
+			continue
+		}
+		v, err := codec.Decode(a.Val)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	readOne := func(i int) {
+		key := args[i].Ref
+		payload, ver, err := t.cache.Read(reqID, key, meta)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		writeID, inner := untag(payload)
+		if t.tracer != nil {
+			t.tracer.OnRead(TraceEvent{
+				ReqID: reqID, DAG: dagName, Function: fn, Key: key,
+				WriteID: writeID, Ver: ver, Cache: ver.Cache, At: t.k.Now(),
+			})
+		}
+		v, err := codec.Decode(inner)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = v
+	}
+	if len(refIdx) == 1 {
+		readOne(refIdx[0])
+	} else if len(refIdx) > 1 {
+		wg := vtime.NewWaitGroup(t.k)
+		for _, i := range refIdx {
+			i := i
+			wg.Add(1)
+			t.k.Go(fmt.Sprintf("%s/resolve", t.id), func() {
+				defer wg.Done()
+				readOne(i)
+			})
+		}
+		wg.Wait()
+	}
+	for _, i := range refIdx {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// runSingle serves a plain function invocation.
+func (t *Thread) runSingle(req core.InvokeRequest) {
+	start := t.k.Now()
+	meta := core.NewSessionMeta()
+	result, err := t.invoke(req.ReqID, "", req.Function, req.Args, nil, &meta)
+	t.finish(start)
+	res := core.Result{ReqID: req.ReqID}
+	if err != nil {
+		res.Err = err.Error()
+		t.ep.Send(req.RespondTo, res, 64)
+		return
+	}
+	payload, encErr := codec.Encode(result)
+	if encErr != nil {
+		res.Err = encErr.Error()
+		t.ep.Send(req.RespondTo, res, 64)
+		return
+	}
+	if req.StoreInKVS {
+		if _, werr := t.cache.Write(req.ReqID, req.ResultKey, payload, &meta, string(t.id)); werr != nil {
+			res.Err = werr.Error()
+		} else {
+			res.ResultKey = req.ResultKey
+		}
+		t.ep.Send(req.RespondTo, res, 64)
+		return
+	}
+	res.Val = payload
+	t.ep.Send(req.RespondTo, res, 48+len(payload))
+}
+
+// runTrigger serves one DAG hop: assemble fan-in inputs, execute, and
+// either trigger children or finish the request at the sink.
+func (t *Thread) runTrigger(tr core.DAGTrigger) {
+	d, ok := t.dagFor(tr.Schedule.DAG)
+	if !ok {
+		t.ep.Send(tr.Schedule.RespondTo, core.Result{
+			ReqID: tr.Schedule.ReqID,
+			Err:   fmt.Sprintf("executor: unknown DAG %q", tr.Schedule.DAG),
+		}, 64)
+		return
+	}
+	need := len(d.Parents(tr.Target))
+	inputs := tr.Inputs
+	meta := tr.Meta
+	hops := tr.Hops
+	if need > 1 {
+		key := tr.Schedule.ReqID + "|" + tr.Target
+		j, exists := t.pending[key]
+		if !exists {
+			j = &join{schedule: tr.Schedule, meta: core.NewSessionMeta(), need: need}
+			t.pending[key] = j
+		}
+		j.inputs = append(j.inputs, tr.Inputs...)
+		j.meta.Merge(tr.Meta)
+		if tr.Hops > j.hops {
+			j.hops = tr.Hops
+		}
+		if len(j.inputs) < j.need {
+			return // wait for remaining parents
+		}
+		delete(t.pending, key)
+		inputs, meta, hops = j.inputs, j.meta, j.hops
+	}
+
+	start := t.k.Now()
+	// Argument order: client-supplied args first, then parent results in
+	// parent-name order.
+	sort.Slice(inputs, func(i, k int) bool { return inputs[i].From < inputs[k].From })
+	args := append([]core.Arg(nil), tr.Schedule.Args[tr.Target]...)
+	parentVals := make([]any, 0, len(inputs))
+	for _, in := range inputs {
+		v, err := codec.Decode(in.Val)
+		if err != nil {
+			t.fail(tr.Schedule, err)
+			return
+		}
+		parentVals = append(parentVals, v)
+	}
+
+	// Session metadata propagates along the DAG only in the distributed
+	// session modes; bolt-on (MK) tracks a per-function session and the
+	// other modes carry none (§5.3, §6.2).
+	var metaP *core.SessionMeta
+	switch t.cache.Mode() {
+	case core.DSRR, core.DSC:
+		metaP = &meta
+	case core.MK:
+		m := core.NewSessionMeta()
+		metaP = &m
+	default:
+		metaP = nil
+	}
+
+	result, err := t.invoke(tr.Schedule.ReqID, tr.Schedule.DAG, tr.Target, args, parentVals, metaP)
+	t.finish(start)
+	if err != nil {
+		t.fail(tr.Schedule, err)
+		return
+	}
+	payload, encErr := codec.Encode(result)
+	if encErr != nil {
+		t.fail(tr.Schedule, encErr)
+		return
+	}
+
+	children := d.Children(tr.Target)
+	if len(children) == 0 {
+		t.finishDAG(tr.Schedule, meta, metaP, payload, hops+1)
+		return
+	}
+	outMeta := core.NewSessionMeta()
+	if metaP != nil && (t.cache.Mode() == core.DSRR || t.cache.Mode() == core.DSC) {
+		outMeta = *metaP
+	}
+	for i, child := range children {
+		m := outMeta
+		if i < len(children)-1 {
+			m = outMeta.Clone() // sibling branches must not alias
+		}
+		trigger := core.DAGTrigger{
+			Schedule: tr.Schedule,
+			Target:   child,
+			Inputs:   []core.DAGInput{{From: tr.Target, Val: payload}},
+			Meta:     m,
+			Hops:     hops + 1,
+		}
+		size := 96 + len(payload) + m.Size()
+		t.ep.Send(tr.Schedule.Assignments[child], trigger, size)
+	}
+}
+
+// finishDAG completes a request at the sink: deliver the result, then
+// notify every touched cache so version snapshots are evicted.
+func (t *Thread) finishDAG(s *core.DAGSchedule, meta core.SessionMeta, metaP *core.SessionMeta, payload []byte, hops int) {
+	res := core.Result{ReqID: s.ReqID, Hops: hops}
+	if s.StoreInKVS {
+		if _, err := t.cache.Write(s.ReqID, s.ResultKey, payload, metaP, string(t.id)); err != nil {
+			res.Err = err.Error()
+		} else {
+			res.ResultKey = s.ResultKey
+		}
+	} else {
+		res.Val = payload
+	}
+	t.ep.Send(s.RespondTo, res, 48+len(res.Val))
+
+	targets := map[simnet.NodeID]bool{t.cache.ID(): true}
+	if metaP != nil {
+		for c := range metaP.Caches {
+			targets[c] = true
+		}
+	}
+	for c := range meta.Caches {
+		targets[c] = true
+	}
+	ids := make([]simnet.NodeID, 0, len(targets))
+	for c := range targets {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		t.ep.Send(c, core.DAGDone{ReqID: s.ReqID}, 24)
+	}
+	// Tell the issuing scheduler the request completed, clearing its
+	// §4.5 re-execution tracking.
+	if s.Scheduler != "" {
+		t.ep.Send(s.Scheduler, core.DAGComplete{ReqID: s.ReqID, DAG: s.DAG}, 32)
+	}
+}
+
+// fail reports a failed DAG request to the client.
+func (t *Thread) fail(s *core.DAGSchedule, err error) {
+	t.ep.Send(s.RespondTo, core.Result{ReqID: s.ReqID, Err: err.Error()}, 64)
+}
+
+// invoke resolves arguments, looks up the body, and runs it.
+func (t *Thread) invoke(reqID, dagName, fn string, args []core.Arg, parentVals []any, meta *core.SessionMeta) (any, error) {
+	body, ok := t.registry.Lookup(fn)
+	if !ok {
+		return nil, fmt.Errorf("executor: function %q not registered", fn)
+	}
+	if t.overhead > 0 {
+		t.k.Sleep(t.overhead)
+	}
+	resolved, err := t.resolveArgs(reqID, dagName, fn, args, meta)
+	if err != nil {
+		return nil, fnError(fn, err)
+	}
+	resolved = append(resolved, parentVals...)
+	ctx := t.newCtx(reqID, dagName, fn, meta)
+	out, err := body(ctx, resolved)
+	if err != nil {
+		return nil, fnError(fn, err)
+	}
+	return out, nil
+}
+
+// finish updates the metrics window after an invocation.
+func (t *Thread) finish(start vtime.Time) {
+	d := t.k.Now().Sub(start)
+	t.busy += d
+	t.latencySum += d
+	t.latencyN++
+	t.completed++
+	t.winDone++
+}
+
+// UtilizationProbe reports the current window's busy fraction without
+// resetting it (diagnostics only).
+func (t *Thread) UtilizationProbe() float64 {
+	elapsed := t.k.Now().Sub(t.windowStart)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(t.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MetricsSnapshot builds the thread's report and resets the window.
+func (t *Thread) MetricsSnapshot() core.ExecutorMetrics {
+	elapsed := t.k.Now().Sub(t.windowStart)
+	util := 0.0
+	if elapsed > 0 {
+		util = float64(t.busy) / float64(elapsed)
+		if util > 1 {
+			util = 1
+		}
+	}
+	avg := 0.0
+	if t.latencyN > 0 {
+		avg = (t.latencySum / time.Duration(t.latencyN)).Seconds()
+	}
+	m := core.ExecutorMetrics{
+		Thread:      t.id,
+		VM:          t.vm,
+		Utilization: util,
+		Pinned:      t.Pinned(),
+		Completed:   t.completed,
+		AvgLatencyS: avg,
+		ReportedAtS: t.k.Now().Seconds(),
+	}
+	t.busy = 0
+	t.latencySum = 0
+	t.latencyN = 0
+	t.winDone = 0
+	t.windowStart = t.k.Now()
+	return m
+}

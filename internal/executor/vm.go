@@ -1,0 +1,126 @@
+package executor
+
+import (
+	"hash/fnv"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/vtime"
+)
+
+func init() {
+	codec.Register(core.ExecutorMetrics{})
+	codec.Register(core.CacheMetrics{})
+	codec.Register(core.SchedulerMetrics{})
+}
+
+// MetricListKey is the registry Set of all executor-metric keys; the
+// monitor and schedulers read it to discover threads (Anna has no scans,
+// so discovery goes through a well-known set, §4.4).
+const MetricListKey = "sys/metrics/exec-list"
+
+// CacheListKey is the registry Set of all cache-metric keys.
+const CacheListKey = "sys/metrics/cache-list"
+
+// VM is one function-execution machine: several worker threads plus the
+// co-located cache, with a metrics publication daemon (§4.1-§4.2). The
+// paper's c5.2xlarge VMs run 3 Python workers and 1 cache per machine.
+type VM struct {
+	Name    string
+	Cache   *cacheRef
+	Threads []*Thread
+
+	k               *vtime.Kernel
+	metricsClient   *anna.Client
+	metricsInterval time.Duration
+	stopped         bool
+}
+
+// cacheRef narrows the cache API the VM needs, easing tests.
+type cacheRef struct {
+	Keys func() []string
+	ID   func() string
+}
+
+// NewVM bundles threads and the cache metrics source into a VM. The
+// threads must already be constructed (they carry per-thread deps).
+func NewVM(k *vtime.Kernel, name string, threads []*Thread, cacheKeys func() []string, cacheID func() string, metricsClient *anna.Client, metricsInterval time.Duration) *VM {
+	if metricsInterval <= 0 {
+		metricsInterval = 2 * time.Second
+	}
+	return &VM{
+		Name:            name,
+		Cache:           &cacheRef{Keys: cacheKeys, ID: cacheID},
+		Threads:         threads,
+		k:               k,
+		metricsClient:   metricsClient,
+		metricsInterval: metricsInterval,
+	}
+}
+
+// Start launches the worker threads and the metrics daemon.
+func (vm *VM) Start() {
+	for _, t := range vm.Threads {
+		t.Start()
+	}
+	vm.k.Go("vm-"+vm.Name+"/metrics", vm.metricsLoop)
+}
+
+// Stop halts the metrics daemon and the threads (after in-flight work).
+func (vm *VM) Stop() {
+	vm.stopped = true
+	for _, t := range vm.Threads {
+		t.Stop()
+	}
+}
+
+// metricsLoop periodically publishes per-thread executor metrics and the
+// cache's key set to Anna (§4.4: Anna as the metric-collection
+// substrate).
+func (vm *VM) metricsLoop() {
+	// Register this VM's metric keys in the discovery sets once.
+	reg := lattice.NewSet()
+	for _, t := range vm.Threads {
+		reg.Add(core.ExecMetricsKey(string(t.ID())))
+	}
+	vm.metricsClient.Put(MetricListKey, reg)
+	vm.metricsClient.Put(CacheListKey, lattice.NewSet(core.CacheKeysKey(vm.Name)))
+
+	// Publish immediately so schedulers can discover a fresh VM without
+	// waiting a full interval, then settle into the cadence.
+	vm.publishMetrics()
+	for {
+		vm.k.Sleep(vm.metricsInterval)
+		if vm.stopped {
+			return
+		}
+		vm.publishMetrics()
+	}
+}
+
+func (vm *VM) publishMetrics() {
+	now := int64(vm.k.Now())
+	for _, t := range vm.Threads {
+		m := t.MetricsSnapshot()
+		payload := codec.MustEncode(m)
+		vm.metricsClient.Put(core.ExecMetricsKey(string(t.ID())),
+			lattice.NewLWW(lattice.Timestamp{Clock: now, Node: nodeHashVM(vm.Name)}, payload))
+	}
+	cm := core.CacheMetrics{
+		VM:          vm.Name,
+		Cache:       vm.Threads[0].cache.ID(),
+		Keys:        vm.Cache.Keys(),
+		ReportedAtS: vm.k.Now().Seconds(),
+	}
+	vm.metricsClient.Put(core.CacheKeysKey(vm.Name),
+		lattice.NewLWW(lattice.Timestamp{Clock: now, Node: nodeHashVM(vm.Name)}, codec.MustEncode(cm)))
+}
+
+func nodeHashVM(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}

@@ -1,0 +1,209 @@
+package lattice
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Version is one causally-identified write: an Anna vector clock naming
+// the version, the dependency set recording which key versions the writer
+// had read (pairs of key and vector clock), and the payload.
+type Version struct {
+	VC    VectorClock
+	Deps  map[string]VectorClock
+	Value []byte
+}
+
+// clone returns a deep copy of v.
+func (v Version) clone() Version {
+	c := Version{VC: v.VC.Copy(), Value: append([]byte(nil), v.Value...)}
+	if v.Deps != nil {
+		c.Deps = make(map[string]VectorClock, len(v.Deps))
+		for k, vc := range v.Deps {
+			c.Deps[k] = vc.Copy()
+		}
+	}
+	return c
+}
+
+// Causal is the causal-consistency capsule of §5.2: a key's set of
+// concurrent versions (siblings). Merge is the classic multi-value
+// register construction — union the version sets, then discard any
+// version strictly dominated by another — which is associative,
+// commutative, and idempotent (property-tested), unlike a literal
+// "keep the dominating clock, else union values under a joined clock"
+// reading, which loses associativity.
+//
+// A key written without conflict holds exactly one version. Concurrent
+// writes are both preserved, which is exactly the update LWW drops — the
+// single-key anomaly counted in Table 2.
+type Causal struct {
+	Versions []Version // canonical: pruned, sorted, deduplicated
+}
+
+// NewCausal builds a capsule holding one write.
+func NewCausal(vc VectorClock, deps map[string]VectorClock, value []byte) *Causal {
+	c := &Causal{Versions: []Version{{VC: vc, Deps: deps, Value: value}}}
+	c.normalize()
+	return c
+}
+
+// VC returns the capsule's effective vector clock: the join of all
+// sibling clocks. Algorithm 2's validity checks compare these.
+func (c *Causal) VC() VectorClock {
+	out := make(VectorClock)
+	for _, v := range c.Versions {
+		out.Observe(v.VC)
+	}
+	return out
+}
+
+// DepsUnion returns the union of the siblings' dependency sets, with
+// per-key pairwise-max clocks. This is the metadata shipped downstream in
+// the distributed-session causal protocol (§5.3).
+func (c *Causal) DepsUnion() map[string]VectorClock {
+	out := make(map[string]VectorClock)
+	for _, v := range c.Versions {
+		for k, vc := range v.Deps {
+			if cur, ok := out[k]; ok {
+				cur.Observe(vc)
+			} else {
+				out[k] = vc.Copy()
+			}
+		}
+	}
+	return out
+}
+
+// DisplayValue returns the single payload surfaced to the user program.
+// The paper de-encapsulates multi-sibling capsules with an arbitrary but
+// deterministic tie-break; the canonical ordering makes the first sibling
+// that choice.
+func (c *Causal) DisplayValue() []byte {
+	if len(c.Versions) == 0 {
+		return nil
+	}
+	return c.Versions[0].Value
+}
+
+// Siblings returns all concurrent payloads, for applications that resolve
+// conflicts manually.
+func (c *Causal) Siblings() [][]byte {
+	out := make([][]byte, len(c.Versions))
+	for i, v := range c.Versions {
+		out[i] = v.Value
+	}
+	return out
+}
+
+// Merge implements Lattice.
+func (c *Causal) Merge(other Lattice) {
+	o, ok := other.(*Causal)
+	if !ok {
+		panic(mismatch(c.TypeName(), other))
+	}
+	for _, v := range o.Versions {
+		c.Versions = append(c.Versions, v.clone())
+	}
+	c.normalize()
+}
+
+// normalize restores the canonical form: coalesce identical
+// (clock, value) pairs by unioning their dependency sets, drop
+// strictly-dominated versions, and sort deterministically.
+func (c *Causal) normalize() {
+	// Coalesce exact duplicates first; deps-union must happen regardless
+	// of the order capsules were merged in, or commutativity breaks.
+	uniq := make([]Version, 0, len(c.Versions))
+	for _, v := range c.Versions {
+		coalesced := false
+		for i := range uniq {
+			if uniq[i].VC.Compare(v.VC) == Equal && bytes.Equal(uniq[i].Value, v.Value) {
+				uniq[i].Deps = unionDeps(uniq[i].Deps, v.Deps)
+				coalesced = true
+				break
+			}
+		}
+		if !coalesced {
+			uniq = append(uniq, v)
+		}
+	}
+	// Prune strictly dominated versions. kept must be a fresh slice:
+	// appending in place would overwrite elements the inner loop still
+	// reads.
+	kept := make([]Version, 0, len(uniq))
+	for i, v := range uniq {
+		dominated := false
+		for j, u := range uniq {
+			if i != j && v.VC.Compare(u.VC) == DominatedBy {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, v)
+		}
+	}
+	c.Versions = kept
+	sort.Slice(c.Versions, func(i, j int) bool {
+		vi, vj := c.Versions[i], c.Versions[j]
+		if si, sj := vi.VC.String(), vj.VC.String(); si != sj {
+			return si < sj
+		}
+		return bytes.Compare(vi.Value, vj.Value) < 0
+	})
+}
+
+// unionDeps returns a fresh dependency map holding the pairwise-max union
+// of a and b. It never mutates its inputs, which may be shared.
+func unionDeps(a, b map[string]VectorClock) map[string]VectorClock {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]VectorClock, len(a)+len(b))
+	for k, vc := range a {
+		out[k] = vc.Copy()
+	}
+	for k, vc := range b {
+		if cur, ok := out[k]; ok {
+			cur.Observe(vc)
+		} else {
+			out[k] = vc.Copy()
+		}
+	}
+	return out
+}
+
+// Clone implements Lattice.
+func (c *Causal) Clone() Lattice {
+	cl := &Causal{Versions: make([]Version, len(c.Versions))}
+	for i, v := range c.Versions {
+		cl.Versions[i] = v.clone()
+	}
+	return cl
+}
+
+// MetadataSize is the causal metadata overhead (vector clocks plus
+// dependency sets), the quantity §6.2.1 reports medians and p99s for.
+func (c *Causal) MetadataSize() int {
+	n := 0
+	for _, v := range c.Versions {
+		n += v.VC.ByteSize()
+		for k, vc := range v.Deps {
+			n += len(k) + vc.ByteSize()
+		}
+	}
+	return n
+}
+
+// ByteSize implements Lattice.
+func (c *Causal) ByteSize() int {
+	n := c.MetadataSize()
+	for _, v := range c.Versions {
+		n += len(v.Value)
+	}
+	return n
+}
+
+// TypeName implements Lattice.
+func (c *Causal) TypeName() string { return "causal" }

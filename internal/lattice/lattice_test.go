@@ -1,0 +1,486 @@
+package lattice
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxInt64(t *testing.T) {
+	a, b := NewMaxInt64(3), NewMaxInt64(7)
+	a.Merge(b)
+	if a.V != 7 {
+		t.Fatalf("merge = %d, want 7", a.V)
+	}
+	b.Merge(NewMaxInt64(5))
+	if b.V != 7 {
+		t.Fatalf("merge with smaller changed value: %d", b.V)
+	}
+	if a.ByteSize() != 8 || a.TypeName() != "max_int64" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestBoolOr(t *testing.T) {
+	a := NewBoolOr(false)
+	a.Merge(NewBoolOr(false))
+	if a.V {
+		t.Fatal("false|false = true")
+	}
+	a.Merge(NewBoolOr(true))
+	if !a.V {
+		t.Fatal("false|true = false")
+	}
+	a.Merge(NewBoolOr(false))
+	if !a.V {
+		t.Fatal("true is not sticky")
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	a := NewSet("x", "y")
+	b := NewSet("y", "z")
+	a.Merge(b)
+	if a.Len() != 3 || !a.Contains("x") || !a.Contains("z") {
+		t.Fatalf("union = %v", a.Elems)
+	}
+	c := a.Clone().(*Set)
+	c.Add("w")
+	if a.Contains("w") {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestGCounter(t *testing.T) {
+	a, b := NewGCounter(), NewGCounter()
+	a.Incr("n1", 5)
+	b.Incr("n1", 3)
+	b.Incr("n2", 2)
+	a.Merge(b)
+	if a.Value() != 7 { // max(5,3) + 2
+		t.Fatalf("value = %d, want 7", a.Value())
+	}
+	a.Merge(b)
+	if a.Value() != 7 {
+		t.Fatal("merge not idempotent")
+	}
+}
+
+func TestMapPointwiseMerge(t *testing.T) {
+	a, b := NewMap(), NewMap()
+	a.Put("k", NewSet("c1"))
+	b.Put("k", NewSet("c2"))
+	b.Put("j", NewMaxInt64(4))
+	a.Merge(b)
+	if got := a.Get("k").(*Set); got.Len() != 2 {
+		t.Fatalf("pointwise union failed: %v", got.Elems)
+	}
+	if a.Get("j").(*MaxInt64).V != 4 {
+		t.Fatal("new key not merged in")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("len = %d", a.Len())
+	}
+}
+
+func TestLWWKeepsLatestTimestamp(t *testing.T) {
+	a := NewLWW(Timestamp{Clock: 10, Node: 1}, []byte("old"))
+	a.Merge(NewLWW(Timestamp{Clock: 20, Node: 0}, []byte("new")))
+	if string(a.Value) != "new" {
+		t.Fatalf("value = %q", a.Value)
+	}
+	a.Merge(NewLWW(Timestamp{Clock: 15, Node: 9}, []byte("stale")))
+	if string(a.Value) != "new" {
+		t.Fatalf("older write won: %q", a.Value)
+	}
+	// Node id breaks clock ties.
+	a.Merge(NewLWW(Timestamp{Clock: 20, Node: 1}, []byte("tie")))
+	if string(a.Value) != "tie" {
+		t.Fatalf("tie-break failed: %q", a.Value)
+	}
+}
+
+func TestCausalDominationReplaces(t *testing.T) {
+	v1 := NewCausal(VectorClock{"e1": 1}, nil, []byte("a"))
+	v2 := NewCausal(VectorClock{"e1": 2}, nil, []byte("b"))
+	v1.Merge(v2)
+	if len(v1.Versions) != 1 || string(v1.DisplayValue()) != "b" {
+		t.Fatalf("dominating merge: %+v", v1.Versions)
+	}
+	// Merging the older version back in changes nothing.
+	v1.Merge(NewCausal(VectorClock{"e1": 1}, nil, []byte("a")))
+	if len(v1.Versions) != 1 || string(v1.DisplayValue()) != "b" {
+		t.Fatalf("dominated merge resurrected old version")
+	}
+}
+
+func TestCausalConcurrentSiblingsPreserved(t *testing.T) {
+	a := NewCausal(VectorClock{"e1": 1}, nil, []byte("a"))
+	b := NewCausal(VectorClock{"e2": 1}, nil, []byte("b"))
+	a.Merge(b)
+	if len(a.Versions) != 2 {
+		t.Fatalf("siblings = %d, want 2", len(a.Versions))
+	}
+	sib := a.Siblings()
+	if !bytes.Equal(sib[0], []byte("a")) || !bytes.Equal(sib[1], []byte("b")) {
+		t.Fatalf("siblings %q", sib)
+	}
+	// Effective VC is the join.
+	if vc := a.VC(); vc["e1"] != 1 || vc["e2"] != 1 {
+		t.Fatalf("joined vc = %v", vc)
+	}
+	// A write dominating both collapses the siblings.
+	c := NewCausal(VectorClock{"e1": 2, "e2": 1}, nil, []byte("c"))
+	a.Merge(c)
+	if len(a.Versions) != 1 || string(a.DisplayValue()) != "c" {
+		t.Fatalf("dominating write did not collapse: %+v", a.Versions)
+	}
+}
+
+func TestCausalDepsUnion(t *testing.T) {
+	a := NewCausal(VectorClock{"e1": 1}, map[string]VectorClock{"k": {"e9": 1}}, []byte("a"))
+	b := NewCausal(VectorClock{"e2": 1}, map[string]VectorClock{"k": {"e9": 2}, "j": {"e3": 1}}, []byte("b"))
+	a.Merge(b)
+	deps := a.DepsUnion()
+	if deps["k"]["e9"] != 2 {
+		t.Fatalf("deps on k = %v, want max clock", deps["k"])
+	}
+	if deps["j"]["e3"] != 1 {
+		t.Fatalf("deps on j missing: %v", deps)
+	}
+}
+
+func TestCausalDisplayValueDeterministic(t *testing.T) {
+	mk := func(order []int) string {
+		caps := []*Causal{
+			NewCausal(VectorClock{"e1": 1}, nil, []byte("x")),
+			NewCausal(VectorClock{"e2": 1}, nil, []byte("y")),
+			NewCausal(VectorClock{"e3": 1}, nil, []byte("z")),
+		}
+		acc := caps[order[0]].Clone().(*Causal)
+		acc.Merge(caps[order[1]])
+		acc.Merge(caps[order[2]])
+		return string(acc.DisplayValue())
+	}
+	want := mk([]int{0, 1, 2})
+	for _, ord := range [][]int{{2, 1, 0}, {1, 0, 2}, {2, 0, 1}} {
+		if got := mk(ord); got != want {
+			t.Fatalf("tie-break depends on merge order: %q vs %q", got, want)
+		}
+	}
+}
+
+func TestVectorClockCompare(t *testing.T) {
+	cases := []struct {
+		a, b VectorClock
+		want Ordering
+	}{
+		{VectorClock{}, VectorClock{}, Equal},
+		{VectorClock{"a": 1}, VectorClock{"a": 1}, Equal},
+		{VectorClock{"a": 2}, VectorClock{"a": 1}, Dominates},
+		{VectorClock{"a": 1}, VectorClock{"a": 2}, DominatedBy},
+		{VectorClock{"a": 1}, VectorClock{"b": 1}, Concurrent},
+		{VectorClock{"a": 1, "b": 1}, VectorClock{"a": 1}, Dominates},
+		{VectorClock{"a": 1}, VectorClock{"a": 1, "b": 1}, DominatedBy},
+		{VectorClock{"a": 2, "b": 1}, VectorClock{"a": 1, "b": 2}, Concurrent},
+		{VectorClock{"a": 1, "b": 0}, VectorClock{"a": 1}, Equal}, // zero entries are absent
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: %v vs %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVectorClockOps(t *testing.T) {
+	vc := VectorClock{}
+	if vc.Tick("e") != 1 || vc.Tick("e") != 2 {
+		t.Fatal("Tick broken")
+	}
+	cp := vc.Copy()
+	cp.Tick("e")
+	if vc["e"] != 2 {
+		t.Fatal("Copy aliases")
+	}
+	vc.Observe(VectorClock{"e": 1, "f": 5})
+	if vc["e"] != 2 || vc["f"] != 5 {
+		t.Fatalf("Observe = %v", vc)
+	}
+	if !vc.DominatesOrEqual(VectorClock{"e": 2}) {
+		t.Fatal("DominatesOrEqual false negative")
+	}
+	if !(VectorClock{"e": 1}).HappensBefore(vc) {
+		t.Fatal("HappensBefore false negative")
+	}
+	if !(VectorClock{"z": 1}).ConcurrentWith(vc) {
+		t.Fatal("ConcurrentWith false negative")
+	}
+	if s := (VectorClock{"b": 2, "a": 1}).String(); s != "{a:1,b:2}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCrossTypeMergePanics(t *testing.T) {
+	pairs := []struct{ a, b Lattice }{
+		{NewMaxInt64(1), NewBoolOr(true)},
+		{NewSet("x"), NewGCounter()},
+		{NewLWW(Timestamp{}, nil), NewSet()},
+		{NewCausal(VectorClock{"a": 1}, nil, nil), NewLWW(Timestamp{}, nil)},
+		{NewMap(), NewMaxInt64(0)},
+		{NewGCounter(), NewMap()},
+		{NewBoolOr(false), NewCausal(VectorClock{}, nil, nil)},
+	}
+	for i, p := range pairs {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("pair %d: cross-type merge did not panic", i)
+				}
+			}()
+			p.a.Merge(p.b)
+		}()
+	}
+}
+
+// --- Property-based ACI tests -----------------------------------------
+
+// genLattice draws a random lattice instance of the given exemplar kind.
+func genLattice(rng *rand.Rand, kind string) Lattice {
+	switch kind {
+	case "max_int64":
+		return NewMaxInt64(rng.Int63n(1000))
+	case "bool_or":
+		return NewBoolOr(rng.Intn(2) == 0)
+	case "set":
+		s := NewSet()
+		for i := rng.Intn(6); i > 0; i-- {
+			s.Add(fmt.Sprintf("e%d", rng.Intn(10)))
+		}
+		return s
+	case "gcounter":
+		g := NewGCounter()
+		for i := rng.Intn(4); i > 0; i-- {
+			g.Incr(fmt.Sprintf("n%d", rng.Intn(4)), uint64(rng.Intn(20)))
+		}
+		return g
+	case "lww":
+		return NewLWW(
+			Timestamp{Clock: int64(rng.Intn(5)), Node: uint64(rng.Intn(3))},
+			[]byte{byte(rng.Intn(4))},
+		)
+	case "causal":
+		c := NewCausal(genVC(rng), genDeps(rng), []byte{byte(rng.Intn(4))})
+		for i := rng.Intn(3); i > 0; i-- {
+			c.Merge(NewCausal(genVC(rng), genDeps(rng), []byte{byte(rng.Intn(4))}))
+		}
+		return c
+	case "map":
+		m := NewMap()
+		for i := rng.Intn(4); i > 0; i-- {
+			m.Put(fmt.Sprintf("k%d", rng.Intn(4)), genLattice(rng, "set"))
+		}
+		return m
+	}
+	panic("unknown kind " + kind)
+}
+
+func genVC(rng *rand.Rand) VectorClock {
+	vc := VectorClock{}
+	for i := rng.Intn(3) + 1; i > 0; i-- {
+		vc[fmt.Sprintf("e%d", rng.Intn(3))] = uint64(rng.Intn(4) + 1)
+	}
+	return vc
+}
+
+func genDeps(rng *rand.Rand) map[string]VectorClock {
+	if rng.Intn(2) == 0 {
+		return nil
+	}
+	deps := map[string]VectorClock{}
+	for i := rng.Intn(3); i > 0; i-- {
+		deps[fmt.Sprintf("k%d", rng.Intn(4))] = genVC(rng)
+	}
+	return deps
+}
+
+// canon renders a lattice for equality comparison, independent of
+// internal representation details.
+func canon(l Lattice) string {
+	switch v := l.(type) {
+	case *MaxInt64:
+		return fmt.Sprintf("%d", v.V)
+	case *BoolOr:
+		return fmt.Sprintf("%v", v.V)
+	case *Set:
+		return fmt.Sprintf("%v", sortedKeys(v.Elems))
+	case *GCounter:
+		return fmt.Sprintf("%v", v.Slots)
+	case *LWW:
+		return fmt.Sprintf("%v/%x", v.TS, v.Value)
+	case *Causal:
+		s := ""
+		for _, ver := range v.Versions {
+			s += fmt.Sprintf("[%s=%x deps=%v]", ver.VC, ver.Value, ver.Deps)
+		}
+		return s
+	case *Map:
+		s := ""
+		for _, k := range sortedKeys(v.Entries) {
+			s += k + "=>" + canon(v.Entries[k]) + ";"
+		}
+		return s
+	}
+	panic("canon: unknown type")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; inputs are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+var allKinds = []string{"max_int64", "bool_or", "set", "gcounter", "lww", "causal", "map"}
+
+// TestMergeCommutative checks merge(a,b) == merge(b,a) for random values
+// of every lattice type.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, kind := range allKinds {
+		for i := 0; i < 300; i++ {
+			a, b := genLattice(rng, kind), genLattice(rng, kind)
+			ab := a.Clone()
+			ab.Merge(b)
+			ba := b.Clone()
+			ba.Merge(a)
+			if canon(ab) != canon(ba) {
+				t.Fatalf("%s not commutative:\n a=%s\n b=%s\n ab=%s\n ba=%s",
+					kind, canon(a), canon(b), canon(ab), canon(ba))
+			}
+		}
+	}
+}
+
+// TestMergeAssociative checks merge(merge(a,b),c) == merge(a,merge(b,c)).
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, kind := range allKinds {
+		for i := 0; i < 300; i++ {
+			a, b, c := genLattice(rng, kind), genLattice(rng, kind), genLattice(rng, kind)
+			l := a.Clone()
+			l.Merge(b)
+			l.Merge(c)
+			bc := b.Clone()
+			bc.Merge(c)
+			r := a.Clone()
+			r.Merge(bc)
+			if canon(l) != canon(r) {
+				t.Fatalf("%s not associative:\n a=%s\n b=%s\n c=%s\n (ab)c=%s\n a(bc)=%s",
+					kind, canon(a), canon(b), canon(c), canon(l), canon(r))
+			}
+		}
+	}
+}
+
+// TestMergeIdempotent checks merge(a,a) == a and merge(merge(a,b),b) ==
+// merge(a,b).
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, kind := range allKinds {
+		for i := 0; i < 300; i++ {
+			a, b := genLattice(rng, kind), genLattice(rng, kind)
+			aa := a.Clone()
+			aa.Merge(a)
+			if canon(aa) != canon(a) {
+				t.Fatalf("%s: merge(a,a) != a", kind)
+			}
+			ab := a.Clone()
+			ab.Merge(b)
+			abb := ab.Clone()
+			abb.Merge(b)
+			if canon(abb) != canon(ab) {
+				t.Fatalf("%s: merge(ab,b) != ab:\n ab=%s\n abb=%s", kind, canon(ab), canon(abb))
+			}
+		}
+	}
+}
+
+// TestCloneIndependence verifies clones never alias the original.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, kind := range allKinds {
+		for i := 0; i < 100; i++ {
+			a := genLattice(rng, kind)
+			before := canon(a)
+			cl := a.Clone()
+			cl.Merge(genLattice(rng, kind))
+			if canon(a) != before {
+				t.Fatalf("%s: mutating clone changed original", kind)
+			}
+		}
+	}
+}
+
+// TestMergeMonotone verifies merge only moves up the lattice order for
+// types with a scalar measure.
+func TestMergeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		a, b := genLattice(rng, "gcounter").(*GCounter), genLattice(rng, "gcounter").(*GCounter)
+		before := a.Value()
+		a.Merge(b)
+		if a.Value() < before || a.Value() < b.Value() {
+			t.Fatalf("gcounter merge went down: %d -> %d (b=%d)", before, a.Value(), b.Value())
+		}
+		s, s2 := genLattice(rng, "set").(*Set), genLattice(rng, "set").(*Set)
+		n := s.Len()
+		s.Merge(s2)
+		if s.Len() < n || s.Len() < s2.Len() {
+			t.Fatal("set merge shrank")
+		}
+	}
+}
+
+// TestCausalAntichainInvariant: after any merge sequence no version
+// strictly dominates another (the sibling set is an antichain).
+func TestCausalAntichainInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 300; i++ {
+		acc := genLattice(rng, "causal").(*Causal)
+		for j := 0; j < 5; j++ {
+			acc.Merge(genLattice(rng, "causal"))
+		}
+		for x, vx := range acc.Versions {
+			for y, vy := range acc.Versions {
+				if x == y {
+					continue
+				}
+				if vx.VC.Compare(vy.VC) == DominatedBy {
+					t.Fatalf("antichain violated: %s dominated by %s", vx.VC, vy.VC)
+				}
+			}
+		}
+	}
+}
+
+func TestByteSizes(t *testing.T) {
+	l := NewLWW(Timestamp{Clock: 1}, make([]byte, 100))
+	if l.ByteSize() != 108 {
+		t.Errorf("LWW size = %d", l.ByteSize())
+	}
+	c := NewCausal(VectorClock{"executor-1": 1}, map[string]VectorClock{"dep": {"executor-2": 3}}, make([]byte, 50))
+	wantMeta := (10 + 8) + (3 + 10 + 8) // vc entry + dep key + dep vc entry
+	if c.MetadataSize() != wantMeta {
+		t.Errorf("causal metadata = %d, want %d", c.MetadataSize(), wantMeta)
+	}
+	if c.ByteSize() != wantMeta+50 {
+		t.Errorf("causal size = %d", c.ByteSize())
+	}
+}

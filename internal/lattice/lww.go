@@ -1,0 +1,64 @@
+package lattice
+
+import "bytes"
+
+// Timestamp is Anna's coordination-free global timestamp: the node's
+// local clock concatenated with the node's unique ID (§5.2). Ordering is
+// lexicographic (clock first, node as tie-break), so any two distinct
+// writes from distinct nodes are totally ordered without coordination.
+type Timestamp struct {
+	Clock int64  // local (virtual) clock, nanoseconds
+	Node  uint64 // unique writer id
+}
+
+// Less reports strict ordering t < u.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.Clock != u.Clock {
+		return t.Clock < u.Clock
+	}
+	return t.Node < u.Node
+}
+
+// LWW is the last-writer-wins lattice: an Anna timestamp composed with an
+// opaque payload. Merge keeps the pair with the larger timestamp; equal
+// timestamps tie-break on payload bytes so the merge stays commutative.
+// This is the default capsule Cloudburst wraps bare program values in.
+type LWW struct {
+	TS    Timestamp
+	Value []byte
+}
+
+// NewLWW returns a capsule holding value at timestamp ts.
+func NewLWW(ts Timestamp, value []byte) *LWW { return &LWW{TS: ts, Value: value} }
+
+// Merge implements Lattice.
+func (l *LWW) Merge(other Lattice) {
+	o, ok := other.(*LWW)
+	if !ok {
+		panic(mismatch(l.TypeName(), other))
+	}
+	if l.less(o) {
+		l.TS = o.TS
+		l.Value = append(l.Value[:0:0], o.Value...)
+	}
+}
+
+// less orders capsules: timestamp, then payload bytes for determinism.
+func (l *LWW) less(o *LWW) bool {
+	if l.TS != o.TS {
+		return l.TS.Less(o.TS)
+	}
+	return bytes.Compare(l.Value, o.Value) < 0
+}
+
+// Clone implements Lattice.
+func (l *LWW) Clone() Lattice {
+	return &LWW{TS: l.TS, Value: append([]byte(nil), l.Value...)}
+}
+
+// ByteSize implements Lattice. The paper calls out the 8-byte timestamp
+// as LWW's only metadata overhead (§6.2.1).
+func (l *LWW) ByteSize() int { return 8 + len(l.Value) }
+
+// TypeName implements Lattice.
+func (l *LWW) TypeName() string { return "lww" }

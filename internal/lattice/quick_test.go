@@ -1,0 +1,242 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// This file complements lattice_test.go's table-driven ACI checks with
+// testing/quick generators: quick drives the shapes (slices of
+// operations, arbitrary clock maps), and the properties assert the
+// algebraic laws on whatever it produces.
+
+// quickCfg sizes the generators.
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(97))}
+}
+
+// smallVC turns quick's raw material into a bounded vector clock.
+type smallVC struct {
+	A, B, C uint8
+}
+
+func (s smallVC) vc() VectorClock {
+	vc := VectorClock{}
+	if s.A > 0 {
+		vc["a"] = uint64(s.A % 5)
+	}
+	if s.B > 0 {
+		vc["b"] = uint64(s.B % 5)
+	}
+	if s.C > 0 {
+		vc["c"] = uint64(s.C % 5)
+	}
+	// Zero-valued entries are identity; drop them to keep the
+	// representation canonical.
+	for k, v := range vc {
+		if v == 0 {
+			delete(vc, k)
+		}
+	}
+	return vc
+}
+
+func TestQuickVectorClockCompareAntisymmetric(t *testing.T) {
+	prop := func(x, y smallVC) bool {
+		a, b := x.vc(), y.vc()
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Equal:
+			return ba == Equal
+		case Dominates:
+			return ba == DominatedBy
+		case DominatedBy:
+			return ba == Dominates
+		default:
+			return ba == Concurrent
+		}
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVectorClockObserveIsJoin(t *testing.T) {
+	prop := func(x, y smallVC) bool {
+		a, b := x.vc(), y.vc()
+		j := a.Copy()
+		j.Observe(b)
+		// The join is an upper bound of both...
+		if !j.DominatesOrEqual(a) || !j.DominatesOrEqual(b) {
+			return false
+		}
+		// ...and is the least one: joining again changes nothing.
+		j2 := j.Copy()
+		j2.Observe(a)
+		j2.Observe(b)
+		return j.Compare(j2) == Equal
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVectorClockTickDominates(t *testing.T) {
+	prop := func(x smallVC, who uint8) bool {
+		a := x.vc()
+		before := a.Copy()
+		a.Tick(string(rune('a' + who%3)))
+		return a.Compare(before) == Dominates
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// latticeOps is quick's raw material for building arbitrary GCounter /
+// Set values.
+type latticeOps struct {
+	Nodes  []uint8
+	Deltas []uint8
+}
+
+func (o latticeOps) counter() *GCounter {
+	g := NewGCounter()
+	for i := range o.Nodes {
+		d := uint64(0)
+		if i < len(o.Deltas) {
+			d = uint64(o.Deltas[i] % 7)
+		}
+		g.Incr(string(rune('a'+o.Nodes[i]%4)), d)
+	}
+	return g
+}
+
+func (o latticeOps) set() *Set {
+	s := NewSet()
+	for _, n := range o.Nodes {
+		s.Add(string(rune('a' + n%6)))
+	}
+	return s
+}
+
+func TestQuickGCounterACI(t *testing.T) {
+	prop := func(x, y, z latticeOps) bool {
+		a, b, c := x.counter(), y.counter(), z.counter()
+		// Commutative.
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !reflect.DeepEqual(ab.(*GCounter).Slots, ba.(*GCounter).Slots) {
+			return false
+		}
+		// Associative.
+		l := a.Clone()
+		l.Merge(b)
+		l.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		r := a.Clone()
+		r.Merge(bc)
+		if !reflect.DeepEqual(l.(*GCounter).Slots, r.(*GCounter).Slots) {
+			return false
+		}
+		// Idempotent.
+		aa := a.Clone()
+		aa.Merge(a)
+		return reflect.DeepEqual(aa.(*GCounter).Slots, a.Slots)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetMergeIsUnion(t *testing.T) {
+	prop := func(x, y latticeOps) bool {
+		a, b := x.set(), y.set()
+		m := a.Clone().(*Set)
+		m.Merge(b)
+		for e := range a.Elems {
+			if !m.Contains(e) {
+				return false
+			}
+		}
+		for e := range b.Elems {
+			if !m.Contains(e) {
+				return false
+			}
+		}
+		for e := range m.Elems {
+			if !a.Contains(e) && !b.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLWWConvergence(t *testing.T) {
+	// Any permutation of merges converges to the same survivor.
+	prop := func(clocks []uint8, vals []uint8) bool {
+		n := len(clocks)
+		if n == 0 || len(vals) < n {
+			return true
+		}
+		if n > 6 {
+			n = 6
+		}
+		mk := func() []*LWW {
+			out := make([]*LWW, n)
+			for i := 0; i < n; i++ {
+				out[i] = NewLWW(Timestamp{Clock: int64(clocks[i] % 4), Node: uint64(i % 2)}, []byte{vals[i]})
+			}
+			return out
+		}
+		forward := mk()[0]
+		for _, l := range mk()[1:] {
+			forward.Merge(l)
+		}
+		reverse := mk()[n-1]
+		all := mk()
+		for i := n - 2; i >= 0; i-- {
+			reverse.Merge(all[i])
+		}
+		return forward.TS == reverse.TS && string(forward.Value) == string(reverse.Value)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCausalMergeConvergesAcrossOrders(t *testing.T) {
+	prop := func(xs []smallVC, vals []uint8) bool {
+		n := len(xs)
+		if n == 0 || len(vals) < n {
+			return true
+		}
+		if n > 5 {
+			n = 5
+		}
+		mk := func(i int) *Causal {
+			return NewCausal(xs[i].vc(), nil, []byte{vals[i] % 4})
+		}
+		a := mk(0)
+		for i := 1; i < n; i++ {
+			a.Merge(mk(i))
+		}
+		b := mk(n - 1)
+		for i := n - 2; i >= 0; i-- {
+			b.Merge(mk(i))
+		}
+		return canon(a) == canon(b)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

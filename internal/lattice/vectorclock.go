@@ -1,0 +1,129 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VectorClock identifies a key version causally (§5.2): one
+// monotonically-growing logical clock per writer (function-executor
+// thread) id.
+type VectorClock map[string]uint64
+
+// Ordering is the outcome of comparing two vector clocks.
+type Ordering int
+
+// Vector-clock comparison outcomes.
+const (
+	Equal Ordering = iota
+	Dominates
+	DominatedBy
+	Concurrent
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Dominates:
+		return "dominates"
+	case DominatedBy:
+		return "dominated-by"
+	default:
+		return "concurrent"
+	}
+}
+
+// Compare reports how vc relates to other. Missing entries count as zero.
+func (vc VectorClock) Compare(other VectorClock) Ordering {
+	greater, less := false, false
+	for id, v := range vc {
+		switch ov := other[id]; {
+		case v > ov:
+			greater = true
+		case v < ov:
+			less = true
+		}
+	}
+	for id, ov := range other {
+		if _, ok := vc[id]; !ok && ov > 0 {
+			less = true
+		}
+	}
+	switch {
+	case greater && less:
+		return Concurrent
+	case greater:
+		return Dominates
+	case less:
+		return DominatedBy
+	default:
+		return Equal
+	}
+}
+
+// DominatesOrEqual reports vc ≥ other in the causal partial order.
+func (vc VectorClock) DominatesOrEqual(other VectorClock) bool {
+	c := vc.Compare(other)
+	return c == Dominates || c == Equal
+}
+
+// HappensBefore reports vc → other (strictly).
+func (vc VectorClock) HappensBefore(other VectorClock) bool {
+	return vc.Compare(other) == DominatedBy
+}
+
+// ConcurrentWith reports that neither clock dominates.
+func (vc VectorClock) ConcurrentWith(other VectorClock) bool {
+	return vc.Compare(other) == Concurrent
+}
+
+// Observe folds other into vc by pairwise max.
+func (vc VectorClock) Observe(other VectorClock) {
+	for id, v := range other {
+		if v > vc[id] {
+			vc[id] = v
+		}
+	}
+}
+
+// Tick increments id's entry and returns the new value.
+func (vc VectorClock) Tick(id string) uint64 {
+	vc[id]++
+	return vc[id]
+}
+
+// Copy returns an independent copy.
+func (vc VectorClock) Copy() VectorClock {
+	c := make(VectorClock, len(vc))
+	for id, v := range vc {
+		c[id] = v
+	}
+	return c
+}
+
+// ByteSize estimates serialized size: each entry is an id plus an 8-byte
+// counter. The paper notes this grows linearly with the number of writers
+// that touched the key, inflating tail latency for hot keys (§6.2.1).
+func (vc VectorClock) ByteSize() int {
+	n := 0
+	for id := range vc {
+		n += len(id) + 8
+	}
+	return n
+}
+
+// String renders entries in sorted order for stable logs.
+func (vc VectorClock) String() string {
+	ids := make([]string, 0, len(vc))
+	for id := range vc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s:%d", id, vc[id])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,434 @@
+// Package monitor implements Cloudburst's monitoring and resource
+// management system (§4.4). It aggregates the metrics that executors and
+// schedulers publish to Anna, and drives two policies:
+//
+//   - function-replica scaling: per DAG, compare the incoming request
+//     rate against the completion rate and adjust how many executor
+//     threads each function is pinned on (Little's-law target with
+//     hysteresis);
+//   - node scaling: add VMs when average executor utilization exceeds
+//     the high threshold (70%), remove them below the low threshold
+//     (20%), subject to EC2-like spin-up delays owned by the compute
+//     pool.
+//
+// Every decision is appended to an event log that the Figure 7
+// experiment samples.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
+	"cloudburst/internal/dag"
+	"cloudburst/internal/executor"
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/scheduler"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+// ComputePool is the monitor's handle on the compute tier, implemented
+// by the cluster ("Kubernetes" in the paper — used simply to start
+// containers, §4).
+type ComputePool interface {
+	// AddVMs asynchronously boots n VMs; they join after the spin-up
+	// delay.
+	AddVMs(n int)
+	// RemoveVMs tears down up to n of the least-loaded VMs and returns
+	// how many were removed.
+	RemoveVMs(n int) int
+	// VMCount reports live VMs; PendingVMs reports VMs still booting.
+	VMCount() int
+	PendingVMs() int
+	// Threads lists live executor threads in deterministic order.
+	Threads() []simnet.NodeID
+}
+
+// Config carries the §4.4 policy constants.
+type Config struct {
+	Interval  time.Duration // policy loop cadence
+	UtilHigh  float64       // add nodes above this average utilization
+	UtilLow   float64       // remove nodes below it
+	MinVMs    int
+	MaxVMs    int
+	ScaleUp   int // VMs added per saturation event (20 in §6.1.4)
+	ScaleDown int // VMs removed per underload tick
+	MinPin    int // replica floor per function
+}
+
+// DefaultConfig returns the paper's thresholds.
+func DefaultConfig() Config {
+	return Config{
+		Interval:  5 * time.Second,
+		UtilHigh:  0.70,
+		UtilLow:   0.20,
+		MinVMs:    1,
+		MaxVMs:    1 << 30,
+		ScaleUp:   20,
+		ScaleDown: 2,
+		MinPin:    1,
+	}
+}
+
+// Event is one policy action, for reports.
+type Event struct {
+	At     vtime.Time
+	Action string
+}
+
+// Monitor is the resource-management daemon.
+type Monitor struct {
+	k    *vtime.Kernel
+	ep   *simnet.Endpoint
+	anna *anna.Client
+	pool ComputePool
+	cfg  Config
+
+	threadMetrics map[simnet.NodeID]core.ExecutorMetrics
+	pins          map[string][]simnet.NodeID
+	prevCalls     map[string]int64
+	prevDone      map[string]int64
+	lastTick      vtime.Time
+
+	Events []Event
+	// ReplicaSamples records (time, total pinned replicas) per tick —
+	// the dotted line in Figure 7.
+	ReplicaSamples []ReplicaSample
+}
+
+// ReplicaSample is one point of the replica-count timeline.
+type ReplicaSample struct {
+	At       vtime.Time
+	Replicas int
+	VMs      int
+}
+
+// New creates a monitor bound to endpoint ep.
+func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, pool ComputePool, cfg Config) *Monitor {
+	return &Monitor{
+		k:             k,
+		ep:            ep,
+		anna:          ac,
+		pool:          pool,
+		cfg:           cfg,
+		threadMetrics: make(map[simnet.NodeID]core.ExecutorMetrics),
+		pins:          make(map[string][]simnet.NodeID),
+		prevCalls:     make(map[string]int64),
+		prevDone:      make(map[string]int64),
+	}
+}
+
+// Start launches the policy loop.
+func (m *Monitor) Start() {
+	m.lastTick = m.k.Now()
+	m.k.Go("monitor/policy", m.loop)
+}
+
+func (m *Monitor) loop() {
+	for {
+		m.k.Sleep(m.cfg.Interval)
+		m.tick()
+	}
+}
+
+func (m *Monitor) tick() {
+	calls, done := m.refresh()
+	elapsed := m.k.Now().Sub(m.lastTick).Seconds()
+	if elapsed <= 0 {
+		elapsed = m.cfg.Interval.Seconds()
+	}
+	m.lastTick = m.k.Now()
+
+	m.scaleReplicas(calls, done, elapsed)
+	m.scaleNodes()
+
+	total := 0
+	for _, ts := range m.pins {
+		total += len(ts)
+	}
+	m.ReplicaSamples = append(m.ReplicaSamples, ReplicaSample{
+		At: m.k.Now(), Replicas: total, VMs: m.pool.VMCount(),
+	})
+}
+
+// refresh pulls executor and scheduler metrics from Anna and returns the
+// cumulative per-DAG call and completion counters.
+func (m *Monitor) refresh() (calls, done map[string]int64) {
+	calls = make(map[string]int64)
+	done = make(map[string]int64)
+
+	fresh := make(map[simnet.NodeID]core.ExecutorMetrics)
+	pins := make(map[string][]simnet.NodeID)
+	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
+		if set, ok := lat.(*lattice.Set); ok {
+			for _, key := range sortedElems(set) {
+				v, ok := m.decodeLWW(key)
+				if !ok {
+					continue
+				}
+				em, ok := v.(core.ExecutorMetrics)
+				if !ok {
+					continue
+				}
+				fresh[em.Thread] = em
+				for _, fn := range em.Pinned {
+					pins[fn] = append(pins[fn], em.Thread)
+				}
+			}
+		}
+	}
+	if len(fresh) > 0 {
+		m.threadMetrics = fresh
+		m.pins = pins
+		for _, ts := range m.pins {
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		}
+	}
+
+	if lat, found, err := m.anna.Get(scheduler.SchedListKey); err == nil && found {
+		if set, ok := lat.(*lattice.Set); ok {
+			for _, key := range sortedElems(set) {
+				v, ok := m.decodeLWW(key)
+				if !ok {
+					continue
+				}
+				sm, ok := v.(core.SchedulerMetrics)
+				if !ok {
+					continue
+				}
+				for d, n := range sm.DAGCalls {
+					calls[d] += n
+				}
+				for fn, n := range sm.FnCalls {
+					if len(fn) > 5 && fn[:5] == "done/" {
+						done[fn[5:]] += n
+					}
+				}
+			}
+		}
+	}
+	return calls, done
+}
+
+func (m *Monitor) decodeLWW(key string) (any, bool) {
+	lat, found, err := m.anna.Get(key)
+	if err != nil || !found {
+		return nil, false
+	}
+	l, ok := lat.(*lattice.LWW)
+	if !ok {
+		return nil, false
+	}
+	v, err := codec.Decode(l.Value)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// scaleReplicas adjusts per-function pin counts. Growth is driven by two
+// signals: request backlog (incoming rate above completions, §4.4) and
+// replica saturation (a closed-loop workload's demand never shows up as
+// backlog — the queue lives in the clients — so saturated pinned
+// replicas must grow too). Shrink only happens when the replicas are
+// demonstrably idle.
+func (m *Monitor) scaleReplicas(calls, done map[string]int64, elapsed float64) {
+	dagNames := make([]string, 0, len(calls))
+	for d := range calls {
+		dagNames = append(dagNames, d)
+	}
+	sort.Strings(dagNames)
+	for _, dname := range dagNames {
+		incoming := float64(calls[dname]-m.prevCalls[dname]) / elapsed
+		completed := float64(done[dname]-m.prevDone[dname]) / elapsed
+		m.prevCalls[dname] = calls[dname]
+		m.prevDone[dname] = done[dname]
+
+		d, ok := m.dagTopology(dname)
+		if !ok {
+			continue
+		}
+		avgLat := m.avgLatency()
+		target := int(math.Ceil(incoming * avgLat * 1.25))
+		if target < m.cfg.MinPin {
+			target = m.cfg.MinPin
+		}
+		if n := len(m.pool.Threads()); target > n {
+			target = n
+		}
+		for _, fn := range d.Functions {
+			cur := len(m.pins[fn])
+			util := m.pinnedUtil(fn)
+			switch {
+			case cur < m.cfg.MinPin:
+				m.pinMore(fn, m.cfg.MinPin-cur)
+			case util > m.cfg.UtilHigh:
+				// Saturated replicas: grow multiplicatively so a burst
+				// reaches the fleet in a few policy ticks.
+				grow := cur / 2
+				if grow < 1 {
+					grow = 1
+				}
+				m.pinMore(fn, grow)
+			case incoming > completed*1.05 && cur < target:
+				m.pinMore(fn, target-cur)
+			case util < m.cfg.UtilLow && target < cur && float64(target) < float64(cur)*0.7:
+				m.unpinSome(fn, cur-target)
+			}
+		}
+	}
+}
+
+// pinnedUtil averages the reported utilization of a function's pinned
+// threads.
+func (m *Monitor) pinnedUtil(fn string) float64 {
+	ts := m.pins[fn]
+	if len(ts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range ts {
+		sum += m.threadMetrics[t].Utilization
+	}
+	return sum / float64(len(ts))
+}
+
+// dagTopology fetches a DAG definition from Anna (the source of truth
+// for system metadata, §4.4).
+func (m *Monitor) dagTopology(name string) (*dag.DAG, bool) {
+	v, ok := m.decodeLWW(core.DAGKey(name))
+	if !ok {
+		return nil, false
+	}
+	d, ok := v.(dag.DAG)
+	if !ok {
+		return nil, false
+	}
+	return &d, true
+}
+
+// avgLatency averages the threads' reported execution latency; defaults
+// to 50ms when nothing is reported yet.
+func (m *Monitor) avgLatency() float64 {
+	sum, n := 0.0, 0
+	for _, em := range m.threadMetrics {
+		if em.AvgLatencyS > 0 {
+			sum += em.AvgLatencyS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0.05
+	}
+	return sum / float64(n)
+}
+
+// pinMore pins fn onto up to n additional least-utilized threads.
+func (m *Monitor) pinMore(fn string, n int) {
+	if n <= 0 {
+		return
+	}
+	pinned := make(map[simnet.NodeID]bool, len(m.pins[fn]))
+	for _, t := range m.pins[fn] {
+		pinned[t] = true
+	}
+	type cand struct {
+		id   simnet.NodeID
+		util float64
+	}
+	var cands []cand
+	for _, id := range m.pool.Threads() {
+		if !pinned[id] {
+			cands = append(cands, cand{id, m.threadMetrics[id].Utilization})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].util != cands[j].util {
+			return cands[i].util < cands[j].util
+		}
+		return cands[i].id < cands[j].id
+	})
+	added := 0
+	for _, c := range cands {
+		if added >= n {
+			break
+		}
+		m.ep.Send(c.id, core.PinFunction{Function: fn}, 32)
+		m.pins[fn] = append(m.pins[fn], c.id)
+		added++
+	}
+	if added > 0 {
+		m.event(fmt.Sprintf("pin %s +%d (now %d)", fn, added, len(m.pins[fn])))
+	}
+}
+
+// unpinSome releases up to n replicas of fn, most-utilized last.
+func (m *Monitor) unpinSome(fn string, n int) {
+	cur := m.pins[fn]
+	if n <= 0 || len(cur)-n < m.cfg.MinPin {
+		n = len(cur) - m.cfg.MinPin
+	}
+	if n <= 0 {
+		return
+	}
+	removed := 0
+	for i := len(cur) - 1; i >= 0 && removed < n; i-- {
+		m.ep.Send(cur[i], core.UnpinFunction{Function: fn}, 32)
+		removed++
+	}
+	m.pins[fn] = cur[:len(cur)-removed]
+	m.event(fmt.Sprintf("unpin %s -%d (now %d)", fn, removed, len(m.pins[fn])))
+}
+
+// scaleNodes applies the 70/20 node-count thresholds (§4.4), waiting out
+// pending boots before adding again.
+func (m *Monitor) scaleNodes() {
+	if len(m.threadMetrics) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, em := range m.threadMetrics {
+		sum += em.Utilization
+	}
+	avg := sum / float64(len(m.threadMetrics))
+	switch {
+	case avg > m.cfg.UtilHigh && m.pool.PendingVMs() == 0 && m.pool.VMCount() < m.cfg.MaxVMs:
+		n := m.cfg.ScaleUp
+		if m.pool.VMCount()+n > m.cfg.MaxVMs {
+			n = m.cfg.MaxVMs - m.pool.VMCount()
+		}
+		if n > 0 {
+			m.pool.AddVMs(n)
+			m.event(fmt.Sprintf("add %d VMs (util %.2f)", n, avg))
+		}
+	case avg < m.cfg.UtilLow && m.pool.VMCount() > m.cfg.MinVMs:
+		n := m.cfg.ScaleDown
+		if m.pool.VMCount()-n < m.cfg.MinVMs {
+			n = m.pool.VMCount() - m.cfg.MinVMs
+		}
+		if removed := m.pool.RemoveVMs(n); removed > 0 {
+			m.event(fmt.Sprintf("remove %d VMs (util %.2f)", removed, avg))
+		}
+	}
+}
+
+func (m *Monitor) event(action string) {
+	m.Events = append(m.Events, Event{At: m.k.Now(), Action: action})
+}
+
+// Pins reports the current replica count for fn (test hook).
+func (m *Monitor) Pins(fn string) int { return len(m.pins[fn]) }
+
+func sortedElems(s *lattice.Set) []string {
+	out := make([]string, 0, s.Len())
+	for e := range s.Elems {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}

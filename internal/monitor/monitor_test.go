@@ -1,0 +1,109 @@
+package monitor_test
+
+import (
+	"testing"
+	"time"
+
+	cb "cloudburst"
+	"cloudburst/internal/monitor"
+)
+
+// The monitor is tested end to end against a live cluster: its inputs
+// are the metrics executors and schedulers publish to Anna, and its
+// outputs are pin messages and VM lifecycle calls.
+
+func TestReplicaScalingUnderLoad(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 4 // 12 threads
+	cfg.Autoscale = true
+	cfg.MinPinned = 2
+	cfg.VMSpinUp = 20 * time.Second
+	cfg.MaxVMs = 4 // isolate replica scaling from node scaling
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("busy", func(ctx *cb.Ctx, args []any) (any, error) {
+		ctx.Compute(40 * time.Millisecond)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(cb.LinearDAG("busy-dag", "busy"), 2); err != nil {
+		t.Fatal(err)
+	}
+	mon := c.Internal().Monitor
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+	if p := mon.Pins("busy"); p > 4 {
+		t.Fatalf("pins before load = %d", p)
+	}
+	// Saturate the two pinned replicas for a while.
+	c.RunN(16, func(i int, cl *cb.Client) {
+		cl.Timeout = 2 * time.Minute
+		deadline := time.Duration(cl.Now()) + 45*time.Second
+		for time.Duration(cl.Now()) < deadline {
+			cl.CallDAG("busy-dag", nil)
+		}
+	})
+	grown := mon.Pins("busy")
+	if grown < 6 {
+		t.Fatalf("replicas did not grow under saturation: %d", grown)
+	}
+	// Drain: replicas must shrink back toward the floor within ~20s of
+	// simulated time (the paper's drain behaviour).
+	c.Run(func(cl *cb.Client) { cl.Sleep(40 * time.Second) })
+	if shrunk := mon.Pins("busy"); shrunk >= grown {
+		t.Fatalf("replicas did not shrink after drain: %d -> %d", grown, shrunk)
+	}
+	if len(mon.Events) == 0 {
+		t.Fatal("no scaling events recorded")
+	}
+}
+
+func TestNodeScalingAddsAndRemovesVMs(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 2 // 6 threads
+	cfg.Autoscale = true
+	cfg.MinPinned = 2
+	cfg.VMSpinUp = 15 * time.Second
+	cfg.ScaleUpVMs = 2
+	cfg.MaxVMs = 6
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("hog", func(ctx *cb.Ctx, args []any) (any, error) {
+		ctx.Compute(50 * time.Millisecond)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(cb.LinearDAG("hog-dag", "hog"), 2); err != nil {
+		t.Fatal(err)
+	}
+	in := c.Internal()
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+	// Overwhelm all 6 threads so average utilization crosses 70%.
+	c.RunN(24, func(i int, cl *cb.Client) {
+		cl.Timeout = 2 * time.Minute
+		deadline := time.Duration(cl.Now()) + 60*time.Second
+		for time.Duration(cl.Now()) < deadline {
+			cl.CallDAG("hog-dag", nil)
+		}
+	})
+	if in.VMCount() <= 2 {
+		t.Fatalf("no VMs added under saturation: %d", in.VMCount())
+	}
+	peak := in.VMCount()
+	// Idle: the monitor must deallocate back toward the floor.
+	c.Run(func(cl *cb.Client) { cl.Sleep(2 * time.Minute) })
+	if in.VMCount() >= peak {
+		t.Fatalf("no scale-down after drain: peak=%d now=%d", peak, in.VMCount())
+	}
+}
+
+func TestDefaultConfigThresholds(t *testing.T) {
+	cfg := monitor.DefaultConfig()
+	if cfg.UtilHigh != 0.70 || cfg.UtilLow != 0.20 {
+		t.Fatalf("thresholds diverge from §4.4: %+v", cfg)
+	}
+	if cfg.ScaleUp != 20 {
+		t.Fatalf("scale-up batch = %d, want the paper's 20", cfg.ScaleUp)
+	}
+}

@@ -1,0 +1,724 @@
+// Package scheduler implements Cloudburst's function schedulers (§4.3):
+// stateless-ish request routers that register functions and DAGs (stored
+// in Anna as the source of truth), build per-request DAG schedules, and
+// pick executors with pluggable policies. The default policy prioritizes
+// data locality using each cache's advertised key set and avoids
+// executors above the utilization threshold (backpressure replication of
+// hot data, §4.3); a random policy exists for the locality ablation.
+//
+// Schedulers also own the compute tier's fault-tolerance story (§4.5):
+// every DAG invocation is tracked until its sink reports completion, and
+// requests that time out (e.g. an executor VM died mid-flight) are
+// re-scheduled from scratch on fresh executors.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/anna"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
+	"cloudburst/internal/dag"
+	"cloudburst/internal/executor"
+	"cloudburst/internal/lattice"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
+)
+
+func init() {
+	codec.Register(dag.DAG{})
+}
+
+// SchedListKey is the registry Set of scheduler-metric keys.
+const SchedListKey = "sys/metrics/sched-list"
+
+// RegisterFunctionReq registers a function name cluster-wide.
+type RegisterFunctionReq struct {
+	Name string
+}
+
+// RegisterDAGReq registers a DAG and pins its functions onto executors.
+type RegisterDAGReq struct {
+	DAG      dag.DAG
+	Replicas int // executor replicas to pin per function (≥1)
+}
+
+// RegisterResp acknowledges a registration.
+type RegisterResp struct {
+	OK  bool
+	Err string
+}
+
+// DAGInvokeReq asks the scheduler to run a registered DAG.
+type DAGInvokeReq struct {
+	ReqID      string
+	DAG        string
+	Args       map[string][]core.Arg
+	RespondTo  simnet.NodeID
+	StoreInKVS bool
+	ResultKey  string
+}
+
+// Config carries scheduler policy constants.
+type Config struct {
+	// PollInterval is how often the scheduler refreshes its local view
+	// (executor metrics, cached key sets) from Anna.
+	PollInterval time.Duration
+	// StaleAfter drops view entries whose reports are older than this —
+	// how dead executors fall out of scheduling.
+	StaleAfter time.Duration
+	// UtilThreshold is the backpressure bound: executors above it are
+	// avoided when alternatives exist (0.70 in §4.3).
+	UtilThreshold float64
+	// DAGTimeout is §4.5's re-execution timeout for in-flight DAGs.
+	DAGTimeout time.Duration
+	// MaxRetries bounds re-executions per request.
+	MaxRetries int
+	// RandomPolicy disables the locality heuristic (ablation).
+	RandomPolicy bool
+	// MetricsInterval is how often scheduler stats are published.
+	MetricsInterval time.Duration
+}
+
+// DefaultConfig returns the §4.3/§4.5 defaults.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:    time.Second,
+		StaleAfter:      10 * time.Second,
+		UtilThreshold:   0.70,
+		DAGTimeout:      8 * time.Second,
+		MaxRetries:      3,
+		MetricsInterval: 2 * time.Second,
+	}
+}
+
+// threadInfo is the scheduler's view of one executor thread.
+type threadInfo struct {
+	metrics core.ExecutorMetrics
+}
+
+// outstanding tracks an in-flight DAG request for §4.5 re-execution.
+type outstanding struct {
+	req      DAGInvokeReq
+	deadline vtime.Time
+	retries  int
+	used     map[simnet.NodeID]bool // executors tried (avoided on retry)
+}
+
+// Scheduler is one scheduler node.
+type Scheduler struct {
+	id   simnet.NodeID
+	ep   *simnet.Endpoint
+	k    *vtime.Kernel
+	anna *anna.Client
+	cfg  Config
+
+	dags    map[string]*dag.DAG
+	funcs   map[string]bool
+	threads map[simnet.NodeID]threadInfo
+	// cacheKeys: VM name → cached key set; threadVM maps thread → VM so
+	// locality ranking can find the right cache.
+	cacheKeys map[string]map[string]bool
+	pins      map[string][]simnet.NodeID // function → threads pinned
+
+	inflight map[string]*outstanding
+
+	// lastAssigned spreads rapid-fire assignments across executors:
+	// utilization reports lag by the metrics interval, so without local
+	// memory a burst of invocations would stack onto one thread (and
+	// serialize, since each thread runs one invocation at a time). The
+	// value is a logical stamp: virtual time can stand still across
+	// consecutive assignments.
+	lastAssigned map[simnet.NodeID]int64
+	assignSeq    int64
+
+	// Call-count stats, published for the monitor (§4.4).
+	dagCalls map[string]int64
+	fnCalls  map[string]int64
+	dagDone  map[string]int64
+}
+
+// New creates (but does not start) a scheduler on endpoint ep.
+func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Scheduler {
+	return &Scheduler{
+		id:           ep.ID(),
+		ep:           ep,
+		k:            k,
+		anna:         ac,
+		cfg:          cfg,
+		dags:         make(map[string]*dag.DAG),
+		funcs:        make(map[string]bool),
+		threads:      make(map[simnet.NodeID]threadInfo),
+		cacheKeys:    make(map[string]map[string]bool),
+		pins:         make(map[string][]simnet.NodeID),
+		inflight:     make(map[string]*outstanding),
+		lastAssigned: make(map[simnet.NodeID]int64),
+		dagCalls:     make(map[string]int64),
+		fnCalls:      make(map[string]int64),
+		dagDone:      make(map[string]int64),
+	}
+}
+
+// ID returns the scheduler's network id.
+func (s *Scheduler) ID() simnet.NodeID { return s.id }
+
+// Start launches the serve, view-refresh, metrics, and retry daemons.
+func (s *Scheduler) Start() {
+	s.k.Go(string(s.id)+"/serve", s.serveLoop)
+	s.k.Go(string(s.id)+"/poll", s.pollLoop)
+	s.k.Go(string(s.id)+"/metrics", s.metricsLoop)
+	s.k.Go(string(s.id)+"/retry", s.retryLoop)
+}
+
+func (s *Scheduler) serveLoop() {
+	for {
+		m := s.ep.Recv()
+		switch b := m.Payload.(type) {
+		case *simnet.Request:
+			switch rb := b.Body.(type) {
+			case RegisterFunctionReq:
+				b.Reply(s.registerFunction(rb), 16)
+			case RegisterDAGReq:
+				b.Reply(s.registerDAG(rb), 16)
+			}
+		case core.InvokeRequest:
+			s.invokeSingle(b)
+		case DAGInvokeReq:
+			s.invokeDAG(b, nil)
+		case core.DAGComplete:
+			delete(s.inflight, b.ReqID)
+			s.dagDone[b.DAG]++
+		}
+	}
+}
+
+// registerFunction stores the function's metadata in Anna and updates
+// the shared registered-function list (§4.3).
+func (s *Scheduler) registerFunction(req RegisterFunctionReq) RegisterResp {
+	meta := codec.MustEncode(map[string]any{"name": req.Name})
+	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 1}
+	if err := s.anna.Put(core.FuncKey(req.Name), lattice.NewLWW(ts, meta)); err != nil {
+		return RegisterResp{Err: err.Error()}
+	}
+	if err := s.anna.Put(core.FuncListKey(), lattice.NewSet(req.Name)); err != nil {
+		return RegisterResp{Err: err.Error()}
+	}
+	s.funcs[req.Name] = true
+	return RegisterResp{OK: true}
+}
+
+// registerDAG validates the DAG, stores its topology in Anna (the
+// scheduler's only persistent metadata, §4.3), and pins each function
+// onto executors.
+func (s *Scheduler) registerDAG(req RegisterDAGReq) RegisterResp {
+	d := req.DAG
+	if err := d.Validate(); err != nil {
+		return RegisterResp{Err: err.Error()}
+	}
+	for _, fn := range d.Functions {
+		if !s.knowsFunction(fn) {
+			return RegisterResp{Err: fmt.Sprintf("scheduler: function %q not registered", fn)}
+		}
+	}
+	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 1}
+	if err := s.anna.Put(core.DAGKey(d.Name), lattice.NewLWW(ts, codec.MustEncode(d))); err != nil {
+		return RegisterResp{Err: err.Error()}
+	}
+	s.anna.Put(core.DAGListKey(), lattice.NewSet(d.Name))
+	s.dags[d.Name] = &d
+
+	replicas := req.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	s.ensureView()
+	for _, fn := range d.Functions {
+		targets := s.pickPinTargets(fn, replicas)
+		for _, tgt := range targets {
+			s.ep.Send(tgt, core.PinFunction{Function: fn}, 32)
+			s.pins[fn] = append(s.pins[fn], tgt)
+		}
+	}
+	return RegisterResp{OK: true}
+}
+
+// knowsFunction checks the local view, falling back to Anna.
+func (s *Scheduler) knowsFunction(fn string) bool {
+	if s.funcs[fn] {
+		return true
+	}
+	lat, found, err := s.anna.Get(core.FuncKey(fn))
+	if err == nil && found && lat != nil {
+		s.funcs[fn] = true
+		return true
+	}
+	return false
+}
+
+// pickPinTargets chooses threads to host a function replica: fewest
+// functions already pinned first (so a DAG's stages land on disjoint
+// threads and can pipeline), then lowest utilization, spreading across
+// VMs.
+func (s *Scheduler) pickPinTargets(fn string, n int) []simnet.NodeID {
+	pinLoad := make(map[simnet.NodeID]int)
+	for _, ts := range s.pins {
+		for _, t := range ts {
+			pinLoad[t]++
+		}
+	}
+	type cand struct {
+		id   simnet.NodeID
+		load int
+		util float64
+		vm   string
+	}
+	var cands []cand
+	already := make(map[simnet.NodeID]bool)
+	for _, t := range s.pins[fn] {
+		already[t] = true
+	}
+	for id, ti := range s.threads {
+		if already[id] {
+			continue
+		}
+		cands = append(cands, cand{id: id, load: pinLoad[id], util: ti.metrics.Utilization, vm: ti.metrics.VM})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		if cands[i].util != cands[j].util {
+			return cands[i].util < cands[j].util
+		}
+		return cands[i].id < cands[j].id
+	})
+	var out []simnet.NodeID
+	usedVM := make(map[string]bool)
+	for _, c := range cands {
+		if len(out) >= n {
+			break
+		}
+		if usedVM[c.vm] {
+			continue
+		}
+		usedVM[c.vm] = true
+		out = append(out, c.id)
+	}
+	for _, c := range cands { // fill remainder ignoring the VM spread
+		if len(out) >= n {
+			break
+		}
+		dup := false
+		for _, o := range out {
+			if o == c.id {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// ensureView blocks briefly until at least one executor is known,
+// re-polling Anna — this covers cluster warm-up, when the first request
+// can arrive before the first metric publication has landed.
+func (s *Scheduler) ensureView() bool {
+	for attempt := 0; attempt < 20; attempt++ {
+		if len(s.threads) > 0 {
+			return true
+		}
+		s.refreshView()
+		if len(s.threads) > 0 {
+			return true
+		}
+		s.k.Sleep(100 * time.Millisecond)
+	}
+	return len(s.threads) > 0
+}
+
+// invokeSingle forwards a single-function request to a policy-picked
+// executor.
+func (s *Scheduler) invokeSingle(req core.InvokeRequest) {
+	s.fnCalls[req.Function]++
+	s.ensureView()
+	target := s.pickExecutor(req.Function, req.Args, nil, false)
+	if target == "" {
+		s.ep.Send(req.RespondTo, core.Result{ReqID: req.ReqID, Err: "scheduler: no executors available"}, 64)
+		return
+	}
+	size := 96
+	for _, a := range req.Args {
+		size += len(a.Val) + len(a.Ref)
+	}
+	s.ep.Send(target, req, size)
+}
+
+// invokeDAG builds a schedule (one executor per function, §4.3) and
+// triggers the sources. exclude lists executors to avoid (retries).
+func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) {
+	d, ok := s.dagView(req.DAG)
+	if !ok {
+		s.ep.Send(req.RespondTo, core.Result{ReqID: req.ReqID, Err: fmt.Sprintf("scheduler: unknown DAG %q", req.DAG)}, 64)
+		return
+	}
+	s.ensureView()
+	if _, tracked := s.inflight[req.ReqID]; !tracked {
+		s.dagCalls[req.DAG]++
+		s.inflight[req.ReqID] = &outstanding{
+			req:      req,
+			deadline: s.k.Now().Add(s.cfg.DAGTimeout),
+			used:     make(map[simnet.NodeID]bool),
+		}
+	}
+	assignments := make(map[string]simnet.NodeID, len(d.Functions))
+	for _, fn := range d.Functions {
+		t := s.pickExecutor(fn, req.Args[fn], exclude, true)
+		if t == "" {
+			t = s.pickExecutor(fn, req.Args[fn], nil, true) // no healthy alternative: reuse
+		}
+		if t == "" {
+			s.ep.Send(req.RespondTo, core.Result{ReqID: req.ReqID, Err: "scheduler: no executors available"}, 64)
+			delete(s.inflight, req.ReqID)
+			return
+		}
+		assignments[fn] = t
+		s.inflight[req.ReqID].used[t] = true
+	}
+	sched := &core.DAGSchedule{
+		ReqID:       req.ReqID,
+		DAG:         req.DAG,
+		Assignments: assignments,
+		Args:        req.Args,
+		RespondTo:   req.RespondTo,
+		Scheduler:   s.id,
+		StoreInKVS:  req.StoreInKVS,
+		ResultKey:   req.ResultKey,
+	}
+	for _, src := range d.Sources() {
+		trigger := core.DAGTrigger{Schedule: sched, Target: src, Meta: core.NewSessionMeta()}
+		s.ep.Send(assignments[src], trigger, 128)
+	}
+}
+
+// dagView resolves a DAG topology locally or from Anna (other schedulers
+// may have registered it).
+func (s *Scheduler) dagView(name string) (*dag.DAG, bool) {
+	if d, ok := s.dags[name]; ok {
+		return d, true
+	}
+	lat, found, err := s.anna.Get(core.DAGKey(name))
+	if err != nil || !found {
+		return nil, false
+	}
+	l, ok := lat.(*lattice.LWW)
+	if !ok {
+		return nil, false
+	}
+	v, err := codec.Decode(l.Value)
+	if err != nil {
+		return nil, false
+	}
+	d, ok := v.(dag.DAG)
+	if !ok {
+		return nil, false
+	}
+	s.dags[name] = &d
+	return &d, true
+}
+
+// pickExecutor implements the §4.3 policy: prefer executors that have
+// the function pinned (for DAGs), skip overloaded ones, and among the
+// rest prefer the executor whose VM cache holds the most of the
+// requested KVS references; otherwise pick uniformly at random.
+func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.NodeID]bool, pinnedOnly bool) simnet.NodeID {
+	var pool []simnet.NodeID
+	if pinnedOnly {
+		for _, t := range s.pins[fn] {
+			if _, live := s.threads[t]; live {
+				pool = append(pool, t)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		for id := range s.threads {
+			pool = append(pool, id)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	filtered := pool[:0]
+	for _, id := range pool {
+		if exclude != nil && exclude[id] {
+			continue
+		}
+		filtered = append(filtered, id)
+	}
+	if len(filtered) == 0 {
+		return ""
+	}
+	pool = filtered
+
+	// Backpressure: drop overloaded executors when alternatives exist
+	// (§4.3 — this is what spreads hot data onto new nodes). The filter
+	// is soft: utilization reports lag by the metrics interval, so when
+	// most of the pool looks overloaded, routing everything at the few
+	// apparently-idle threads just herds the queue onto them — spread
+	// over everyone instead.
+	var healthy []simnet.NodeID
+	for _, id := range pool {
+		if s.threads[id].metrics.Utilization < s.cfg.UtilThreshold {
+			healthy = append(healthy, id)
+		}
+	}
+	if len(healthy) > 0 && len(healthy)*2 >= len(pool) {
+		pool = healthy
+	}
+
+	if s.cfg.RandomPolicy {
+		return s.assign(pool[s.k.Rand().Intn(len(pool))])
+	}
+
+	// Locality: rank by how many referenced keys the executor's VM
+	// cache holds.
+	var refs []string
+	for _, a := range args {
+		if a.IsRef() {
+			refs = append(refs, a.Ref)
+		}
+	}
+	if len(refs) == 0 {
+		return s.assign(s.spread(pool))
+	}
+	best, bestScore := simnet.NodeID(""), -1
+	var ties []simnet.NodeID
+	for _, id := range pool {
+		vm := s.threads[id].metrics.VM
+		score := 0
+		for _, r := range refs {
+			if s.cacheKeys[vm][r] {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = id
+			ties = ties[:0]
+			ties = append(ties, id)
+		} else if score == bestScore {
+			ties = append(ties, id)
+		}
+	}
+	if len(ties) > 1 {
+		return s.assign(s.spread(ties))
+	}
+	return s.assign(best)
+}
+
+// spread picks the least-recently-assigned thread (ties broken
+// randomly), compensating for the lag between assignments and the
+// utilization reports they eventually show up in.
+func (s *Scheduler) spread(pool []simnet.NodeID) simnet.NodeID {
+	oldest := int64(1<<62 - 1)
+	var ties []simnet.NodeID
+	for _, id := range pool {
+		at := s.lastAssigned[id]
+		switch {
+		case at < oldest:
+			oldest = at
+			ties = ties[:0]
+			ties = append(ties, id)
+		case at == oldest:
+			ties = append(ties, id)
+		}
+	}
+	return ties[s.k.Rand().Intn(len(ties))]
+}
+
+// assign records the assignment stamp for spread.
+func (s *Scheduler) assign(id simnet.NodeID) simnet.NodeID {
+	if id != "" {
+		s.assignSeq++
+		s.lastAssigned[id] = s.assignSeq
+	}
+	return id
+}
+
+// pollLoop refreshes the scheduler's executor and cache views from Anna.
+func (s *Scheduler) pollLoop() {
+	for {
+		s.k.Sleep(s.cfg.PollInterval)
+		s.refreshView()
+	}
+}
+
+// refreshView reads the metric registries and rebuilds the local views,
+// dropping stale entries (§4.3's "local index").
+func (s *Scheduler) refreshView() {
+	nowS := s.k.Now().Seconds()
+	// Executor metrics.
+	if lat, found, err := s.anna.Get(executor.MetricListKey); err == nil && found {
+		if set, ok := lat.(*lattice.Set); ok {
+			fresh := make(map[simnet.NodeID]threadInfo)
+			pins := make(map[string][]simnet.NodeID)
+			for _, key := range sortedSet(set) {
+				mlat, mfound, merr := s.anna.Get(key)
+				if merr != nil || !mfound {
+					continue
+				}
+				l, ok := mlat.(*lattice.LWW)
+				if !ok {
+					continue
+				}
+				v, err := codec.Decode(l.Value)
+				if err != nil {
+					continue
+				}
+				em, ok := v.(core.ExecutorMetrics)
+				if !ok {
+					continue
+				}
+				if nowS-em.ReportedAtS > s.cfg.StaleAfter.Seconds() {
+					continue
+				}
+				fresh[em.Thread] = threadInfo{metrics: em}
+				for _, fn := range em.Pinned {
+					pins[fn] = append(pins[fn], em.Thread)
+				}
+			}
+			if len(fresh) > 0 {
+				s.threads = fresh
+				for fn, ts := range pins {
+					sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+					s.pins[fn] = ts
+				}
+			}
+		}
+	}
+	// Cache key sets.
+	if lat, found, err := s.anna.Get(executor.CacheListKey); err == nil && found {
+		if set, ok := lat.(*lattice.Set); ok {
+			for _, key := range sortedSet(set) {
+				clat, cfound, cerr := s.anna.Get(key)
+				if cerr != nil || !cfound {
+					continue
+				}
+				l, ok := clat.(*lattice.LWW)
+				if !ok {
+					continue
+				}
+				v, err := codec.Decode(l.Value)
+				if err != nil {
+					continue
+				}
+				cm, ok := v.(core.CacheMetrics)
+				if !ok {
+					continue
+				}
+				keys := make(map[string]bool, len(cm.Keys))
+				for _, kk := range cm.Keys {
+					keys[kk] = true
+				}
+				s.cacheKeys[cm.VM] = keys
+			}
+		}
+	}
+}
+
+// retryLoop re-executes timed-out DAG requests on fresh executors
+// (§4.5).
+func (s *Scheduler) retryLoop() {
+	for {
+		s.k.Sleep(s.cfg.DAGTimeout / 4)
+		now := s.k.Now()
+		var expired []string
+		for id, o := range s.inflight {
+			if now >= o.deadline {
+				expired = append(expired, id)
+			}
+		}
+		sort.Strings(expired)
+		if len(expired) > 0 {
+			s.refreshView()
+		}
+		for _, id := range expired {
+			o := s.inflight[id]
+			// Re-execute only when an assigned executor looks dead
+			// (its metrics went stale). A merely-overloaded fleet gets
+			// more time: re-executing slow requests would double the
+			// load exactly when the system can least afford it.
+			if s.allAssignedAlive(o) {
+				o.deadline = now.Add(s.cfg.DAGTimeout)
+				continue
+			}
+			if o.retries >= s.cfg.MaxRetries {
+				delete(s.inflight, id)
+				s.ep.Send(o.req.RespondTo, core.Result{ReqID: id, Err: "scheduler: DAG failed after retries"}, 64)
+				continue
+			}
+			o.retries++
+			o.deadline = now.Add(s.cfg.DAGTimeout)
+			s.invokeDAG(o.req, o.used)
+		}
+	}
+}
+
+// allAssignedAlive reports whether every executor this request was
+// assigned to still publishes fresh metrics.
+func (s *Scheduler) allAssignedAlive(o *outstanding) bool {
+	for t := range o.used {
+		if _, fresh := s.threads[t]; !fresh {
+			return false
+		}
+	}
+	return true
+}
+
+// metricsLoop publishes scheduler stats for the monitor (§4.4).
+func (s *Scheduler) metricsLoop() {
+	s.anna.Put(SchedListKey, lattice.NewSet(core.SchedMetricsKey(string(s.id))))
+	for {
+		s.k.Sleep(s.cfg.MetricsInterval)
+		m := core.SchedulerMetrics{
+			Scheduler:   s.id,
+			DAGCalls:    copyCounts(s.dagCalls),
+			FnCalls:     copyCounts(s.fnCalls),
+			ReportedAtS: s.k.Now().Seconds(),
+		}
+		// DAG completion counts ride along in FnCalls under a reserved
+		// prefix so the monitor can compute completion rates without a
+		// second round trip.
+		for d, n := range s.dagDone {
+			m.FnCalls["done/"+d] = n
+		}
+		ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 2}
+		s.anna.Put(core.SchedMetricsKey(string(s.id)), lattice.NewLWW(ts, codec.MustEncode(m)))
+	}
+}
+
+// sortedSet returns a Set lattice's elements in deterministic order.
+func sortedSet(s *lattice.Set) []string {
+	out := make([]string, 0, s.Len())
+	for e := range s.Elems {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func copyCounts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Inflight reports tracked DAG requests (test hook).
+func (s *Scheduler) Inflight() int { return len(s.inflight) }
+
+// KnownThreads reports the scheduler's current executor view size (test
+// hook).
+func (s *Scheduler) KnownThreads() int { return len(s.threads) }

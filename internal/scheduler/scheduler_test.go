@@ -1,0 +1,149 @@
+package scheduler_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	cb "cloudburst"
+)
+
+// These tests drive the scheduler through the public cluster API: the
+// scheduler's behaviour (registration, locality, backpressure, retries)
+// is only meaningful against live executors and Anna.
+
+func TestRegistrationPersistsAcrossSchedulers(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.Schedulers = 3
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("f", func(ctx *cb.Ctx, args []any) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(cb.LinearDAG("d", "f"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Calls round-robin across schedulers; registration was stored in
+	// Anna, so every scheduler can serve the DAG.
+	c.Run(func(cl *cb.Client) {
+		cl.Sleep(3 * time.Second)
+		for i := 0; i < 12; i++ {
+			out, err := cl.CallDAG("d", nil)
+			if err != nil || out.(string) != "ok" {
+				t.Fatalf("call %d via random scheduler: %v %v", i, out, err)
+			}
+		}
+	})
+}
+
+func TestBurstSpreadsAcrossThreads(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 3 // 9 threads
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("who", func(ctx *cb.Ctx, args []any) (any, error) {
+		ctx.Compute(20 * time.Millisecond)
+		return ctx.ID(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+	c.RunN(9, func(i int, cl *cb.Client) {
+		out, err := cl.Call("who")
+		if err != nil {
+			t.Errorf("call: %v", err)
+			return
+		}
+		id := out.(string)
+		for j := 0; j < len(id); j++ {
+			if id[j] == '#' {
+				id = id[:j]
+				break
+			}
+		}
+		seen[id] = true
+	})
+	// A 9-wide burst against 9 threads must not stack: expect most
+	// threads used (allowing a little randomness).
+	if len(seen) < 7 {
+		t.Fatalf("burst used only %d distinct threads: %v", len(seen), seen)
+	}
+}
+
+func TestDAGRoutesToPinnedExecutors(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 4
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("pinme", func(ctx *cb.Ctx, args []any) (any, error) {
+		return ctx.ID(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(cb.LinearDAG("pd", "pinme"), 2); err != nil {
+		t.Fatal(err)
+	}
+	threads := map[string]bool{}
+	c.Run(func(cl *cb.Client) {
+		cl.Sleep(3 * time.Second)
+		for i := 0; i < 30; i++ {
+			out, err := cl.CallDAG("pd", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := out.(string)
+			for j := 0; j < len(id); j++ {
+				if id[j] == '#' {
+					id = id[:j]
+					break
+				}
+			}
+			threads[id] = true
+		}
+	})
+	// Pinned on 2 executors: all executions stay on those two.
+	if len(threads) != 2 {
+		t.Fatalf("DAG ran on %d threads, want the 2 pinned: %v", len(threads), threads)
+	}
+}
+
+func TestUnknownFunctionRejectedAtRegistration(t *testing.T) {
+	c := cb.NewCluster(cb.DefaultConfig())
+	defer c.Close()
+	if err := c.RegisterDAG(cb.LinearDAG("bad", "ghost"), 1); err == nil {
+		t.Fatal("DAG over unknown function accepted")
+	}
+}
+
+func TestManyConcurrentDAGs(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 3
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("fn%d", i)
+		if err := c.RegisterFunction(name, func(ctx *cb.Ctx, args []any) (any, error) {
+			ctx.Compute(time.Millisecond)
+			return i, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.RegisterDAG(cb.LinearDAG("chain", "fn0", "fn1", "fn2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+	c.RunN(12, func(i int, cl *cb.Client) {
+		cl.Timeout = time.Minute
+		for r := 0; r < 10; r++ {
+			if _, err := cl.CallDAG("chain", nil); err != nil {
+				errs++
+			}
+		}
+	})
+	if errs > 0 {
+		t.Fatalf("%d of 120 concurrent DAG requests failed", errs)
+	}
+}

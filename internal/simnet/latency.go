@@ -1,0 +1,98 @@
+// Package simnet provides a simulated point-to-point message network on
+// top of the vtime kernel: named nodes with unbounded inboxes, per-link
+// latency and bandwidth models, FIFO delivery per link (TCP-like), node
+// failure injection, and a synchronous request/response (RPC) helper.
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyModel draws one-way message latencies.
+type LatencyModel interface {
+	// Sample returns one latency draw. Implementations must be
+	// deterministic functions of the supplied random source.
+	Sample(rng *rand.Rand) time.Duration
+	// Median returns the distribution's nominal central value, used in
+	// documentation and capacity planning, not in simulation.
+	Median() time.Duration
+}
+
+// Constant is a fixed latency.
+type Constant time.Duration
+
+// Sample implements LatencyModel.
+func (c Constant) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// Median implements LatencyModel.
+func (c Constant) Median() time.Duration { return time.Duration(c) }
+
+// Uniform draws uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample implements LatencyModel.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// Median implements LatencyModel.
+func (u Uniform) Median() time.Duration { return (u.Min + u.Max) / 2 }
+
+// LogNormal draws from a log-normal distribution parameterised by its
+// median and the sigma of the underlying normal. This is the standard
+// shape for datacenter RPC latency: tight around the median with a heavy
+// right tail, which is what produces the paper's 99th-percentile whiskers.
+type LogNormal struct {
+	Med   time.Duration
+	Sigma float64
+}
+
+// Sample implements LatencyModel.
+func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
+	z := rng.NormFloat64()
+	return time.Duration(float64(l.Med) * math.Exp(l.Sigma*z))
+}
+
+// Median implements LatencyModel.
+func (l LogNormal) Median() time.Duration { return l.Med }
+
+// Shifted adds a constant Base to every draw of Tail. It models a fixed
+// propagation/processing floor plus a variable component.
+type Shifted struct {
+	Base time.Duration
+	Tail LatencyModel
+}
+
+// Sample implements LatencyModel.
+func (s Shifted) Sample(rng *rand.Rand) time.Duration { return s.Base + s.Tail.Sample(rng) }
+
+// Median implements LatencyModel.
+func (s Shifted) Median() time.Duration { return s.Base + s.Tail.Median() }
+
+// Spiky wraps a base model and, with probability P, multiplies the draw by
+// Factor. It models GC pauses, cold starts, and other rare stalls that
+// dominate tail latency.
+type Spiky struct {
+	Base   LatencyModel
+	P      float64
+	Factor float64
+}
+
+// Sample implements LatencyModel.
+func (s Spiky) Sample(rng *rand.Rand) time.Duration {
+	d := s.Base.Sample(rng)
+	if rng.Float64() < s.P {
+		return time.Duration(float64(d) * s.Factor)
+	}
+	return d
+}
+
+// Median implements LatencyModel.
+func (s Spiky) Median() time.Duration { return s.Base.Median() }

@@ -1,0 +1,209 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"cloudburst/internal/vtime"
+)
+
+// NodeID names a network endpoint.
+type NodeID string
+
+// Message is one delivered datagram.
+type Message struct {
+	From, To NodeID
+	Payload  any
+	Size     int // serialized size in bytes, for bandwidth accounting
+	SentAt   vtime.Time
+}
+
+// Link describes the path between two nodes.
+type Link struct {
+	Latency   LatencyModel
+	Bandwidth float64 // bytes/second; 0 means unlimited
+}
+
+// transfer returns the serialization/transfer time for size bytes.
+func (l Link) transfer(size int) time.Duration {
+	if l.Bandwidth <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / l.Bandwidth * float64(time.Second))
+}
+
+// node holds per-endpoint state.
+type node struct {
+	id    NodeID
+	inbox *vtime.Chan[Message]
+	down  bool
+	// lastArrival enforces per-sender FIFO delivery (TCP-like): a later
+	// message on the same link never overtakes an earlier one even when
+	// its latency draw is smaller.
+	lastArrival map[NodeID]vtime.Time
+	// nicFreeAt models the receiver's shared ingress capacity: payload
+	// transfer time is serialized at the destination NIC, so ten
+	// parallel large fetches to one machine contend (the §6.1.2
+	// cache-miss path depends on this).
+	nicFreeAt vtime.Time
+}
+
+// Network is a simulated datacenter network. All methods must be called
+// from kernel processes (or between kernel runs for setup).
+type Network struct {
+	k           *vtime.Kernel
+	defaultLink Link
+	links       map[[2]NodeID]Link
+	nodes       map[NodeID]*node
+
+	// Stats.
+	MessagesSent  int64
+	BytesSent     int64
+	MessagesDropt int64
+}
+
+// New creates a network whose unspecified links use defaultLink.
+func New(k *vtime.Kernel, defaultLink Link) *Network {
+	return &Network{
+		k:           k,
+		defaultLink: defaultLink,
+		links:       make(map[[2]NodeID]Link),
+		nodes:       make(map[NodeID]*node),
+	}
+}
+
+// Kernel returns the kernel this network runs on.
+func (n *Network) Kernel() *vtime.Kernel { return n.k }
+
+// SetLink overrides the link model for the from→to direction.
+func (n *Network) SetLink(from, to NodeID, l Link) { n.links[[2]NodeID{from, to}] = l }
+
+// linkFor resolves the effective link for a direction.
+func (n *Network) linkFor(from, to NodeID) Link {
+	if l, ok := n.links[[2]NodeID{from, to}]; ok {
+		return l
+	}
+	return n.defaultLink
+}
+
+// AddNode registers id and returns its endpoint handle. Adding an existing
+// id panics: node identity is load-bearing for FIFO state.
+func (n *Network) AddNode(id NodeID) *Endpoint {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %q", id))
+	}
+	nd := &node{
+		id:          id,
+		inbox:       vtime.NewChan[Message](n.k, -1),
+		lastArrival: make(map[NodeID]vtime.Time),
+	}
+	n.nodes[id] = nd
+	return &Endpoint{net: n, node: nd}
+}
+
+// RemoveNode deletes a node; in-flight messages to it are dropped on
+// arrival.
+func (n *Network) RemoveNode(id NodeID) { delete(n.nodes, id) }
+
+// SetDown marks a node unreachable (true) or reachable (false). Messages
+// to a down node are silently dropped, so RPCs to it time out — the
+// failure mode §4.5 recovers from.
+func (n *Network) SetDown(id NodeID, down bool) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.down = down
+	}
+}
+
+// Send delivers payload from→to after the link's latency plus bandwidth
+// transfer time. It never blocks the sender: delivery is scheduled as a
+// kernel timer and lands in the destination's unbounded inbox.
+func (n *Network) Send(from, to NodeID, payload any, size int) {
+	msg := Message{From: from, To: to, Payload: payload, Size: size, SentAt: n.k.Now()}
+	n.deliver(from, to, size, func() any { return msg })
+}
+
+// deliver schedules a payload arrival with full path modeling: link
+// latency, per-sender FIFO, and receiver-NIC transfer serialization.
+// makePayload is called at scheduling time (it lets RPC replies target a
+// private channel instead of the inbox — see Request.Reply).
+func (n *Network) deliver(from, to NodeID, size int, makePayload func() any) {
+	// A down node neither receives nor sends: without the outbound
+	// check, a "killed" VM's daemons would keep publishing fresh
+	// metrics and the failure would be invisible to the schedulers.
+	if src, ok := n.nodes[from]; ok && src.down {
+		n.MessagesDropt++
+		return
+	}
+	n.MessagesSent++
+	n.BytesSent += int64(size)
+	link := n.linkFor(from, to)
+	propagation := link.Latency.Sample(n.k.Rand())
+	transfer := link.transfer(size)
+
+	arrival := n.k.Now().Add(propagation)
+	if dst, ok := n.nodes[to]; ok {
+		// Shared ingress: large payloads queue at the receiver's NIC.
+		if arrival < dst.nicFreeAt {
+			arrival = dst.nicFreeAt
+		}
+		arrival = arrival.Add(transfer)
+		dst.nicFreeAt = arrival
+		// Per-sender FIFO (TCP ordering).
+		if last := dst.lastArrival[from]; arrival < last {
+			arrival = last
+		}
+		dst.lastArrival[from] = arrival
+	} else {
+		arrival = arrival.Add(transfer)
+	}
+	payload := makePayload()
+	n.k.After(arrival.Sub(n.k.Now()), func() {
+		dst, ok := n.nodes[to]
+		if !ok || dst.down {
+			n.MessagesDropt++
+			return
+		}
+		if msg, isMsg := payload.(Message); isMsg {
+			dst.inbox.TrySend(msg)
+			return
+		}
+		if fn, isFn := payload.(func()); isFn {
+			fn()
+		}
+	})
+}
+
+// Endpoint is a node's handle for sending and receiving.
+type Endpoint struct {
+	net  *Network
+	node *node
+}
+
+// ID returns the endpoint's node id.
+func (e *Endpoint) ID() NodeID { return e.node.id }
+
+// Send transmits payload to another node.
+func (e *Endpoint) Send(to NodeID, payload any, size int) {
+	e.net.Send(e.node.id, to, payload, size)
+}
+
+// Recv blocks until a message arrives.
+func (e *Endpoint) Recv() Message {
+	m, _ := e.node.inbox.Recv()
+	return m
+}
+
+// RecvTimeout receives with a deadline.
+func (e *Endpoint) RecvTimeout(d time.Duration) (Message, bool) {
+	m, _, timedOut := e.node.inbox.RecvTimeout(d)
+	return m, !timedOut
+}
+
+// TryRecv receives without blocking.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	m, _, got := e.node.inbox.TryRecv()
+	return m, got
+}
+
+// Pending reports queued inbound messages.
+func (e *Endpoint) Pending() int { return e.node.inbox.Len() }

@@ -1,0 +1,238 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cloudburst/internal/vtime"
+)
+
+func testNet(t *testing.T, link Link) (*vtime.Kernel, *Network) {
+	t.Helper()
+	k := vtime.NewKernel(7)
+	t.Cleanup(k.Stop)
+	return k, New(k, link)
+}
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(250 * time.Microsecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	k.Run("main", func() {
+		a.Send("b", "hi", 100)
+		m := b.Recv()
+		if m.Payload != "hi" || m.From != "a" {
+			t.Errorf("got %+v", m)
+		}
+		if k.Now() != vtime.Time(250*time.Microsecond) {
+			t.Errorf("delivered at %v", k.Now())
+		}
+	})
+}
+
+func TestBandwidthAddsTransferTime(t *testing.T) {
+	// 1 MB at 1 MB/s = 1s on top of 1ms latency.
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond), Bandwidth: 1 << 20})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	k.Run("main", func() {
+		a.Send("b", "blob", 1<<20)
+		b.Recv()
+		want := vtime.Time(time.Second + time.Millisecond)
+		if k.Now() != want {
+			t.Errorf("delivered at %v, want %v", k.Now(), want)
+		}
+	})
+}
+
+func TestPerLinkFIFOPreventsReordering(t *testing.T) {
+	// High-variance latency would reorder without the FIFO clamp.
+	k, n := testNet(t, Link{Latency: Uniform{Min: 0, Max: 10 * time.Millisecond}})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	k.Run("main", func() {
+		for i := 0; i < 50; i++ {
+			a.Send("b", i, 10)
+		}
+		for i := 0; i < 50; i++ {
+			m := b.Recv()
+			if m.Payload.(int) != i {
+				t.Fatalf("message %d arrived out of order: got %v", i, m.Payload)
+			}
+		}
+	})
+}
+
+func TestLinkOverride(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.SetLink("a", "b", Link{Latency: Constant(30 * time.Millisecond)})
+	k.Run("main", func() {
+		a.Send("b", 1, 0)
+		b.Recv()
+		if k.Now() != vtime.Time(30*time.Millisecond) {
+			t.Errorf("override not applied, t=%v", k.Now())
+		}
+	})
+}
+
+func TestDownNodeDropsAndRPCTimesOut(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	n.AddNode("b")
+	n.SetDown("b", true)
+	k.Run("main", func() {
+		_, err := a.Call("b", "ping", 8, 50*time.Millisecond)
+		if err != ErrTimeout {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		if k.Now() != vtime.Time(50*time.Millisecond) {
+			t.Errorf("timed out at %v", k.Now())
+		}
+	})
+	if n.MessagesDropt == 0 {
+		t.Error("drop counter not incremented")
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(2 * time.Millisecond)})
+	a := n.AddNode("client")
+	b := n.AddNode("server")
+	k.Run("main", func() {
+		k.Go("server", func() {
+			b.Serve(func(req *Request) (any, int) {
+				return req.Body.(int) * 2, 8
+			})
+		})
+		resp, err := a.Call("server", 21, 8, 0)
+		if err != nil || resp.(int) != 42 {
+			t.Errorf("resp=%v err=%v", resp, err)
+		}
+		if k.Now() != vtime.Time(4*time.Millisecond) {
+			t.Errorf("round trip took %v, want 4ms", k.Now())
+		}
+	})
+}
+
+func TestRecvTimeoutAndTryRecv(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	k.Run("main", func() {
+		if _, ok := b.TryRecv(); ok {
+			t.Error("TryRecv on empty inbox succeeded")
+		}
+		if _, ok := b.RecvTimeout(500 * time.Microsecond); ok {
+			t.Error("RecvTimeout should have timed out")
+		}
+		a.Send("b", "x", 1)
+		if m, ok := b.RecvTimeout(10 * time.Millisecond); !ok || m.Payload != "x" {
+			t.Errorf("RecvTimeout = %v %v", m, ok)
+		}
+	})
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	_, n := testNet(t, Link{Latency: Constant(0)})
+	n.AddNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate node")
+		}
+	}()
+	n.AddNode("x")
+}
+
+func TestLatencyModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (Constant(5 * time.Millisecond)).Sample(rng); d != 5*time.Millisecond {
+		t.Errorf("Constant = %v", d)
+	}
+	u := Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := u.Sample(rng)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("Uniform draw %v outside range", d)
+		}
+	}
+	ln := LogNormal{Med: 10 * time.Millisecond, Sigma: 0.3}
+	var below int
+	for i := 0; i < 2000; i++ {
+		if ln.Sample(rng) < ln.Med {
+			below++
+		}
+	}
+	if below < 850 || below > 1150 {
+		t.Errorf("LogNormal median off: %d/2000 below", below)
+	}
+	sh := Shifted{Base: time.Second, Tail: Constant(time.Millisecond)}
+	if sh.Sample(rng) != time.Second+time.Millisecond {
+		t.Error("Shifted sample wrong")
+	}
+	if sh.Median() != time.Second+time.Millisecond {
+		t.Error("Shifted median wrong")
+	}
+	sp := Spiky{Base: Constant(time.Millisecond), P: 1.0, Factor: 10}
+	if sp.Sample(rng) != 10*time.Millisecond {
+		t.Error("Spiky with P=1 did not spike")
+	}
+	sp.P = 0
+	if sp.Sample(rng) != time.Millisecond {
+		t.Error("Spiky with P=0 spiked")
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	k.Run("main", func() {
+		a.Send("b", 1, 100)
+		a.Send("b", 2, 200)
+		b.Recv()
+		b.Recv()
+	})
+	if n.MessagesSent != 2 || n.BytesSent != 300 {
+		t.Errorf("stats: msgs=%d bytes=%d", n.MessagesSent, n.BytesSent)
+	}
+}
+
+func TestReceiverNICSerializesParallelTransfers(t *testing.T) {
+	// Ten 1MB payloads from ten different senders to one receiver must
+	// queue at the receiver's NIC: total time ≈ 10 × transfer, not 1 ×.
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond), Bandwidth: 1 << 20})
+	dst := n.AddNode("sink")
+	for i := 0; i < 10; i++ {
+		src := n.AddNode(NodeID(fmt.Sprintf("src-%d", i)))
+		src.Send("sink", i, 1<<20)
+	}
+	k.Run("main", func() {
+		for i := 0; i < 10; i++ {
+			dst.Recv()
+		}
+		if k.Now() < vtime.Time(9*time.Second) {
+			t.Fatalf("10 x 1MB at 1MB/s arrived in %v — NIC not shared", k.Now())
+		}
+	})
+}
+
+func TestSmallMessagesDoNotQueueAtNIC(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond), Bandwidth: 1 << 30})
+	dst := n.AddNode("sink")
+	for i := 0; i < 50; i++ {
+		src := n.AddNode(NodeID(fmt.Sprintf("s-%d", i)))
+		src.Send("sink", i, 64)
+	}
+	k.Run("main", func() {
+		for i := 0; i < 50; i++ {
+			dst.Recv()
+		}
+		if k.Now() > vtime.Time(2*time.Millisecond) {
+			t.Fatalf("small messages serialized: %v", k.Now())
+		}
+	})
+}

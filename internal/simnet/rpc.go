@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"errors"
+	"time"
+
+	"cloudburst/internal/vtime"
+)
+
+// ErrTimeout is returned by Call when no response arrives in time,
+// typically because the callee node is down or overloaded.
+var ErrTimeout = errors.New("simnet: rpc timeout")
+
+// Request is an in-flight RPC as seen by the server. Servers receive it
+// as the Payload of a Message and must call Reply (or drop it, in which
+// case the caller times out).
+type Request struct {
+	From NodeID
+	To   NodeID
+	Body any
+
+	net   *Network
+	reply *vtime.Chan[any]
+}
+
+// Reply sends resp back to the caller over the network (paying reverse
+// latency, receiver-NIC contention, and bandwidth for size bytes).
+func (r *Request) Reply(resp any, size int) {
+	reply := r.reply
+	r.net.deliver(r.To, r.From, size, func() any {
+		return func() { reply.TrySend(resp) }
+	})
+}
+
+// Call performs a synchronous RPC from this endpoint: it sends body to the
+// destination and blocks until the response arrives or timeout elapses
+// (timeout <= 0 means wait forever). size is the request's serialized
+// size.
+func (e *Endpoint) Call(to NodeID, body any, size int, timeout time.Duration) (any, error) {
+	req := &Request{
+		From:  e.node.id,
+		To:    to,
+		Body:  body,
+		net:   e.net,
+		reply: vtime.NewChan[any](e.net.k, 1),
+	}
+	e.net.Send(e.node.id, to, req, size)
+	if timeout <= 0 {
+		resp, _ := req.reply.Recv()
+		return resp, nil
+	}
+	resp, _, timedOut := req.reply.RecvTimeout(timeout)
+	if timedOut {
+		return nil, ErrTimeout
+	}
+	return resp, nil
+}
+
+// Serve runs a request loop on the endpoint: every inbound *Request is
+// passed to handle, whose return value (and its size) is sent back.
+// Non-request messages are passed to handle too with a nil Reply path —
+// handle can detect them via the second argument. Serve returns when the
+// endpoint's network node is removed... in practice it runs for the life
+// of the simulation; components that need richer loops write their own.
+func (e *Endpoint) Serve(handle func(req *Request) (resp any, size int)) {
+	for {
+		m := e.Recv()
+		if req, ok := m.Payload.(*Request); ok {
+			resp, size := handle(req)
+			req.Reply(resp, size)
+		}
+	}
+}

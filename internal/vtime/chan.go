@@ -1,0 +1,185 @@
+package vtime
+
+import "time"
+
+// Chan is a kernel-scheduled CSP channel. Capacity semantics match Go
+// channels: capacity 0 is a rendezvous channel, capacity n buffers up to n
+// values. A negative capacity makes the channel unbounded, which is the
+// right shape for network inboxes that must accept deliveries from timer
+// callbacks (callbacks cannot block).
+type Chan[T any] struct {
+	k      *Kernel
+	buf    []T
+	cap    int
+	sendq  []*sendWaiter[T]
+	recvq  []*recvWaiter[T]
+	closed bool
+}
+
+type sendWaiter[T any] struct {
+	p        *proc
+	val      T
+	done     bool // value consumed by a receiver
+	onClosed bool // channel closed while waiting
+}
+
+type recvWaiter[T any] struct {
+	p        *proc
+	val      T
+	ok       bool
+	done     bool // value delivered (or closed-empty observed)
+	timedOut bool
+}
+
+// NewChan creates a channel on kernel k. capacity < 0 means unbounded.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Close closes the channel. Blocked receivers observe zero values;
+// blocked senders unwind with a panic, as in Go.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		panic("vtime: close of closed Chan")
+	}
+	c.closed = true
+	for _, w := range c.recvq {
+		if !w.done {
+			w.done = true
+			w.ok = false
+			c.k.wake(w.p)
+		}
+	}
+	c.recvq = nil
+	for _, w := range c.sendq {
+		if !w.done {
+			w.onClosed = true
+			c.k.wake(w.p)
+		}
+	}
+	c.sendq = nil
+}
+
+// Send blocks until the value is accepted by the channel. Sending on a
+// closed channel panics.
+func (c *Chan[T]) Send(v T) {
+	if c.TrySend(v) {
+		return
+	}
+	w := &sendWaiter[T]{p: c.k.current, val: v}
+	c.sendq = append(c.sendq, w)
+	c.k.park()
+	if w.onClosed {
+		panic("vtime: send on closed Chan")
+	}
+}
+
+// TrySend delivers v without blocking and reports whether it succeeded.
+// Timer callbacks and non-process code may use it only on channels where
+// it cannot fail to wake state correctly — in practice, unbounded inboxes.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		panic("vtime: send on closed Chan")
+	}
+	// Hand directly to a waiting receiver if any (skip consumed waiters).
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if w.done || w.timedOut {
+			continue
+		}
+		w.val = v
+		w.ok = true
+		w.done = true
+		c.k.wake(w.p)
+		return true
+	}
+	if c.cap < 0 || len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks until a value is available. ok is false when the channel is
+// closed and drained.
+func (c *Chan[T]) Recv() (v T, ok bool) {
+	if v, ok, got := c.tryRecv(); got {
+		return v, ok
+	}
+	w := &recvWaiter[T]{p: c.k.current}
+	c.recvq = append(c.recvq, w)
+	c.k.park()
+	return w.val, w.ok
+}
+
+// TryRecv receives without blocking. got reports whether a value (or a
+// closed indication) was available.
+func (c *Chan[T]) TryRecv() (v T, ok bool, got bool) {
+	return c.tryRecv()
+}
+
+func (c *Chan[T]) tryRecv() (v T, ok bool, got bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		c.refillFromSenders()
+		return v, true, true
+	}
+	// Rendezvous with a blocked sender.
+	for len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		if w.done {
+			continue
+		}
+		w.done = true
+		c.k.wake(w.p)
+		return w.val, true, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false, true
+	}
+	return v, false, false
+}
+
+// refillFromSenders moves one blocked sender's value into freed buffer
+// space, preserving FIFO order.
+func (c *Chan[T]) refillFromSenders() {
+	for len(c.sendq) > 0 && (c.cap < 0 || len(c.buf) < c.cap) {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		if w.done {
+			continue
+		}
+		w.done = true
+		c.buf = append(c.buf, w.val)
+		c.k.wake(w.p)
+	}
+}
+
+// RecvTimeout receives with a deadline. timedOut is true when the deadline
+// elapsed with no value; ok mirrors Recv's closed semantics.
+func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok bool, timedOut bool) {
+	if v, ok, got := c.tryRecv(); got {
+		return v, ok, false
+	}
+	w := &recvWaiter[T]{p: c.k.current}
+	c.recvq = append(c.recvq, w)
+	cancel := c.k.After(d, func() {
+		if !w.done {
+			w.timedOut = true
+			c.k.wake(w.p)
+		}
+	})
+	c.k.park()
+	cancel()
+	if w.timedOut {
+		return v, false, true
+	}
+	return w.val, w.ok, false
+}

@@ -1,0 +1,355 @@
+// Package vtime implements a deterministic virtual-time kernel: a
+// discrete-event simulation substrate on which concurrent processes are
+// written in ordinary blocking Go style (goroutines, channels, mutexes,
+// sleeps) while time advances only when every process is blocked.
+//
+// The kernel runs exactly one process at a time (cooperative scheduling
+// with an explicit hand-off token), which makes every simulation run fully
+// deterministic for a fixed seed and program: there is no wall-clock in the
+// loop and no OS-scheduler nondeterminism. A ten-minute cluster trace
+// replays in milliseconds of real time.
+//
+// All blocking must go through kernel primitives: Kernel.Sleep, Chan
+// send/receive, Mutex, WaitGroup, Semaphore. Calling a kernel primitive
+// from a goroutine that is not a kernel process is a programming error and
+// panics.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a virtual instant, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds reports t as floating-point seconds since the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Milliseconds reports t as floating-point milliseconds since the
+// simulation start.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(time.Millisecond) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// procState records where a process currently is in its lifecycle. It is
+// only ever touched by the party holding the scheduling token, so it needs
+// no lock.
+type procState uint8
+
+const (
+	stateRunnable procState = iota // in the run queue, waiting for dispatch
+	stateRunning                   // currently holds the token
+	stateParked                    // blocked in a waiter list or timer
+	stateDone                      // finished
+)
+
+// proc is a kernel process: one goroutine whose execution interleaves with
+// the scheduler through the resume channel.
+type proc struct {
+	id     int64
+	name   string
+	resume chan struct{} // buffered(1): token grant
+	state  procState
+	killed bool // set by Stop; the next resume unwinds the process
+	body   func()
+	k      *Kernel
+}
+
+// killedPanic unwinds a process that is being terminated by Kernel.Stop.
+type killedPanic struct{}
+
+// timer is a scheduled callback. Callbacks run on the scheduler goroutine
+// while no process holds the token; they must not block.
+type timer struct {
+	when     Time
+	seq      int64 // tie-break so equal-time timers fire in creation order
+	fire     func()
+	canceled bool
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+func (h timerHeap) peek() *timer  { return h[0] }
+
+// Kernel is a deterministic virtual-time scheduler. The zero value is not
+// usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	runq    []*proc
+	timers  timerHeap
+	yield   chan struct{} // process -> scheduler: token return
+	current *proc
+	running bool // a Run call is in progress
+	stopped bool
+	nextID  int64
+	nextSeq int64
+	live    map[int64]*proc // all non-done procs, for Stop and deadlock dumps
+	rng     *rand.Rand
+
+	// Stats, exposed for tests and reports.
+	dispatches int64
+	timerFires int64
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Identical programs on identically-seeded kernels produce identical
+// traces.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		live:  make(map[int64]*proc),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from kernel processes (or between Run calls), never concurrently.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Dispatches reports how many times a process has been granted the token.
+func (k *Kernel) Dispatches() int64 { return k.dispatches }
+
+// Go spawns fn as a new kernel process. It may be called from a running
+// process or from outside the kernel between Run invocations. The process
+// is runnable immediately but does not execute until the scheduler
+// dispatches it.
+func (k *Kernel) Go(name string, fn func()) {
+	if k.stopped {
+		panic("vtime: Go on stopped kernel")
+	}
+	k.nextID++
+	p := &proc{
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}, 1),
+		state:  stateRunnable,
+		body:   fn,
+		k:      k,
+	}
+	k.live[p.id] = p
+	k.runq = append(k.runq, p)
+	go p.top()
+}
+
+// top is the entry point of every process goroutine: wait for the first
+// token grant, run the body, and hand the token back on exit (normal or
+// killed).
+func (p *proc) top() {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); !ok {
+				// Re-panic application errors on the scheduler's
+				// goroutine would lose the stack; crash here instead,
+				// but first note which process died.
+				panic(fmt.Sprintf("vtime: process %q panicked: %v", p.name, r))
+			}
+		}
+		p.state = stateDone
+		delete(p.k.live, p.id)
+		p.k.yield <- struct{}{}
+	}()
+	p.state = stateRunning
+	p.k.current = p
+	if p.killed {
+		panic(killedPanic{})
+	}
+	p.body()
+}
+
+// park blocks the calling process until another party wakes it. The caller
+// must already have registered itself in whatever waiter structure will
+// wake it. park panics with killedPanic if the kernel is stopping.
+func (k *Kernel) park() {
+	p := k.current
+	if p == nil {
+		panic("vtime: blocking primitive called from outside a kernel process")
+	}
+	p.state = stateParked
+	k.current = nil
+	k.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+	k.current = p
+	if p.killed {
+		panic(killedPanic{})
+	}
+}
+
+// wake moves a parked process to the run queue. It is a no-op for
+// processes that are already runnable, running, or done, which lets
+// multiple wake sources race benignly (e.g. a receive completing at the
+// same instant as its timeout).
+func (k *Kernel) wake(p *proc) {
+	if p.state != stateParked {
+		return
+	}
+	p.state = stateRunnable
+	k.runq = append(k.runq, p)
+}
+
+// yieldNow voluntarily reschedules the calling process behind everything
+// currently runnable, without advancing time.
+func (k *Kernel) YieldNow() {
+	p := k.current
+	if p == nil {
+		panic("vtime: YieldNow outside a kernel process")
+	}
+	p.state = stateRunnable
+	k.runq = append(k.runq, p)
+	k.current = nil
+	k.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+	k.current = p
+	if p.killed {
+		panic(killedPanic{})
+	}
+}
+
+// After schedules fn to run at now+d on the scheduler goroutine. fn must
+// not block. The returned cancel function prevents fn from running if it
+// has not fired yet.
+func (k *Kernel) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.nextSeq++
+	t := &timer{when: k.now.Add(d), seq: k.nextSeq, fire: fn}
+	heap.Push(&k.timers, t)
+	return func() { t.canceled = true }
+}
+
+// Sleep blocks the calling process for virtual duration d.
+func (k *Kernel) Sleep(d time.Duration) {
+	p := k.current
+	if p == nil {
+		panic("vtime: Sleep outside a kernel process")
+	}
+	k.After(d, func() { k.wake(p) })
+	k.park()
+}
+
+// Run drives the scheduler until fn (executed as a new process) returns.
+// Other live processes keep their state across Run calls: daemons parked
+// on timers or channels simply stay parked, and resume when a later Run
+// lets time advance again.
+func (k *Kernel) Run(name string, fn func()) {
+	if k.stopped {
+		panic("vtime: Run on stopped kernel")
+	}
+	if k.running {
+		panic("vtime: nested Run")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	done := false
+	k.Go(name, func() { defer func() { done = true }(); fn() })
+	for !done {
+		if len(k.runq) > 0 {
+			k.dispatch()
+			continue
+		}
+		if !k.advance() {
+			panic("vtime: deadlock — no runnable process and no pending timer\n" + k.dumpLive())
+		}
+	}
+}
+
+// dispatch grants the token to the head of the run queue and waits for it
+// to come back.
+func (k *Kernel) dispatch() {
+	p := k.runq[0]
+	k.runq = k.runq[1:]
+	if p.state != stateRunnable {
+		return // killed or already completed through another path
+	}
+	k.dispatches++
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// advance pops the earliest timer, moves the clock, and fires it. It
+// returns false when no timer is pending.
+func (k *Kernel) advance() bool {
+	for len(k.timers) > 0 {
+		t := heap.Pop(&k.timers).(*timer)
+		if t.canceled {
+			continue
+		}
+		if t.when > k.now {
+			k.now = t.when
+		}
+		k.timerFires++
+		t.fire()
+		return true
+	}
+	return false
+}
+
+// Stop terminates every live process by unwinding it with an internal
+// panic, then marks the kernel unusable. Call it when a simulation is
+// finished so that process goroutines do not leak across tests.
+func (k *Kernel) Stop() {
+	if k.stopped {
+		return
+	}
+	if k.running {
+		panic("vtime: Stop during Run")
+	}
+	for len(k.live) > 0 {
+		// Deterministic order: lowest id first.
+		ids := make([]int64, 0, len(k.live))
+		for id := range k.live {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		p := k.live[ids[0]]
+		p.killed = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+	k.stopped = true
+	k.runq = nil
+	k.timers = nil
+}
+
+// dumpLive renders the parked-process table for deadlock diagnostics.
+func (k *Kernel) dumpLive() string {
+	ids := make([]int64, 0, len(k.live))
+	for id := range k.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s := fmt.Sprintf("at t=%v, %d live processes:\n", k.now, len(ids))
+	for _, id := range ids {
+		p := k.live[id]
+		s += fmt.Sprintf("  #%d %-30s state=%d\n", p.id, p.name, p.state)
+	}
+	return s
+}

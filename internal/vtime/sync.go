@@ -1,0 +1,128 @@
+package vtime
+
+// Mutex is a kernel-scheduled mutual-exclusion lock with FIFO hand-off.
+type Mutex struct {
+	k      *Kernel
+	locked bool
+	waitq  []*proc
+}
+
+// NewMutex creates a mutex on kernel k.
+func NewMutex(k *Kernel) *Mutex { return &Mutex{k: k} }
+
+// Lock blocks the calling process until it holds the lock.
+func (m *Mutex) Lock() {
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	m.waitq = append(m.waitq, m.k.current)
+	m.k.park()
+	// Ownership was transferred to us by Unlock; locked stays true.
+}
+
+// TryLock acquires the lock without blocking and reports success.
+func (m *Mutex) TryLock() bool {
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}
+
+// Unlock releases the lock, handing it to the longest waiter if any.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("vtime: Unlock of unlocked Mutex")
+	}
+	if len(m.waitq) > 0 {
+		p := m.waitq[0]
+		m.waitq = m.waitq[1:]
+		m.k.wake(p) // lock stays held, now by p
+		return
+	}
+	m.locked = false
+}
+
+// WaitGroup mirrors sync.WaitGroup on virtual time.
+type WaitGroup struct {
+	k     *Kernel
+	count int
+	waitq []*proc
+}
+
+// NewWaitGroup creates a WaitGroup on kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add adjusts the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("vtime: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		for _, p := range w.waitq {
+			w.k.wake(p)
+		}
+		w.waitq = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait() {
+	if w.count == 0 {
+		return
+	}
+	w.waitq = append(w.waitq, w.k.current)
+	w.k.park()
+}
+
+// Semaphore is a counting semaphore: Acquire blocks while no permits are
+// available. It models occupancy of a contended resource (a worker pool, a
+// single-master write path) so queueing delay emerges naturally in
+// simulations.
+type Semaphore struct {
+	k       *Kernel
+	permits int
+	waitq   []*proc
+}
+
+// NewSemaphore creates a semaphore holding n permits.
+func NewSemaphore(k *Kernel, n int) *Semaphore { return &Semaphore{k: k, permits: n} }
+
+// Acquire takes one permit, blocking until one is free.
+func (s *Semaphore) Acquire() {
+	if s.permits > 0 {
+		s.permits--
+		return
+	}
+	s.waitq = append(s.waitq, s.k.current)
+	s.k.park()
+	// The releasing process transferred a permit directly to us.
+}
+
+// TryAcquire takes a permit without blocking and reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.permits > 0 {
+		s.permits--
+		return true
+	}
+	return false
+}
+
+// Release returns one permit, handing it to the longest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waitq) > 0 {
+		p := s.waitq[0]
+		s.waitq = s.waitq[1:]
+		s.k.wake(p)
+		return
+	}
+	s.permits++
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.permits }

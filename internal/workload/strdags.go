@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	cb "cloudburst"
+)
+
+// ConsistencyWorkload is the §6.2 experiment generator: a pool of string
+// functions composed into randomly generated linear DAGs of length 2–5
+// (average 3), with Zipf(1.0) KVS-reference arguments over a large
+// keyspace. The sink of each DAG writes its result to a key chosen
+// randomly from the keys the DAG read.
+type ConsistencyWorkload struct {
+	Keys *Keyspace
+	DAGs []dagSpec
+	rng  *rand.Rand
+}
+
+type dagSpec struct {
+	name  string
+	chain []string
+	depth int
+}
+
+// strFnCount is the size of the shared string-function pool. DAGs sample
+// distinct functions from it.
+const strFnCount = 10
+
+// strFn is the §6.2 function body: take string arguments, perform a
+// simple string manipulation, output a string. The first argument is a
+// control string: "-" for interior functions, or "W:<key>" telling the
+// sink where to write its result.
+func strFn(ctx *cb.Ctx, args []any) (any, error) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	cfg, _ := args[0].(string)
+	var sb strings.Builder
+	for _, a := range args[1:] {
+		fmt.Fprintf(&sb, "%v|", a)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(sb.String()))
+	out := fmt.Sprintf("s%08x", h.Sum32())
+	if strings.HasPrefix(cfg, "W:") {
+		if err := ctx.Put(cfg[2:], out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SetupConsistency registers the function pool and numDAGs random linear
+// DAGs, and preloads the keyspace with 8-byte payloads (as in §6.2: one
+// million 8-byte keys; sized down by callers for quick runs).
+func SetupConsistency(c *cb.Cluster, rng *rand.Rand, numKeys, numDAGs, replicas int) (*ConsistencyWorkload, error) {
+	w := &ConsistencyWorkload{
+		Keys: NewKeyspace(rng, "ckey", numKeys, 1.0),
+		rng:  rng,
+	}
+	w.Keys.Preload(c, 8)
+	for i := 0; i < strFnCount; i++ {
+		if err := c.RegisterFunction(fmt.Sprintf("strfn-%d", i), strFn); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < numDAGs; i++ {
+		length := 2 + rng.Intn(4) // 2..5, mean 3.5 ≈ the paper's 3
+		perm := rng.Perm(strFnCount)[:length]
+		chain := make([]string, length)
+		for j, p := range perm {
+			chain[j] = fmt.Sprintf("strfn-%d", p)
+		}
+		name := fmt.Sprintf("strdag-%d", i)
+		if err := c.RegisterDAG(cb.LinearDAG(name, chain...), replicas); err != nil {
+			return nil, err
+		}
+		w.DAGs = append(w.DAGs, dagSpec{name: name, chain: chain, depth: length})
+	}
+	return w, nil
+}
+
+// Request issues one randomly parameterized DAG execution: the source
+// function reads two Zipf-drawn KVS references, interior functions read
+// one more each, and the sink writes to a random key from the read set.
+// It returns the DAG's depth (for per-depth latency normalization) and
+// the executor hop count.
+func (w *ConsistencyWorkload) Request(cl *cb.Client) (depth, hops int, err error) {
+	spec := w.DAGs[w.rng.Intn(len(w.DAGs))]
+	var readKeys []string
+	args := make(map[string][]any, len(spec.chain))
+	for i, fn := range spec.chain {
+		k1 := w.Keys.Sample()
+		readKeys = append(readKeys, k1)
+		if i == 0 {
+			k2 := w.Keys.Sample()
+			readKeys = append(readKeys, k2)
+			args[fn] = []any{"-", cb.Ref(k1), cb.Ref(k2)}
+		} else {
+			args[fn] = []any{"-", cb.Ref(k1)}
+		}
+	}
+	sink := spec.chain[len(spec.chain)-1]
+	writeKey := readKeys[w.rng.Intn(len(readKeys))]
+	args[sink][0] = "W:" + writeKey
+
+	_, hops, err = cl.CallDAGDetail(spec.name, args)
+	return spec.depth, hops, err
+}

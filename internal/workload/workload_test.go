@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	cb "cloudburst"
+)
+
+func TestKeyspaceZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ks := NewKeyspace(rng, "k", 10_000, 1.0)
+	counts := map[int]int{}
+	for i := 0; i < 20_000; i++ {
+		counts[ks.SampleIndex()]++
+	}
+	if counts[0] < 1000 {
+		t.Fatalf("zipf head not hot: key 0 drawn %d/20000", counts[0])
+	}
+	if ks.Key(42) != "k-0000042" {
+		t.Fatalf("key name = %q", ks.Key(42))
+	}
+}
+
+func TestArraySumAccounting(t *testing.T) {
+	a := ArraySum{NumArrays: 10, Elems: 1000}
+	if a.TotalBytes() != 80_000 {
+		t.Fatalf("total = %d", a.TotalBytes())
+	}
+	if len(a.Keys(0)) != 10 || a.Keys(0)[0] == a.Keys(1)[0] {
+		t.Fatal("key sets collide across sets")
+	}
+	if SumCompute(80<<20) < 20*time.Millisecond {
+		t.Fatal("80MB compute cost unrealistically low")
+	}
+}
+
+func TestRetwisGraphInvariants(t *testing.T) {
+	r := DefaultRetwis()
+	r.Users = 200
+	r.Tweets = 500
+	g := r.Generate(rand.New(rand.NewSource(11)))
+	if len(g.Following) != 200 || len(g.PostIDs) != 500 {
+		t.Fatalf("graph sizes: %d users, %d posts", len(g.Following), len(g.PostIDs))
+	}
+	// Follower/following edges are symmetric.
+	for u, fs := range g.Following {
+		if len(fs) != r.Follows {
+			t.Fatalf("user %d follows %d, want %d", u, len(fs), r.Follows)
+		}
+		for _, v := range fs {
+			found := false
+			for _, back := range g.Followers[v] {
+				if back == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d not mirrored", u, v)
+			}
+		}
+	}
+	// Replies reference existing earlier posts; about half are replies.
+	replies := 0
+	seen := map[string]bool{}
+	for _, id := range g.PostIDs {
+		if parent := g.PostOf[id]["reply"]; parent != "" {
+			replies++
+			if !seen[parent] {
+				t.Fatalf("reply %s references later/unknown post %s", id, parent)
+			}
+		}
+		seen[id] = true
+	}
+	if replies < 200 || replies > 300 {
+		t.Fatalf("replies = %d of 500", replies)
+	}
+	// Timelines are capped and only contain real posts.
+	for u, tl := range g.Timelines {
+		if len(tl) > r.TimelineCap {
+			t.Fatalf("user %d timeline over cap: %d", u, len(tl))
+		}
+	}
+}
+
+func TestRetwisEndToEndCausal(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.Mode = cb.Causal
+	cfg.VMs = 2
+	cfg.AnnaNodes = 2
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	r := DefaultRetwis()
+	r.Users = 50
+	r.Tweets = 100
+	if err := r.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	g := r.Generate(rand.New(rand.NewSource(5)))
+	r.Preload(c, g)
+	c.Run(func(cl *cb.Client) {
+		cl.Timeout = time.Minute
+		cl.Sleep(3 * time.Second)
+		// Post a reply and read a few timelines.
+		out, err := cl.Call("rt-post", 1, "hello", g.PostIDs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(string) == "" {
+			t.Fatal("empty post id")
+		}
+		rng := rand.New(rand.NewSource(6))
+		sawPosts := false
+		for i := 0; i < 30; i++ {
+			res, err := r.Request(cl, rng, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != nil && res.Posts > 0 {
+				sawPosts = true
+				if res.Anomalies > 0 {
+					t.Fatalf("causal mode rendered a reply without its parent: %+v", res)
+				}
+			}
+		}
+		if !sawPosts {
+			t.Fatal("no timeline ever materialized posts")
+		}
+		// Follower count matches the generated graph.
+		n, err := cl.Call("rt-followers", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.(int) != len(g.Followers[3]) {
+			t.Fatalf("followers = %v, want %d", n, len(g.Followers[3]))
+		}
+	})
+}
+
+func TestConsistencyWorkloadRequests(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 2
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(21))
+	w, err := SetupConsistency(c, rng, 500, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *cb.Client) {
+		cl.Timeout = time.Minute
+		cl.Sleep(3 * time.Second)
+		for i := 0; i < 20; i++ {
+			depth, hops, err := w.Request(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if depth < 2 || depth > 5 {
+				t.Fatalf("depth = %d", depth)
+			}
+			if hops != depth {
+				t.Fatalf("hops %d != depth %d for a linear DAG", hops, depth)
+			}
+		}
+	})
+}
+
+func TestPredServePipeline(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 1
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	p := DefaultPredServe()
+	p.Preload(c)
+	if err := p.Register(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *cb.Client) {
+		cl.Timeout = time.Minute
+		cl.Sleep(3 * time.Second)
+		start := cl.Now()
+		class, err := p.Predict(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class != 1 { // argmax of the fixed score vector
+			t.Fatalf("class = %d", class)
+		}
+		if elapsed := cl.Now() - start; elapsed < p.ComputeTotal() {
+			t.Fatalf("prediction faster than its compute floor: %v < %v", elapsed, p.ComputeTotal())
+		}
+	})
+}
+
+func TestComposePipeline(t *testing.T) {
+	c := cb.NewCluster(cb.DefaultConfig())
+	defer c.Close()
+	if err := ComposePipeline(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *cb.Client) {
+		cl.Sleep(3 * time.Second)
+		out, err := cl.CallDAG("composition", map[string][]any{"increment": {4}})
+		if err != nil || out.(int) != 25 {
+			t.Fatalf("square(increment(4)) = %v, %v", out, err)
+		}
+	})
+}
