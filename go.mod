@@ -1,0 +1,3 @@
+module cloudburst
+
+go 1.24

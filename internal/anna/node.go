@@ -125,6 +125,9 @@ func (n *Node) handle(m simnet.Message) {
 			return
 		}
 		n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size))
+		// Clone-on-egress copies only the capsule shell; the payload
+		// bytes are immutable and shared with the caller (zero-copy
+		// data plane).
 		req.Reply(GetResp{Key: b.Key, Lat: e.lat.Clone(), Found: true}, 24+e.size)
 	case PutReq:
 		n.ops++

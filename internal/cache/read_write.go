@@ -16,6 +16,10 @@ var ErrNotFound = errors.New("cache: key not found")
 // single-shot reads outside a DAG. The returned VersionRef identifies
 // exactly which version was read (for downstream protocol checks and the
 // consistency audit).
+//
+// The returned payload is the capsule's own immutable buffer, shared
+// with the cache (and possibly the KVS and other readers) rather than
+// copied; callers must treat it as read-only.
 func (c *Cache) Read(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
 	c.k.Sleep(c.cfg.IPC)
 	if meta != nil && meta.Caches != nil {
@@ -42,7 +46,7 @@ func (c *Cache) readLWW(key string) ([]byte, core.VersionRef, error) {
 	c.mu.Lock()
 	if cur, ok := c.store[key]; ok {
 		l := cur.(*lattice.LWW)
-		val := append([]byte(nil), l.Value...)
+		val := l.Value // immutable payload: shared, not copied
 		ver := core.VersionRef{Cache: c.ID(), TS: l.TS}
 		c.mu.Unlock()
 		c.Stats.Hits++
@@ -58,7 +62,7 @@ func (c *Cache) readLWW(key string) ([]byte, core.VersionRef, error) {
 		return nil, core.VersionRef{}, ErrNotFound
 	}
 	l := lat.(*lattice.LWW)
-	return append([]byte(nil), l.Value...), core.VersionRef{Cache: c.ID(), TS: l.TS}, nil
+	return l.Value, core.VersionRef{Cache: c.ID(), TS: l.TS}, nil
 }
 
 // readRR implements Algorithm 1 (distributed session repeatable read).
@@ -71,7 +75,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 			cur, hasLocal := c.store[key]
 			if hasLocal {
 				if l := cur.(*lattice.LWW); l.TS == prior.TS {
-					val := append([]byte(nil), l.Value...)
+					val := l.Value
 					c.mu.Unlock()
 					c.Stats.Hits++
 					return val, prior, nil
@@ -85,7 +89,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 				return nil, core.VersionRef{}, err
 			}
 			l := lat.(*lattice.LWW)
-			return append([]byte(nil), l.Value...), prior, nil
+			return l.Value, prior, nil
 		}
 	}
 	// First read of this key in the DAG: any available version (line 9),
@@ -96,7 +100,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 		c.Stats.Hits++
 		l := cur.(*lattice.LWW)
 		c.snapshotLocked(reqID, key, l)
-		val := append([]byte(nil), l.Value...)
+		val := l.Value
 		ver := core.VersionRef{Cache: c.ID(), TS: l.TS}
 		c.mu.Unlock()
 		if meta != nil {
@@ -121,7 +125,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 	if meta != nil {
 		meta.ReadSet[key] = ver
 	}
-	return append([]byte(nil), l.Value...), ver, nil
+	return l.Value, ver, nil
 }
 
 // readSK is single-key causality: causal capsules with per-key vector
@@ -130,7 +134,7 @@ func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
 	c.mu.Lock()
 	if cur, ok := c.store[key]; ok {
 		cap := cur.(*lattice.Causal)
-		val := append([]byte(nil), cap.DisplayValue()...)
+		val := cap.DisplayValue()
 		ver := core.VersionRef{Cache: c.ID(), VC: cap.VC()}
 		c.mu.Unlock()
 		c.Stats.Hits++
@@ -146,7 +150,7 @@ func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
 		return nil, core.VersionRef{}, ErrNotFound
 	}
 	cap := lat.(*lattice.Causal)
-	return append([]byte(nil), cap.DisplayValue()...), core.VersionRef{Cache: c.ID(), VC: cap.VC()}, nil
+	return cap.DisplayValue(), core.VersionRef{Cache: c.ID(), VC: cap.VC()}, nil
 }
 
 // readMK is multi-key (bolt-on) causality: the local store is maintained
@@ -248,7 +252,7 @@ func (c *Cache) readDSC(reqID, key string, meta *core.SessionMeta) ([]byte, core
 			}
 		}
 	}
-	return append([]byte(nil), cap.DisplayValue()...), ver, nil
+	return cap.DisplayValue(), ver, nil
 }
 
 func hasKey(m map[string]core.VersionRef, k string) bool {
@@ -284,9 +288,7 @@ func (c *Cache) ReadAll(reqID, key string, meta *core.SessionMeta) ([][]byte, co
 	cap := cur.(*lattice.Causal)
 	sibs := cap.Siblings()
 	out := make([][]byte, len(sibs))
-	for i, s := range sibs {
-		out[i] = append([]byte(nil), s...)
-	}
+	copy(out, sibs) // sibling payloads are immutable: share them
 	return out, ver, nil
 }
 

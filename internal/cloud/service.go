@@ -92,7 +92,9 @@ type MGetResp struct {
 	Vals [][]byte
 }
 
-// PutReq stores an object.
+// PutReq stores an object. The service takes ownership of Val: like
+// every payload on the data plane, the buffer is immutable once handed
+// over, so gets can return the stored bytes without copying.
 type PutReq struct {
 	Key string
 	Val []byte
@@ -166,8 +168,9 @@ func (s *Service) handle(req *simnet.Request) {
 			return
 		}
 		s.k.Sleep(s.transfer(len(obj.val)))
-		out := append([]byte(nil), obj.val...)
-		req.Reply(GetResp{Val: out, Found: true}, 32+len(out))
+		// Stored values are immutable (see PutReq): reply with the
+		// stored buffer instead of copying it.
+		req.Reply(GetResp{Val: obj.val, Found: true}, 32+len(obj.val))
 	case MGetReq:
 		s.k.Sleep(s.profile.ReadBase.Sample(s.k.Rand()))
 		resp := MGetResp{Vals: make([][]byte, len(b.Keys))}
@@ -179,7 +182,7 @@ func (s *Service) handle(req *simnet.Request) {
 				continue
 			}
 			s.k.Sleep(s.transfer(len(obj.val)))
-			resp.Vals[i] = append([]byte(nil), obj.val...)
+			resp.Vals[i] = obj.val
 			size += len(obj.val)
 		}
 		req.Reply(resp, size)
@@ -187,7 +190,7 @@ func (s *Service) handle(req *simnet.Request) {
 		s.k.Sleep(s.profile.WriteBase.Sample(s.k.Rand()))
 		s.k.Sleep(s.transfer(len(b.Val)))
 		s.store[b.Key] = object{
-			val:       append([]byte(nil), b.Val...),
+			val:       b.Val, // service takes ownership; payloads are immutable
 			visibleAt: s.k.Now().Add(s.profile.VisibilityLag),
 		}
 		req.Reply(PutResp{}, 16)
@@ -205,7 +208,7 @@ func (s *Service) transfer(size int) time.Duration {
 // Preload inserts an object without paying request latency (workload
 // setup); it is immediately visible.
 func (s *Service) Preload(key string, val []byte) {
-	s.store[key] = object{val: append([]byte(nil), val...)}
+	s.store[key] = object{val: val}
 }
 
 // Client is a caller-side handle to a storage service.

@@ -1,17 +1,64 @@
 // Package codec serializes user-level values for storage in Anna and for
 // argument/result passing between Cloudburst functions. The paper uses
-// cloudpickle for Python objects; the Go equivalent is gob over a small
-// envelope, which handles arbitrary registered types and gives realistic
-// serialized sizes for bandwidth accounting.
+// cloudpickle for Python objects; this package plays the same role for
+// Go values, with realistic serialized sizes for bandwidth accounting.
+//
+// # Wire format
+//
+// Every encoding starts with a one-byte type tag. The hot types of the
+// runtime — raw byte arrays, strings, numbers, flat slices, and string
+// maps — take a fast binary path; everything else falls back to gob
+// (tag 0x00), which handles arbitrary registered types exactly as the
+// seed implementation did.
+//
+//	0x00 gob     | gob stream of envelope{V} follows
+//	0x01 nil     | nothing follows
+//	0x02 []byte  | raw bytes to end of buffer
+//	0x03 string  | raw bytes to end of buffer
+//	0x04 int     | 8 bytes little-endian two's complement
+//	0x05 int64   | 8 bytes little-endian two's complement
+//	0x06 float64 | 8 bytes little-endian IEEE 754 bits
+//	0x07 bool    | 1 byte, 0 or 1
+//	0x08 []float64        | u32 count, then count x 8 bytes LE bits
+//	0x09 []int            | u32 count, then count x 8 bytes LE
+//	0x0a []string         | u32 count, then count x (u32 len, bytes)
+//	0x0b []any            | u32 count, then count x (u32 len, encoding)
+//	0x0c map[string]string| u32 count, then count x (u32 klen, key,
+//	                      |   u32 vlen, value), sorted by key
+//	0x0d map[string]any   | u32 count, then count x (u32 klen, key,
+//	                      |   u32 vlen, encoding), sorted by key
+//
+// Container elements tagged 0x0b/0x0d are full encodings themselves
+// (recursively fast-path or gob), so a map[string]any holding an exotic
+// struct still round-trips. Map entries are emitted in sorted key order
+// so encoding is deterministic, which run-to-run-reproducible simulation
+// output depends on.
+//
+// Decoding matches gob's conventions for empty values: zero-length
+// slices decode as nil slices, zero-entry maps as non-nil empty maps.
+//
+// # Zero-copy
+//
+// Decode is zero-copy for []byte: the returned slice aliases the input
+// buffer. This is the data plane's key fast path — capsule payloads are
+// immutable by convention (see the lattice package), so readers share
+// the bytes instead of copying 80MB arrays around. Callers that need to
+// mutate a decoded value must copy it first; the runtime itself never
+// does.
 package codec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"maps"
+	"math"
+	"slices"
+	"sync"
 )
 
-// envelope lets gob encode interface values uniformly.
+// envelope lets gob encode interface values uniformly (fallback path).
 type envelope struct {
 	V any
 }
@@ -27,17 +74,38 @@ func init() {
 	gob.Register(map[string]float64{})
 }
 
+// Type tags; see the package comment for the wire format.
+const (
+	tagGob     = 0x00
+	tagNil     = 0x01
+	tagBytes   = 0x02
+	tagString  = 0x03
+	tagInt     = 0x04
+	tagInt64   = 0x05
+	tagFloat64 = 0x06
+	tagBool    = 0x07
+	tagFloats  = 0x08
+	tagInts    = 0x09
+	tagStrings = 0x0a
+	tagAnys    = 0x0b
+	tagMapSS   = 0x0c
+	tagMapSA   = 0x0d
+)
+
+// bufPool recycles the scratch buffers the gob fallback encodes into.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Register makes a concrete type encodable when stored in an interface,
-// mirroring gob.Register.
+// mirroring gob.Register. Registered types use the gob fallback.
 func Register(v any) { gob.Register(v) }
 
 // Encode serializes v.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+	out, err := appendValue(make([]byte, 0, sizeHint(v)), v)
+	if err != nil {
 		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // MustEncode serializes v and panics on failure; use it for values whose
@@ -51,13 +119,331 @@ func MustEncode(v any) []byte {
 	return b
 }
 
-// Decode deserializes a value produced by Encode.
-func Decode(data []byte) (any, error) {
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("codec: decode: %w", err)
+// sizeHint returns the exact encoded size for flat fast-path types and a
+// small default for everything else (composite encodings grow by
+// append).
+func sizeHint(v any) int {
+	switch x := v.(type) {
+	case nil, bool:
+		return 2
+	case int, int64, float64:
+		return 9
+	case []byte:
+		return 1 + len(x)
+	case string:
+		return 1 + len(x)
+	case []float64:
+		return 5 + 8*len(x)
+	case []int:
+		return 5 + 8*len(x)
 	}
-	return env.V, nil
+	return 64
+}
+
+// appendValue appends v's tagged encoding to dst.
+func appendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tagNil), nil
+	case []byte:
+		dst = append(dst, tagBytes)
+		return append(dst, x...), nil
+	case string:
+		dst = append(dst, tagString)
+		return append(dst, x...), nil
+	case int:
+		dst = append(dst, tagInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(x)), nil
+	case int64:
+		dst = append(dst, tagInt64)
+		return binary.LittleEndian.AppendUint64(dst, uint64(x)), nil
+	case float64:
+		dst = append(dst, tagFloat64)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(dst, tagBool, b), nil
+	case []float64:
+		dst = append(dst, tagFloats)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, f := range x {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+		return dst, nil
+	case []int:
+		dst = append(dst, tagInts)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, n := range x {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(n))
+		}
+		return dst, nil
+	case []string:
+		dst = append(dst, tagStrings)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, s := range x {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+			dst = append(dst, s...)
+		}
+		return dst, nil
+	case []any:
+		dst = append(dst, tagAnys)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, e := range x {
+			var err error
+			if dst, err = appendBlob(dst, e); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case map[string]string:
+		dst = append(dst, tagMapSS)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, k := range sortedKeysSS(x) {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x[k])))
+			dst = append(dst, x[k]...)
+		}
+		return dst, nil
+	case map[string]any:
+		dst = append(dst, tagMapSA)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, k := range sortedKeysSA(x) {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			var err error
+			if dst, err = appendBlob(dst, x[k]); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	}
+	return appendGob(dst, v)
+}
+
+// appendBlob appends a length-prefixed full encoding of v (container
+// element format).
+func appendBlob(dst []byte, v any) ([]byte, error) {
+	lenAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below
+	dst, err := appendValue(dst, v)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst, nil
+}
+
+// appendGob appends the gob-fallback encoding of v.
+func appendGob(dst []byte, v any) ([]byte, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(envelope{V: v}); err != nil {
+		return nil, err
+	}
+	dst = append(dst, tagGob)
+	return append(dst, buf.Bytes()...), nil
+}
+
+func sortedKeysSS(m map[string]string) []string { return slices.Sorted(maps.Keys(m)) }
+
+func sortedKeysSA(m map[string]any) []string { return slices.Sorted(maps.Keys(m)) }
+
+// errTruncated reports malformed input.
+func errTruncated(tag byte) error {
+	return fmt.Errorf("codec: decode: truncated input (tag %#x)", tag)
+}
+
+// Decode deserializes a value produced by Encode. The result may alias
+// data (the []byte fast path is zero-copy); treat both as read-only.
+func Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("codec: decode: empty input")
+	}
+	tag, body := data[0], data[1:]
+	switch tag {
+	case tagGob:
+		var env envelope
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+			return nil, fmt.Errorf("codec: decode: %w", err)
+		}
+		return env.V, nil
+	case tagNil:
+		return nil, nil
+	case tagBytes:
+		if len(body) == 0 {
+			return []byte(nil), nil // gob parity: empty slices decode nil
+		}
+		// Clamp capacity: the zero-copy slice must not let an append
+		// reach into the shared buffer beyond the value's own bytes.
+		return body[:len(body):len(body)], nil
+	case tagString:
+		return string(body), nil
+	case tagInt:
+		if len(body) != 8 {
+			return nil, errTruncated(tag)
+		}
+		return int(binary.LittleEndian.Uint64(body)), nil
+	case tagInt64:
+		if len(body) != 8 {
+			return nil, errTruncated(tag)
+		}
+		return int64(binary.LittleEndian.Uint64(body)), nil
+	case tagFloat64:
+		if len(body) != 8 {
+			return nil, errTruncated(tag)
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(body)), nil
+	case tagBool:
+		if len(body) != 1 {
+			return nil, errTruncated(tag)
+		}
+		return body[0] != 0, nil
+	case tagFloats:
+		n, body, err := readCount(tag, body, 8)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return []float64(nil), nil
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case tagInts:
+		n, body, err := readCount(tag, body, 8)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return []int(nil), nil
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = int(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case tagStrings:
+		n, body, err := readCount(tag, body, 0)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return []string(nil), nil
+		}
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			var s []byte
+			if s, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			out = append(out, string(s))
+		}
+		return out, nil
+	case tagAnys:
+		n, body, err := readCount(tag, body, 0)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return []any(nil), nil
+		}
+		out := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			var blob []byte
+			if blob, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			v, err := Decode(blob)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case tagMapSS:
+		n, body, err := readCount(tag, body, 0)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			var k, v []byte
+			if k, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			if v, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			out[string(k)] = string(v)
+		}
+		return out, nil
+	case tagMapSA:
+		n, body, err := readCount(tag, body, 0)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			var k, blob []byte
+			if k, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			if blob, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			v, err := Decode(blob)
+			if err != nil {
+				return nil, err
+			}
+			out[string(k)] = v
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("codec: decode: unknown tag %#x", data[0])
+}
+
+// readCount reads a u32 element count and sanity-checks it against the
+// remaining bytes (each element needs at least elemSize bytes, or, for
+// variable-size elements, a 4-byte length prefix).
+func readCount(tag byte, body []byte, elemSize int) (int, []byte, error) {
+	if len(body) < 4 {
+		return 0, nil, errTruncated(tag)
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	min := elemSize
+	if min == 0 {
+		min = 4
+	}
+	if n < 0 || n*min > len(body) {
+		return 0, nil, errTruncated(tag)
+	}
+	if elemSize > 0 && n*elemSize != len(body) {
+		return 0, nil, errTruncated(tag)
+	}
+	return n, body, nil
+}
+
+// readChunk reads one u32-length-prefixed chunk.
+func readChunk(tag byte, body []byte) (chunk, rest []byte, err error) {
+	if len(body) < 4 {
+		return nil, nil, errTruncated(tag)
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if n < 0 || n > len(body) {
+		return nil, nil, errTruncated(tag)
+	}
+	// Capacity-clamped so zero-copy decodes of nested values cannot
+	// alias the sibling data that follows them in the buffer.
+	return body[:n:n], body[n:], nil
 }
 
 // MustDecode deserializes and panics on failure.

@@ -1,0 +1,285 @@
+package codec
+
+// Parity tests: the fast binary path must be observationally equivalent
+// to the gob fallback for every hot type — Decode(fast(v)) equals
+// Decode(gob(v)) — including nested map[string]any values and values
+// that cross the gob-fallback boundary (unregistered-in-fast-path
+// types inside containers).
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// gobEncode forces v through the gob fallback, producing a tagged
+// encoding exactly as Encode would for a non-fast-path type.
+func gobEncode(t testing.TB, v any) []byte {
+	t.Helper()
+	out, err := appendGob(nil, v)
+	if err != nil {
+		t.Fatalf("gob encode %T: %v", v, err)
+	}
+	return out
+}
+
+// decodeOK decodes or fails the test.
+func decodeOK(t testing.TB, b []byte) any {
+	t.Helper()
+	v, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return v
+}
+
+// assertParity checks fast-path and gob round-trips of v agree.
+func assertParity(t *testing.T, v any) {
+	t.Helper()
+	fast, err := Encode(v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	viaFast := decodeOK(t, fast)
+	viaGob := decodeOK(t, gobEncode(t, v))
+	if !reflect.DeepEqual(viaFast, viaGob) {
+		t.Fatalf("parity violation for %T:\n fast: %#v\n gob:  %#v", v, viaFast, viaGob)
+	}
+}
+
+// fastCovered are the types the acceptance criteria require on the fast
+// path; encoding one must not fall back to gob.
+var fastCovered = []any{
+	[]byte{1, 2, 3},
+	"hello",
+	int(-9),
+	int64(1 << 40),
+	float64(2.75),
+	[]float64{1, 2.5},
+	[]int{3, -4},
+	[]string{"a", "bb"},
+	map[string]any{"k": 1},
+	map[string]string{"k": "v"},
+}
+
+func TestHotTypesTakeFastPath(t *testing.T) {
+	for _, v := range fastCovered {
+		b := MustEncode(v)
+		if b[0] == tagGob {
+			t.Errorf("%T fell back to gob", v)
+		}
+		assertParity(t, v)
+	}
+}
+
+type fallbackOnly struct {
+	N int
+	S string
+	F []float64
+}
+
+func TestFallbackBoundary(t *testing.T) {
+	Register(fallbackOnly{})
+	v := fallbackOnly{N: 7, S: "x", F: []float64{1, 2}}
+	b := MustEncode(v)
+	if b[0] != tagGob {
+		t.Fatalf("unregistered struct should use gob fallback, tag %#x", b[0])
+	}
+	if got := MustDecode(b).(fallbackOnly); !reflect.DeepEqual(got, v) {
+		t.Fatalf("fallback round trip: %+v", got)
+	}
+	// The boundary also holds inside containers: a struct nested in a
+	// map[string]any rides the per-value gob fallback and still matches
+	// the all-gob encoding of the whole map.
+	assertParity(t, map[string]any{"cfg": v, "n": 3})
+	assertParity(t, []any{v, "tail"})
+}
+
+func TestParityEmptyAndNil(t *testing.T) {
+	for _, v := range []any{
+		nil, "", []byte{}, []byte(nil), []float64{}, []float64(nil),
+		[]int{}, []string{}, []any{}, map[string]string{}, map[string]any{},
+		map[string]string(nil), map[string]any(nil), []string(nil), []int(nil),
+		int(0), int64(0), float64(0), false, true,
+		math.Inf(1), math.Inf(-1), math.MaxInt64, math.MinInt64,
+	} {
+		assertParity(t, v)
+	}
+	// NaN breaks DeepEqual; check the bit pattern survives instead.
+	if got := MustDecode(MustEncode(math.NaN())).(float64); !math.IsNaN(got) {
+		t.Fatalf("NaN round trip: %v", got)
+	}
+}
+
+// randValue builds a random value drawn from the fast-path type set,
+// with nested containers (and the occasional gob-fallback struct) up to
+// the given depth.
+func randValue(r *rand.Rand, depth int) any {
+	max := 12
+	if depth <= 0 {
+		max = 8 // leaves only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return nil
+	case 1:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return b
+	case 2:
+		return randString(r)
+	case 3:
+		return int(r.Int63()) - (1 << 40)
+	case 4:
+		return r.Int63()
+	case 5:
+		return r.NormFloat64()
+	case 6:
+		out := make([]float64, r.Intn(5))
+		for i := range out {
+			out[i] = r.NormFloat64()
+		}
+		return out
+	case 7:
+		out := make([]string, r.Intn(5))
+		for i := range out {
+			out[i] = randString(r)
+		}
+		return out
+	case 8:
+		out := make([]int, r.Intn(5))
+		for i := range out {
+			out[i] = int(r.Int31()) - (1 << 20)
+		}
+		return out
+	case 9:
+		out := make(map[string]string, 3)
+		for i := r.Intn(4); i > 0; i-- {
+			out[randString(r)] = randString(r)
+		}
+		return out
+	case 10:
+		out := make(map[string]any, 3)
+		for i := r.Intn(4); i > 0; i-- {
+			out[randString(r)] = randValue(r, depth-1)
+		}
+		return out
+	default:
+		n := r.Intn(4)
+		out := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, randValue(r, depth-1))
+		}
+		if len(out) == 0 {
+			return []any(nil) // gob decodes empty []any as nil
+		}
+		return out
+	}
+}
+
+func randString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestParityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		assertParity(t, randValue(r, 3))
+	}
+}
+
+// TestDecodedBytesCapacityClamped: zero-copy []byte decodes must not
+// carry spare capacity into the shared buffer — an append to a decoded
+// slice has to reallocate, never overwrite sibling data in place.
+func TestDecodedBytesCapacityClamped(t *testing.T) {
+	enc := MustEncode([]any{[]byte("aaaa"), []byte("bbbb")})
+	first := MustDecode(enc).([]any)[0].([]byte)
+	if cap(first) != len(first) {
+		t.Fatalf("nested []byte decode has spare capacity: len=%d cap=%d", len(first), cap(first))
+	}
+	_ = append(first, []byte("overwrite-attempt")...)
+	got := MustDecode(enc).([]any) // must still parse and be intact
+	if string(got[1].([]byte)) != "bbbb" {
+		t.Fatalf("sibling corrupted by append: %q", got[1])
+	}
+	top := MustDecode(MustEncode([]byte("top-level"))).([]byte)
+	if cap(top) != len(top) {
+		t.Fatalf("top-level []byte decode has spare capacity: len=%d cap=%d", len(top), cap(top))
+	}
+}
+
+// FuzzDecode: Decode must reject or parse arbitrary input without
+// panicking, and whatever parses must re-encode and decode to an equal
+// value (when the value is encodable at all).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{tagGob})
+	f.Add([]byte{tagBytes, 1, 2, 3})
+	f.Add(MustEncode(map[string]any{"xs": []float64{1, 2}, "n": 3}))
+	f.Add(MustEncode([]any{"a", []string{"b"}, map[string]string{"c": "d"}}))
+	f.Add([]byte{tagMapSA, 255, 255, 255, 255})
+	f.Add([]byte{tagFloats, 4, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(v)
+		if err != nil {
+			return // e.g. gob-decoded values of unencodable shape
+		}
+		v2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(v, v2) && !containsNaN(v) {
+			t.Fatalf("re-encode changed value: %#v vs %#v", v, v2)
+		}
+	})
+}
+
+// FuzzParity drives the property test from fuzzed seeds.
+func FuzzParity(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 32; i++ {
+			assertParity(t, randValue(r, 3))
+		}
+	})
+}
+
+// containsNaN reports whether v holds a NaN anywhere (NaN != NaN makes
+// DeepEqual fail spuriously).
+func containsNaN(v any) bool {
+	switch x := v.(type) {
+	case float64:
+		return math.IsNaN(x)
+	case []float64:
+		for _, f := range x {
+			if math.IsNaN(f) {
+				return true
+			}
+		}
+	case []any:
+		for _, e := range x {
+			if containsNaN(e) {
+				return true
+			}
+		}
+	case map[string]any:
+		for _, e := range x {
+			if containsNaN(e) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -67,7 +67,7 @@ func (c *Ctx) Get(key string) (val any, found bool, err error) {
 			WriteID: writeID, Ver: ver, Cache: ver.Cache, At: c.t.k.Now(),
 		})
 	}
-	v, err := codec.Decode(inner)
+	v, err := c.t.decodeVersioned(key, ver, inner)
 	if err != nil {
 		return nil, true, err
 	}

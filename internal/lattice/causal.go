@@ -14,9 +14,11 @@ type Version struct {
 	Value []byte
 }
 
-// clone returns a deep copy of v.
+// clone returns a copy of v: clocks and dependency sets are deep-copied
+// (they are mutable), the payload is shared (it is immutable — see the
+// LWW capsule contract).
 func (v Version) clone() Version {
-	c := Version{VC: v.VC.Copy(), Value: append([]byte(nil), v.Value...)}
+	c := Version{VC: v.VC.Copy(), Value: v.Value}
 	if v.Deps != nil {
 		c.Deps = make(map[string]VectorClock, len(v.Deps))
 		for k, vc := range v.Deps {
@@ -41,8 +43,10 @@ type Causal struct {
 	Versions []Version // canonical: pruned, sorted, deduplicated
 }
 
-// NewCausal builds a capsule holding one write.
+// NewCausal builds a capsule holding one write. The capsule takes
+// ownership of value; the caller must not mutate it afterwards.
 func NewCausal(vc VectorClock, deps map[string]VectorClock, value []byte) *Causal {
+	recordPayload(value)
 	c := &Causal{Versions: []Version{{VC: vc, Deps: deps, Value: value}}}
 	c.normalize()
 	return c

@@ -1,0 +1,87 @@
+package lattice
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// The payload guard is the test-only enforcement of the capsule
+// immutability convention: a capsule's payload bytes must never change
+// after construction (writers allocate fresh buffers; Clone/Merge and
+// the cache/KVS/executor data plane share slices instead of copying).
+// While enabled, every payload entering a capsule via NewLWW/NewCausal
+// is checksummed; VerifyPayloads recomputes the checksums and reports
+// any buffer that was mutated in place. The guard costs one atomic load
+// when disabled, so production paths are unaffected.
+
+// guardEntry remembers one capsuled payload and its construction-time
+// checksum.
+type guardEntry struct {
+	payload []byte
+	sum     uint64
+}
+
+// maxGuardEntries bounds guard memory; tests that capsule more payloads
+// than this still verify the first maxGuardEntries of them.
+const maxGuardEntries = 1 << 16
+
+var (
+	guardEnabled atomic.Bool
+	guardEntries []guardEntry
+)
+
+// GuardPayloads starts recording capsule payloads for immutability
+// verification. Not safe for concurrent use with capsule construction —
+// call it from test setup, before the simulation runs (the virtual-time
+// kernel is cooperative, so in-simulation construction never races).
+func GuardPayloads() {
+	guardEntries = guardEntries[:0]
+	guardEnabled.Store(true)
+}
+
+// VerifyPayloads stops recording and returns an error naming every
+// guarded payload whose bytes changed since construction.
+func VerifyPayloads() error {
+	guardEnabled.Store(false)
+	var mutated int
+	var first string
+	for _, e := range guardEntries {
+		if payloadSum(e.payload) != e.sum {
+			mutated++
+			if first == "" {
+				first = fmt.Sprintf("payload of %d bytes (now %q...)", len(e.payload), clip(e.payload))
+			}
+		}
+	}
+	guardEntries = nil
+	if mutated > 0 {
+		return fmt.Errorf("lattice: %d capsule payload(s) mutated after construction; first: %s", mutated, first)
+	}
+	return nil
+}
+
+// recordPayload checksums b when the guard is enabled; called by capsule
+// constructors.
+func recordPayload(b []byte) {
+	if !guardEnabled.Load() || len(b) == 0 {
+		return
+	}
+	if len(guardEntries) >= maxGuardEntries {
+		return
+	}
+	guardEntries = append(guardEntries, guardEntry{payload: b, sum: payloadSum(b)})
+}
+
+func payloadSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 16 {
+		return b[:16]
+	}
+	return b
+}

@@ -15,9 +15,13 @@ type Lattice interface {
 	// concrete type; Merge panics otherwise (a type-confused store is a
 	// programming error, not a runtime condition).
 	Merge(other Lattice)
-	// Clone returns a deep copy. Stores must clone on ingest and egress
-	// so that nodes in the simulated cluster never alias each other's
-	// state.
+	// Clone returns a copy deep enough that merging or re-timestamping
+	// one replica never perturbs another: all mutable structure (clocks,
+	// dependency sets, map shells) is copied, while payload byte slices
+	// — immutable once capsuled, see LWW — are shared. Stores clone on
+	// ingest and egress so that nodes in the simulated cluster never
+	// alias each other's mutable state; payload sharing is what keeps
+	// that discipline cheap at 80MB-array scale.
 	Clone() Lattice
 	// ByteSize estimates the serialized size in bytes, used for
 	// bandwidth accounting and the metadata-overhead measurements in

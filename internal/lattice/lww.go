@@ -23,15 +23,26 @@ func (t Timestamp) Less(u Timestamp) bool {
 // opaque payload. Merge keeps the pair with the larger timestamp; equal
 // timestamps tie-break on payload bytes so the merge stays commutative.
 // This is the default capsule Cloudburst wraps bare program values in.
+//
+// Value is immutable once capsuled: every writer allocates a fresh
+// buffer (codec.Encode always returns one), so Clone and Merge share the
+// slice instead of copying it, and readers throughout the cache/KVS/
+// executor data plane hand out the same bytes. The payload guard (see
+// GuardPayloads) enforces the convention in tests.
 type LWW struct {
 	TS    Timestamp
 	Value []byte
 }
 
-// NewLWW returns a capsule holding value at timestamp ts.
-func NewLWW(ts Timestamp, value []byte) *LWW { return &LWW{TS: ts, Value: value} }
+// NewLWW returns a capsule holding value at timestamp ts. The capsule
+// takes ownership of value; the caller must not mutate it afterwards.
+func NewLWW(ts Timestamp, value []byte) *LWW {
+	recordPayload(value)
+	return &LWW{TS: ts, Value: value}
+}
 
-// Merge implements Lattice.
+// Merge implements Lattice. Payloads are immutable, so the winning
+// capsule's bytes are shared, not copied.
 func (l *LWW) Merge(other Lattice) {
 	o, ok := other.(*LWW)
 	if !ok {
@@ -39,7 +50,7 @@ func (l *LWW) Merge(other Lattice) {
 	}
 	if l.less(o) {
 		l.TS = o.TS
-		l.Value = append(l.Value[:0:0], o.Value...)
+		l.Value = o.Value
 	}
 }
 
@@ -51,9 +62,10 @@ func (l *LWW) less(o *LWW) bool {
 	return bytes.Compare(l.Value, o.Value) < 0
 }
 
-// Clone implements Lattice.
+// Clone implements Lattice. The payload is shared (it is immutable);
+// only the capsule shell is fresh.
 func (l *LWW) Clone() Lattice {
-	return &LWW{TS: l.TS, Value: append([]byte(nil), l.Value...)}
+	return &LWW{TS: l.TS, Value: l.Value}
 }
 
 // ByteSize implements Lattice. The paper calls out the 8-byte timestamp

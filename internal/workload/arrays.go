@@ -72,7 +72,12 @@ func (a ArraySum) Expected() float64 {
 // (usually KVS references), paying the simulated compute cost.
 func (a ArraySum) Register(c *cb.Cluster) error {
 	return c.RegisterFunction("sum10", func(ctx *cb.Ctx, args []any) (any, error) {
-		total := 0.0
+		// Sum into an integer accumulator and convert once: every
+		// partial sum is an exact integer far below 2^53, so the result
+		// is bit-identical to per-element float addition while the loop
+		// stays in fast integer code (this function dominates the
+		// harness's real CPU at paper scale).
+		var isum uint64
 		bytes := 0
 		for _, arg := range args {
 			arr, ok := arg.([]byte)
@@ -81,11 +86,11 @@ func (a ArraySum) Register(c *cb.Cluster) error {
 			}
 			bytes += len(arr)
 			for _, v := range arr {
-				total += float64(v)
+				isum += uint64(v)
 			}
 		}
 		ctx.Compute(SumCompute(bytes))
-		return total, nil
+		return float64(isum), nil
 	})
 }
 

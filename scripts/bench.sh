@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper-figure benchmarks with -benchmem and write a
+# machine-readable JSON report (default BENCH_1.json) so successive PRs
+# can track the harness's perf trajectory alongside the simulated
+# metrics (ms_median:*, simreq/s_*, pct_anomaly:* stay the reproduction
+# results; ns/op, B/op, allocs/op measure the harness itself).
+#
+# Usage: scripts/bench.sh [-p bench-regex] [-o out.json] [-c count]
+# The seed baseline (scripts/seed_baseline.json), when present, is
+# embedded under "baseline_seed" for direct before/after comparison.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN='Fig|Table|Ablation'
+OUT=BENCH_1.json
+COUNT=1
+while getopts "p:o:c:" opt; do
+  case $opt in
+    p) PATTERN=$OPTARG ;;
+    o) OUT=$OPTARG ;;
+    c) COUNT=$OPTARG ;;
+    *) echo "usage: $0 [-p bench-regex] [-o out.json] [-c count]" >&2; exit 2 ;;
+  esac
+done
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1x -count "$COUNT" . | tee "$RAW"
+
+awk -v go_version="$(go version | awk '{print $3}')" \
+    -v baseline_file="scripts/seed_baseline.json" '
+function jsonesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+BEGIN { n = 0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+  iters = $2
+  row = "    {\"name\": \"" jsonesc(name) "\", \"iterations\": " iters ", \"metrics\": {"
+  first = 1
+  for (i = 3; i + 1 <= NF; i += 2) {
+    if (!first) row = row ", "
+    row = row "\"" jsonesc($(i+1)) "\": " $i
+    first = 0
+  }
+  row = row "}}"
+  rows[n++] = row
+}
+END {
+  print "{"
+  print "  \"tool\": \"scripts/bench.sh\","
+  print "  \"go\": \"" go_version "\","
+  if ((getline line < baseline_file) >= 0) {
+    close(baseline_file)
+    printf "  \"baseline_seed\": "
+    cmd = "cat " baseline_file
+    sep = ""
+    while ((cmd | getline bl) > 0) { printf "%s%s", sep, bl; sep = "\n  " }
+    close(cmd)
+    print ","
+  }
+  print "  \"benchmarks\": ["
+  for (i = 0; i < n; i++) print rows[i] (i < n-1 ? "," : "")
+  print "  ]"
+  print "}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
