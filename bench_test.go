@@ -65,6 +65,12 @@ func BenchmarkFig5DataLocality(b *testing.B) {
 		r := bench.RunFig5(bench.Fig5Quick())
 		for _, row := range r.Rows {
 			b.ReportMetric(row.Summary.Median, "ms_median:"+metricName(row.Summary.Name))
+			if row.KVSReadRTT > 0 {
+				// Cold-read fan-out: KVS read round trips per request
+				// (the grouped multi-get collapses 10 per-key gets to
+				// one per storage node).
+				b.ReportMetric(row.KVSReadRTT, "kvsrt/req:"+metricName(row.Summary.Name))
+			}
 		}
 	}
 }
@@ -200,7 +206,7 @@ func BenchmarkSingleInvocation(b *testing.B) {
 	b.ResetTimer()
 	c.Run(func(cl *cloudburst.Client) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.Call("nop"); err != nil {
+			if _, err := cl.Invoke("nop", nil).Wait(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -226,7 +232,7 @@ func BenchmarkDAGInvocation(b *testing.B) {
 	b.ResetTimer()
 	c.Run(func(cl *cloudburst.Client) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.CallDAG("ab", nil); err != nil {
+			if _, err := cl.InvokeDAG("ab", nil).Wait(); err != nil {
 				b.Fatal(err)
 			}
 		}

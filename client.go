@@ -35,7 +35,11 @@ type Client struct {
 	seq  int64
 	// vcTick makes client causal writes per-key monotonic.
 	vcTick map[string]uint64
-	// Timeout bounds every synchronous operation.
+	// pending demultiplexes inbound core.Result messages onto their
+	// futures by request ID.
+	pending map[string]*Future
+	// Timeout bounds every synchronous operation (and is the default
+	// wait bound for futures created without WithTimeout).
 	Timeout time.Duration
 }
 
@@ -47,6 +51,7 @@ func (c *Cluster) newClient() *Client {
 		anna:    c.in.AnnaClientFor(ep),
 		k:       c.in.K,
 		vcTick:  make(map[string]uint64),
+		pending: make(map[string]*Future),
 		Timeout: 30 * time.Second,
 	}
 }
@@ -82,15 +87,42 @@ func (cl *Client) Get(key string) (val any, found bool, err error) {
 	if err != nil || !found {
 		return nil, found, err
 	}
-	payload, err := capsulePayload(lat)
-	if err != nil {
-		return nil, true, err
-	}
-	v, err := codec.Decode(payload)
+	v, err := decodeCapsule(lat)
 	if err != nil {
 		return nil, true, err
 	}
 	return v, true, nil
+}
+
+// GetMany fetches several keys in bulk: one grouped multi-get round
+// trip per storage node instead of one round trip per key. Keys that
+// exist nowhere are simply absent from the result map.
+func (cl *Client) GetMany(keys ...string) (map[string]any, error) {
+	found, missing, err := cl.anna.MultiGet(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]any, len(found))
+	for key, lat := range found {
+		v, derr := decodeCapsule(lat)
+		if derr != nil {
+			return out, derr
+		}
+		out[key] = v
+	}
+	// A key can live only on a secondary replica during replication lag;
+	// retry misses through the single-key replica walk before concluding
+	// absence, preserving Get's semantics.
+	for _, key := range missing {
+		v, ok, gerr := cl.Get(key)
+		if gerr != nil {
+			return out, gerr
+		}
+		if ok {
+			out[key] = v
+		}
+	}
+	return out, nil
 }
 
 // Delete removes a key from the KVS.
@@ -109,6 +141,15 @@ func capsulePayload(lat lattice.Lattice) ([]byte, error) {
 	}
 	_, inner := executor.Untag(p)
 	return inner, nil
+}
+
+// decodeCapsule unwraps and decodes a capsule to the stored value.
+func decodeCapsule(lat lattice.Lattice) (any, error) {
+	payload, err := capsulePayload(lat)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Decode(payload)
 }
 
 // encodeArgs converts call arguments to wire form; Ref arguments become
@@ -134,108 +175,89 @@ func (cl *Client) nextReq() string {
 	return fmt.Sprintf("%s-r%d", cl.ep.ID(), cl.seq)
 }
 
-// Call invokes a registered function synchronously and returns its
-// result (Figure 2's sq(reference) path). Arguments may be plain values
-// or Refs.
-func (cl *Client) Call(fn string, args ...any) (any, error) {
-	res, err := cl.callResult(fn, args, false)
-	if err != nil {
-		return nil, err
-	}
-	return decodeResult(res)
+// InvokeOption configures one invocation — the options-driven
+// equivalent of Figure 2's keyword arguments.
+type InvokeOption func(*callOpts)
+
+type callOpts struct {
+	timeout  time.Duration // wait bound for the future; 0 → Client.Timeout
+	store    bool          // persist the result in the KVS under the future's Key
+	direct   bool          // carry the value inline in the Result even when storing
+	wantHops bool          // ask the runtime to report executor hop counts
 }
 
-// CallAsync invokes a function with the result stored in the KVS and
-// returns a Future immediately (Figure 2's store_in_kvs=True path): the
-// response key is derived from the request, so there is nothing to wait
-// for.
-func (cl *Client) CallAsync(fn string, args ...any) (*Future, error) {
-	reqID, err := cl.sendCall(fn, args, true)
-	if err != nil {
-		return nil, err
+func buildOpts(opts []InvokeOption) callOpts {
+	var o callOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return &Future{cl: cl, Key: reqID + "-result"}, nil
+	return o
 }
 
-func (cl *Client) callResult(fn string, args []any, store bool) (core.Result, error) {
-	reqID, err := cl.sendCall(fn, args, store)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return cl.awaitResult(reqID)
-}
+// WithTimeout bounds how long the returned future's Wait blocks (in
+// virtual time) before returning ErrTimedOut. Futures created without
+// it use the client's Timeout field.
+func WithTimeout(d time.Duration) InvokeOption { return func(o *callOpts) { o.timeout = d } }
 
-// sendCall dispatches an invocation to a load-balanced scheduler and
-// returns the request id.
-func (cl *Client) sendCall(fn string, args []any, store bool) (string, error) {
+// WithStoreInKVS persists the result in the KVS under the future's Key
+// (Figure 2's store_in_kvs=True): the future resolves by reading that
+// key once the completion notice arrives, and any client can Get the
+// key directly.
+func WithStoreInKVS() InvokeOption { return func(o *callOpts) { o.store = true } }
+
+// WithDirectResponse carries the result inline in the push notification
+// even when WithStoreInKVS is set — respond directly and persist.
+// Invocations without WithStoreInKVS always respond directly.
+func WithDirectResponse() InvokeOption { return func(o *callOpts) { o.direct = true } }
+
+// WithHopCount asks the runtime to report the executor hop count,
+// exposed afterwards by Future.Hops (the per-depth latency
+// normalization of Figure 8).
+func WithHopCount() InvokeOption { return func(o *callOpts) { o.wantHops = true } }
+
+// Invoke dispatches a single registered function through a
+// load-balanced scheduler and immediately returns its Future.
+// Arguments may be plain values or Refs. Every error — argument
+// encoding, execution, timeout — surfaces on the future, so calls
+// compose without intermediate error plumbing (Batch, All, As).
+func (cl *Client) Invoke(fn string, args []any, opts ...InvokeOption) *Future {
+	o := buildOpts(opts)
 	wireArgs, err := encodeArgs(args)
 	if err != nil {
-		return "", err
+		return cl.failedFuture(err)
 	}
 	reqID := cl.nextReq()
+	f := cl.register(reqID, o)
 	req := core.InvokeRequest{
 		ReqID:      reqID,
 		Function:   fn,
 		Args:       wireArgs,
 		RespondTo:  cl.ep.ID(),
-		StoreInKVS: store,
-		ResultKey:  reqID + "-result",
+		StoreInKVS: o.store,
+		Direct:     o.direct,
+		WantHops:   o.wantHops,
+		ResultKey:  f.Key,
 	}
 	size := 96
 	for _, a := range wireArgs {
 		size += len(a.Val) + len(a.Ref)
 	}
 	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
-	return reqID, nil
+	return f
 }
 
-// CallDAG invokes a registered DAG synchronously. args supplies each
-// function's client-provided arguments by function name; upstream
-// results are appended automatically by the runtime.
-func (cl *Client) CallDAG(dagName string, args map[string][]any) (any, error) {
-	res, err := cl.callDAGResult(dagName, args, false)
-	if err != nil {
-		return nil, err
-	}
-	return decodeResult(res)
-}
-
-// CallDAGDetail is CallDAG plus the runtime's hop count (used to
-// normalize latencies by DAG depth as in Figure 8).
-func (cl *Client) CallDAGDetail(dagName string, args map[string][]any) (any, int, error) {
-	res, err := cl.callDAGResult(dagName, args, false)
-	if err != nil {
-		return nil, 0, err
-	}
-	v, err := decodeResult(res)
-	return v, res.Hops, err
-}
-
-// CallDAGAsync invokes a DAG with the result stored in the KVS,
-// returning the Future immediately.
-func (cl *Client) CallDAGAsync(dagName string, args map[string][]any) (*Future, error) {
-	reqID, err := cl.sendDAGCall(dagName, args, true)
-	if err != nil {
-		return nil, err
-	}
-	return &Future{cl: cl, Key: reqID + "-result"}, nil
-}
-
-func (cl *Client) callDAGResult(dagName string, args map[string][]any, store bool) (core.Result, error) {
-	reqID, err := cl.sendDAGCall(dagName, args, store)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return cl.awaitResult(reqID)
-}
-
-func (cl *Client) sendDAGCall(dagName string, args map[string][]any, store bool) (string, error) {
+// InvokeDAG dispatches a registered DAG and immediately returns its
+// Future. args supplies each function's client-provided arguments by
+// function name; upstream results are appended automatically by the
+// runtime.
+func (cl *Client) InvokeDAG(dagName string, args map[string][]any, opts ...InvokeOption) *Future {
+	o := buildOpts(opts)
 	wire := make(map[string][]core.Arg, len(args))
 	size := 128
 	for fn, as := range args {
 		ea, err := encodeArgs(as)
 		if err != nil {
-			return "", err
+			return cl.failedFuture(err)
 		}
 		wire[fn] = ea
 		for _, a := range ea {
@@ -243,37 +265,113 @@ func (cl *Client) sendDAGCall(dagName string, args map[string][]any, store bool)
 		}
 	}
 	reqID := cl.nextReq()
+	f := cl.register(reqID, o)
 	req := scheduler.DAGInvokeReq{
 		ReqID:      reqID,
 		DAG:        dagName,
 		Args:       wire,
 		RespondTo:  cl.ep.ID(),
-		StoreInKVS: store,
-		ResultKey:  reqID + "-result",
+		StoreInKVS: o.store,
+		Direct:     o.direct,
+		WantHops:   o.wantHops,
+		ResultKey:  f.Key,
 	}
 	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
-	return reqID, nil
+	return f
 }
 
-// awaitResult waits for the Result matching reqID, discarding stale
-// duplicates from re-executed DAGs.
-func (cl *Client) awaitResult(reqID string) (core.Result, error) {
-	deadline := cl.k.Now().Add(cl.Timeout)
-	for {
-		remaining := deadline.Sub(cl.k.Now())
-		if remaining <= 0 {
-			return core.Result{}, fmt.Errorf("%w (request %s)", ErrTimedOut, reqID)
+// Invocation describes one entry in a Batch: a function call (Function
+// and Args) or, when DAG is set, a DAG call (DAG and DAGArgs). Opts
+// apply to that entry only.
+type Invocation struct {
+	Function string
+	Args     []any
+	DAG      string
+	DAGArgs  map[string][]any
+	Opts     []InvokeOption
+}
+
+// Batch dispatches every invocation before waiting on any of them,
+// pipelining N concurrent requests over the client's one endpoint.
+// Combine with All for fan-in:
+//
+//	futs := cl.Batch(invs)
+//	vals, err := cloudburst.All(futs...)
+func (cl *Client) Batch(invs []Invocation) []*Future {
+	out := make([]*Future, len(invs))
+	for i, inv := range invs {
+		if inv.DAG != "" {
+			out[i] = cl.InvokeDAG(inv.DAG, inv.DAGArgs, inv.Opts...)
+		} else {
+			out[i] = cl.Invoke(inv.Function, inv.Args, inv.Opts...)
 		}
-		m, ok := cl.ep.RecvTimeout(remaining)
-		if !ok {
-			return core.Result{}, fmt.Errorf("%w (request %s)", ErrTimedOut, reqID)
-		}
-		res, isResult := m.Payload.(core.Result)
-		if !isResult || res.ReqID != reqID {
-			continue // stale duplicate from a retry; drop it
-		}
-		return res, nil
 	}
+	return out
+}
+
+// register creates and tracks the future for a dispatched request.
+func (cl *Client) register(reqID string, o callOpts) *Future {
+	f := &Future{cl: cl, reqID: reqID, Key: reqID + "-result", store: o.store, timeout: o.timeout}
+	cl.pending[reqID] = f
+	return f
+}
+
+// failedFuture wraps a dispatch-time error as an already-completed
+// future.
+func (cl *Client) failedFuture(err error) *Future {
+	return &Future{cl: cl, done: true, err: err}
+}
+
+// drain demultiplexes every already-delivered message without blocking.
+func (cl *Client) drain() {
+	for {
+		m, ok := cl.ep.TryRecv()
+		if !ok {
+			return
+		}
+		cl.demux(m)
+	}
+}
+
+// demux routes one inbound message; non-Result payloads are dropped.
+func (cl *Client) demux(m simnet.Message) {
+	if res, ok := m.Payload.(core.Result); ok {
+		cl.deliver(res)
+	}
+}
+
+// deliver completes the pending future matching a Result. Duplicate or
+// stale results — a re-executed DAG's second sink reply, a late
+// scheduler failure notice after success — find no pending future and
+// are dropped.
+func (cl *Client) deliver(res core.Result) {
+	f, ok := cl.pending[res.ReqID]
+	if !ok {
+		return
+	}
+	if res.Hops > f.hops {
+		f.hops = res.Hops
+	}
+	if !res.OK() {
+		f.fail(errors.New(res.Err))
+		return
+	}
+	if res.Val != nil {
+		v, err := decodeResult(res)
+		f.complete(v, err)
+		return
+	}
+	if res.ResultKey != "" && f.store {
+		// The value was persisted instead of carried inline: the future
+		// resolves from the KVS (Wait/TryGet poll it from here on). No
+		// further message matters for this request, so stop tracking it —
+		// a re-executed DAG's duplicate reply or a late failure notice
+		// after this success must not overwrite the outcome.
+		f.notified = true
+		delete(cl.pending, f.reqID)
+		return
+	}
+	f.complete(nil, nil)
 }
 
 // decodeResult unwraps a successful Result's payload.
@@ -288,30 +386,46 @@ func decodeResult(res core.Result) (any, error) {
 	return codec.Decode(inner)
 }
 
-// Future is a handle to a result stored in the KVS (CloudburstFuture in
-// Figure 2).
-type Future struct {
-	cl  *Client
-	Key string
+// Call invokes a registered function synchronously and returns its
+// result (Figure 2's sq(reference) path).
+//
+// Deprecated: use Invoke with Future.Wait (or As for typed results).
+func (cl *Client) Call(fn string, args ...any) (any, error) {
+	return cl.Invoke(fn, args).Wait()
 }
 
-// Get blocks (in virtual time) until the result is available, polling
-// the KVS.
-func (f *Future) Get() (any, error) {
-	deadline := f.cl.k.Now().Add(f.cl.Timeout)
-	for {
-		v, found, err := f.cl.Get(f.Key)
-		if err != nil {
-			return nil, err
-		}
-		if found {
-			return v, nil
-		}
-		if f.cl.k.Now() >= deadline {
-			return nil, fmt.Errorf("%w (future %s)", ErrTimedOut, f.Key)
-		}
-		f.cl.k.Sleep(2 * time.Millisecond)
-	}
+// CallAsync invokes a function with the result stored in the KVS and
+// returns its Future immediately (Figure 2's store_in_kvs=True path).
+// Dispatch-time errors surface on the future.
+//
+// Deprecated: use Invoke with WithStoreInKVS.
+func (cl *Client) CallAsync(fn string, args ...any) (*Future, error) {
+	return cl.Invoke(fn, args, WithStoreInKVS()), nil
+}
+
+// CallDAG invokes a registered DAG synchronously.
+//
+// Deprecated: use InvokeDAG with Future.Wait (or As for typed results).
+func (cl *Client) CallDAG(dagName string, args map[string][]any) (any, error) {
+	return cl.InvokeDAG(dagName, args).Wait()
+}
+
+// CallDAGDetail is CallDAG plus the runtime's hop count.
+//
+// Deprecated: use InvokeDAG with WithHopCount and Future.Hops.
+func (cl *Client) CallDAGDetail(dagName string, args map[string][]any) (any, int, error) {
+	f := cl.InvokeDAG(dagName, args, WithHopCount())
+	v, err := f.Wait()
+	return v, f.Hops(), err
+}
+
+// CallDAGAsync invokes a DAG with the result stored in the KVS,
+// returning its Future immediately. Dispatch-time errors surface on the
+// future.
+//
+// Deprecated: use InvokeDAG with WithStoreInKVS.
+func (cl *Client) CallDAGAsync(dagName string, args map[string][]any) (*Future, error) {
+	return cl.InvokeDAG(dagName, args, WithStoreInKVS()), nil
 }
 
 // Endpoint exposes the client's network endpoint for advanced uses

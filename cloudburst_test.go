@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"cloudburst/internal/core"
 )
 
 func testCluster(t *testing.T, cfg Config) *Cluster {
@@ -46,21 +48,21 @@ func TestPutGetRoundTrip(t *testing.T) {
 	})
 }
 
-func TestSingleFunctionCall(t *testing.T) {
+func TestSingleFunctionInvoke(t *testing.T) {
 	c := testCluster(t, DefaultConfig())
 	registerArith(t, c)
 	c.Run(func(cl *Client) {
-		out, err := cl.Call("square", 7)
+		out, err := As[int](cl.Invoke("square", []any{7}))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if out.(int) != 49 {
+		if out != 49 {
 			t.Fatalf("square(7) = %v", out)
 		}
 	})
 }
 
-func TestCallWithKVSReference(t *testing.T) {
+func TestInvokeWithKVSReference(t *testing.T) {
 	// Figure 2: sq(CloudburstReference('key')) with key=2 returns 4.
 	c := testCluster(t, DefaultConfig())
 	registerArith(t, c)
@@ -68,7 +70,7 @@ func TestCallWithKVSReference(t *testing.T) {
 		if err := cl.Put("key", 2); err != nil {
 			t.Fatal(err)
 		}
-		out, err := cl.Call("square", Ref("key"))
+		out, err := cl.Invoke("square", []any{Ref("key")}).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,23 +80,251 @@ func TestCallWithKVSReference(t *testing.T) {
 	})
 }
 
-func TestCallAsyncFuture(t *testing.T) {
-	// Figure 2 lines 11-12: future = sq(3, store_in_kvs=True).
+func TestStoreInKVSFuture(t *testing.T) {
+	// Figure 2 lines 11-12: future = sq(3, store_in_kvs=True). The
+	// result is persisted under the future's Key and also resolves the
+	// future.
 	c := testCluster(t, DefaultConfig())
 	registerArith(t, c)
 	c.Run(func(cl *Client) {
-		fut, err := cl.CallAsync("square", 3)
-		if err != nil {
-			t.Fatal(err)
-		}
-		out, err := fut.Get()
+		fut := cl.Invoke("square", []any{3}, WithStoreInKVS())
+		out, err := fut.Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if out.(int) != 9 {
 			t.Fatalf("future = %v", out)
 		}
+		// The stored result is independently readable by key.
+		v, found, err := cl.Get(fut.Key)
+		if err != nil || !found || v.(int) != 9 {
+			t.Fatalf("stored result = %v %v %v", v, found, err)
+		}
 	})
+}
+
+func TestStoreWithDirectResponse(t *testing.T) {
+	// WithStoreInKVS + WithDirectResponse: the value rides inline in the
+	// push notification (no KVS poll needed) and is still persisted.
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		fut := cl.Invoke("square", []any{6}, WithStoreInKVS(), WithDirectResponse())
+		out, err := fut.Wait()
+		if err != nil || out.(int) != 36 {
+			t.Fatalf("direct+store future = %v, %v", out, err)
+		}
+		// Give the asynchronous write-back time to land, then check the
+		// KVS copy.
+		cl.Sleep(100 * time.Millisecond)
+		v, found, err := cl.Get(fut.Key)
+		if err != nil || !found || v.(int) != 36 {
+			t.Fatalf("stored copy = %v %v %v", v, found, err)
+		}
+	})
+}
+
+func TestBatchAndAll(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		invs := make([]Invocation, 6)
+		for i := range invs {
+			invs[i] = Invocation{Function: "square", Args: []any{i}}
+		}
+		vals, err := All(cl.Batch(invs)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v.(int) != i*i {
+				t.Fatalf("batch[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+func TestAllWithFailingMember(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	if err := c.RegisterFunction("fail", func(ctx *Ctx, args []any) (any, error) {
+		return nil, errors.New("member failed")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		futs := []*Future{
+			cl.Invoke("square", []any{2}),
+			cl.Invoke("fail", nil),
+			cl.Invoke("square", []any{3}),
+		}
+		vals, err := All(futs...)
+		if err == nil || !strings.Contains(err.Error(), "member failed") {
+			t.Fatalf("All err = %v", err)
+		}
+		// The failing member must not strand its siblings' results.
+		if vals[0].(int) != 4 || vals[2].(int) != 9 {
+			t.Fatalf("sibling results lost: %v", vals)
+		}
+	})
+}
+
+func TestTryGetBeforeCompletion(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	if err := c.RegisterFunction("slow", func(ctx *Ctx, args []any) (any, error) {
+		ctx.Compute(50 * time.Millisecond)
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) {
+		fut := cl.Invoke("slow", nil)
+		if _, ok, err := fut.TryGet(); ok || err != nil {
+			t.Fatalf("TryGet before completion: ok=%v err=%v", ok, err)
+		}
+		out, err := fut.Wait()
+		if err != nil || out.(string) != "done" {
+			t.Fatalf("Wait = %v, %v", out, err)
+		}
+		// After completion TryGet reports the same result.
+		v, ok, err := fut.TryGet()
+		if !ok || err != nil || v.(string) != "done" {
+			t.Fatalf("TryGet after completion: %v %v %v", v, ok, err)
+		}
+	})
+}
+
+func TestDuplicateAndStaleResultDelivery(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		fut := cl.Invoke("square", []any{4})
+		out, err := fut.Wait()
+		if err != nil || out.(int) != 16 {
+			t.Fatalf("first result = %v, %v", out, err)
+		}
+		// A duplicate result for the completed request (a re-executed
+		// DAG's second sink reply) and a result for a request this
+		// client never made must both be dropped silently.
+		dup := core.Result{ReqID: fut.reqID, Err: "late failure notice"}
+		stale := core.Result{ReqID: "nobody-r99", Val: []byte{0x01}}
+		cl.ep.Send(cl.ep.ID(), dup, 16)
+		cl.ep.Send(cl.ep.ID(), stale, 16)
+		cl.Sleep(10 * time.Millisecond)
+		// The next invocation pumps the endpoint past both messages.
+		out2, err := As[int](cl.Invoke("square", []any{5}))
+		if err != nil || out2 != 25 {
+			t.Fatalf("invoke after stale delivery = %v, %v", out2, err)
+		}
+		if v, ok, gerr := fut.TryGet(); !ok || gerr != nil || v.(int) != 16 {
+			t.Fatalf("duplicate overwrote completed future: %v %v %v", v, ok, gerr)
+		}
+	})
+}
+
+func TestLateFailureAfterStoredSuccess(t *testing.T) {
+	// A stored-result future whose success notice has arrived must not
+	// be overwritten by a later failure notice for the same request (a
+	// re-executed DAG attempt that errored after the first persisted).
+	c := testCluster(t, DefaultConfig())
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		fut := cl.Invoke("square", []any{8}, WithStoreInKVS())
+		// Let the success notice land in the inbox, then enqueue a stale
+		// failure notice behind it before anything is drained.
+		cl.Sleep(200 * time.Millisecond)
+		cl.ep.Send(cl.ep.ID(), core.Result{ReqID: fut.reqID, Err: "stale retry failure"}, 16)
+		cl.Sleep(10 * time.Millisecond)
+		out, err := fut.Wait()
+		if err != nil || out.(int) != 64 {
+			t.Fatalf("stored future = %v, %v (stale failure overwrote success?)", out, err)
+		}
+	})
+}
+
+func TestExpiredFutureFailsImmediately(t *testing.T) {
+	// A stored-result future whose deadline has passed must fail without
+	// sleeping another poll interval: the deadline is checked before
+	// every sleep.
+	c := testCluster(t, DefaultConfig())
+	c.Run(func(cl *Client) {
+		f := &Future{cl: cl, reqID: "expired-r1", Key: "expired-r1-result",
+			store: true, notified: true, timeout: time.Nanosecond}
+		start := cl.Now()
+		if _, err := f.Wait(); !errors.Is(err, ErrTimedOut) {
+			t.Fatalf("err = %v, want timeout", err)
+		}
+		if elapsed := cl.Now() - start; elapsed >= 2*time.Millisecond {
+			t.Fatalf("expired future slept a poll interval: %v", elapsed)
+		}
+	})
+}
+
+func TestGetMany(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	c.Run(func(cl *Client) {
+		want := map[string]any{"mk-a": "va", "mk-b": 7, "mk-c": []byte("vc")}
+		for k, v := range map[string]any{"mk-a": "va", "mk-b": 7} {
+			if err := cl.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.Put("mk-c", []byte("vc")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.GetMany("mk-a", "mk-b", "mk-c", "mk-missing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("GetMany returned %d keys: %v", len(got), got)
+		}
+		if got["mk-a"] != want["mk-a"] || got["mk-b"] != want["mk-b"] || string(got["mk-c"].([]byte)) != "vc" {
+			t.Fatalf("GetMany = %v", got)
+		}
+	})
+}
+
+func TestDeprecatedCallShimsAllModes(t *testing.T) {
+	// The Call* family is retained as one-line shims over Invoke; they
+	// must delegate correctly in every consistency mode.
+	for _, mode := range []Consistency{LWW, RepeatableRead, SingleKeyCausal, MultiKeyCausal, Causal} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			c := testCluster(t, cfg)
+			registerArith(t, c)
+			if err := c.RegisterDAG(LinearDAG("shim-pipe", "increment", "square"), 1); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(func(cl *Client) {
+				if out, err := cl.Call("square", 3); err != nil || out.(int) != 9 {
+					t.Fatalf("Call = %v, %v", out, err)
+				}
+				fut, err := cl.CallAsync("square", 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out, err := fut.Get(); err != nil || out.(int) != 16 {
+					t.Fatalf("CallAsync future = %v, %v", out, err)
+				}
+				if out, err := cl.CallDAG("shim-pipe", map[string][]any{"increment": {1}}); err != nil || out.(int) != 4 {
+					t.Fatalf("CallDAG = %v, %v", out, err)
+				}
+				out, hops, err := cl.CallDAGDetail("shim-pipe", map[string][]any{"increment": {2}})
+				if err != nil || out.(int) != 9 || hops != 2 {
+					t.Fatalf("CallDAGDetail = %v, %d, %v", out, hops, err)
+				}
+				dfut, err := cl.CallDAGAsync("shim-pipe", map[string][]any{"increment": {3}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out, err := dfut.Get(); err != nil || out.(int) != 16 {
+					t.Fatalf("CallDAGAsync future = %v, %v", out, err)
+				}
+			})
+		})
+	}
 }
 
 func TestLinearDAGComposition(t *testing.T) {
@@ -105,7 +335,7 @@ func TestLinearDAGComposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Run(func(cl *Client) {
-		out, err := cl.CallDAG("pipeline", map[string][]any{"increment": {5}})
+		out, err := cl.InvokeDAG("pipeline", map[string][]any{"increment": {5}}).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,12 +355,13 @@ func TestDAGHopsReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Run(func(cl *Client) {
-		out, hops, err := cl.CallDAGDetail("pipe2", map[string][]any{"increment": {1}})
+		f := cl.InvokeDAG("pipe2", map[string][]any{"increment": {1}}, WithHopCount())
+		out, err := f.Wait()
 		if err != nil || out.(int) != 4 {
 			t.Fatalf("result = %v err = %v", out, err)
 		}
-		if hops != 2 {
-			t.Fatalf("hops = %d, want 2", hops)
+		if f.Hops() != 2 {
+			t.Fatalf("hops = %d, want 2", f.Hops())
 		}
 	})
 }
@@ -159,7 +390,7 @@ func TestFanOutFanInDAG(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Run(func(cl *Client) {
-		out, err := cl.CallDAG("diamond", nil)
+		out, err := cl.InvokeDAG("diamond", nil).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +428,7 @@ func TestStatefulFunctionPutGet(t *testing.T) {
 	c.Run(func(cl *Client) {
 		var last int
 		for i := 1; i <= 5; i++ {
-			out, err := cl.Call("counter")
+			out, err := cl.Invoke("counter", nil).Wait()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -246,18 +477,17 @@ func TestDirectMessagingBetweenFunctions(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Run(func(cl *Client) {
-		futR, err := cl.CallAsync("responder")
+		// The responder's future completes by push while the client is
+		// waiting on the pinger — no KVS storage involved.
+		futR := cl.Invoke("responder", nil)
+		if _, err := cl.Invoke("pinger", nil).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := As[string](futR)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := cl.Call("pinger"); err != nil {
-			t.Fatal(err)
-		}
-		out, err := futR.Get()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if out.(string) != "got:ping!" {
+		if out != "got:ping!" {
 			t.Fatalf("responder result = %v", out)
 		}
 	})
@@ -266,10 +496,10 @@ func TestDirectMessagingBetweenFunctions(t *testing.T) {
 func TestUnknownFunctionAndDAGErrors(t *testing.T) {
 	c := testCluster(t, DefaultConfig())
 	c.Run(func(cl *Client) {
-		if _, err := cl.Call("ghost"); err == nil {
+		if _, err := cl.Invoke("ghost", nil).Wait(); err == nil {
 			t.Fatal("call to unregistered function succeeded")
 		}
-		if _, err := cl.CallDAG("ghost-dag", nil); err == nil {
+		if _, err := cl.InvokeDAG("ghost-dag", nil).Wait(); err == nil {
 			t.Fatal("call to unregistered DAG succeeded")
 		}
 	})
@@ -286,7 +516,7 @@ func TestFunctionErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Run(func(cl *Client) {
-		_, err := cl.Call("boom")
+		_, err := cl.Invoke("boom", nil).Wait()
 		if err == nil || !strings.Contains(err.Error(), "kaboom") {
 			t.Fatalf("err = %v", err)
 		}
@@ -298,12 +528,12 @@ func TestRunNConcurrentClients(t *testing.T) {
 	registerArith(t, c)
 	results := make([]int, 8)
 	c.RunN(8, func(i int, cl *Client) {
-		out, err := cl.Call("square", i)
+		out, err := As[int](cl.Invoke("square", []any{i}))
 		if err != nil {
 			t.Errorf("client %d: %v", i, err)
 			return
 		}
-		results[i] = out.(int)
+		results[i] = out
 	})
 	for i, r := range results {
 		if r != i*i {
@@ -332,7 +562,7 @@ func TestCausalModeEndToEnd(t *testing.T) {
 	c.Run(func(cl *Client) {
 		cl.Put("ka", "va")
 		cl.Put("kb", "vb")
-		out, err := cl.Call("read-both")
+		out, err := cl.Invoke("read-both", nil).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -369,7 +599,7 @@ func TestDAGReexecutionAfterVMFailure(t *testing.T) {
 			c.Internal().KillVM(victims[0].Name)
 			c.Internal().KillVM(victims[1].Name)
 		})
-		out, err := cl.CallDAG("fragile", nil)
+		out, err := cl.InvokeDAG("fragile", nil).Wait()
 		if err != nil {
 			t.Fatalf("DAG did not recover from VM failure: %v", err)
 		}

@@ -57,7 +57,7 @@ func main() {
 
 		fmt.Println("\n-- single function (Table 1 path) --")
 		start := cl.Now()
-		out, err := cl.Call("greet", "world")
+		out, err := cl.Invoke("greet", []any{"world"}).Wait()
 		must(err)
 		fmt.Printf("greet('world') = %v  [%.2fms virtual]\n", out, float64(cl.Now()-start)/1e6)
 
@@ -69,16 +69,19 @@ func main() {
 
 		fmt.Println("\n-- DAG composition sq(inc(key=2)) --")
 		start = cl.Now()
-		out, err = cl.CallDAG("pipeline", map[string][]any{"inc": {cloudburst.Ref("key")}})
+		out, err = cl.InvokeDAG("pipeline", map[string][]any{"inc": {cloudburst.Ref("key")}}).Wait()
 		must(err)
 		fmt.Printf("pipeline(ref key) = %v in %.2fms virtual\n", out, float64(cl.Now()-start)/1e6)
 
-		fmt.Println("\n-- async future --")
-		fut, err := cl.CallAsync("sq", 12)
-		must(err)
-		out, err = fut.Get()
+		fmt.Println("\n-- async futures: push-based and KVS-stored --")
+		fut := cl.Invoke("sq", []any{12}) // result pushed to this client
+		stored := cl.Invoke("sq", []any{5}, cloudburst.WithStoreInKVS())
+		out, err = fut.Wait()
 		must(err)
 		fmt.Printf("future sq(12) = %v\n", out)
+		out, err = stored.Wait()
+		must(err)
+		fmt.Printf("stored future sq(5) = %v (also readable at key %q)\n", out, stored.Key)
 	})
 
 	fmt.Println("\n-- failure injection: killing a VM, then invoking (§4.5) --")
@@ -91,14 +94,14 @@ func main() {
 		c.Internal().KillVM(victims[0].Name)
 		fmt.Printf("killed %s (its executors now drop every message)\n", victims[0].Name)
 		start := cl.Now()
-		out, err := cl.CallDAG("pipeline", map[string][]any{"inc": {41}})
+		out, err := cl.InvokeDAG("pipeline", map[string][]any{"inc": {41}}).Wait()
 		elapsed := time.Duration(cl.Now() - start)
 		if err != nil {
 			// Also legitimate §4.5 behaviour: after MaxRetries the
 			// scheduler returns the error to the client, who retries.
 			fmt.Printf("first attempt failed after %.1fs (%v); client retries...\n", elapsed.Seconds(), err)
 			start = cl.Now()
-			out, err = cl.CallDAG("pipeline", map[string][]any{"inc": {41}})
+			out, err = cl.InvokeDAG("pipeline", map[string][]any{"inc": {41}}).Wait()
 			must(err)
 			elapsed = time.Duration(cl.Now() - start)
 		}

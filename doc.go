@@ -31,9 +31,53 @@
 //
 //	cb.Run(func(cl *cloudburst.Client) {
 //		cl.Put("key", 2)
-//		out, _ := cl.Call("square", cloudburst.Ref("key"))
+//		out, _ := cloudburst.As[int](cl.Invoke("square", []any{cloudburst.Ref("key")}))
 //		fmt.Println(out) // 4
 //	})
+//
+// # The invocation API
+//
+// Invoke and InvokeDAG are the single invocation surface (Figure 2's
+// one call path): both return a *Future immediately, and every error —
+// argument encoding, execution, timeout — surfaces on the future, so
+// invocations compose without intermediate error plumbing. Futures are
+// push-based: executors deliver results to the issuing client's
+// endpoint, demultiplexed by request ID; nothing polls the KVS unless
+// asked to.
+//
+//	fut := cl.Invoke("square", []any{3})           // dispatch, don't wait
+//	v, err := fut.Wait()                           // block in virtual time
+//	v, ok, err := fut.TryGet()                     // non-blocking check
+//	n, err := cloudburst.As[int](fut)              // typed result
+//	vals, err := cloudburst.All(futA, futB, futC)  // fan-in
+//	futs := cl.Batch(invs)                         // pipeline N requests
+//
+// Functional options tune one invocation:
+//
+//   - WithStoreInKVS persists the result under Future.Key (Figure 2's
+//     store_in_kvs=True); the future resolves by reading that key, and
+//     other clients can Get it directly.
+//   - WithDirectResponse carries the value inline in the push
+//     notification even when it is also stored.
+//   - WithHopCount reports the executor hop count via Future.Hops
+//     (Figure 8's per-depth normalization).
+//   - WithTimeout bounds the future's Wait; the default is the
+//     client's Timeout field.
+//
+// Multi-key reads batch the same way: Client.GetMany (and the cache's
+// cold-read path under Invoke) issue one grouped multi-get round trip
+// per Anna storage node instead of one per key.
+//
+// Migrating from the deprecated Call* family:
+//
+//	cl.Call(fn, a, b)          → cl.Invoke(fn, []any{a, b}).Wait()
+//	cl.CallAsync(fn, a)        → cl.Invoke(fn, []any{a}, cloudburst.WithStoreInKVS())
+//	cl.CallDAG(d, args)        → cl.InvokeDAG(d, args).Wait()
+//	cl.CallDAGDetail(d, args)  → f := cl.InvokeDAG(d, args, cloudburst.WithHopCount());
+//	                             f.Wait() then f.Hops()
+//	cl.CallDAGAsync(d, args)   → cl.InvokeDAG(d, args, cloudburst.WithStoreInKVS())
+//
+// The shims remain for one release as one-liners over the new path.
 //
 // # The zero-copy data plane
 //

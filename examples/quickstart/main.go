@@ -1,6 +1,6 @@
 // Quickstart mirrors Figure 2 of the paper: create a cluster, register a
-// function, call it with a KVS reference, and use a future for an
-// asynchronous invocation.
+// function, invoke it with a KVS reference, and use futures — direct
+// push-based and KVS-stored — for asynchronous invocations.
 package main
 
 import (
@@ -32,21 +32,30 @@ func main() {
 		}
 
 		// reference = CloudburstReference('key'); print(sq(reference))
-		out, err := cloud.Call("square", cloudburst.Ref("key"))
+		out, err := cloudburst.As[int](cloud.Invoke("square", []any{cloudburst.Ref("key")}))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("result: %d\n", out) // result: 4
 
 		// future = sq(3, store_in_kvs=True); print(future.get())
-		future, err := cloud.CallAsync("square", 3)
+		future := cloud.Invoke("square", []any{3}, cloudburst.WithStoreInKVS())
+		v, err := future.Wait()
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err = future.Get()
+		fmt.Printf("result: %d\n", v) // result: 9
+
+		// Fan out a batch of invocations over one endpoint and fan the
+		// results back in.
+		invs := make([]cloudburst.Invocation, 4)
+		for i := range invs {
+			invs[i] = cloudburst.Invocation{Function: "square", Args: []any{i}}
+		}
+		vals, err := cloudburst.All(cloud.Batch(invs)...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("result: %d\n", out) // result: 9
+		fmt.Printf("batch: %v\n", vals) // batch: [0 1 4 9]
 	})
 }

@@ -42,7 +42,7 @@ func main() {
 		// Alice (user 1) replies to a seed tweet; Bob (a follower)
 		// immediately reads his timeline.
 		parent := g.PostIDs[3]
-		out, err := cl.Call("rt-post", 1, "replying to an old classic", parent)
+		out, err := cl.Invoke("rt-post", []any{1, "replying to an old classic", parent}).Wait()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +68,7 @@ func main() {
 		fmt.Println("(run the Figure 11 bench to compare against LWW mode, where the rate is >60%)")
 
 		// Follower counts come from the same six-function API.
-		n, err := cl.Call("rt-followers", 0)
+		n, err := cloudburst.As[int](cl.Invoke("rt-followers", []any{0}))
 		if err != nil {
 			log.Fatal(err)
 		}

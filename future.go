@@ -1,0 +1,164 @@
+package cloudburst
+
+import (
+	"fmt"
+	"time"
+)
+
+// Future is the handle to an in-flight invocation (CloudburstFuture in
+// Figure 2). Futures are push-based: executors deliver core.Result
+// messages to the issuing client's endpoint, which demultiplexes them
+// onto futures by request ID — no KVS polling unless the invocation
+// asked for WithStoreInKVS, in which case the future resolves by
+// reading Key once the completion notice arrives.
+//
+// A Future must be used from the goroutine that owns its Client.
+type Future struct {
+	cl    *Client
+	reqID string
+	// Key is the KVS key the result is persisted under when the
+	// invocation was made with WithStoreInKVS; any client can Get it.
+	Key string
+
+	store    bool
+	timeout  time.Duration // 0 → the client's Timeout at wait time
+	notified bool          // completion notice arrived; value readable under Key
+	done     bool
+	val      any
+	err      error
+	hops     int
+}
+
+// complete resolves the future and stops tracking it; later duplicate
+// results find no pending entry and are dropped.
+func (f *Future) complete(v any, err error) {
+	f.val, f.err, f.done = v, err, true
+	delete(f.cl.pending, f.reqID)
+}
+
+// fail resolves the future with an error.
+func (f *Future) fail(err error) { f.complete(nil, err) }
+
+func (f *Future) waitTimeout() time.Duration {
+	if f.timeout > 0 {
+		return f.timeout
+	}
+	return f.cl.Timeout
+}
+
+func (f *Future) timeoutErr() error {
+	return fmt.Errorf("%w (request %s)", ErrTimedOut, f.reqID)
+}
+
+// Wait blocks (in virtual time) until the future completes and returns
+// its value. On timeout the future stays pending: the result can still
+// arrive, and a later Wait or TryGet picks it up.
+func (f *Future) Wait() (any, error) {
+	cl := f.cl
+	deadline := cl.k.Now().Add(f.waitTimeout())
+	for {
+		cl.drain()
+		if f.done {
+			return f.val, f.err
+		}
+		// Deadline check before any further blocking, so a future whose
+		// timeout already expired fails immediately instead of paying
+		// one more poll cycle.
+		remaining := deadline.Sub(cl.k.Now())
+		if remaining <= 0 {
+			return nil, f.timeoutErr()
+		}
+		if f.store && f.notified {
+			// The result was persisted rather than carried inline; the
+			// cache's write-back to Anna is asynchronous, so poll the
+			// key until it lands. Read errors are returned without
+			// resolving the future: a storage node can be transiently
+			// unreachable, and a later Wait must be able to succeed.
+			v, found, err := cl.Get(f.Key)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				f.complete(v, nil)
+				return f.val, f.err
+			}
+			if remaining = deadline.Sub(cl.k.Now()); remaining <= 0 {
+				return nil, f.timeoutErr()
+			}
+			d := 2 * time.Millisecond
+			if remaining < d {
+				d = remaining
+			}
+			cl.k.Sleep(d)
+			continue
+		}
+		if m, ok := cl.ep.RecvTimeout(remaining); ok {
+			cl.demux(m)
+		}
+	}
+}
+
+// TryGet reports the result if the invocation has already completed,
+// without waiting: messages already delivered to the endpoint are
+// drained, and for a persisted result whose completion notice has
+// arrived one KVS read is attempted. ok is false while the invocation
+// is still in flight.
+func (f *Future) TryGet() (val any, ok bool, err error) {
+	f.cl.drain()
+	if !f.done && f.store && f.notified {
+		// Transient read errors leave the future unresolved, like Wait.
+		if v, found, gerr := f.cl.Get(f.Key); gerr == nil && found {
+			f.complete(v, nil)
+		}
+	}
+	if !f.done {
+		return nil, false, nil
+	}
+	return f.val, true, f.err
+}
+
+// Get blocks until the result is available.
+//
+// Deprecated: use Wait (or the typed As).
+func (f *Future) Get() (any, error) { return f.Wait() }
+
+// Hops reports the executor-transition count of the completed
+// invocation (0 until completion; request it with WithHopCount).
+func (f *Future) Hops() int { return f.hops }
+
+// All waits for every future (fan-in) and returns their values in
+// argument order. All futures are waited on even when one fails — a
+// failing member does not strand its siblings' results — and the first
+// error encountered is returned.
+func All(futs ...*Future) ([]any, error) {
+	out := make([]any, len(futs))
+	var first error
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil && first == nil {
+			first = err
+		}
+		out[i] = v
+	}
+	return out, first
+}
+
+// As waits for the future and returns its value as T — the typed
+// decode path:
+//
+//	n, err := cloudburst.As[int](cl.Invoke("square", []any{7}))
+func As[T any](f *Future) (T, error) {
+	var zero T
+	v, err := f.Wait()
+	if err != nil {
+		return zero, err
+	}
+	if v == nil {
+		return zero, nil
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("cloudburst: result is %T, not %T", v, zero)
+	}
+	return t, nil
+}

@@ -48,7 +48,7 @@ func TestPayloadImmutabilityAllModes(t *testing.T) {
 					t.Fatal(err)
 				}
 				for i := 0; i < 4; i++ {
-					if _, err := cl.Call("rmw", "list"); err != nil {
+					if _, err := cl.Invoke("rmw", []any{"list"}).Wait(); err != nil {
 						t.Fatal(err)
 					}
 					if v, found, err := cl.Get("blob"); err != nil || !found || string(v.([]byte)) != "payload-bytes" {

@@ -41,6 +41,70 @@ func TestPutGetRoundTrip(t *testing.T) {
 	})
 }
 
+func TestMultiGetGroupsByPrimary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	k, _, _, cl := harness(t, cfg)
+	k.Run("main", func() {
+		keys := make([]string, 12)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("mg-%d", i)
+			if err := cl.Put(keys[i], lww(k, keys[i]+"!")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := cl.Stats
+		found, missing, err := cl.MultiGet(append(append([]string{}, keys...), "mg-absent"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(found) != len(keys) {
+			t.Fatalf("found %d of %d keys", len(found), len(keys))
+		}
+		for _, key := range keys {
+			lat, ok := found[key]
+			if !ok || string(lat.(*lattice.LWW).Value) != key+"!" {
+				t.Fatalf("key %s = %v", key, lat)
+			}
+		}
+		if len(missing) != 1 || missing[0] != "mg-absent" {
+			t.Fatalf("missing = %v", missing)
+		}
+		// Round trips are bounded by the node count, not the key count.
+		rpcs := cl.Stats.MultiGetRPCs - before.MultiGetRPCs
+		if rpcs < 1 || rpcs > int64(cfg.Nodes) {
+			t.Fatalf("multi-get issued %d RPCs for %d keys on %d nodes", rpcs, len(keys)+1, cfg.Nodes)
+		}
+		if cl.Stats.GetRPCs != before.GetRPCs {
+			t.Fatalf("multi-get fell back to single gets: %d", cl.Stats.GetRPCs-before.GetRPCs)
+		}
+	})
+}
+
+func TestMultiGetFallsBackWhenPrimaryDown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	cfg.Replication = 2
+	k, net, kv, cl := harness(t, cfg)
+	k.Run("main", func() {
+		if err := cl.Put("fb-k", lww(k, "v")); err != nil {
+			t.Fatal(err)
+		}
+		// Let gossip replicate to the secondary, then take the primary
+		// down: the grouped call times out and the per-key replica walk
+		// must still find the value.
+		k.Sleep(200 * time.Millisecond)
+		net.SetDown(kv.Ring().PrimaryFor("fb-k"), true)
+		found, missing, err := cl.MultiGet([]string{"fb-k"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(missing) != 0 || found["fb-k"] == nil {
+			t.Fatalf("fallback failed: found=%v missing=%v", found, missing)
+		}
+	})
+}
+
 func TestGetMissingKey(t *testing.T) {
 	k, _, _, cl := harness(t, DefaultConfig())
 	k.Run("main", func() {

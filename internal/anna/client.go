@@ -8,10 +8,20 @@ import (
 
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/vtime"
 )
 
 // ErrUnavailable is returned when no replica of a key answered.
 var ErrUnavailable = errors.New("anna: no replica available")
+
+// ClientStats counts one client's KVS round trips, for experiments that
+// measure read fan-out (each RPC issued is one network round trip).
+type ClientStats struct {
+	GetRPCs      int64 // single-key GetReq calls (replica walks count each hop)
+	PutRPCs      int64 // PutReq calls
+	MultiGetRPCs int64 // grouped MultiGetReq calls (one per owner group)
+	MultiGetKeys int64 // keys carried by those grouped calls
+}
 
 // Client is a caller's handle to the KVS, bound to that caller's network
 // endpoint. Routing uses the shared ring (the paper's routing tier,
@@ -22,6 +32,9 @@ type Client struct {
 	kv      *KVS
 	ep      *simnet.Endpoint
 	timeout time.Duration
+
+	// Stats tallies this client's round trips.
+	Stats ClientStats
 }
 
 // NewClient creates a client for endpoint ep. A zero timeout uses 200ms.
@@ -51,6 +64,7 @@ func (c *Client) Get(key string) (lat lattice.Lattice, found bool, err error) {
 			continue
 		}
 		tried[o] = true
+		c.Stats.GetRPCs++
 		resp, err := c.ep.Call(o, GetReq{Key: key}, 24+len(key), c.timeout)
 		if err != nil {
 			continue // replica down; try the next owner
@@ -78,6 +92,7 @@ func (c *Client) Put(key string, lat lattice.Lattice) error {
 	first := c.kv.k.Rand().Intn(len(owners))
 	for i := 0; i < len(owners); i++ {
 		o := owners[(first+i)%len(owners)]
+		c.Stats.PutRPCs++
 		resp, err := c.ep.Call(o, PutReq{Key: key, Lat: lat.Clone()}, size, c.timeout)
 		if err != nil {
 			continue
@@ -87,6 +102,80 @@ func (c *Client) Put(key string, lat lattice.Lattice) error {
 		}
 	}
 	return fmt.Errorf("anna: put %q: %w", key, ErrUnavailable)
+}
+
+// MultiGet fetches many keys with one round trip per storage node,
+// grouping keys by their primary owner exactly as PublishKeyset
+// partitions keyset deltas. Keys whose primary answered not-found are
+// returned in missing without further probing — a key can still live on
+// a secondary during replication lag, so callers that need single-Get
+// semantics should retry missing keys through Get's replica walk. When
+// an owner is unreachable, its whole group falls back to per-key Gets.
+func (c *Client) MultiGet(keys []string) (found map[string]lattice.Lattice, missing []string, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	if c.kv.ring.Size() == 0 {
+		return nil, nil, ErrUnavailable
+	}
+	byOwner := make(map[simnet.NodeID][]string)
+	for _, key := range keys {
+		o := c.kv.ring.PrimaryFor(key)
+		byOwner[o] = append(byOwner[o], key)
+	}
+	owners := make([]simnet.NodeID, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	found = make(map[string]lattice.Lattice, len(keys))
+	// One grouped call per owner, issued concurrently so total latency
+	// is the slowest node's round trip — the same overlap the per-key
+	// parallel reads had, with a fraction of the messages.
+	fetchGroup := func(o simnet.NodeID) {
+		group := byOwner[o]
+		size := 24
+		for _, k := range group {
+			size += 4 + len(k)
+		}
+		c.Stats.MultiGetRPCs++
+		c.Stats.MultiGetKeys += int64(len(group))
+		resp, err := c.ep.Call(o, MultiGetReq{Keys: group}, size, c.timeout)
+		if err != nil {
+			// Primary down: the per-key path walks the replica list.
+			for _, k := range group {
+				lat, ok, gerr := c.Get(k)
+				if gerr != nil || !ok {
+					missing = append(missing, k)
+					continue
+				}
+				found[k] = lat
+			}
+			return
+		}
+		for _, e := range resp.(MultiGetResp).Entries {
+			if e.Found {
+				found[e.Key] = e.Lat
+			} else {
+				missing = append(missing, e.Key)
+			}
+		}
+	}
+	if len(owners) == 1 {
+		fetchGroup(owners[0])
+		return found, missing, nil
+	}
+	wg := vtime.NewWaitGroup(c.kv.k)
+	for _, o := range owners {
+		o := o
+		wg.Add(1)
+		c.kv.k.Go(string(c.ep.ID())+"/mget", func() {
+			defer wg.Done()
+			fetchGroup(o)
+		})
+	}
+	wg.Wait()
+	return found, missing, nil
 }
 
 // Delete removes key from all owners (operational delete; see DeleteReq).

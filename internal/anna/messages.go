@@ -29,6 +29,28 @@ type PutResp struct {
 	OK bool
 }
 
+// MultiGetReq fetches many keys from one storage node in a single round
+// trip. Callers partition the key list so every key's primary owner is
+// the receiving node (the same grouping PublishKeyset uses); keys the
+// node does not hold come back not-found and the caller decides whether
+// to walk the replica list per key.
+type MultiGetReq struct {
+	Keys []string
+}
+
+// MultiGetEntry is one key's answer in a MultiGetResp.
+type MultiGetEntry struct {
+	Key   string
+	Lat   lattice.Lattice // clone owned by the receiver; nil when !Found
+	Found bool
+}
+
+// MultiGetResp answers a MultiGetReq, one entry per requested key in
+// request order.
+type MultiGetResp struct {
+	Entries []MultiGetEntry
+}
+
 // DeleteReq removes a key from one storage node. True lattice deletion
 // needs tombstones; Cloudburst's delete is the pragmatic operational kind
 // (client fans the delete out to all owners), which this reproduction

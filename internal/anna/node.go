@@ -129,6 +129,26 @@ func (n *Node) handle(m simnet.Message) {
 		// bytes are immutable and shared with the caller (zero-copy
 		// data plane).
 		req.Reply(GetResp{Key: b.Key, Lat: e.lat.Clone(), Found: true}, 24+e.size)
+	case MultiGetReq:
+		// One round trip, full per-key service cost: batching saves
+		// network round trips and per-request overhead, not server CPU.
+		entries := make([]MultiGetEntry, 0, len(b.Keys))
+		var svc time.Duration
+		size := 24
+		for _, key := range b.Keys {
+			n.ops++
+			e, fromDisk := n.st.get(key, n.k.Now())
+			if e == nil {
+				svc += n.serviceTime(n.cfg.GetServiceTime, fromDisk, 0)
+				entries = append(entries, MultiGetEntry{Key: key})
+				continue
+			}
+			svc += n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size)
+			entries = append(entries, MultiGetEntry{Key: key, Lat: e.lat.Clone(), Found: true})
+			size += 24 + e.size
+		}
+		n.k.Sleep(svc)
+		req.Reply(MultiGetResp{Entries: entries}, size)
 	case PutReq:
 		n.ops++
 		e, fromDisk := n.st.merge(b.Key, b.Lat, n.k.Now())

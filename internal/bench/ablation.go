@@ -76,7 +76,7 @@ func RunAblationLocality(cfg AblationConfig) AblationPair {
 		c.Run(func(cl *cb.Client) {
 			cl.Timeout = time.Minute
 			for s := 0; s < sets; s++ {
-				if _, err := cl.Call("sum10", a.RefArgs(s)...); err != nil {
+				if _, err := cl.Invoke("sum10", a.RefArgs(s)).Wait(); err != nil {
 					panic(fmt.Sprintf("locality warmup: %v", err))
 				}
 			}
@@ -88,7 +88,7 @@ func RunAblationLocality(cfg AblationConfig) AblationPair {
 			for t := 0; t < cfg.Trials*2; t++ {
 				set := rng.Intn(sets)
 				start := cl.Now()
-				if _, err := cl.Call("sum10", a.RefArgs(set)...); err != nil {
+				if _, err := cl.Invoke("sum10", a.RefArgs(set)).Wait(); err != nil {
 					panic(fmt.Sprintf("ablation %s: %v", name, err))
 				}
 				durs = append(durs, cl.Now()-start)
@@ -127,7 +127,7 @@ func ablationRun(cfg AblationConfig, name string, randomSched, evict bool) Summa
 	c.Run(func(cl *cb.Client) {
 		cl.Timeout = time.Minute
 		for w := 0; w < 3; w++ { // warm caches + metrics
-			if _, err := cl.Call("sum10", args...); err != nil {
+			if _, err := cl.Invoke("sum10", args).Wait(); err != nil {
 				panic(fmt.Sprintf("ablation warmup: %v", err))
 			}
 		}
@@ -140,7 +140,7 @@ func ablationRun(cfg AblationConfig, name string, randomSched, evict bool) Summa
 				a.EvictEverywhere(c, 0)
 			}
 			start := cl.Now()
-			if _, err := cl.Call("sum10", args...); err != nil {
+			if _, err := cl.Invoke("sum10", args).Wait(); err != nil {
 				panic(fmt.Sprintf("ablation %s: %v", name, err))
 			}
 			durs = append(durs, cl.Now()-start)

@@ -64,9 +64,9 @@ func fig1Cloudburst(cfg Fig1Config, single bool) Summary {
 			start := cl.Now()
 			var err error
 			if single {
-				_, err = cl.Call("square", i)
+				_, err = cl.Invoke("square", []any{i}).Wait()
 			} else {
-				_, err = cl.CallDAG("composition", map[string][]any{"increment": {i}})
+				_, err = cl.InvokeDAG("composition", map[string][]any{"increment": {i}}).Wait()
 			}
 			if err != nil {
 				panic(fmt.Sprintf("fig1 cloudburst: %v", err))

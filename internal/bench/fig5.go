@@ -34,6 +34,12 @@ func Fig5Paper() Fig5Config {
 type Fig5Row struct {
 	TotalBytes int
 	Summary    Summary
+	// KVSReadRTT is the measured KVS read round trips per request
+	// (Cloudburst rows only): single-key gets plus grouped multi-gets
+	// issued by the VM caches, divided by request count. The cold rows
+	// show the grouped multi-get collapsing the 10-reference fan-out to
+	// one round trip per storage node.
+	KVSReadRTT float64
 }
 
 // Fig5Result groups rows by system.
@@ -45,6 +51,10 @@ type Fig5Result struct {
 func (r Fig5Result) Print() string {
 	rows := make([][]string, len(r.Rows))
 	for i, row := range r.Rows {
+		rtt := "-"
+		if row.KVSReadRTT > 0 {
+			rtt = fmt.Sprintf("%.1f", row.KVSReadRTT)
+		}
 		rows[i] = []string{
 			sizeLabel(row.TotalBytes),
 			row.Summary.Name,
@@ -52,10 +62,11 @@ func (r Fig5Result) Print() string {
 			fmt.Sprintf("%.2f", row.Summary.Median),
 			fmt.Sprintf("%.2f", row.Summary.P95),
 			fmt.Sprintf("%.2f", row.Summary.P99),
+			rtt,
 		}
 	}
 	return Table("Figure 5: sum of 10 arrays (data locality)",
-		[]string{"total", "system", "n", "median(ms)", "p95(ms)", "p99(ms)"}, rows)
+		[]string{"total", "system", "n", "median(ms)", "p95(ms)", "p99(ms)", "kvs-rt/req"}, rows)
 }
 
 func sizeLabel(b int) string {
@@ -74,20 +85,23 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 	var out Fig5Result
 	for _, elems := range cfg.Elems {
 		a := workload.ArraySum{NumArrays: 10, Elems: elems}
-		hot := fig5Cloudburst(cfg, a, false)
-		cold := fig5Cloudburst(cfg, a, true)
+		hot, hotRTT := fig5Cloudburst(cfg, a, false)
+		cold, coldRTT := fig5Cloudburst(cfg, a, true)
 		redis := fig5Lambda(cfg, a, "redis")
 		s3 := fig5Lambda(cfg, a, "s3")
-		for _, s := range []Summary{hot, cold, redis, s3} {
-			out.Rows = append(out.Rows, Fig5Row{TotalBytes: a.TotalBytes(), Summary: s})
-		}
+		out.Rows = append(out.Rows,
+			Fig5Row{TotalBytes: a.TotalBytes(), Summary: hot, KVSReadRTT: hotRTT},
+			Fig5Row{TotalBytes: a.TotalBytes(), Summary: cold, KVSReadRTT: coldRTT},
+			Fig5Row{TotalBytes: a.TotalBytes(), Summary: redis},
+			Fig5Row{TotalBytes: a.TotalBytes(), Summary: s3})
 	}
 	return out
 }
 
 // fig5Cloudburst measures the sum function with warm (hot) or evicted
-// (cold) caches; 7 execution VMs as in the paper.
-func fig5Cloudburst(cfg Fig5Config, a workload.ArraySum, cold bool) Summary {
+// (cold) caches; 7 execution VMs as in the paper. The second result is
+// the KVS read round trips per request over the measured window.
+func fig5Cloudburst(cfg Fig5Config, a workload.ArraySum, cold bool) (Summary, float64) {
 	ccfg := cb.DefaultConfig()
 	ccfg.Seed = cfg.Seed
 	ccfg.VMs = 7
@@ -113,13 +127,22 @@ func fig5Cloudburst(cfg Fig5Config, a workload.ArraySum, cold bool) Summary {
 		c.Run(func(cl *cb.Client) {
 			cl.Timeout = 5 * time.Minute
 			for w := 0; w < 3; w++ {
-				if _, err := cl.Call("sum10", args...); err != nil {
+				if _, err := cl.Invoke("sum10", args).Wait(); err != nil {
 					panic(fmt.Sprintf("fig5 warmup: %v", err))
 				}
 			}
 			cl.Sleep(5 * time.Second)
 		})
 	}
+	readRTTs := func() int64 {
+		var n int64
+		for _, vm := range c.Internal().VMs() {
+			st := vm.Cache.KVSStats()
+			n += st.GetRPCs + st.MultiGetRPCs
+		}
+		return n
+	}
+	rttBefore := readRTTs()
 	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
 		cl.Timeout = 5 * time.Minute
 		for t := 0; t < cfg.Trials; t++ {
@@ -127,17 +150,18 @@ func fig5Cloudburst(cfg Fig5Config, a workload.ArraySum, cold bool) Summary {
 				a.EvictEverywhere(c, 0)
 			}
 			start := cl.Now()
-			out, err := cl.Call("sum10", args...)
+			out, err := cb.As[float64](cl.Invoke("sum10", args))
 			if err != nil {
 				panic(fmt.Sprintf("fig5 %s: %v", name, err))
 			}
-			if got := out.(float64); got != want {
-				panic(fmt.Sprintf("fig5: sum = %v, want %v", got, want))
+			if out != want {
+				panic(fmt.Sprintf("fig5: sum = %v, want %v", out, want))
 			}
 			durs = append(durs, cl.Now()-start)
 		}
 	})
-	return Summarize(name, durs)
+	perReq := float64(readRTTs()-rttBefore) / float64(cfg.Clients*cfg.Trials)
+	return Summarize(name, durs), perReq
 }
 
 // fig5Lambda measures the Lambda implementation fetching the arrays from

@@ -145,7 +145,7 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 			args := map[string][]any{"sleeper": {
 				cb.Ref(ks.Sample()), cb.Ref(ks.Sample()), ks.Sample(),
 			}}
-			if _, err := cl.CallDAG("sleeper-dag", args); err != nil {
+			if _, err := cl.InvokeDAG("sleeper-dag", args).Wait(); err != nil {
 				continue // timeouts during saturation are part of the story
 			}
 			completed++

@@ -401,6 +401,70 @@ func TestKeysetPublicationSubscribesCache(t *testing.T) {
 	})
 }
 
+func TestPrefetchCollapsesColdFanOut(t *testing.T) {
+	r := newRig(t, core.LWW)
+	r.k.Run("main", func() {
+		keys := make([]string, 8)
+		for i := range keys {
+			keys[i] = string(rune('a'+i)) + "-pf"
+			r.client.Put(keys[i], lattice.NewLWW(lattice.Timestamp{Clock: 1}, []byte("v")))
+		}
+		before := r.a.KVSStats()
+		r.a.Prefetch(keys)
+		after := r.a.KVSStats()
+		if got := after.MultiGetRPCs - before.MultiGetRPCs; got < 1 || got > 2 {
+			t.Fatalf("prefetch issued %d grouped RPCs on a 2-node ring", got)
+		}
+		if after.GetRPCs != before.GetRPCs {
+			t.Fatal("prefetch used single-key gets")
+		}
+		// Every key is now local: the per-key reads all hit.
+		for _, key := range keys {
+			if !r.a.Contains(key) {
+				t.Fatalf("key %s not installed", key)
+			}
+			if _, _, err := r.a.Read("req-pf", key, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r.a.KVSStats().GetRPCs != after.GetRPCs {
+			t.Fatal("reads after prefetch still missed to Anna")
+		}
+		if r.a.Stats.PrefetchedKeys != int64(len(keys)) {
+			t.Fatalf("PrefetchedKeys = %d", r.a.Stats.PrefetchedKeys)
+		}
+		// A second prefetch of warm keys is free.
+		st := r.a.KVSStats()
+		r.a.Prefetch(keys)
+		if r.a.KVSStats() != st {
+			t.Fatal("warm prefetch touched Anna")
+		}
+	})
+}
+
+func TestPrefetchMaintainsCausalCut(t *testing.T) {
+	// A prefetched capsule's dependencies must be filled exactly as a
+	// per-key read-through would fill them (bolt-on causal cut).
+	r := newRig(t, core.MK)
+	r.k.Run("main", func() {
+		dep := lattice.NewCausal(lattice.VectorClock{"w": 1}, nil, []byte("dep"))
+		r.client.Put("pf-dep", dep)
+		top := lattice.NewCausal(lattice.VectorClock{"w": 2},
+			map[string]lattice.VectorClock{"pf-dep": {"w": 1}}, []byte("top"))
+		r.client.Put("pf-top", top)
+		other := lattice.NewCausal(lattice.VectorClock{"w": 3}, nil, []byte("other"))
+		r.client.Put("pf-other", other)
+
+		r.a.Prefetch([]string{"pf-top", "pf-other"})
+		if !r.a.Contains("pf-top") || !r.a.Contains("pf-other") {
+			t.Fatal("prefetch did not install keys")
+		}
+		if !r.a.Contains("pf-dep") {
+			t.Fatal("prefetch installed a causal capsule without its dependency")
+		}
+	})
+}
+
 func TestCacheDelete(t *testing.T) {
 	r := newRig(t, core.LWW)
 	r.k.Run("main", func() {

@@ -27,6 +27,8 @@
 //	                      |   u32 vlen, value), sorted by key
 //	0x0d map[string]any   | u32 count, then count x (u32 klen, key,
 //	                      |   u32 vlen, encoding), sorted by key
+//	0x0e map[string]float64| u32 count, then count x (u32 klen, key,
+//	                      |   8 bytes LE IEEE 754 bits), sorted by key
 //
 // Container elements tagged 0x0b/0x0d are full encodings themselves
 // (recursively fast-path or gob), so a map[string]any holding an exotic
@@ -90,6 +92,7 @@ const (
 	tagAnys    = 0x0b
 	tagMapSS   = 0x0c
 	tagMapSA   = 0x0d
+	tagMapSF   = 0x0e
 )
 
 // bufPool recycles the scratch buffers the gob fallback encodes into.
@@ -136,6 +139,8 @@ func sizeHint(v any) int {
 		return 5 + 8*len(x)
 	case []int:
 		return 5 + 8*len(x)
+	case map[string]float64:
+		return 5 + 12*len(x)
 	}
 	return 64
 }
@@ -218,6 +223,15 @@ func appendValue(dst []byte, v any) ([]byte, error) {
 			if dst, err = appendBlob(dst, x[k]); err != nil {
 				return nil, err
 			}
+		}
+		return dst, nil
+	case map[string]float64:
+		dst = append(dst, tagMapSF)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+		for _, k := range slices.Sorted(maps.Keys(x)) {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x[k]))
 		}
 		return dst, nil
 	}
@@ -403,6 +417,24 @@ func Decode(data []byte) (any, error) {
 				return nil, err
 			}
 			out[string(k)] = v
+		}
+		return out, nil
+	case tagMapSF:
+		n, body, err := readCount(tag, body, 0)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			var k []byte
+			if k, body, err = readChunk(tag, body); err != nil {
+				return nil, err
+			}
+			if len(body) < 8 {
+				return nil, errTruncated(tag)
+			}
+			out[string(k)] = math.Float64frombits(binary.LittleEndian.Uint64(body))
+			body = body[8:]
 		}
 		return out, nil
 	}

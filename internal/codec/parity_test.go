@@ -61,6 +61,7 @@ var fastCovered = []any{
 	[]string{"a", "bb"},
 	map[string]any{"k": 1},
 	map[string]string{"k": "v"},
+	map[string]float64{"a": 1.5, "b": -0.25},
 }
 
 func TestHotTypesTakeFastPath(t *testing.T) {
@@ -101,6 +102,7 @@ func TestParityEmptyAndNil(t *testing.T) {
 		nil, "", []byte{}, []byte(nil), []float64{}, []float64(nil),
 		[]int{}, []string{}, []any{}, map[string]string{}, map[string]any{},
 		map[string]string(nil), map[string]any(nil), []string(nil), []int(nil),
+		map[string]float64{}, map[string]float64(nil),
 		int(0), int64(0), float64(0), false, true,
 		math.Inf(1), math.Inf(-1), math.MaxInt64, math.MinInt64,
 	} {
@@ -116,7 +118,7 @@ func TestParityEmptyAndNil(t *testing.T) {
 // with nested containers (and the occasional gob-fallback struct) up to
 // the given depth.
 func randValue(r *rand.Rand, depth int) any {
-	max := 12
+	max := 13
 	if depth <= 0 {
 		max = 8 // leaves only
 	}
@@ -163,6 +165,12 @@ func randValue(r *rand.Rand, depth int) any {
 		out := make(map[string]any, 3)
 		for i := r.Intn(4); i > 0; i-- {
 			out[randString(r)] = randValue(r, depth-1)
+		}
+		return out
+	case 11:
+		out := make(map[string]float64, 3)
+		for i := r.Intn(4); i > 0; i-- {
+			out[randString(r)] = r.NormFloat64()
 		}
 		return out
 	default:
@@ -263,6 +271,12 @@ func containsNaN(v any) bool {
 	case float64:
 		return math.IsNaN(x)
 	case []float64:
+		for _, f := range x {
+			if math.IsNaN(f) {
+				return true
+			}
+		}
+	case map[string]float64:
 		for _, f := range x {
 			if math.IsNaN(f) {
 				return true

@@ -177,7 +177,9 @@ type InvokeRequest struct {
 	Function   string
 	Args       []Arg
 	RespondTo  simnet.NodeID // where the Result goes
-	StoreInKVS bool          // store result under ResultKey instead of replying inline
+	StoreInKVS bool          // persist the result in the KVS under ResultKey
+	Direct     bool          // carry the value inline in the Result even when storing
+	WantHops   bool          // report the executor hop count in the Result
 	ResultKey  string
 }
 
@@ -192,6 +194,8 @@ type DAGSchedule struct {
 	RespondTo   simnet.NodeID
 	Scheduler   simnet.NodeID // receives the sink's DAGComplete
 	StoreInKVS  bool
+	Direct      bool // carry the value inline in the Result even when storing
+	WantHops    bool // report the executor hop count in the Result
 	ResultKey   string
 }
 

@@ -232,6 +232,17 @@ func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *c
 		}
 		out[i] = v
 	}
+	// Warm-fill the cache for the whole reference list in one grouped
+	// Anna multi-get before the per-key protocol reads: a cold cache pays
+	// one round trip per storage node instead of one per key (§4.2's
+	// fan-out collapse; the per-key Read below then hits locally).
+	if len(refIdx) > 1 {
+		keys := make([]string, len(refIdx))
+		for n, i := range refIdx {
+			keys[n] = args[i].Ref
+		}
+		t.cache.Prefetch(keys)
+	}
 	readOne := func(i int) {
 		key := args[i].Ref
 		payload, ver, err := t.cache.Read(reqID, key, meta)
@@ -305,6 +316,9 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 	result, err := t.invoke(req.ReqID, "", req.Function, req.Args, nil, &meta)
 	t.finish(start)
 	res := core.Result{ReqID: req.ReqID}
+	if req.WantHops {
+		res.Hops = 1
+	}
 	if err != nil {
 		res.Err = err.Error()
 		t.ep.Send(req.RespondTo, res, 64)
@@ -321,8 +335,11 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 			res.Err = werr.Error()
 		} else {
 			res.ResultKey = req.ResultKey
+			if req.Direct {
+				res.Val = payload
+			}
 		}
-		t.ep.Send(req.RespondTo, res, 64)
+		t.ep.Send(req.RespondTo, res, 64+len(res.Val))
 		return
 	}
 	res.Val = payload
@@ -433,12 +450,18 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 // finishDAG completes a request at the sink: deliver the result, then
 // notify every touched cache so version snapshots are evicted.
 func (t *Thread) finishDAG(s *core.DAGSchedule, meta core.SessionMeta, metaP *core.SessionMeta, payload []byte, hops int) {
-	res := core.Result{ReqID: s.ReqID, Hops: hops}
+	res := core.Result{ReqID: s.ReqID}
+	if s.WantHops {
+		res.Hops = hops
+	}
 	if s.StoreInKVS {
 		if _, err := t.cache.Write(s.ReqID, s.ResultKey, payload, metaP, string(t.id)); err != nil {
 			res.Err = err.Error()
 		} else {
 			res.ResultKey = s.ResultKey
+			if s.Direct {
+				res.Val = payload
+			}
 		}
 	} else {
 		res.Val = payload

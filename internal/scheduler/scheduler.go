@@ -57,7 +57,9 @@ type DAGInvokeReq struct {
 	DAG        string
 	Args       map[string][]core.Arg
 	RespondTo  simnet.NodeID
-	StoreInKVS bool
+	StoreInKVS bool // persist the sink's result in the KVS under ResultKey
+	Direct     bool // carry the value inline in the Result even when storing
+	WantHops   bool // report the executor hop count in the Result
 	ResultKey  string
 }
 
@@ -396,6 +398,8 @@ func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) 
 		RespondTo:   req.RespondTo,
 		Scheduler:   s.id,
 		StoreInKVS:  req.StoreInKVS,
+		Direct:      req.Direct,
+		WantHops:    req.WantHops,
 		ResultKey:   req.ResultKey,
 	}
 	for _, src := range d.Sources() {

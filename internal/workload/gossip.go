@@ -133,23 +133,16 @@ func (g Gossip) RunRound(cl *cb.Client, round int, values []float64) (time.Durat
 	}
 	mean /= float64(len(values))
 	rid := fmt.Sprintf("r%d", round)
-	var leaderFut *cb.Future
+	invs := make([]cb.Invocation, g.Actors)
 	for i := 0; i < g.Actors; i++ {
-		fut, err := cl.CallAsync("gossip-actor", rid, i, g.Actors, values[i], mean)
-		if err != nil {
-			return 0, err
-		}
-		if i == 0 {
-			leaderFut = fut
-		}
+		invs[i] = cb.Invocation{Function: "gossip-actor", Args: []any{rid, i, g.Actors, values[i], mean}}
 	}
-	out, err := leaderFut.Get()
+	// Batch pipelines all actors over one endpoint; each completes via a
+	// pushed result, and only the leader's is awaited.
+	futs := cl.Batch(invs)
+	secs, err := cb.As[float64](futs[0])
 	if err != nil {
 		return 0, err
-	}
-	secs, ok := out.(float64)
-	if !ok {
-		return 0, fmt.Errorf("gossip: leader returned %T", out)
 	}
 	return time.Duration(secs * float64(time.Second)), nil
 }
@@ -193,11 +186,9 @@ func (g Gossip) RunGatherRound(cl *cb.Client, round int, values []float64) (time
 	rid := fmt.Sprintf("g%d", round)
 	start := cl.Now()
 	for i := 0; i < g.Actors; i++ {
-		if _, err := cl.CallAsync("gather-publish", rid, i, values[i]); err != nil {
-			return 0, err
-		}
+		cl.Invoke("gather-publish", []any{rid, i, values[i]})
 	}
-	if _, err := cl.Call("gather-leader", rid, g.Actors); err != nil {
+	if _, err := cl.Invoke("gather-leader", []any{rid, g.Actors}).Wait(); err != nil {
 		return 0, err
 	}
 	return cl.Now() - start, nil

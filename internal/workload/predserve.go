@@ -106,13 +106,5 @@ func (p PredServe) Args() map[string][]any {
 
 // Predict runs one synchronous prediction.
 func (p PredServe) Predict(cl *cb.Client) (int, error) {
-	out, err := cl.CallDAG("predserve", p.Args())
-	if err != nil {
-		return 0, err
-	}
-	cls, ok := out.(int)
-	if !ok {
-		return 0, fmt.Errorf("predserve: result is %T", out)
-	}
-	return cls, nil
+	return cb.As[int](cl.InvokeDAG("predserve", p.Args()))
 }

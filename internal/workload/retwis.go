@@ -384,7 +384,7 @@ func (r Retwis) Request(cl *cb.Client, rng *rand.Rand, g *Graph) (*TimelineResul
 		if rng.Intn(2) == 0 && len(g.PostIDs) > 0 {
 			reply = g.PostIDs[rng.Intn(len(g.PostIDs))]
 		}
-		out, err := cl.Call("rt-post", u, fmt.Sprintf("live tweet at %v", cl.Now()), reply)
+		out, err := cl.Invoke("rt-post", []any{u, fmt.Sprintf("live tweet at %v", cl.Now()), reply}).Wait()
 		if err != nil {
 			return nil, err
 		}
@@ -393,13 +393,9 @@ func (r Retwis) Request(cl *cb.Client, rng *rand.Rand, g *Graph) (*TimelineResul
 		}
 		return nil, nil
 	}
-	out, err := cl.Call("rt-timeline", u)
+	res, err := cb.As[TimelineResult](cl.Invoke("rt-timeline", []any{u}))
 	if err != nil {
 		return nil, err
-	}
-	res, ok := out.(TimelineResult)
-	if !ok {
-		return nil, fmt.Errorf("retwis: timeline returned %T", out)
 	}
 	return &res, nil
 }

@@ -108,6 +108,7 @@ func (w *ConsistencyWorkload) Request(cl *cb.Client) (depth, hops int, err error
 	writeKey := readKeys[w.rng.Intn(len(readKeys))]
 	args[sink][0] = "W:" + writeKey
 
-	_, hops, err = cl.CallDAGDetail(spec.name, args)
-	return spec.depth, hops, err
+	f := cl.InvokeDAG(spec.name, args, cb.WithHopCount())
+	_, err = f.Wait()
+	return spec.depth, f.Hops(), err
 }

@@ -104,7 +104,7 @@ func TestRetwisEndToEndCausal(t *testing.T) {
 		cl.Timeout = time.Minute
 		cl.Sleep(3 * time.Second)
 		// Post a reply and read a few timelines.
-		out, err := cl.Call("rt-post", 1, "hello", g.PostIDs[0])
+		out, err := cl.Invoke("rt-post", []any{1, "hello", g.PostIDs[0]}).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func TestRetwisEndToEndCausal(t *testing.T) {
 			t.Fatal("no timeline ever materialized posts")
 		}
 		// Follower count matches the generated graph.
-		n, err := cl.Call("rt-followers", 3)
+		n, err := cl.Invoke("rt-followers", []any{3}).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +202,7 @@ func TestComposePipeline(t *testing.T) {
 	}
 	c.Run(func(cl *cb.Client) {
 		cl.Sleep(3 * time.Second)
-		out, err := cl.CallDAG("composition", map[string][]any{"increment": {4}})
+		out, err := cl.InvokeDAG("composition", map[string][]any{"increment": {4}}).Wait()
 		if err != nil || out.(int) != 25 {
 			t.Fatalf("square(increment(4)) = %v, %v", out, err)
 		}
