@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
 
 	"cloudburst/internal/anna"
@@ -172,7 +173,7 @@ func encodeArgs(args []any) ([]core.Arg, error) {
 
 func (cl *Client) nextReq() string {
 	cl.seq++
-	return fmt.Sprintf("%s-r%d", cl.ep.ID(), cl.seq)
+	return string(cl.ep.ID()) + "-r" + strconv.FormatInt(cl.seq, 10)
 }
 
 // InvokeOption configures one invocation — the options-driven
@@ -384,48 +385,6 @@ func decodeResult(res core.Result) (any, error) {
 	}
 	_, inner := executor.Untag(res.Val)
 	return codec.Decode(inner)
-}
-
-// Call invokes a registered function synchronously and returns its
-// result (Figure 2's sq(reference) path).
-//
-// Deprecated: use Invoke with Future.Wait (or As for typed results).
-func (cl *Client) Call(fn string, args ...any) (any, error) {
-	return cl.Invoke(fn, args).Wait()
-}
-
-// CallAsync invokes a function with the result stored in the KVS and
-// returns its Future immediately (Figure 2's store_in_kvs=True path).
-// Dispatch-time errors surface on the future.
-//
-// Deprecated: use Invoke with WithStoreInKVS.
-func (cl *Client) CallAsync(fn string, args ...any) (*Future, error) {
-	return cl.Invoke(fn, args, WithStoreInKVS()), nil
-}
-
-// CallDAG invokes a registered DAG synchronously.
-//
-// Deprecated: use InvokeDAG with Future.Wait (or As for typed results).
-func (cl *Client) CallDAG(dagName string, args map[string][]any) (any, error) {
-	return cl.InvokeDAG(dagName, args).Wait()
-}
-
-// CallDAGDetail is CallDAG plus the runtime's hop count.
-//
-// Deprecated: use InvokeDAG with WithHopCount and Future.Hops.
-func (cl *Client) CallDAGDetail(dagName string, args map[string][]any) (any, int, error) {
-	f := cl.InvokeDAG(dagName, args, WithHopCount())
-	v, err := f.Wait()
-	return v, f.Hops(), err
-}
-
-// CallDAGAsync invokes a DAG with the result stored in the KVS,
-// returning its Future immediately. Dispatch-time errors surface on the
-// future.
-//
-// Deprecated: use InvokeDAG with WithStoreInKVS.
-func (cl *Client) CallDAGAsync(dagName string, args map[string][]any) (*Future, error) {
-	return cl.InvokeDAG(dagName, args, WithStoreInKVS()), nil
 }
 
 // Endpoint exposes the client's network endpoint for advanced uses

@@ -285,48 +285,6 @@ func TestGetMany(t *testing.T) {
 	})
 }
 
-func TestDeprecatedCallShimsAllModes(t *testing.T) {
-	// The Call* family is retained as one-line shims over Invoke; they
-	// must delegate correctly in every consistency mode.
-	for _, mode := range []Consistency{LWW, RepeatableRead, SingleKeyCausal, MultiKeyCausal, Causal} {
-		t.Run(mode.String(), func(t *testing.T) {
-			cfg := DefaultConfig()
-			cfg.Mode = mode
-			c := testCluster(t, cfg)
-			registerArith(t, c)
-			if err := c.RegisterDAG(LinearDAG("shim-pipe", "increment", "square"), 1); err != nil {
-				t.Fatal(err)
-			}
-			c.Run(func(cl *Client) {
-				if out, err := cl.Call("square", 3); err != nil || out.(int) != 9 {
-					t.Fatalf("Call = %v, %v", out, err)
-				}
-				fut, err := cl.CallAsync("square", 4)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if out, err := fut.Get(); err != nil || out.(int) != 16 {
-					t.Fatalf("CallAsync future = %v, %v", out, err)
-				}
-				if out, err := cl.CallDAG("shim-pipe", map[string][]any{"increment": {1}}); err != nil || out.(int) != 4 {
-					t.Fatalf("CallDAG = %v, %v", out, err)
-				}
-				out, hops, err := cl.CallDAGDetail("shim-pipe", map[string][]any{"increment": {2}})
-				if err != nil || out.(int) != 9 || hops != 2 {
-					t.Fatalf("CallDAGDetail = %v, %d, %v", out, hops, err)
-				}
-				dfut, err := cl.CallDAGAsync("shim-pipe", map[string][]any{"increment": {3}})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if out, err := dfut.Get(); err != nil || out.(int) != 16 {
-					t.Fatalf("CallDAGAsync future = %v, %v", out, err)
-				}
-			})
-		})
-	}
-}
-
 func TestLinearDAGComposition(t *testing.T) {
 	// §6.1.1's square(increment(x)).
 	c := testCluster(t, DefaultConfig())
@@ -607,4 +565,40 @@ func TestDAGReexecutionAfterVMFailure(t *testing.T) {
 			t.Fatalf("result = %v", out)
 		}
 	})
+}
+
+func TestCausalDecodeMemoHitsOnRepeatedReads(t *testing.T) {
+	// The executor's decoded-value memo extends to causal modes via the
+	// capsule digest key: repeated reads of an unchanged causal capsule
+	// must decode once per thread and hit the memo afterwards.
+	cfg := DefaultConfig()
+	cfg.Mode = Causal
+	c := testCluster(t, cfg)
+	if err := c.RegisterFunction("readkey", func(ctx *Ctx, args []any) (any, error) {
+		return args[0], nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	threads := c.Internal().ThreadCount()
+	c.Run(func(cl *Client) {
+		if err := cl.Put("memo-key", "memo-payload"); err != nil {
+			t.Fatal(err)
+		}
+		cl.Sleep(2e9) // let executors boot and publish metrics
+		for i := 0; i < 3*threads; i++ {
+			out, err := cl.Invoke("readkey", []any{Ref("memo-key")}).Wait()
+			if err != nil || out.(string) != "memo-payload" {
+				t.Fatalf("invoke %d = %v, %v", i, out, err)
+			}
+		}
+	})
+	var hits int64
+	for _, vm := range c.Internal().VMs() {
+		for _, th := range vm.Threads {
+			hits += th.MemoHits()
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("no causal memo hits across %d reads on %d threads", 3*threads, threads)
+	}
 }

@@ -68,16 +68,9 @@
 // cold-read path under Invoke) issue one grouped multi-get round trip
 // per Anna storage node instead of one per key.
 //
-// Migrating from the deprecated Call* family:
-//
-//	cl.Call(fn, a, b)          → cl.Invoke(fn, []any{a, b}).Wait()
-//	cl.CallAsync(fn, a)        → cl.Invoke(fn, []any{a}, cloudburst.WithStoreInKVS())
-//	cl.CallDAG(d, args)        → cl.InvokeDAG(d, args).Wait()
-//	cl.CallDAGDetail(d, args)  → f := cl.InvokeDAG(d, args, cloudburst.WithHopCount());
-//	                             f.Wait() then f.Hops()
-//	cl.CallDAGAsync(d, args)   → cl.InvokeDAG(d, args, cloudburst.WithStoreInKVS())
-//
-// The shims remain for one release as one-liners over the new path.
+// The pre-Future Call* family (Call, CallAsync, CallDAG, CallDAGDetail,
+// CallDAGAsync) has been removed after one release as deprecated shims;
+// each was a one-liner over Invoke/InvokeDAG with the options above.
 //
 // # The zero-copy data plane
 //
@@ -99,6 +92,44 @@
 //
 // The copies this removes are harness overhead, not modeled latency:
 // simulated metrics are identical with and without them.
+//
+// # The allocation-free simulation substrate
+//
+// Underneath the data plane, the substrate itself is amortized
+// allocation-free: the virtual-time kernel (internal/vtime) reuses
+// parked goroutines for new processes and pools its timer entries and
+// channel waiters, and the network (internal/simnet) pools message
+// delivery events and RPC request/reply state. Replaying minutes of
+// cluster traffic costs milliseconds of real time and (steady-state)
+// no garbage; regression tests pin the substrate's allocs-per-message
+// and the kernel's process-reuse rate.
+//
+// # Writing a server component
+//
+// Server components (storage nodes, caches, schedulers, executors,
+// simulated cloud services) do not write receive loops. Each owns a
+// simnet.Dispatcher and registers typed handlers:
+//
+//	d := simnet.NewDispatcher(ep, "my-node")
+//	simnet.OnRequest(d, func(req *simnet.Request, b GetReq) {
+//		req.Reply(GetResp{...}, respSize) // exactly once
+//	})
+//	simnet.OnMessage(d, func(m simnet.Message, b GossipMsg) { ... })
+//	d.Every("gossip", interval, func() { ... }) // periodic daemon
+//	d.Start()                                   // serve loop process
+//	...
+//	d.Stop() // serve loop and daemons exit together
+//
+// By default handlers run inline on the serve process, so a handler
+// that sleeps (modeling per-operation service time) serializes the
+// endpoint and queueing delay emerges under load — the right shape for
+// storage and scheduler nodes. NewDispatcher(...).Concurrent() instead
+// runs every inbound payload in its own pooled kernel process — the
+// right shape for wide front fleets (the simulated S3/DynamoDB); a
+// partially serial service (Redis's single master thread) combines
+// Concurrent with its own vtime.Semaphore. Handlers for request bodies
+// must call Reply exactly once: requests are pooled and recycled after
+// the caller consumes the reply.
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-reproduction results.

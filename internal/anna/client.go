@@ -29,9 +29,10 @@ type ClientStats struct {
 // fall back through the owner list on timeout, which is what makes the
 // storage tier k-fault tolerant from the caller's perspective.
 type Client struct {
-	kv      *KVS
-	ep      *simnet.Endpoint
-	timeout time.Duration
+	kv       *KVS
+	ep       *simnet.Endpoint
+	timeout  time.Duration
+	mgetName string // precomputed process name for parallel group fetches
 
 	// Stats tallies this client's round trips.
 	Stats ClientStats
@@ -42,7 +43,7 @@ func (kv *KVS) NewClient(ep *simnet.Endpoint, timeout time.Duration) *Client {
 	if timeout <= 0 {
 		timeout = 200 * time.Millisecond
 	}
-	return &Client{kv: kv, ep: ep, timeout: timeout}
+	return &Client{kv: kv, ep: ep, timeout: timeout, mgetName: string(ep.ID()) + "/mget"}
 }
 
 // Get fetches the lattice stored at key. found is false when no replica
@@ -54,16 +55,28 @@ func (c *Client) Get(key string) (lat lattice.Lattice, found bool, err error) {
 	}
 	// Spread reads across replicas; fall back to the primary (which
 	// serves writes first) when a secondary hasn't converged yet, then
-	// walk the rest of the owner list on timeouts.
+	// walk the rest of the owner list on timeouts. The candidate order is
+	// first, 0, 1, 2, ... with revisits skipped by index — equivalent to
+	// a tried-set walk, without allocating one per read.
 	first := c.kv.k.Rand().Intn(len(owners))
-	tried := make(map[simnet.NodeID]bool, len(owners))
-	order := append([]simnet.NodeID{owners[first], owners[0]}, owners...)
 	answered := false
-	for _, o := range order {
-		if tried[o] {
-			continue
+	for idx := -2; idx < len(owners); idx++ {
+		var i int
+		switch {
+		case idx == -2:
+			i = first
+		case idx == -1:
+			if first == 0 {
+				continue
+			}
+			i = 0
+		default:
+			if idx == first || idx == 0 {
+				continue
+			}
+			i = idx
 		}
-		tried[o] = true
+		o := owners[i]
 		c.Stats.GetRPCs++
 		resp, err := c.ep.Call(o, GetReq{Key: key}, 24+len(key), c.timeout)
 		if err != nil {
@@ -169,7 +182,7 @@ func (c *Client) MultiGet(keys []string) (found map[string]lattice.Lattice, miss
 	for _, o := range owners {
 		o := o
 		wg.Add(1)
-		c.kv.k.Go(string(c.ep.ID())+"/mget", func() {
+		c.kv.k.Go(c.mgetName, func() {
 			defer wg.Done()
 			fetchGroup(o)
 		})

@@ -53,6 +53,9 @@ func DefaultNodeConfig() NodeConfig {
 
 // Node is one Anna storage node: a serially-served lattice store with
 // replica gossip, the Cloudburst key→cache index, and tiered storage.
+// Requests and gossip dispatch through a serial simnet.Dispatcher, so
+// per-operation service time queues at the node exactly as the paper's
+// single-threaded storage servers do.
 type Node struct {
 	id   simnet.NodeID
 	ep   *simnet.Endpoint
@@ -60,12 +63,12 @@ type Node struct {
 	ring *Ring
 	cfg  NodeConfig
 	st   *tieredStore
+	disp *simnet.Dispatcher
 
 	// index maps each locally-owned key to the caches that reported
 	// caching it. Partitioned across nodes with the key space.
 	index map[string]map[simnet.NodeID]bool
 
-	stopped     bool
 	ops         int64
 	windowStart vtime.Time
 }
@@ -73,7 +76,7 @@ type Node struct {
 // NewNode creates (but does not start) a storage node bound to an
 // endpoint.
 func NewNode(k *vtime.Kernel, ep *simnet.Endpoint, ring *Ring, cfg NodeConfig) *Node {
-	return &Node{
+	n := &Node{
 		id:    ep.ID(),
 		ep:    ep,
 		k:     k,
@@ -82,6 +85,16 @@ func NewNode(k *vtime.Kernel, ep *simnet.Endpoint, ring *Ring, cfg NodeConfig) *
 		st:    newTieredStore(cfg.MemCapacity),
 		index: make(map[string]map[simnet.NodeID]bool),
 	}
+	n.disp = simnet.NewDispatcher(ep, string(n.id))
+	simnet.OnRequest(n.disp, n.handleGet)
+	simnet.OnRequest(n.disp, n.handleMultiGet)
+	simnet.OnRequest(n.disp, n.handlePut)
+	simnet.OnRequest(n.disp, n.handleDelete)
+	simnet.OnRequest(n.disp, n.handleStats)
+	simnet.OnMessage(n.disp, n.handleGossip)
+	simnet.OnMessage(n.disp, n.handleKeyset)
+	simnet.OnMessage(n.disp, n.handleTransfer)
+	return n
 }
 
 // ID returns the node's network id.
@@ -90,95 +103,89 @@ func (n *Node) ID() simnet.NodeID { return n.id }
 // Start launches the node's serve, gossip, and push processes.
 func (n *Node) Start() {
 	n.windowStart = n.k.Now()
-	n.k.Go(string(n.id)+"/serve", n.serveLoop)
-	n.k.Go(string(n.id)+"/gossip", n.gossipLoop)
-	n.k.Go(string(n.id)+"/push", n.pushLoop)
+	n.disp.Start()
+	n.disp.Every("gossip", n.cfg.GossipInterval, n.gossipTick)
+	n.disp.Every("push", n.cfg.PushInterval, n.pushTick)
 }
 
 // Stop makes the node stop processing after in-flight work; used for
 // scale-in after its keys are drained.
-func (n *Node) Stop() { n.stopped = true }
+func (n *Node) Stop() { n.disp.Stop() }
 
-func (n *Node) serveLoop() {
-	for {
-		m := n.ep.Recv()
-		if n.stopped {
-			return
-		}
-		n.handle(m)
+func (n *Node) handleGet(req *simnet.Request, b GetReq) {
+	n.ops++
+	e, fromDisk := n.st.get(b.Key, n.k.Now())
+	if e == nil {
+		n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, 0))
+		req.Reply(GetResp{Key: b.Key, Found: false}, 24)
+		return
 	}
+	n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size))
+	// Clone-on-egress copies only the capsule shell; the payload
+	// bytes are immutable and shared with the caller (zero-copy
+	// data plane).
+	req.Reply(GetResp{Key: b.Key, Lat: e.lat.Clone(), Found: true}, 24+e.size)
 }
 
-func (n *Node) handle(m simnet.Message) {
-	req, isRPC := m.Payload.(*simnet.Request)
-	body := m.Payload
-	if isRPC {
-		body = req.Body
-	}
-	switch b := body.(type) {
-	case GetReq:
+func (n *Node) handleMultiGet(req *simnet.Request, b MultiGetReq) {
+	// One round trip, full per-key service cost: batching saves
+	// network round trips and per-request overhead, not server CPU.
+	entries := make([]MultiGetEntry, 0, len(b.Keys))
+	var svc time.Duration
+	size := 24
+	for _, key := range b.Keys {
 		n.ops++
-		e, fromDisk := n.st.get(b.Key, n.k.Now())
+		e, fromDisk := n.st.get(key, n.k.Now())
 		if e == nil {
-			n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, 0))
-			req.Reply(GetResp{Key: b.Key, Found: false}, 24)
-			return
+			svc += n.serviceTime(n.cfg.GetServiceTime, fromDisk, 0)
+			entries = append(entries, MultiGetEntry{Key: key})
+			continue
 		}
-		n.k.Sleep(n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size))
-		// Clone-on-egress copies only the capsule shell; the payload
-		// bytes are immutable and shared with the caller (zero-copy
-		// data plane).
-		req.Reply(GetResp{Key: b.Key, Lat: e.lat.Clone(), Found: true}, 24+e.size)
-	case MultiGetReq:
-		// One round trip, full per-key service cost: batching saves
-		// network round trips and per-request overhead, not server CPU.
-		entries := make([]MultiGetEntry, 0, len(b.Keys))
-		var svc time.Duration
-		size := 24
-		for _, key := range b.Keys {
-			n.ops++
-			e, fromDisk := n.st.get(key, n.k.Now())
-			if e == nil {
-				svc += n.serviceTime(n.cfg.GetServiceTime, fromDisk, 0)
-				entries = append(entries, MultiGetEntry{Key: key})
-				continue
-			}
-			svc += n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size)
-			entries = append(entries, MultiGetEntry{Key: key, Lat: e.lat.Clone(), Found: true})
-			size += 24 + e.size
-		}
-		n.k.Sleep(svc)
-		req.Reply(MultiGetResp{Entries: entries}, size)
-	case PutReq:
-		n.ops++
-		e, fromDisk := n.st.merge(b.Key, b.Lat, n.k.Now())
-		e.dirtyRepl, e.dirtyPush = true, true
-		n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, fromDisk, e.size))
-		req.Reply(PutResp{OK: true}, 8)
-	case DeleteReq:
-		n.ops++
-		ok := n.st.delete(b.Key)
-		n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, false, 0))
-		req.Reply(DeleteResp{OK: ok}, 8)
-	case GossipMsg:
-		e, _ := n.st.merge(b.Key, b.Lat, n.k.Now())
-		// Replicas do not re-gossip (the writer reaches all owners),
-		// but must push to their own subscribed caches.
+		svc += n.serviceTime(n.cfg.GetServiceTime, fromDisk, e.size)
+		entries = append(entries, MultiGetEntry{Key: key, Lat: e.lat.Clone(), Found: true})
+		size += 24 + e.size
+	}
+	n.k.Sleep(svc)
+	req.Reply(MultiGetResp{Entries: entries}, size)
+}
+
+func (n *Node) handlePut(req *simnet.Request, b PutReq) {
+	n.ops++
+	e, fromDisk := n.st.merge(b.Key, b.Lat, n.k.Now())
+	e.dirtyRepl, e.dirtyPush = true, true
+	n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, fromDisk, e.size))
+	req.Reply(PutResp{OK: true}, 8)
+}
+
+func (n *Node) handleDelete(req *simnet.Request, b DeleteReq) {
+	n.ops++
+	ok := n.st.delete(b.Key)
+	n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, false, 0))
+	req.Reply(DeleteResp{OK: ok}, 8)
+}
+
+func (n *Node) handleStats(req *simnet.Request, _ StatsReq) {
+	req.Reply(n.stats(), 256)
+}
+
+func (n *Node) handleGossip(_ simnet.Message, b GossipMsg) {
+	e, _ := n.st.merge(b.Key, b.Lat, n.k.Now())
+	// Replicas do not re-gossip (the writer reaches all owners),
+	// but must push to their own subscribed caches.
+	e.dirtyPush = true
+	n.k.Sleep(n.cfg.PutServiceTime)
+}
+
+func (n *Node) handleKeyset(_ simnet.Message, b KeysetUpdate) { n.applyKeyset(b) }
+
+func (n *Node) handleTransfer(_ simnet.Message, b TransferMsg) {
+	for _, te := range b.Entries {
+		e, _ := n.st.merge(te.Key, te.Lat, n.k.Now())
 		e.dirtyPush = true
-		n.k.Sleep(n.cfg.PutServiceTime)
-	case KeysetUpdate:
-		n.applyKeyset(b)
-	case TransferMsg:
-		for _, te := range b.Entries {
-			e, _ := n.st.merge(te.Key, te.Lat, n.k.Now())
-			e.dirtyPush = true
-			e.dirtyRepl = true // propagate to any further new replicas
-			for _, c := range te.Subscribers {
-				n.subscribe(te.Key, simnet.NodeID(c))
-			}
+		e.dirtyRepl = true // propagate to any further new replicas
+		for _, c := range te.Subscribers {
+			n.subscribe(te.Key, simnet.NodeID(c))
 		}
-	case StatsReq:
-		req.Reply(n.stats(), 256)
 	}
 }
 
@@ -216,46 +223,34 @@ func (n *Node) subscribe(key string, cache simnet.NodeID) {
 	subs[cache] = true
 }
 
-// gossipLoop propagates dirty keys to the other owners on a fixed cadence
-// — Anna's asynchronous replica propagation.
-func (n *Node) gossipLoop() {
-	for {
-		n.k.Sleep(n.cfg.GossipInterval)
-		if n.stopped {
+// gossipTick propagates dirty keys to the other owners — Anna's
+// asynchronous replica propagation, run on the gossip cadence.
+func (n *Node) gossipTick() {
+	n.st.each(func(e *entry, onDisk bool) {
+		if !e.dirtyRepl {
 			return
 		}
-		n.st.each(func(e *entry, onDisk bool) {
-			if !e.dirtyRepl {
-				return
+		e.dirtyRepl = false
+		for _, owner := range n.ring.OwnersFor(e.key) {
+			if owner == n.id {
+				continue
 			}
-			e.dirtyRepl = false
-			for _, owner := range n.ring.OwnersFor(e.key) {
-				if owner == n.id {
-					continue
-				}
-				n.ep.Send(owner, GossipMsg{Key: e.key, Lat: e.lat.Clone()}, 24+e.size)
-			}
-		})
-	}
+			n.ep.Send(owner, GossipMsg{Key: e.key, Lat: e.lat.Clone()}, 24+e.size)
+		}
+	})
 }
 
-// pushLoop sends updated keys to their subscribed caches (§4.2).
-func (n *Node) pushLoop() {
-	for {
-		n.k.Sleep(n.cfg.PushInterval)
-		if n.stopped {
+// pushTick sends updated keys to their subscribed caches (§4.2).
+func (n *Node) pushTick() {
+	n.st.each(func(e *entry, onDisk bool) {
+		if !e.dirtyPush {
 			return
 		}
-		n.st.each(func(e *entry, onDisk bool) {
-			if !e.dirtyPush {
-				return
-			}
-			e.dirtyPush = false
-			for _, cache := range sortedSubs(n.index[e.key]) {
-				n.ep.Send(cache, KeyUpdatePush{Key: e.key, Lat: e.lat.Clone()}, 24+e.size)
-			}
-		})
-	}
+		e.dirtyPush = false
+		for _, cache := range sortedSubs(n.index[e.key]) {
+			n.ep.Send(cache, KeyUpdatePush{Key: e.key, Lat: e.lat.Clone()}, 24+e.size)
+		}
+	})
 }
 
 // sortedSubs returns a subscriber set in deterministic order.

@@ -86,13 +86,16 @@ type Stats struct {
 	PrefetchedKeys int64 // keys installed by those fills
 }
 
-// Cache is one VM's co-located cache process.
+// Cache is one VM's co-located cache process. Network traffic — update
+// pushes from Anna, snapshot fetches from peer caches, DAG-completion
+// notices — dispatches through a serial simnet.Dispatcher.
 type Cache struct {
 	k    *vtime.Kernel
 	ep   *simnet.Endpoint
 	anna *anna.Client
 	cfg  Config
 	vm   string
+	disp *simnet.Dispatcher
 
 	mu    *vtime.Mutex
 	store map[string]lattice.Lattice
@@ -110,6 +113,7 @@ type Cache struct {
 	// (§4.2).
 	wbq        *vtime.Chan[wbItem]
 	wbInFlight int
+	wbName     string // precomputed write-back process name
 
 	Stats Stats
 }
@@ -123,7 +127,7 @@ type wbItem struct {
 // New creates a cache for the given VM, bound to endpoint ep, backed by
 // the Anna client ac (which must be bound to the same endpoint).
 func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, vm string, cfg Config) *Cache {
-	return &Cache{
+	c := &Cache{
 		k:         k,
 		ep:        ep,
 		anna:      ac,
@@ -135,7 +139,13 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, vm string, cfg C
 		added:     make(map[string]bool),
 		removed:   make(map[string]bool),
 		wbq:       vtime.NewChan[wbItem](k, -1),
+		wbName:    string(ep.ID()) + "/wb",
 	}
+	c.disp = simnet.NewDispatcher(ep, string(ep.ID()))
+	simnet.OnMessage(c.disp, c.handlePush)
+	simnet.OnMessage(c.disp, c.handleDAGDone)
+	simnet.OnRequest(c.disp, c.handleSnapshotFetch)
+	return c
 }
 
 // writeBack enqueues an asynchronous KVS merge of lat (which the queue
@@ -156,7 +166,7 @@ func (c *Cache) writeBackLoop() {
 			return
 		}
 		c.wbInFlight++
-		c.k.Go(string(c.ep.ID())+"/wb", func() {
+		c.k.Go(c.wbName, func() {
 			// Errors are dropped: an unreachable replica set converges
 			// via a later write or gossip; the local cache remains the
 			// freshest copy meanwhile.
@@ -183,45 +193,43 @@ func (c *Cache) IPC() time.Duration { return c.cfg.IPC }
 // Mode returns the configured consistency level.
 func (c *Cache) Mode() core.Mode { return c.cfg.Mode }
 
-// Start launches the cache's server loop, keyset publisher, and
+// Start launches the cache's dispatcher, keyset publisher, and
 // write-back drainer.
 func (c *Cache) Start() {
-	c.k.Go(string(c.ep.ID())+"/serve", c.serveLoop)
-	c.k.Go(string(c.ep.ID())+"/keyset", c.keysetLoop)
-	c.k.Go(string(c.ep.ID())+"/writeback", c.writeBackLoop)
+	c.disp.Start()
+	c.disp.Every("keyset", c.cfg.KeysetInterval, c.keysetTick)
+	c.disp.Go("writeback", c.writeBackLoop)
 }
 
-// serveLoop handles network traffic: update pushes from Anna, snapshot
-// fetches from peer caches, and DAG-completion notifications.
-func (c *Cache) serveLoop() {
-	for {
-		m := c.ep.Recv()
-		switch b := m.Payload.(type) {
-		case anna.KeyUpdatePush:
-			c.ingestUpdate(b.Key, b.Lat)
-		case core.DAGDone:
-			c.mu.Lock()
-			delete(c.snapshots, b.ReqID)
-			c.mu.Unlock()
-		case *simnet.Request:
-			switch rb := b.Body.(type) {
-			case SnapshotFetchReq:
-				c.mu.Lock()
-				var resp SnapshotFetchResp
-				if snaps, ok := c.snapshots[rb.ReqID]; ok {
-					if lat, ok := snaps[rb.Key]; ok {
-						resp = SnapshotFetchResp{Lat: lat.Clone(), Found: true}
-					}
-				}
-				c.mu.Unlock()
-				size := 16
-				if resp.Found {
-					size += resp.Lat.ByteSize()
-				}
-				b.Reply(resp, size)
-			}
+// handlePush ingests an update pushed by Anna (§4.2).
+func (c *Cache) handlePush(_ simnet.Message, b anna.KeyUpdatePush) {
+	c.ingestUpdate(b.Key, b.Lat)
+}
+
+// handleDAGDone evicts a completed request's version snapshots
+// (Algorithm 1's sink notification).
+func (c *Cache) handleDAGDone(_ simnet.Message, b core.DAGDone) {
+	c.mu.Lock()
+	delete(c.snapshots, b.ReqID)
+	c.mu.Unlock()
+}
+
+// handleSnapshotFetch serves a peer cache's version-snapshot request
+// (Algorithms 1 and 2's fetch_from_upstream).
+func (c *Cache) handleSnapshotFetch(req *simnet.Request, rb SnapshotFetchReq) {
+	c.mu.Lock()
+	var resp SnapshotFetchResp
+	if snaps, ok := c.snapshots[rb.ReqID]; ok {
+		if lat, ok := snaps[rb.Key]; ok {
+			resp = SnapshotFetchResp{Lat: lat.Clone(), Found: true}
 		}
 	}
+	c.mu.Unlock()
+	size := 16
+	if resp.Found {
+		size += resp.Lat.ByteSize()
+	}
+	req.Reply(resp, size)
 }
 
 // ingestUpdate merges a pushed key update, maintaining the causal cut in
@@ -251,23 +259,20 @@ func (c *Cache) mergeLocked(key string, lat lattice.Lattice) {
 	delete(c.removed, key)
 }
 
-// keysetLoop periodically publishes the cached-keyset delta to Anna so
-// storage nodes can maintain the key→cache index (§4.2).
-func (c *Cache) keysetLoop() {
-	for {
-		c.k.Sleep(c.cfg.KeysetInterval)
-		c.mu.Lock()
-		if len(c.added) == 0 && len(c.removed) == 0 {
-			c.mu.Unlock()
-			continue
-		}
-		added := setToSlice(c.added)
-		removed := setToSlice(c.removed)
-		c.added = make(map[string]bool)
-		c.removed = make(map[string]bool)
+// keysetTick publishes the cached-keyset delta to Anna so storage nodes
+// can maintain the key→cache index (§4.2).
+func (c *Cache) keysetTick() {
+	c.mu.Lock()
+	if len(c.added) == 0 && len(c.removed) == 0 {
 		c.mu.Unlock()
-		c.anna.PublishKeyset(c.ep.ID(), added, removed)
+		return
 	}
+	added := setToSlice(c.added)
+	removed := setToSlice(c.removed)
+	c.added = make(map[string]bool)
+	c.removed = make(map[string]bool)
+	c.mu.Unlock()
+	c.anna.PublishKeyset(c.ep.ID(), added, removed)
 }
 
 func setToSlice(m map[string]bool) []string {

@@ -135,7 +135,7 @@ func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
 	if cur, ok := c.store[key]; ok {
 		cap := cur.(*lattice.Causal)
 		val := cap.DisplayValue()
-		ver := core.VersionRef{Cache: c.ID(), VC: cap.VC()}
+		ver := core.VersionRef{Cache: c.ID(), VC: cap.VC(), VCD: cap.Digest()}
 		c.mu.Unlock()
 		c.Stats.Hits++
 		return val, ver, nil
@@ -150,7 +150,7 @@ func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
 		return nil, core.VersionRef{}, ErrNotFound
 	}
 	cap := lat.(*lattice.Causal)
-	return cap.DisplayValue(), core.VersionRef{Cache: c.ID(), VC: cap.VC()}, nil
+	return cap.DisplayValue(), core.VersionRef{Cache: c.ID(), VC: cap.VC(), VCD: cap.Digest()}, nil
 }
 
 // readMK is multi-key (bolt-on) causality: the local store is maintained
@@ -230,7 +230,7 @@ func (c *Cache) readDSC(reqID, key string, meta *core.SessionMeta) ([]byte, core
 		}
 	}
 
-	ver := core.VersionRef{Cache: c.ID(), VC: cap.VC()}
+	ver := core.VersionRef{Cache: c.ID(), VC: cap.VC(), VCD: cap.Digest()}
 	c.mu.Lock()
 	// Snapshot the version read and the locally-held versions of its
 	// dependencies, so downstream caches can fetch them (§5.3: "caches

@@ -109,7 +109,11 @@ type object struct {
 	visibleAt vtime.Time
 }
 
-// Service is one running storage service.
+// Service is one running storage service. Requests dispatch through a
+// concurrent simnet.Dispatcher — every command gets its own (pooled)
+// worker process, modeling an S3/DynamoDB-style front fleet — and Serial
+// profiles then contend on the master semaphore, producing Redis's
+// write-queueing delay.
 type Service struct {
 	k       *vtime.Kernel
 	ep      *simnet.Endpoint
@@ -130,71 +134,81 @@ func NewService(k *vtime.Kernel, ep *simnet.Endpoint, p Profile) *Service {
 		store:   make(map[string]object),
 		master:  vtime.NewSemaphore(k, 1),
 	}
-	k.Go(string(ep.ID())+"/serve", s.serve)
+	d := simnet.NewDispatcher(ep, string(ep.ID())).Concurrent()
+	simnet.OnRequest(d, s.handleGet)
+	simnet.OnRequest(d, s.handleMGet)
+	simnet.OnRequest(d, s.handlePut)
+	d.Start()
 	return s
 }
 
 // ID returns the service's network id.
 func (s *Service) ID() simnet.NodeID { return s.ep.ID() }
 
-// serve dispatches each request to its own handler process; Serial
-// profiles then contend on the master semaphore, producing queueing.
-func (s *Service) serve() {
-	for {
-		m := s.ep.Recv()
-		req, ok := m.Payload.(*simnet.Request)
-		if !ok {
-			continue
-		}
-		s.k.Go(string(s.ep.ID())+"/handler", func() { s.handle(req) })
+// acquire takes the master thread when the profile is serial; release
+// undoes it.
+func (s *Service) acquire() {
+	if s.profile.Serial {
+		s.master.Acquire()
 	}
 }
 
-func (s *Service) handle(req *simnet.Request) {
+func (s *Service) release() {
 	if s.profile.Serial {
-		s.master.Acquire()
-		defer s.master.Release()
+		s.master.Release()
 	}
+}
+
+func (s *Service) handleGet(req *simnet.Request, b GetReq) {
+	s.acquire()
+	defer s.release()
 	s.Ops++
-	switch b := req.Body.(type) {
-	case GetReq:
-		s.k.Sleep(s.profile.ReadBase.Sample(s.k.Rand()))
-		obj, found := s.store[b.Key]
-		if found && s.k.Now() < obj.visibleAt {
-			found = false // write not yet visible (eventual consistency)
-		}
-		if !found {
-			req.Reply(GetResp{Found: false}, 32)
-			return
+	s.k.Sleep(s.profile.ReadBase.Sample(s.k.Rand()))
+	obj, found := s.store[b.Key]
+	if found && s.k.Now() < obj.visibleAt {
+		found = false // write not yet visible (eventual consistency)
+	}
+	if !found {
+		req.Reply(GetResp{Found: false}, 32)
+		return
+	}
+	s.k.Sleep(s.transfer(len(obj.val)))
+	// Stored values are immutable (see PutReq): reply with the
+	// stored buffer instead of copying it.
+	req.Reply(GetResp{Val: obj.val, Found: true}, 32+len(obj.val))
+}
+
+func (s *Service) handleMGet(req *simnet.Request, b MGetReq) {
+	s.acquire()
+	defer s.release()
+	s.Ops++
+	s.k.Sleep(s.profile.ReadBase.Sample(s.k.Rand()))
+	resp := MGetResp{Vals: make([][]byte, len(b.Keys))}
+	size := 32
+	for i, key := range b.Keys {
+		s.k.Sleep(30 * time.Microsecond) // per-key lookup cost
+		obj, found := s.store[key]
+		if !found || s.k.Now() < obj.visibleAt {
+			continue
 		}
 		s.k.Sleep(s.transfer(len(obj.val)))
-		// Stored values are immutable (see PutReq): reply with the
-		// stored buffer instead of copying it.
-		req.Reply(GetResp{Val: obj.val, Found: true}, 32+len(obj.val))
-	case MGetReq:
-		s.k.Sleep(s.profile.ReadBase.Sample(s.k.Rand()))
-		resp := MGetResp{Vals: make([][]byte, len(b.Keys))}
-		size := 32
-		for i, key := range b.Keys {
-			s.k.Sleep(30 * time.Microsecond) // per-key lookup cost
-			obj, found := s.store[key]
-			if !found || s.k.Now() < obj.visibleAt {
-				continue
-			}
-			s.k.Sleep(s.transfer(len(obj.val)))
-			resp.Vals[i] = obj.val
-			size += len(obj.val)
-		}
-		req.Reply(resp, size)
-	case PutReq:
-		s.k.Sleep(s.profile.WriteBase.Sample(s.k.Rand()))
-		s.k.Sleep(s.transfer(len(b.Val)))
-		s.store[b.Key] = object{
-			val:       b.Val, // service takes ownership; payloads are immutable
-			visibleAt: s.k.Now().Add(s.profile.VisibilityLag),
-		}
-		req.Reply(PutResp{}, 16)
+		resp.Vals[i] = obj.val
+		size += len(obj.val)
 	}
+	req.Reply(resp, size)
+}
+
+func (s *Service) handlePut(req *simnet.Request, b PutReq) {
+	s.acquire()
+	defer s.release()
+	s.Ops++
+	s.k.Sleep(s.profile.WriteBase.Sample(s.k.Rand()))
+	s.k.Sleep(s.transfer(len(b.Val)))
+	s.store[b.Key] = object{
+		val:       b.Val, // service takes ownership; payloads are immutable
+		visibleAt: s.k.Now().Add(s.profile.VisibilityLag),
+	}
+	req.Reply(PutResp{}, 16)
 }
 
 // transfer is the service-side payload processing time.

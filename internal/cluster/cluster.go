@@ -132,6 +132,13 @@ func New(cfg Config) *Cluster {
 	}
 	c.dagClient = c.KV.NewClient(net.AddNode("dag-resolver"), 0)
 
+	// All control-plane consumers share one decoded-metrics cache: each
+	// publication is gob-decoded once per cluster, not once per poll tick
+	// per scheduler.
+	decoded := core.NewDecodeCache()
+	cfg.Scheduler.Decoded = decoded
+	cfg.Monitor.Decoded = decoded
+
 	for i := 0; i < cfg.InitialVMs; i++ {
 		c.bootVM()
 	}

@@ -7,8 +7,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
+	"cloudburst/internal/codec"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
 )
@@ -84,6 +86,10 @@ type VersionRef struct {
 	Cache simnet.NodeID       // cache holding the version snapshot
 	TS    lattice.Timestamp   // LWW version id (repeatable read)
 	VC    lattice.VectorClock // causal version id
+	// VCD is the canonical digest of the capsule the version was read
+	// from (lattice.Causal.Digest): a comparable stand-in for the clock
+	// set, used to key the executor's decoded-value memo in causal modes.
+	VCD uint64
 }
 
 // SessionMeta is the distributed-session metadata propagated from
@@ -291,6 +297,59 @@ type SchedulerMetrics struct {
 	ReportedAtS float64
 }
 
+// DecodeCache memoizes decoded LWW capsule payloads by (key, exact
+// timestamp). LWW timestamps are unique per write, so an entry never
+// invalidates; re-publication under a new timestamp simply replaces it.
+// Control-plane consumers (schedulers, the monitor) share one cache per
+// cluster so each metrics publication is gob-decoded once process-wide
+// instead of once per consumer per poll tick. Decoded values are shared
+// read-only, the same convention the data plane's zero-copy payloads
+// follow. The kernel runs one party at a time, so no locking is needed.
+type DecodeCache struct {
+	m map[string]decodedVersion
+}
+
+// decodedVersion is a key's latest decoded publication.
+type decodedVersion struct {
+	ts lattice.Timestamp
+	v  any
+}
+
+// NewDecodeCache returns an empty cache.
+func NewDecodeCache() *DecodeCache {
+	return &DecodeCache{m: make(map[string]decodedVersion)}
+}
+
+// Get looks up the decoded value for key at exactly ts.
+func (c *DecodeCache) Get(key string, ts lattice.Timestamp) (any, bool) {
+	e, ok := c.m[key]
+	if !ok || e.ts != ts {
+		return nil, false
+	}
+	return e.v, true
+}
+
+// Put records the decoded value for key at ts, evicting the key's prior
+// version (older timestamps are never read again), so the cache's size
+// is bounded by the number of live metrics keys, not simulation length.
+func (c *DecodeCache) Put(key string, ts lattice.Timestamp, v any) {
+	c.m[key] = decodedVersion{ts: ts, v: v}
+}
+
+// Decode returns the decoded payload of an LWW metrics capsule through
+// the cache: each distinct publication is codec-decoded exactly once.
+func (c *DecodeCache) Decode(key string, l *lattice.LWW) (any, bool) {
+	if v, ok := c.Get(key, l.TS); ok {
+		return v, true
+	}
+	v, err := codec.Decode(l.Value)
+	if err != nil {
+		return nil, false
+	}
+	c.Put(key, l.TS, v)
+	return v, true
+}
+
 // Well-known Anna key constructors for system metadata (§4.4: "Anna as
 // the source of truth for system metadata").
 func FuncKey(name string) string          { return "sys/funcs/" + name }
@@ -319,5 +378,5 @@ func SplitInvocationID(id string) (thread simnet.NodeID, ok bool) {
 // MakeInvocationID builds an invocation ID for a thread and sequence
 // number.
 func MakeInvocationID(thread simnet.NodeID, seq int64) string {
-	return fmt.Sprintf("%s#%d", thread, seq)
+	return string(thread) + "#" + strconv.FormatInt(seq, 10)
 }

@@ -17,23 +17,35 @@ import (
 
 // Thread is one executor worker: an independent long-running process
 // with its own network address, serving one invocation at a time (§4.1).
+// Inbound traffic dispatches through a serial simnet.Dispatcher; messages
+// the thread drains off its endpoint mid-invocation are re-injected for
+// ordinary dispatch afterwards.
 type Thread struct {
-	id         simnet.NodeID
-	ep         *simnet.Endpoint
-	k          *vtime.Kernel
-	vm         string
-	cache      *cache.Cache
-	annaClient *anna.Client
-	registry   *Registry
-	tracer     Tracer
-	alive      func(simnet.NodeID) bool
-	dagFor     func(name string) (*dag.DAG, bool)
-	overhead   time.Duration
+	id          simnet.NodeID
+	ep          *simnet.Endpoint
+	k           *vtime.Kernel
+	vm          string
+	cache       *cache.Cache
+	annaClient  *anna.Client
+	registry    *Registry
+	tracer      Tracer
+	alive       func(simnet.NodeID) bool
+	dagFor      func(name string) (*dag.DAG, bool)
+	overhead    time.Duration
+	disp        *simnet.Dispatcher
+	resolveName string // precomputed process name for parallel arg reads
 
-	pinned   map[string]bool
-	mailbox  []core.DirectMessage
-	deferred []simnet.Message
-	seq      int64
+	pinned  map[string]bool
+	mailbox []core.DirectMessage
+	seq     int64
+
+	// errScratch, refScratch, keyScratch, and wg are resolveArgs working
+	// storage, reused across invocations (a thread runs one invocation at
+	// a time, and the WaitGroup is idle again once Wait returns).
+	errScratch []error
+	refScratch []int
+	keyScratch []string
+	wg         *vtime.WaitGroup
 
 	pending map[string]*join // DAG fan-in assembly: reqID|fn → state
 
@@ -41,10 +53,12 @@ type Thread struct {
 	// that reads the same capsule at every hop decodes it once instead
 	// of per invocation (resolveArgs dominated the harness CPU profile
 	// before). Entries are immutable — a (key, timestamp) pair names one
-	// write forever — so the memo never invalidates, only bounds its
-	// size. Memoized values are shared across invocations, which is safe
+	// LWW write forever, and a (key, capsule digest) pair one causal
+	// sibling set — so the memo never invalidates, only bounds its size.
+	// Memoized values are shared across invocations, which is safe
 	// because decoded values are read-only by convention (see codec).
-	memo map[memoKey]any
+	memo     map[memoKey]any
+	memoHits int64
 
 	// Metrics window (§4.1: executors publish utilization, cached
 	// functions, and execution latencies).
@@ -54,17 +68,16 @@ type Thread struct {
 	winDone     int64
 	latencySum  time.Duration
 	latencyN    int64
-
-	stopped bool
 }
 
-// memoKey names one exact write of one key: LWW timestamps are unique
-// per write, so (key, TS) identifies the payload bytes. Causal versions
-// are identified by vector clocks (not comparable as map keys) and skip
-// the memo.
+// memoKey names one exact version of one key: LWW timestamps are unique
+// per write, so (key, TS) identifies the payload bytes; causal capsules
+// are identified by their canonical sibling-set digest (key, vcd), the
+// comparable stand-in for a vector-clock set (lattice.Causal.Digest).
 type memoKey struct {
 	key string
 	ts  lattice.Timestamp
+	vcd uint64
 }
 
 // memoMax bounds the decoded-value memo; when full, the memo resets
@@ -102,7 +115,7 @@ type Deps struct {
 
 // NewThread creates a worker bound to ep.
 func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread {
-	return &Thread{
+	t := &Thread{
 		id:          ep.ID(),
 		ep:          ep,
 		k:           k,
@@ -114,11 +127,23 @@ func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread 
 		alive:       d.Alive,
 		dagFor:      d.DAGFor,
 		overhead:    d.InvokeOverhead,
+		resolveName: string(ep.ID()) + "/resolve",
 		pinned:      make(map[string]bool),
 		pending:     make(map[string]*join),
 		memo:        make(map[memoKey]any),
 		windowStart: k.Now(),
 	}
+	t.disp = simnet.NewDispatcher(ep, string(t.id))
+	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.InvokeRequest) { t.runSingle(b) })
+	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.DAGTrigger) { t.runTrigger(b) })
+	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.DirectMessage) {
+		t.mailbox = append(t.mailbox, b)
+	})
+	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.PinFunction) { t.pin(b.Function) })
+	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.UnpinFunction) {
+		delete(t.pinned, b.Function)
+	})
+	return t
 }
 
 // ID returns the thread's network id (also its vector-clock writer id).
@@ -137,47 +162,19 @@ func (t *Thread) Pinned() []string {
 // Completed reports lifetime finished invocations.
 func (t *Thread) Completed() int64 { return t.completed }
 
-// Start launches the worker loop.
-func (t *Thread) Start() { t.k.Go(string(t.id)+"/worker", t.loop) }
+// MemoHits reports decoded-value memo hits (test hook).
+func (t *Thread) MemoHits() int64 { return t.memoHits }
+
+// Start launches the worker's dispatcher.
+func (t *Thread) Start() { t.k.Go(string(t.id)+"/worker", t.disp.Serve) }
 
 // Stop makes the worker exit after the current message.
-func (t *Thread) Stop() { t.stopped = true }
-
-func (t *Thread) loop() {
-	for {
-		var m simnet.Message
-		if len(t.deferred) > 0 {
-			m = t.deferred[0]
-			t.deferred = t.deferred[1:]
-		} else {
-			m = t.ep.Recv()
-		}
-		if t.stopped {
-			return
-		}
-		t.handle(m)
-	}
-}
-
-func (t *Thread) handle(m simnet.Message) {
-	switch b := m.Payload.(type) {
-	case core.InvokeRequest:
-		t.runSingle(b)
-	case core.DAGTrigger:
-		t.runTrigger(b)
-	case core.DirectMessage:
-		t.mailbox = append(t.mailbox, b)
-	case core.PinFunction:
-		t.pin(b.Function)
-	case core.UnpinFunction:
-		delete(t.pinned, b.Function)
-	}
-}
+func (t *Thread) Stop() { t.disp.Stop() }
 
 // drainNetwork moves queued endpoint messages into the right buckets
 // without blocking; direct messages become mailbox entries, everything
-// else is deferred for the main loop. Called from Ctx.Recv while a
-// function is executing.
+// else is re-injected into the dispatcher for ordinary handling. Called
+// from Ctx.Recv while a function is executing.
 func (t *Thread) drainNetwork() {
 	for {
 		m, ok := t.ep.TryRecv()
@@ -187,7 +184,7 @@ func (t *Thread) drainNetwork() {
 		if dm, isDM := m.Payload.(core.DirectMessage); isDM {
 			t.mailbox = append(t.mailbox, dm)
 		} else {
-			t.deferred = append(t.deferred, m)
+			t.disp.Inject(m)
 		}
 	}
 }
@@ -219,8 +216,12 @@ func (t *Thread) newCtx(reqID, dagName, fn string, meta *core.SessionMeta) *Ctx 
 // references through the cache in parallel (§4.1).
 func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *core.SessionMeta) ([]any, error) {
 	out := make([]any, len(args))
-	errs := make([]error, len(args))
-	var refIdx []int
+	errs := t.errScratch[:0]
+	for range args {
+		errs = append(errs, nil)
+	}
+	t.errScratch = errs
+	refIdx := t.refScratch[:0]
 	for i, a := range args {
 		if a.IsRef() {
 			refIdx = append(refIdx, i)
@@ -232,15 +233,17 @@ func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *c
 		}
 		out[i] = v
 	}
+	t.refScratch = refIdx
 	// Warm-fill the cache for the whole reference list in one grouped
 	// Anna multi-get before the per-key protocol reads: a cold cache pays
 	// one round trip per storage node instead of one per key (§4.2's
 	// fan-out collapse; the per-key Read below then hits locally).
 	if len(refIdx) > 1 {
-		keys := make([]string, len(refIdx))
-		for n, i := range refIdx {
-			keys[n] = args[i].Ref
+		keys := t.keyScratch[:0]
+		for _, i := range refIdx {
+			keys = append(keys, args[i].Ref)
 		}
+		t.keyScratch = keys
 		t.cache.Prefetch(keys)
 	}
 	readOne := func(i int) {
@@ -267,11 +270,14 @@ func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *c
 	if len(refIdx) == 1 {
 		readOne(refIdx[0])
 	} else if len(refIdx) > 1 {
-		wg := vtime.NewWaitGroup(t.k)
+		if t.wg == nil {
+			t.wg = vtime.NewWaitGroup(t.k)
+		}
+		wg := t.wg
 		for _, i := range refIdx {
 			i := i
 			wg.Add(1)
-			t.k.Go(fmt.Sprintf("%s/resolve", t.id), func() {
+			t.k.Go(t.resolveName, func() {
 				defer wg.Done()
 				readOne(i)
 			})
@@ -287,15 +293,25 @@ func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *c
 }
 
 // decodeVersioned decodes a read payload through the memo when the
-// version is memoizable (timestamp-identified, i.e. the LWW modes).
-// Tracing has already happened at the call sites; the memo only skips
-// the repeated decode work, never protocol effects.
+// version is memoizable: timestamp-identified (the LWW modes) or
+// digest-identified (the causal modes). Tracing has already happened at
+// the call sites; the memo only skips the repeated decode work, never
+// protocol effects.
 func (t *Thread) decodeVersioned(key string, ver core.VersionRef, payload []byte) (any, error) {
-	if len(ver.VC) != 0 || ver.TS == (lattice.Timestamp{}) {
+	var mk memoKey
+	switch {
+	case len(ver.VC) != 0:
+		if ver.VCD == 0 {
+			return codec.Decode(payload) // no capsule digest: not memoizable
+		}
+		mk = memoKey{key: key, vcd: ver.VCD}
+	case ver.TS != (lattice.Timestamp{}):
+		mk = memoKey{key: key, ts: ver.TS}
+	default:
 		return codec.Decode(payload)
 	}
-	mk := memoKey{key: key, ts: ver.TS}
 	if v, ok := t.memo[mk]; ok {
+		t.memoHits++
 		return v, nil
 	}
 	v, err := codec.Decode(payload)
@@ -312,8 +328,15 @@ func (t *Thread) decodeVersioned(key string, ver core.VersionRef, payload []byte
 // runSingle serves a plain function invocation.
 func (t *Thread) runSingle(req core.InvokeRequest) {
 	start := t.k.Now()
-	meta := core.NewSessionMeta()
-	result, err := t.invoke(req.ReqID, "", req.Function, req.Args, nil, &meta)
+	// Session metadata only exists in the session/bolt-on modes; LWW and
+	// SK reads ignore it, so skip the three-map allocation there.
+	var metaP *core.SessionMeta
+	switch t.cache.Mode() {
+	case core.DSRR, core.DSC, core.MK:
+		m := core.NewSessionMeta()
+		metaP = &m
+	}
+	result, err := t.invoke(req.ReqID, "", req.Function, req.Args, nil, metaP)
 	t.finish(start)
 	res := core.Result{ReqID: req.ReqID}
 	if req.WantHops {
@@ -331,7 +354,7 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 		return
 	}
 	if req.StoreInKVS {
-		if _, werr := t.cache.Write(req.ReqID, req.ResultKey, payload, &meta, string(t.id)); werr != nil {
+		if _, werr := t.cache.Write(req.ReqID, req.ResultKey, payload, metaP, string(t.id)); werr != nil {
 			res.Err = werr.Error()
 		} else {
 			res.ResultKey = req.ResultKey

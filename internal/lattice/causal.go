@@ -187,6 +187,24 @@ func (c *Causal) Clone() Lattice {
 	return cl
 }
 
+// Digest returns a canonical 64-bit key identifying the capsule's exact
+// sibling set: each version's clock digest is mixed and combined
+// commutatively. Since a vector clock names one write (its writer ticked
+// its own slot), equal digests mean equal sibling sets and therefore an
+// identical DisplayValue — which is what lets timestamp-free causal
+// versions join the executor's decoded-value memo.
+func (c *Causal) Digest() uint64 {
+	var h uint64
+	for _, v := range c.Versions {
+		d := v.VC.Digest()
+		d ^= d >> 33
+		d *= 0xFF51AFD7ED558CCD
+		d ^= d >> 33
+		h += d
+	}
+	return h
+}
+
 // MetadataSize is the causal metadata overhead (vector clocks plus
 // dependency sets), the quantity §6.2.1 reports medians and p99s for.
 func (c *Causal) MetadataSize() int {

@@ -1,0 +1,41 @@
+package lattice
+
+import "testing"
+
+func TestVectorClockDigestCanonical(t *testing.T) {
+	a := VectorClock{"t1": 3, "t2": 7}
+	b := VectorClock{"t2": 7, "t1": 3} // same clock, different construction order
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal clocks produced different digests")
+	}
+	if a.Digest() == (VectorClock{"t1": 3, "t2": 8}).Digest() {
+		t.Fatal("different counters collided")
+	}
+	if a.Digest() == (VectorClock{"t1": 3}).Digest() {
+		t.Fatal("subset clock collided")
+	}
+	if (VectorClock{}).Digest() != 0 {
+		t.Fatal("empty clock digest not zero")
+	}
+}
+
+func TestCausalDigestNamesSiblingSet(t *testing.T) {
+	one := NewCausal(VectorClock{"a": 1}, nil, []byte("va"))
+	two := NewCausal(VectorClock{"b": 1}, nil, []byte("vb"))
+	merged := one.Clone().(*Causal)
+	merged.Merge(two)
+	mergedOther := two.Clone().(*Causal)
+	mergedOther.Merge(one)
+	if merged.Digest() != mergedOther.Digest() {
+		t.Fatal("merge order changed digest")
+	}
+	// A single write whose clock equals the siblings' join is a different
+	// capsule and must not collide with the two-sibling set.
+	joined := NewCausal(VectorClock{"a": 1, "b": 1}, nil, []byte("vj"))
+	if merged.Digest() == joined.Digest() {
+		t.Fatal("sibling set collided with joined single write")
+	}
+	if one.Digest() == two.Digest() {
+		t.Fatal("distinct single versions collided")
+	}
+}

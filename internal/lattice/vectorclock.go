@@ -94,6 +94,30 @@ func (vc VectorClock) Tick(id string) uint64 {
 	return vc[id]
 }
 
+// Digest returns a canonical 64-bit key for the clock: entries are
+// hashed individually (FNV-1a over the id and counter) and combined with
+// a commutative mix, so identical clocks produce identical digests
+// regardless of map iteration order, without sorting or allocating. Two
+// distinct clocks collide with negligible probability; the digest names a
+// version in hash-keyed caches (the executor's decoded-value memo), not
+// in correctness-critical comparisons.
+func (vc VectorClock) Digest() uint64 {
+	var h uint64
+	for id, v := range vc {
+		e := uint64(14695981039346656037) // FNV-1a offset basis
+		for i := 0; i < len(id); i++ {
+			e ^= uint64(id[i])
+			e *= 1099511628211
+		}
+		for s := 0; s < 64; s += 8 {
+			e ^= (v >> s) & 0xff
+			e *= 1099511628211
+		}
+		h += e * 0x9E3779B97F4A7C15 // golden-ratio spread before the sum
+	}
+	return h
+}
+
 // Copy returns an independent copy.
 func (vc VectorClock) Copy() VectorClock {
 	c := make(VectorClock, len(vc))

@@ -22,7 +22,6 @@ import (
 	"time"
 
 	"cloudburst/internal/anna"
-	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/dag"
 	"cloudburst/internal/executor"
@@ -59,6 +58,9 @@ type Config struct {
 	ScaleUp   int // VMs added per saturation event (20 in §6.1.4)
 	ScaleDown int // VMs removed per underload tick
 	MinPin    int // replica floor per function
+	// Decoded is an optional cluster-shared decoded-metrics cache; nil
+	// gives the monitor a private one.
+	Decoded *core.DecodeCache
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -81,19 +83,27 @@ type Event struct {
 	Action string
 }
 
-// Monitor is the resource-management daemon.
+// Monitor is the resource-management daemon. Its policy tick runs as a
+// periodic process on a simnet.Dispatcher, which also gives it a place to
+// register handlers if it ever grows an RPC surface.
 type Monitor struct {
 	k    *vtime.Kernel
 	ep   *simnet.Endpoint
 	anna *anna.Client
 	pool ComputePool
 	cfg  Config
+	disp *simnet.Dispatcher
 
 	threadMetrics map[simnet.NodeID]core.ExecutorMetrics
 	pins          map[string][]simnet.NodeID
 	prevCalls     map[string]int64
 	prevDone      map[string]int64
 	lastTick      vtime.Time
+	// decoded caches decoded metric payloads by exact LWW version, so
+	// unchanged publications (and immutable DAG topologies) are decoded
+	// once instead of on every policy tick. Shared cluster-wide when
+	// Config.Decoded is set.
+	decoded *core.DecodeCache
 
 	Events []Event
 	// ReplicaSamples records (time, total pinned replicas) per tick —
@@ -110,31 +120,33 @@ type ReplicaSample struct {
 
 // New creates a monitor bound to endpoint ep.
 func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, pool ComputePool, cfg Config) *Monitor {
-	return &Monitor{
+	m := &Monitor{
 		k:             k,
 		ep:            ep,
 		anna:          ac,
 		pool:          pool,
 		cfg:           cfg,
+		disp:          simnet.NewDispatcher(ep, "monitor"),
 		threadMetrics: make(map[simnet.NodeID]core.ExecutorMetrics),
 		pins:          make(map[string][]simnet.NodeID),
 		prevCalls:     make(map[string]int64),
 		prevDone:      make(map[string]int64),
+		decoded:       cfg.Decoded,
 	}
+	if m.decoded == nil {
+		m.decoded = core.NewDecodeCache()
+	}
+	return m
 }
 
 // Start launches the policy loop.
 func (m *Monitor) Start() {
 	m.lastTick = m.k.Now()
-	m.k.Go("monitor/policy", m.loop)
+	m.disp.Every("policy", m.cfg.Interval, m.tick)
 }
 
-func (m *Monitor) loop() {
-	for {
-		m.k.Sleep(m.cfg.Interval)
-		m.tick()
-	}
-}
+// Stop halts the policy loop after its current tick.
+func (m *Monitor) Stop() { m.disp.Stop() }
 
 func (m *Monitor) tick() {
 	calls, done := m.refresh()
@@ -224,11 +236,7 @@ func (m *Monitor) decodeLWW(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
-	v, err := codec.Decode(l.Value)
-	if err != nil {
-		return nil, false
-	}
-	return v, true
+	return m.decoded.Decode(key, l)
 }
 
 // scaleReplicas adjusts per-function pin counts. Growth is driven by two

@@ -40,7 +40,7 @@ func TestReplicaScalingUnderLoad(t *testing.T) {
 		cl.Timeout = 2 * time.Minute
 		deadline := time.Duration(cl.Now()) + 45*time.Second
 		for time.Duration(cl.Now()) < deadline {
-			cl.CallDAG("busy-dag", nil)
+			cl.InvokeDAG("busy-dag", nil).Wait()
 		}
 	})
 	grown := mon.Pins("busy")
@@ -84,7 +84,7 @@ func TestNodeScalingAddsAndRemovesVMs(t *testing.T) {
 		cl.Timeout = 2 * time.Minute
 		deadline := time.Duration(cl.Now()) + 60*time.Second
 		for time.Duration(cl.Now()) < deadline {
-			cl.CallDAG("hog-dag", nil)
+			cl.InvokeDAG("hog-dag", nil).Wait()
 		}
 	})
 	if in.VMCount() <= 2 {

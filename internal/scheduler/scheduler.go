@@ -82,6 +82,9 @@ type Config struct {
 	RandomPolicy bool
 	// MetricsInterval is how often scheduler stats are published.
 	MetricsInterval time.Duration
+	// Decoded is an optional cluster-shared decoded-metrics cache; nil
+	// gives the scheduler a private one.
+	Decoded *core.DecodeCache
 }
 
 // DefaultConfig returns the §4.3/§4.5 defaults.
@@ -109,13 +112,16 @@ type outstanding struct {
 	used     map[simnet.NodeID]bool // executors tried (avoided on retry)
 }
 
-// Scheduler is one scheduler node.
+// Scheduler is one scheduler node. Traffic dispatches through a serial
+// simnet.Dispatcher; the view-refresh, metrics, and retry daemons are its
+// periodic processes.
 type Scheduler struct {
 	id   simnet.NodeID
 	ep   *simnet.Endpoint
 	k    *vtime.Kernel
 	anna *anna.Client
 	cfg  Config
+	disp *simnet.Dispatcher
 
 	dags    map[string]*dag.DAG
 	funcs   map[string]bool
@@ -126,6 +132,21 @@ type Scheduler struct {
 	pins      map[string][]simnet.NodeID // function → threads pinned
 
 	inflight map[string]*outstanding
+
+	// pickScratch holds pickExecutor's candidate slices, reused across
+	// calls: pickExecutor never blocks, so no two invocations overlap.
+	pickScratch struct {
+		pool, healthy, ties, spreadTies []simnet.NodeID
+		refs                            []string
+	}
+
+	// decoded caches decoded metric payloads by exact LWW version:
+	// metrics publish every MetricsInterval but the view polls every
+	// PollInterval (and every consumer polls the same keys), so most
+	// ticks would otherwise gob-decode identical bytes again — the
+	// dominant real-CPU cost of an idle scheduler. Shared cluster-wide
+	// when Config.Decoded is set.
+	decoded *core.DecodeCache
 
 	// lastAssigned spreads rapid-fire assignments across executors:
 	// utilization reports lag by the metrics interval, so without local
@@ -144,7 +165,7 @@ type Scheduler struct {
 
 // New creates (but does not start) a scheduler on endpoint ep.
 func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		id:           ep.ID(),
 		ep:           ep,
 		k:            k,
@@ -160,7 +181,25 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		dagCalls:     make(map[string]int64),
 		fnCalls:      make(map[string]int64),
 		dagDone:      make(map[string]int64),
+		decoded:      cfg.Decoded,
 	}
+	if s.decoded == nil {
+		s.decoded = core.NewDecodeCache()
+	}
+	s.disp = simnet.NewDispatcher(ep, string(s.id))
+	simnet.OnRequest(s.disp, func(req *simnet.Request, b RegisterFunctionReq) {
+		req.Reply(s.registerFunction(b), 16)
+	})
+	simnet.OnRequest(s.disp, func(req *simnet.Request, b RegisterDAGReq) {
+		req.Reply(s.registerDAG(b), 16)
+	})
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeRequest) { s.invokeSingle(b) })
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b DAGInvokeReq) { s.invokeDAG(b, nil) })
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.DAGComplete) {
+		delete(s.inflight, b.ReqID)
+		s.dagDone[b.DAG]++
+	})
+	return s
 }
 
 // ID returns the scheduler's network id.
@@ -168,32 +207,10 @@ func (s *Scheduler) ID() simnet.NodeID { return s.id }
 
 // Start launches the serve, view-refresh, metrics, and retry daemons.
 func (s *Scheduler) Start() {
-	s.k.Go(string(s.id)+"/serve", s.serveLoop)
-	s.k.Go(string(s.id)+"/poll", s.pollLoop)
-	s.k.Go(string(s.id)+"/metrics", s.metricsLoop)
-	s.k.Go(string(s.id)+"/retry", s.retryLoop)
-}
-
-func (s *Scheduler) serveLoop() {
-	for {
-		m := s.ep.Recv()
-		switch b := m.Payload.(type) {
-		case *simnet.Request:
-			switch rb := b.Body.(type) {
-			case RegisterFunctionReq:
-				b.Reply(s.registerFunction(rb), 16)
-			case RegisterDAGReq:
-				b.Reply(s.registerDAG(rb), 16)
-			}
-		case core.InvokeRequest:
-			s.invokeSingle(b)
-		case DAGInvokeReq:
-			s.invokeDAG(b, nil)
-		case core.DAGComplete:
-			delete(s.inflight, b.ReqID)
-			s.dagDone[b.DAG]++
-		}
-	}
+	s.disp.Start()
+	s.disp.Every("poll", s.cfg.PollInterval, s.refreshView)
+	s.disp.Go("metrics", s.metricsLoop)
+	s.disp.Every("retry", s.cfg.DAGTimeout/4, s.retryTick)
 }
 
 // registerFunction stores the function's metadata in Anna and updates
@@ -439,22 +456,23 @@ func (s *Scheduler) dagView(name string) (*dag.DAG, bool) {
 // rest prefer the executor whose VM cache holds the most of the
 // requested KVS references; otherwise pick uniformly at random.
 func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.NodeID]bool, pinnedOnly bool) simnet.NodeID {
-	var pool []simnet.NodeID
+	sc := &s.pickScratch
+	sc.pool, sc.healthy, sc.ties, sc.refs = sc.pool[:0], sc.healthy[:0], sc.ties[:0], sc.refs[:0]
 	if pinnedOnly {
 		for _, t := range s.pins[fn] {
 			if _, live := s.threads[t]; live {
-				pool = append(pool, t)
+				sc.pool = append(sc.pool, t)
 			}
 		}
 	}
-	if len(pool) == 0 {
+	if len(sc.pool) == 0 {
 		for id := range s.threads {
-			pool = append(pool, id)
+			sc.pool = append(sc.pool, id)
 		}
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
-	filtered := pool[:0]
-	for _, id := range pool {
+	sort.Slice(sc.pool, func(i, j int) bool { return sc.pool[i] < sc.pool[j] })
+	filtered := sc.pool[:0]
+	for _, id := range sc.pool {
 		if exclude != nil && exclude[id] {
 			continue
 		}
@@ -463,7 +481,7 @@ func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.
 	if len(filtered) == 0 {
 		return ""
 	}
-	pool = filtered
+	pool := filtered
 
 	// Backpressure: drop overloaded executors when alternatives exist
 	// (§4.3 — this is what spreads hot data onto new nodes). The filter
@@ -471,14 +489,13 @@ func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.
 	// most of the pool looks overloaded, routing everything at the few
 	// apparently-idle threads just herds the queue onto them — spread
 	// over everyone instead.
-	var healthy []simnet.NodeID
 	for _, id := range pool {
 		if s.threads[id].metrics.Utilization < s.cfg.UtilThreshold {
-			healthy = append(healthy, id)
+			sc.healthy = append(sc.healthy, id)
 		}
 	}
-	if len(healthy) > 0 && len(healthy)*2 >= len(pool) {
-		pool = healthy
+	if len(sc.healthy) > 0 && len(sc.healthy)*2 >= len(pool) {
+		pool = sc.healthy
 	}
 
 	if s.cfg.RandomPolicy {
@@ -487,21 +504,19 @@ func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.
 
 	// Locality: rank by how many referenced keys the executor's VM
 	// cache holds.
-	var refs []string
 	for _, a := range args {
 		if a.IsRef() {
-			refs = append(refs, a.Ref)
+			sc.refs = append(sc.refs, a.Ref)
 		}
 	}
-	if len(refs) == 0 {
+	if len(sc.refs) == 0 {
 		return s.assign(s.spread(pool))
 	}
 	best, bestScore := simnet.NodeID(""), -1
-	var ties []simnet.NodeID
 	for _, id := range pool {
 		vm := s.threads[id].metrics.VM
 		score := 0
-		for _, r := range refs {
+		for _, r := range sc.refs {
 			if s.cacheKeys[vm][r] {
 				score++
 			}
@@ -509,14 +524,14 @@ func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.
 		if score > bestScore {
 			bestScore = score
 			best = id
-			ties = ties[:0]
-			ties = append(ties, id)
+			sc.ties = sc.ties[:0]
+			sc.ties = append(sc.ties, id)
 		} else if score == bestScore {
-			ties = append(ties, id)
+			sc.ties = append(sc.ties, id)
 		}
 	}
-	if len(ties) > 1 {
-		return s.assign(s.spread(ties))
+	if len(sc.ties) > 1 {
+		return s.assign(s.spread(sc.ties))
 	}
 	return s.assign(best)
 }
@@ -526,7 +541,7 @@ func (s *Scheduler) pickExecutor(fn string, args []core.Arg, exclude map[simnet.
 // utilization reports they eventually show up in.
 func (s *Scheduler) spread(pool []simnet.NodeID) simnet.NodeID {
 	oldest := int64(1<<62 - 1)
-	var ties []simnet.NodeID
+	ties := s.pickScratch.spreadTies[:0]
 	for _, id := range pool {
 		at := s.lastAssigned[id]
 		switch {
@@ -538,6 +553,7 @@ func (s *Scheduler) spread(pool []simnet.NodeID) simnet.NodeID {
 			ties = append(ties, id)
 		}
 	}
+	s.pickScratch.spreadTies = ties
 	return ties[s.k.Rand().Intn(len(ties))]
 }
 
@@ -550,16 +566,12 @@ func (s *Scheduler) assign(id simnet.NodeID) simnet.NodeID {
 	return id
 }
 
-// pollLoop refreshes the scheduler's executor and cache views from Anna.
-func (s *Scheduler) pollLoop() {
-	for {
-		s.k.Sleep(s.cfg.PollInterval)
-		s.refreshView()
-	}
-}
-
 // refreshView reads the metric registries and rebuilds the local views,
-// dropping stale entries (§4.3's "local index").
+// dropping stale entries (§4.3's "local index"). Each registry is read
+// with one grouped multi-get instead of one Get per metrics key, so a
+// poll tick costs one KVS round trip per storage node. Keys the grouped
+// read misses (replication lag at the primary) are simply absent from
+// this tick's view and picked up on the next one.
 func (s *Scheduler) refreshView() {
 	nowS := s.k.Now().Seconds()
 	// Executor metrics.
@@ -567,17 +579,9 @@ func (s *Scheduler) refreshView() {
 		if set, ok := lat.(*lattice.Set); ok {
 			fresh := make(map[simnet.NodeID]threadInfo)
 			pins := make(map[string][]simnet.NodeID)
-			for _, key := range sortedSet(set) {
-				mlat, mfound, merr := s.anna.Get(key)
-				if merr != nil || !mfound {
-					continue
-				}
-				l, ok := mlat.(*lattice.LWW)
+			for _, ent := range s.fetchRegistry(set) {
+				v, ok := s.decodeCached(ent.key, ent.lat)
 				if !ok {
-					continue
-				}
-				v, err := codec.Decode(l.Value)
-				if err != nil {
 					continue
 				}
 				em, ok := v.(core.ExecutorMetrics)
@@ -604,17 +608,9 @@ func (s *Scheduler) refreshView() {
 	// Cache key sets.
 	if lat, found, err := s.anna.Get(executor.CacheListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			for _, key := range sortedSet(set) {
-				clat, cfound, cerr := s.anna.Get(key)
-				if cerr != nil || !cfound {
-					continue
-				}
-				l, ok := clat.(*lattice.LWW)
+			for _, ent := range s.fetchRegistry(set) {
+				v, ok := s.decodeCached(ent.key, ent.lat)
 				if !ok {
-					continue
-				}
-				v, err := codec.Decode(l.Value)
-				if err != nil {
 					continue
 				}
 				cm, ok := v.(core.CacheMetrics)
@@ -631,41 +627,72 @@ func (s *Scheduler) refreshView() {
 	}
 }
 
-// retryLoop re-executes timed-out DAG requests on fresh executors
+// registryEntry is one fetched metrics capsule with its key.
+type registryEntry struct {
+	key string
+	lat lattice.Lattice
+}
+
+// fetchRegistry bulk-reads a metric registry's keys in deterministic
+// order via one grouped multi-get per storage node.
+func (s *Scheduler) fetchRegistry(set *lattice.Set) []registryEntry {
+	keys := sortedSet(set)
+	got, _, err := s.anna.MultiGet(keys)
+	if err != nil {
+		return nil
+	}
+	out := make([]registryEntry, 0, len(got))
+	for _, key := range keys {
+		if lat, ok := got[key]; ok {
+			out = append(out, registryEntry{key: key, lat: lat})
+		}
+	}
+	return out
+}
+
+// decodeCached decodes a metrics capsule through the version-keyed
+// cache: each publication is decoded once, not once per poll tick per
+// consumer.
+func (s *Scheduler) decodeCached(key string, lat lattice.Lattice) (any, bool) {
+	l, ok := lat.(*lattice.LWW)
+	if !ok {
+		return nil, false
+	}
+	return s.decoded.Decode(key, l)
+}
+
+// retryTick re-executes timed-out DAG requests on fresh executors
 // (§4.5).
-func (s *Scheduler) retryLoop() {
-	for {
-		s.k.Sleep(s.cfg.DAGTimeout / 4)
-		now := s.k.Now()
-		var expired []string
-		for id, o := range s.inflight {
-			if now >= o.deadline {
-				expired = append(expired, id)
-			}
+func (s *Scheduler) retryTick() {
+	now := s.k.Now()
+	var expired []string
+	for id, o := range s.inflight {
+		if now >= o.deadline {
+			expired = append(expired, id)
 		}
-		sort.Strings(expired)
-		if len(expired) > 0 {
-			s.refreshView()
-		}
-		for _, id := range expired {
-			o := s.inflight[id]
-			// Re-execute only when an assigned executor looks dead
-			// (its metrics went stale). A merely-overloaded fleet gets
-			// more time: re-executing slow requests would double the
-			// load exactly when the system can least afford it.
-			if s.allAssignedAlive(o) {
-				o.deadline = now.Add(s.cfg.DAGTimeout)
-				continue
-			}
-			if o.retries >= s.cfg.MaxRetries {
-				delete(s.inflight, id)
-				s.ep.Send(o.req.RespondTo, core.Result{ReqID: id, Err: "scheduler: DAG failed after retries"}, 64)
-				continue
-			}
-			o.retries++
+	}
+	sort.Strings(expired)
+	if len(expired) > 0 {
+		s.refreshView()
+	}
+	for _, id := range expired {
+		o := s.inflight[id]
+		// Re-execute only when an assigned executor looks dead
+		// (its metrics went stale). A merely-overloaded fleet gets
+		// more time: re-executing slow requests would double the
+		// load exactly when the system can least afford it.
+		if s.allAssignedAlive(o) {
 			o.deadline = now.Add(s.cfg.DAGTimeout)
-			s.invokeDAG(o.req, o.used)
+			continue
 		}
+		if o.retries >= s.cfg.MaxRetries {
+			delete(s.inflight, id)
+			s.ep.Send(o.req.RespondTo, core.Result{ReqID: id, Err: "scheduler: DAG failed after retries"}, 64)
+			continue
+		}
+		o.retries++
+		o.deadline = now.Add(s.cfg.DAGTimeout)
+		s.invokeDAG(o.req, o.used)
 	}
 }
 
@@ -680,26 +707,28 @@ func (s *Scheduler) allAssignedAlive(o *outstanding) bool {
 	return true
 }
 
-// metricsLoop publishes scheduler stats for the monitor (§4.4).
+// metricsLoop registers the scheduler's metrics key, then publishes
+// stats for the monitor (§4.4) on the metrics cadence.
 func (s *Scheduler) metricsLoop() {
 	s.anna.Put(SchedListKey, lattice.NewSet(core.SchedMetricsKey(string(s.id))))
-	for {
-		s.k.Sleep(s.cfg.MetricsInterval)
-		m := core.SchedulerMetrics{
-			Scheduler:   s.id,
-			DAGCalls:    copyCounts(s.dagCalls),
-			FnCalls:     copyCounts(s.fnCalls),
-			ReportedAtS: s.k.Now().Seconds(),
-		}
-		// DAG completion counts ride along in FnCalls under a reserved
-		// prefix so the monitor can compute completion rates without a
-		// second round trip.
-		for d, n := range s.dagDone {
-			m.FnCalls["done/"+d] = n
-		}
-		ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 2}
-		s.anna.Put(core.SchedMetricsKey(string(s.id)), lattice.NewLWW(ts, codec.MustEncode(m)))
+	s.disp.RunEvery(s.cfg.MetricsInterval, s.metricsTick)
+}
+
+func (s *Scheduler) metricsTick() {
+	m := core.SchedulerMetrics{
+		Scheduler:   s.id,
+		DAGCalls:    copyCounts(s.dagCalls),
+		FnCalls:     copyCounts(s.fnCalls),
+		ReportedAtS: s.k.Now().Seconds(),
 	}
+	// DAG completion counts ride along in FnCalls under a reserved
+	// prefix so the monitor can compute completion rates without a
+	// second round trip.
+	for d, n := range s.dagDone {
+		m.FnCalls["done/"+d] = n
+	}
+	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 2}
+	s.anna.Put(core.SchedMetricsKey(string(s.id)), lattice.NewLWW(ts, codec.MustEncode(m)))
 }
 
 // sortedSet returns a Set lattice's elements in deterministic order.

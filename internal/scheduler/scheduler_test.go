@@ -28,7 +28,7 @@ func TestRegistrationPersistsAcrossSchedulers(t *testing.T) {
 	c.Run(func(cl *cb.Client) {
 		cl.Sleep(3 * time.Second)
 		for i := 0; i < 12; i++ {
-			out, err := cl.CallDAG("d", nil)
+			out, err := cl.InvokeDAG("d", nil).Wait()
 			if err != nil || out.(string) != "ok" {
 				t.Fatalf("call %d via random scheduler: %v %v", i, out, err)
 			}
@@ -50,7 +50,7 @@ func TestBurstSpreadsAcrossThreads(t *testing.T) {
 	seen := map[string]bool{}
 	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
 	c.RunN(9, func(i int, cl *cb.Client) {
-		out, err := cl.Call("who")
+		out, err := cl.Invoke("who", nil).Wait()
 		if err != nil {
 			t.Errorf("call: %v", err)
 			return
@@ -88,7 +88,7 @@ func TestDAGRoutesToPinnedExecutors(t *testing.T) {
 	c.Run(func(cl *cb.Client) {
 		cl.Sleep(3 * time.Second)
 		for i := 0; i < 30; i++ {
-			out, err := cl.CallDAG("pd", nil)
+			out, err := cl.InvokeDAG("pd", nil).Wait()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,7 +138,7 @@ func TestManyConcurrentDAGs(t *testing.T) {
 	c.RunN(12, func(i int, cl *cb.Client) {
 		cl.Timeout = time.Minute
 		for r := 0; r < 10; r++ {
-			if _, err := cl.CallDAG("chain", nil); err != nil {
+			if _, err := cl.InvokeDAG("chain", nil).Wait(); err != nil {
 				errs++
 			}
 		}

@@ -1,0 +1,78 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"cloudburst/internal/vtime"
+)
+
+// echoBody is the RPC body used by the allocation tests; the same boxed
+// pointer is reused so interface conversion does not allocate in the
+// measured loop.
+type echoBody struct{ N int }
+
+// TestSendAllocsPerMessage pins the one-way datagram path: after pool
+// warm-up, a send-and-receive round must not allocate per message
+// (delivery events, timers, channel waiters, and queue arrays are all
+// pooled; the only amortized cost is occasional slice growth).
+func TestSendAllocsPerMessage(t *testing.T) {
+	k := vtime.NewKernel(3)
+	defer k.Stop()
+	n := New(k, Link{Latency: Constant(50 * time.Microsecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	payload := &echoBody{N: 1}
+
+	const perRun = 200
+	run := func() {
+		k.Run("bench", func() {
+			for i := 0; i < perRun; i++ {
+				a.Send("b", payload, 64)
+				m := b.Recv()
+				if m.Payload.(*echoBody) != payload {
+					t.Fatal("wrong payload")
+				}
+			}
+		})
+	}
+	run() // warm the pools (procs, timers, deliveries, waiters)
+	allocs := testing.AllocsPerRun(5, run) / perRun
+	if allocs > 0.5 {
+		t.Fatalf("send round: %.3f allocs/message, want amortized 0", allocs)
+	}
+}
+
+// TestRPCAllocsPerRoundTrip pins the synchronous RPC path end to end:
+// request records, reply channels, both direction's delivery events, and
+// the server dispatch must all come from pools.
+func TestRPCAllocsPerRoundTrip(t *testing.T) {
+	k := vtime.NewKernel(4)
+	defer k.Stop()
+	n := New(k, Link{Latency: Constant(50 * time.Microsecond)})
+	cl := n.AddNode("client")
+	sv := n.AddNode("server")
+	resp := &echoBody{N: 99}
+
+	d := NewDispatcher(sv, "server")
+	OnRequest(d, func(req *Request, b *echoBody) { req.Reply(resp, 16) })
+	d.Start()
+
+	const perRun = 200
+	body := &echoBody{N: 7}
+	run := func() {
+		k.Run("bench", func() {
+			for i := 0; i < perRun; i++ {
+				out, err := cl.Call("server", body, 32, 0)
+				if err != nil || out.(*echoBody) != resp {
+					t.Fatalf("call = %v, %v", out, err)
+				}
+			}
+		})
+	}
+	run() // warm the pools
+	allocs := testing.AllocsPerRun(5, run) / perRun
+	if allocs > 1.0 {
+		t.Fatalf("rpc round trip: %.3f allocs/call, want amortized <1", allocs)
+	}
+}

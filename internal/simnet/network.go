@@ -1,3 +1,16 @@
+// Package simnet is the simulated datacenter network the Cloudburst
+// reproduction runs on: virtual-time message delivery with per-link
+// latency models, bandwidth/NIC contention, per-sender FIFO ordering,
+// node failure, synchronous RPC, and a typed dispatch layer (Dispatcher)
+// that server components register handlers with instead of writing
+// receive loops by hand.
+//
+// The data path is amortized allocation-free: every message or RPC reply
+// travels in a pooled delivery event (no per-send closures), RPC Request
+// records and their reply channels are recycled across calls, and the
+// kernel underneath pools timers and goroutines. Replaying minutes of
+// cluster traffic therefore costs milliseconds of real time, which the
+// paper-figure experiments depend on.
 package simnet
 
 import (
@@ -55,6 +68,11 @@ type Network struct {
 	defaultLink Link
 	links       map[[2]NodeID]Link
 	nodes       map[NodeID]*node
+
+	// Free lists. The kernel runs one party at a time, so plain slices
+	// need no locking.
+	freeDeliveries []*delivery
+	freeReqs       []*Request
 
 	// Stats.
 	MessagesSent  int64
@@ -114,24 +132,68 @@ func (n *Network) SetDown(id NodeID, down bool) {
 	}
 }
 
+// delivery is one in-flight transmission: a pooled timer event carrying
+// either an inbox datagram (reply == nil) or an RPC response headed for a
+// private reply channel. Pooling these replaces the per-send closure
+// chain the delivery path used to allocate.
+type delivery struct {
+	n     *Network
+	to    NodeID
+	msg   Message          // inbox payload, when reply is nil
+	reply *vtime.Chan[any] // RPC reply channel, when non-nil
+	resp  any              // RPC response value
+}
+
+// Fire implements vtime.Event: the scheduled arrival at the destination.
+func (d *delivery) Fire() {
+	n := d.n
+	dst, ok := n.nodes[d.to]
+	switch {
+	case !ok || dst.down:
+		n.MessagesDropt++
+	case d.reply != nil:
+		d.reply.TrySend(d.resp)
+	default:
+		dst.inbox.TrySend(d.msg)
+	}
+	n.releaseDelivery(d)
+}
+
+func (n *Network) getDelivery() *delivery {
+	if l := len(n.freeDeliveries); l > 0 {
+		d := n.freeDeliveries[l-1]
+		n.freeDeliveries = n.freeDeliveries[:l-1]
+		return d
+	}
+	return &delivery{n: n}
+}
+
+func (n *Network) releaseDelivery(d *delivery) {
+	d.to = ""
+	d.msg = Message{}
+	d.reply = nil
+	d.resp = nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
+}
+
 // Send delivers payload from→to after the link's latency plus bandwidth
 // transfer time. It never blocks the sender: delivery is scheduled as a
 // kernel timer and lands in the destination's unbounded inbox.
 func (n *Network) Send(from, to NodeID, payload any, size int) {
-	msg := Message{From: from, To: to, Payload: payload, Size: size, SentAt: n.k.Now()}
-	n.deliver(from, to, size, func() any { return msg })
+	d := n.getDelivery()
+	d.msg = Message{From: from, To: to, Payload: payload, Size: size, SentAt: n.k.Now()}
+	n.deliver(from, to, size, d)
 }
 
-// deliver schedules a payload arrival with full path modeling: link
-// latency, per-sender FIFO, and receiver-NIC transfer serialization.
-// makePayload is called at scheduling time (it lets RPC replies target a
-// private channel instead of the inbox — see Request.Reply).
-func (n *Network) deliver(from, to NodeID, size int, makePayload func() any) {
+// deliver schedules d's arrival with full path modeling: link latency,
+// per-sender FIFO, and receiver-NIC transfer serialization.
+func (n *Network) deliver(from, to NodeID, size int, d *delivery) {
 	// A down node neither receives nor sends: without the outbound
 	// check, a "killed" VM's daemons would keep publishing fresh
 	// metrics and the failure would be invisible to the schedulers.
 	if src, ok := n.nodes[from]; ok && src.down {
 		n.MessagesDropt++
+		n.releaseDelivery(d)
 		return
 	}
 	n.MessagesSent++
@@ -156,21 +218,8 @@ func (n *Network) deliver(from, to NodeID, size int, makePayload func() any) {
 	} else {
 		arrival = arrival.Add(transfer)
 	}
-	payload := makePayload()
-	n.k.After(arrival.Sub(n.k.Now()), func() {
-		dst, ok := n.nodes[to]
-		if !ok || dst.down {
-			n.MessagesDropt++
-			return
-		}
-		if msg, isMsg := payload.(Message); isMsg {
-			dst.inbox.TrySend(msg)
-			return
-		}
-		if fn, isFn := payload.(func()); isFn {
-			fn()
-		}
-	})
+	d.to = to
+	n.k.AfterEvent(arrival.Sub(n.k.Now()), d)
 }
 
 // Endpoint is a node's handle for sending and receiving.

@@ -7,13 +7,20 @@ import "time"
 // values. A negative capacity makes the channel unbounded, which is the
 // right shape for network inboxes that must accept deliveries from timer
 // callbacks (callbacks cannot block).
+//
+// Channels are allocation-free in steady state: waiter records are pooled
+// per channel and the buffer/waiter queues reset to their array start
+// whenever they drain (see fifo).
 type Chan[T any] struct {
 	k      *Kernel
-	buf    []T
+	buf    fifo[T]
 	cap    int
-	sendq  []*sendWaiter[T]
-	recvq  []*recvWaiter[T]
+	sendq  fifo[*sendWaiter[T]]
+	recvq  fifo[*recvWaiter[T]]
 	closed bool
+
+	freeS []*sendWaiter[T]
+	freeR []*recvWaiter[T]
 }
 
 type sendWaiter[T any] struct {
@@ -24,11 +31,20 @@ type sendWaiter[T any] struct {
 }
 
 type recvWaiter[T any] struct {
+	c        *Chan[T]
 	p        *proc
 	val      T
 	ok       bool
 	done     bool // value delivered (or closed-empty observed)
 	timedOut bool
+}
+
+// Fire implements Event: it is the waiter's receive-timeout callback.
+func (w *recvWaiter[T]) Fire() {
+	if !w.done {
+		w.timedOut = true
+		w.c.k.wake(w.p)
+	}
 }
 
 // NewChan creates a channel on kernel k. capacity < 0 means unbounded.
@@ -37,7 +53,44 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 }
 
 // Len reports the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.buf.len() }
+
+// getRecvWaiter takes a pooled waiter for the current process.
+func (c *Chan[T]) getRecvWaiter() *recvWaiter[T] {
+	if n := len(c.freeR); n > 0 {
+		w := c.freeR[n-1]
+		c.freeR = c.freeR[:n-1]
+		w.p = c.k.current
+		return w
+	}
+	return &recvWaiter[T]{c: c, p: c.k.current}
+}
+
+// putRecvWaiter recycles a waiter that is no longer referenced by the
+// receive queue or any pending timer callback's liveness check.
+func (c *Chan[T]) putRecvWaiter(w *recvWaiter[T]) {
+	var zero T
+	w.p, w.val = nil, zero
+	w.ok, w.done, w.timedOut = false, false, false
+	c.freeR = append(c.freeR, w)
+}
+
+func (c *Chan[T]) getSendWaiter(v T) *sendWaiter[T] {
+	if n := len(c.freeS); n > 0 {
+		w := c.freeS[n-1]
+		c.freeS = c.freeS[:n-1]
+		w.p, w.val = c.k.current, v
+		return w
+	}
+	return &sendWaiter[T]{p: c.k.current, val: v}
+}
+
+func (c *Chan[T]) putSendWaiter(w *sendWaiter[T]) {
+	var zero T
+	w.p, w.val = nil, zero
+	w.done, w.onClosed = false, false
+	c.freeS = append(c.freeS, w)
+}
 
 // Close closes the channel. Blocked receivers observe zero values;
 // blocked senders unwind with a panic, as in Go.
@@ -46,21 +99,21 @@ func (c *Chan[T]) Close() {
 		panic("vtime: close of closed Chan")
 	}
 	c.closed = true
-	for _, w := range c.recvq {
+	c.recvq.each(func(w *recvWaiter[T]) {
 		if !w.done {
 			w.done = true
 			w.ok = false
 			c.k.wake(w.p)
 		}
-	}
-	c.recvq = nil
-	for _, w := range c.sendq {
+	})
+	c.recvq.reset()
+	c.sendq.each(func(w *sendWaiter[T]) {
 		if !w.done {
 			w.onClosed = true
 			c.k.wake(w.p)
 		}
-	}
-	c.sendq = nil
+	})
+	c.sendq.reset()
 }
 
 // Send blocks until the value is accepted by the channel. Sending on a
@@ -69,12 +122,14 @@ func (c *Chan[T]) Send(v T) {
 	if c.TrySend(v) {
 		return
 	}
-	w := &sendWaiter[T]{p: c.k.current, val: v}
-	c.sendq = append(c.sendq, w)
+	w := c.getSendWaiter(v)
+	c.sendq.push(w)
 	c.k.park()
 	if w.onClosed {
 		panic("vtime: send on closed Chan")
 	}
+	// done: a receiver detached us from the queue; safe to recycle.
+	c.putSendWaiter(w)
 }
 
 // TrySend delivers v without blocking and reports whether it succeeded.
@@ -85,9 +140,8 @@ func (c *Chan[T]) TrySend(v T) bool {
 		panic("vtime: send on closed Chan")
 	}
 	// Hand directly to a waiting receiver if any (skip consumed waiters).
-	for len(c.recvq) > 0 {
-		w := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	for c.recvq.len() > 0 {
+		w := c.recvq.pop()
 		if w.done || w.timedOut {
 			continue
 		}
@@ -97,8 +151,8 @@ func (c *Chan[T]) TrySend(v T) bool {
 		c.k.wake(w.p)
 		return true
 	}
-	if c.cap < 0 || len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.cap < 0 || c.buf.len() < c.cap {
+		c.buf.push(v)
 		return true
 	}
 	return false
@@ -110,10 +164,13 @@ func (c *Chan[T]) Recv() (v T, ok bool) {
 	if v, ok, got := c.tryRecv(); got {
 		return v, ok
 	}
-	w := &recvWaiter[T]{p: c.k.current}
-	c.recvq = append(c.recvq, w)
+	w := c.getRecvWaiter()
+	c.recvq.push(w)
 	c.k.park()
-	return w.val, w.ok
+	// done: a sender (or Close) detached us from the queue.
+	v, ok = w.val, w.ok
+	c.putRecvWaiter(w)
+	return v, ok
 }
 
 // TryRecv receives without blocking. got reports whether a value (or a
@@ -123,16 +180,14 @@ func (c *Chan[T]) TryRecv() (v T, ok bool, got bool) {
 }
 
 func (c *Chan[T]) tryRecv() (v T, ok bool, got bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
+	if c.buf.len() > 0 {
+		v = c.buf.pop()
 		c.refillFromSenders()
 		return v, true, true
 	}
 	// Rendezvous with a blocked sender.
-	for len(c.sendq) > 0 {
-		w := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	for c.sendq.len() > 0 {
+		w := c.sendq.pop()
 		if w.done {
 			continue
 		}
@@ -150,14 +205,13 @@ func (c *Chan[T]) tryRecv() (v T, ok bool, got bool) {
 // refillFromSenders moves one blocked sender's value into freed buffer
 // space, preserving FIFO order.
 func (c *Chan[T]) refillFromSenders() {
-	for len(c.sendq) > 0 && (c.cap < 0 || len(c.buf) < c.cap) {
-		w := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	for c.sendq.len() > 0 && (c.cap < 0 || c.buf.len() < c.cap) {
+		w := c.sendq.pop()
 		if w.done {
 			continue
 		}
 		w.done = true
-		c.buf = append(c.buf, w.val)
+		c.buf.push(w.val)
 		c.k.wake(w.p)
 	}
 }
@@ -168,18 +222,24 @@ func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok bool, timedOut bool) {
 	if v, ok, got := c.tryRecv(); got {
 		return v, ok, false
 	}
-	w := &recvWaiter[T]{p: c.k.current}
-	c.recvq = append(c.recvq, w)
-	cancel := c.k.After(d, func() {
-		if !w.done {
-			w.timedOut = true
-			c.k.wake(w.p)
-		}
-	})
+	w := c.getRecvWaiter()
+	c.recvq.push(w)
+	t := c.k.addTimer(d)
+	t.ev = w
+	gen := t.gen
 	c.k.park()
-	cancel()
+	if t.gen == gen {
+		t.canceled = true
+	}
 	if w.timedOut {
+		// Detach from the receive queue (a sender has not popped us)
+		// before recycling, so a later send cannot resolve to a stale
+		// waiter.
+		c.recvq.remove(func(q *recvWaiter[T]) bool { return q == w })
+		c.putRecvWaiter(w)
 		return v, false, true
 	}
-	return w.val, w.ok, false
+	v, ok = w.val, w.ok
+	c.putRecvWaiter(w)
+	return v, ok, false
 }

@@ -9,6 +9,25 @@
 // loop and no OS-scheduler nondeterminism. A ten-minute cluster trace
 // replays in milliseconds of real time.
 //
+// # Allocation discipline
+//
+// The kernel is the floor of the simulation's real-CPU cost, so its hot
+// paths are amortized allocation-free:
+//
+//   - Kernel.Go reuses parked goroutines: when a process body returns, its
+//     goroutine (and proc/resume-channel state) parks on a free list and
+//     the next Go re-arms it instead of spawning. Kernel.Stats reports the
+//     spawn/reuse split so tests can assert reuse.
+//   - Timer-heap entries come from a pool, and the common schedulings avoid
+//     closures entirely: Sleep stores the process to wake directly in the
+//     timer, and AfterEvent takes a caller-pooled Event instead of a func.
+//   - Chan waiters are pooled per channel, and queue slices (run queue,
+//     channel buffers, waiter lists) reset to their start when drained, so
+//     steady-state traffic reuses one backing array.
+//
+// Because exactly one party runs at a time, all pools are lock-free plain
+// slices.
+//
 // All blocking must go through kernel primitives: Kernel.Sleep, Chan
 // send/receive, Mutex, WaitGroup, Semaphore. Calling a kernel primitive
 // from a goroutine that is not a kernel process is a programming error and
@@ -51,17 +70,20 @@ const (
 	stateRunnable procState = iota // in the run queue, waiting for dispatch
 	stateRunning                   // currently holds the token
 	stateParked                    // blocked in a waiter list or timer
-	stateDone                      // finished
+	stateDone                      // finished (idle on the free list)
 )
 
 // proc is a kernel process: one goroutine whose execution interleaves with
-// the scheduler through the resume channel.
+// the scheduler through the resume channel. A proc outlives the bodies it
+// runs: after a body returns, the goroutine parks on the kernel's free
+// list until Go re-arms it with a new body.
 type proc struct {
 	id     int64
 	name   string
 	resume chan struct{} // buffered(1): token grant
 	state  procState
 	killed bool // set by Stop; the next resume unwinds the process
+	retire bool // set by Stop for idle procs; the next resume exits the goroutine
 	body   func()
 	k      *Kernel
 }
@@ -69,13 +91,23 @@ type proc struct {
 // killedPanic unwinds a process that is being terminated by Kernel.Stop.
 type killedPanic struct{}
 
-// timer is a scheduled callback. Callbacks run on the scheduler goroutine
-// while no process holds the token; they must not block.
+// Event is a pooled timer callback: AfterEvent schedules ev.Fire() at a
+// future instant without allocating a closure. Fire runs on the scheduler
+// goroutine while no process holds the token; it must not block.
+type Event interface{ Fire() }
+
+// timer is a scheduled callback. Exactly one of wake, ev, fire is set:
+// wake resumes a parked process (Sleep), ev fires a pooled Event, fire is
+// the general closure path (After). Callbacks run on the scheduler
+// goroutine while no process holds the token; they must not block.
 type timer struct {
 	when     Time
 	seq      int64 // tie-break so equal-time timers fire in creation order
+	wake     *proc
+	ev       Event
 	fire     func()
 	canceled bool
+	gen      uint64 // bumped on recycle, so stale cancels are no-ops
 }
 
 type timerHeap []*timer
@@ -90,13 +122,22 @@ func (h timerHeap) Less(i, j int) bool {
 func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
 func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
-func (h timerHeap) peek() *timer  { return h[0] }
+
+// Stats are the kernel's lifetime counters, exposed for tests and
+// reports. Spawns vs Reuses measures the process free list: a hot
+// simulation should reuse parked goroutines for almost every Go call.
+type Stats struct {
+	Spawns     int64 // Kernel.Go calls that created a new goroutine
+	Reuses     int64 // Kernel.Go calls served from the process free list
+	Dispatches int64 // token grants to processes
+	TimerFires int64 // timers fired
+}
 
 // Kernel is a deterministic virtual-time scheduler. The zero value is not
 // usable; call NewKernel.
 type Kernel struct {
 	now     Time
-	runq    []*proc
+	runq    fifo[*proc]
 	timers  timerHeap
 	yield   chan struct{} // process -> scheduler: token return
 	current *proc
@@ -107,9 +148,10 @@ type Kernel struct {
 	live    map[int64]*proc // all non-done procs, for Stop and deadlock dumps
 	rng     *rand.Rand
 
-	// Stats, exposed for tests and reports.
-	dispatches int64
-	timerFires int64
+	freeProcs  []*proc  // parked goroutines awaiting a new body
+	freeTimers []*timer // recycled heap entries
+
+	stats Stats
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -131,47 +173,75 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Dispatches reports how many times a process has been granted the token.
-func (k *Kernel) Dispatches() int64 { return k.dispatches }
+func (k *Kernel) Dispatches() int64 { return k.stats.Dispatches }
+
+// Stats returns the kernel's lifetime counters.
+func (k *Kernel) Stats() Stats { return k.stats }
 
 // Go spawns fn as a new kernel process. It may be called from a running
 // process or from outside the kernel between Run invocations. The process
 // is runnable immediately but does not execute until the scheduler
-// dispatches it.
+// dispatches it. Parked goroutines from completed processes are reused.
 func (k *Kernel) Go(name string, fn func()) {
 	if k.stopped {
 		panic("vtime: Go on stopped kernel")
 	}
 	k.nextID++
-	p := &proc{
-		id:     k.nextID,
-		name:   name,
-		resume: make(chan struct{}, 1),
-		state:  stateRunnable,
-		body:   fn,
-		k:      k,
+	var p *proc
+	if n := len(k.freeProcs); n > 0 {
+		p = k.freeProcs[n-1]
+		k.freeProcs = k.freeProcs[:n-1]
+		p.id, p.name, p.body = k.nextID, name, fn
+		p.state = stateRunnable
+		p.killed = false
+		k.stats.Reuses++
+	} else {
+		p = &proc{
+			id:     k.nextID,
+			name:   name,
+			resume: make(chan struct{}, 1),
+			state:  stateRunnable,
+			body:   fn,
+			k:      k,
+		}
+		k.stats.Spawns++
+		go p.top()
 	}
 	k.live[p.id] = p
-	k.runq = append(k.runq, p)
-	go p.top()
+	k.runq.push(p)
 }
 
-// top is the entry point of every process goroutine: wait for the first
-// token grant, run the body, and hand the token back on exit (normal or
-// killed).
+// top is the entry point of every process goroutine: wait for a token
+// grant, run the current body, park on the free list, repeat. The
+// goroutine exits only when the kernel retires it during Stop.
 func (p *proc) top() {
-	<-p.resume
+	for {
+		<-p.resume
+		if p.retire {
+			p.k.yield <- struct{}{}
+			return
+		}
+		p.runBody()
+		p.state = stateDone
+		delete(p.k.live, p.id)
+		p.body = nil
+		p.k.freeProcs = append(p.k.freeProcs, p)
+		p.k.yield <- struct{}{}
+	}
+}
+
+// runBody executes one body, absorbing the kill unwind so the goroutine
+// can be reused.
+func (p *proc) runBody() {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killedPanic); !ok {
-				// Re-panic application errors on the scheduler's
+				// Re-panicking application errors on the scheduler's
 				// goroutine would lose the stack; crash here instead,
 				// but first note which process died.
 				panic(fmt.Sprintf("vtime: process %q panicked: %v", p.name, r))
 			}
 		}
-		p.state = stateDone
-		delete(p.k.live, p.id)
-		p.k.yield <- struct{}{}
 	}()
 	p.state = stateRunning
 	p.k.current = p
@@ -209,10 +279,10 @@ func (k *Kernel) wake(p *proc) {
 		return
 	}
 	p.state = stateRunnable
-	k.runq = append(k.runq, p)
+	k.runq.push(p)
 }
 
-// yieldNow voluntarily reschedules the calling process behind everything
+// YieldNow voluntarily reschedules the calling process behind everything
 // currently runnable, without advancing time.
 func (k *Kernel) YieldNow() {
 	p := k.current
@@ -220,7 +290,7 @@ func (k *Kernel) YieldNow() {
 		panic("vtime: YieldNow outside a kernel process")
 	}
 	p.state = stateRunnable
-	k.runq = append(k.runq, p)
+	k.runq.push(p)
 	k.current = nil
 	k.yield <- struct{}{}
 	<-p.resume
@@ -231,17 +301,57 @@ func (k *Kernel) YieldNow() {
 	}
 }
 
-// After schedules fn to run at now+d on the scheduler goroutine. fn must
-// not block. The returned cancel function prevents fn from running if it
-// has not fired yet.
-func (k *Kernel) After(d time.Duration, fn func()) (cancel func()) {
+// addTimer takes a pooled timer entry, stamps it with now+d and the next
+// tie-break sequence, and pushes it on the heap.
+func (k *Kernel) addTimer(d time.Duration) *timer {
 	if d < 0 {
 		d = 0
 	}
 	k.nextSeq++
-	t := &timer{when: k.now.Add(d), seq: k.nextSeq, fire: fn}
+	var t *timer
+	if n := len(k.freeTimers); n > 0 {
+		t = k.freeTimers[n-1]
+		k.freeTimers = k.freeTimers[:n-1]
+	} else {
+		t = &timer{}
+	}
+	t.when = k.now.Add(d)
+	t.seq = k.nextSeq
+	t.canceled = false
 	heap.Push(&k.timers, t)
-	return func() { t.canceled = true }
+	return t
+}
+
+// releaseTimer recycles a popped heap entry. Bumping gen invalidates any
+// outstanding cancel handle for the old use.
+func (k *Kernel) releaseTimer(t *timer) {
+	t.gen++
+	t.wake = nil
+	t.ev = nil
+	t.fire = nil
+	k.freeTimers = append(k.freeTimers, t)
+}
+
+// After schedules fn to run at now+d on the scheduler goroutine. fn must
+// not block. The returned cancel function prevents fn from running if it
+// has not fired yet. Hot paths that cannot afford the two closures should
+// use AfterEvent with a pooled Event instead.
+func (k *Kernel) After(d time.Duration, fn func()) (cancel func()) {
+	t := k.addTimer(d)
+	t.fire = fn
+	gen := t.gen
+	return func() {
+		if t.gen == gen {
+			t.canceled = true
+		}
+	}
+}
+
+// AfterEvent schedules ev.Fire() to run at now+d on the scheduler
+// goroutine, without allocating: the timer entry is pooled and ev is
+// typically a caller-pooled object. Fire must not block.
+func (k *Kernel) AfterEvent(d time.Duration, ev Event) {
+	k.addTimer(d).ev = ev
 }
 
 // Sleep blocks the calling process for virtual duration d.
@@ -250,7 +360,7 @@ func (k *Kernel) Sleep(d time.Duration) {
 	if p == nil {
 		panic("vtime: Sleep outside a kernel process")
 	}
-	k.After(d, func() { k.wake(p) })
+	k.addTimer(d).wake = p
 	k.park()
 }
 
@@ -271,7 +381,7 @@ func (k *Kernel) Run(name string, fn func()) {
 	done := false
 	k.Go(name, func() { defer func() { done = true }(); fn() })
 	for !done {
-		if len(k.runq) > 0 {
+		if k.runq.len() > 0 {
 			k.dispatch()
 			continue
 		}
@@ -284,12 +394,11 @@ func (k *Kernel) Run(name string, fn func()) {
 // dispatch grants the token to the head of the run queue and waits for it
 // to come back.
 func (k *Kernel) dispatch() {
-	p := k.runq[0]
-	k.runq = k.runq[1:]
+	p := k.runq.pop()
 	if p.state != stateRunnable {
 		return // killed or already completed through another path
 	}
-	k.dispatches++
+	k.stats.Dispatches++
 	p.resume <- struct{}{}
 	<-k.yield
 }
@@ -300,21 +409,31 @@ func (k *Kernel) advance() bool {
 	for len(k.timers) > 0 {
 		t := heap.Pop(&k.timers).(*timer)
 		if t.canceled {
+			k.releaseTimer(t)
 			continue
 		}
 		if t.when > k.now {
 			k.now = t.when
 		}
-		k.timerFires++
-		t.fire()
+		k.stats.TimerFires++
+		switch {
+		case t.wake != nil:
+			k.wake(t.wake)
+		case t.ev != nil:
+			t.ev.Fire()
+		default:
+			t.fire()
+		}
+		k.releaseTimer(t)
 		return true
 	}
 	return false
 }
 
 // Stop terminates every live process by unwinding it with an internal
-// panic, then marks the kernel unusable. Call it when a simulation is
-// finished so that process goroutines do not leak across tests.
+// panic, retires the idle goroutines parked on the free list, then marks
+// the kernel unusable. Call it when a simulation is finished so that
+// process goroutines do not leak across tests.
 func (k *Kernel) Stop() {
 	if k.stopped {
 		return
@@ -334,8 +453,16 @@ func (k *Kernel) Stop() {
 		p.resume <- struct{}{}
 		<-k.yield
 	}
+	// Unwound processes park on the free list; exit their goroutines.
+	for _, p := range k.freeProcs {
+		p.retire = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+	k.freeProcs = nil
+	k.freeTimers = nil
 	k.stopped = true
-	k.runq = nil
+	k.runq = fifo[*proc]{}
 	k.timers = nil
 }
 
@@ -352,4 +479,79 @@ func (k *Kernel) dumpLive() string {
 		s += fmt.Sprintf("  #%d %-30s state=%d\n", p.id, p.name, p.state)
 	}
 	return s
+}
+
+// fifo is an allocation-amortized FIFO queue: a slice with a head index
+// that resets to the array start whenever the queue drains, so
+// steady-state push/pop traffic reuses one backing array instead of
+// leaking capacity off the front.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) len() int { return len(q.buf) - q.head }
+
+func (q *fifo[T]) push(v T) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		// Compact the dead prefix instead of letting append copy it into
+		// a bigger array: a queue that never fully drains must cost
+		// O(depth) memory, not O(total throughput).
+		live := copy(q.buf, q.buf[q.head:])
+		var zero T
+		for i := live; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:live]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+func (q *fifo[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // drop the reference for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// each calls fn for every queued element in FIFO order.
+func (q *fifo[T]) each(fn func(T)) {
+	for i := q.head; i < len(q.buf); i++ {
+		fn(q.buf[i])
+	}
+}
+
+// remove deletes the first element for which match returns true,
+// preserving order, and reports whether one was found.
+func (q *fifo[T]) remove(match func(T) bool) bool {
+	for i := q.head; i < len(q.buf); i++ {
+		if match(q.buf[i]) {
+			copy(q.buf[i:], q.buf[i+1:])
+			var zero T
+			q.buf[len(q.buf)-1] = zero
+			q.buf = q.buf[:len(q.buf)-1]
+			if q.head == len(q.buf) {
+				q.buf = q.buf[:0]
+				q.head = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// reset empties the queue.
+func (q *fifo[T]) reset() {
+	for i := q.head; i < len(q.buf); i++ {
+		var zero T
+		q.buf[i] = zero
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
 }

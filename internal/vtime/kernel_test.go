@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -442,5 +443,74 @@ func TestManyProcessesScale(t *testing.T) {
 	})
 	if total != n {
 		t.Fatalf("total = %d, want %d", total, n)
+	}
+}
+
+func TestGoReusesParkedProcesses(t *testing.T) {
+	k := NewKernel(1)
+	defer k.Stop()
+	ran := 0
+	k.Run("main", func() {
+		for i := 0; i < 100; i++ {
+			k.Go("worker", func() { ran++ })
+			k.Sleep(time.Millisecond) // let the worker finish and park
+		}
+	})
+	if ran != 100 {
+		t.Fatalf("ran = %d, want 100", ran)
+	}
+	st := k.Stats()
+	// One spawn for Run's root process, one for the first worker; every
+	// later worker must come from the free list.
+	if st.Spawns != 2 {
+		t.Fatalf("Spawns = %d, want 2 (free list not reused)", st.Spawns)
+	}
+	if st.Reuses != 99 {
+		t.Fatalf("Reuses = %d, want 99", st.Reuses)
+	}
+}
+
+func TestStatsCountsDispatchesAndTimers(t *testing.T) {
+	k := NewKernel(1)
+	defer k.Stop()
+	k.Run("main", func() { k.Sleep(time.Millisecond) })
+	st := k.Stats()
+	if st.Dispatches == 0 || st.TimerFires == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+}
+
+func TestStopRetiresFreeListGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	k := NewKernel(1)
+	k.Run("main", func() {
+		for i := 0; i < 50; i++ {
+			k.Go("w", func() {})
+		}
+		k.Sleep(time.Millisecond)
+	})
+	k.Stop()
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond) // goroutine exit is asynchronous
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines after Stop = %d, want <= %d (free list leaked)", got, before)
+	}
+}
+
+func TestSleepAllocationFree(t *testing.T) {
+	k := NewKernel(1)
+	defer k.Stop()
+	const perRun = 100
+	run := func() {
+		k.Run("bench", func() {
+			for i := 0; i < perRun; i++ {
+				k.Sleep(time.Microsecond)
+			}
+		})
+	}
+	run() // warm pools
+	if allocs := testing.AllocsPerRun(5, run) / perRun; allocs > 0.2 {
+		t.Fatalf("Sleep: %.3f allocs/op, want amortized 0", allocs)
 	}
 }

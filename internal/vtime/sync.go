@@ -4,7 +4,7 @@ package vtime
 type Mutex struct {
 	k      *Kernel
 	locked bool
-	waitq  []*proc
+	waitq  fifo[*proc]
 }
 
 // NewMutex creates a mutex on kernel k.
@@ -16,7 +16,7 @@ func (m *Mutex) Lock() {
 		m.locked = true
 		return
 	}
-	m.waitq = append(m.waitq, m.k.current)
+	m.waitq.push(m.k.current)
 	m.k.park()
 	// Ownership was transferred to us by Unlock; locked stays true.
 }
@@ -35,10 +35,8 @@ func (m *Mutex) Unlock() {
 	if !m.locked {
 		panic("vtime: Unlock of unlocked Mutex")
 	}
-	if len(m.waitq) > 0 {
-		p := m.waitq[0]
-		m.waitq = m.waitq[1:]
-		m.k.wake(p) // lock stays held, now by p
+	if m.waitq.len() > 0 {
+		m.k.wake(m.waitq.pop()) // lock stays held, now by the waiter
 		return
 	}
 	m.locked = false
@@ -48,7 +46,7 @@ func (m *Mutex) Unlock() {
 type WaitGroup struct {
 	k     *Kernel
 	count int
-	waitq []*proc
+	waitq fifo[*proc]
 }
 
 // NewWaitGroup creates a WaitGroup on kernel k.
@@ -61,10 +59,8 @@ func (w *WaitGroup) Add(delta int) {
 		panic("vtime: negative WaitGroup counter")
 	}
 	if w.count == 0 {
-		for _, p := range w.waitq {
-			w.k.wake(p)
-		}
-		w.waitq = nil
+		w.waitq.each(w.k.wake)
+		w.waitq.reset()
 	}
 }
 
@@ -76,7 +72,7 @@ func (w *WaitGroup) Wait() {
 	if w.count == 0 {
 		return
 	}
-	w.waitq = append(w.waitq, w.k.current)
+	w.waitq.push(w.k.current)
 	w.k.park()
 }
 
@@ -87,7 +83,7 @@ func (w *WaitGroup) Wait() {
 type Semaphore struct {
 	k       *Kernel
 	permits int
-	waitq   []*proc
+	waitq   fifo[*proc]
 }
 
 // NewSemaphore creates a semaphore holding n permits.
@@ -99,7 +95,7 @@ func (s *Semaphore) Acquire() {
 		s.permits--
 		return
 	}
-	s.waitq = append(s.waitq, s.k.current)
+	s.waitq.push(s.k.current)
 	s.k.park()
 	// The releasing process transferred a permit directly to us.
 }
@@ -115,10 +111,8 @@ func (s *Semaphore) TryAcquire() bool {
 
 // Release returns one permit, handing it to the longest waiter if any.
 func (s *Semaphore) Release() {
-	if len(s.waitq) > 0 {
-		p := s.waitq[0]
-		s.waitq = s.waitq[1:]
-		s.k.wake(p)
+	if s.waitq.len() > 0 {
+		s.k.wake(s.waitq.pop())
 		return
 	}
 	s.permits++

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# perfgate.sh — the perf-regression tripwire (ROADMAP item, armed in PR 3).
+#
+# Compares the Fig5 harness-cost metrics (ns/op, allocs/op) of a fresh
+# bench report against the committed baseline and fails on a >25%
+# regression of either. The bound comes from the run-to-run noise
+# observed across BENCH_1/BENCH_2 CI artifacts: allocs/op is
+# deterministic to <1% (the simulation replays the same schedule), and
+# min-of-N ns/op stays well inside 25% on same-class runners, so a 25%
+# excursion means a real regression, not noise. Run the benches with
+# -c 2 (or more); the gate takes the minimum across rows to shed
+# one-off scheduling noise. allocs/op is the authoritative signal; if
+# runner hardware ever drifts enough to trip the ns/op bound without a
+# code change, re-record the baseline from a CI bench artifact (see
+# ROADMAP).
+#
+# Usage: scripts/perfgate.sh <current.json> <baseline.json>
+set -euo pipefail
+
+CUR=${1:?usage: perfgate.sh <current.json> <baseline.json>}
+BASE=${2:?usage: perfgate.sh <current.json> <baseline.json>}
+BENCH=BenchmarkFig5DataLocality
+LIMIT=1.25
+
+# min_metric <file> <metric>: minimum value of metric across the named
+# benchmark's rows (bench.sh emits one row per -c repetition). Rows under
+# "baseline_seed"/"baseline_pr2" blocks are excluded by requiring the
+# 4-space indentation bench.sh uses for top-level benchmark rows.
+min_metric() {
+  awk -v bench="$BENCH" -v metric="$2" '
+    $0 ~ "^    \\{\"name\": \"" bench "\"" {
+      pat = "\"" metric "\": "
+      line = $0
+      while ((i = index(line, pat)) > 0) {
+        v = substr(line, i + length(pat))
+        sub(/[,}].*/, "", v)
+        if (best == "" || v + 0 < best + 0) best = v
+        line = substr(line, i + length(pat))
+      }
+    }
+    END { if (best == "") { exit 1 }; print best }
+  ' "$1"
+}
+
+fail=0
+for metric in "ns/op" "allocs/op"; do
+  cur=$(min_metric "$CUR" "$metric") || { echo "perfgate: $metric missing from $CUR" >&2; exit 2; }
+  base=$(min_metric "$BASE" "$metric") || { echo "perfgate: $metric missing from $BASE" >&2; exit 2; }
+  ok=$(awk -v c="$cur" -v b="$base" -v l="$LIMIT" 'BEGIN { print (c + 0 <= b * l) ? 1 : 0 }')
+  ratio=$(awk -v c="$cur" -v b="$base" 'BEGIN { printf "%.3f", c / b }')
+  if [ "$ok" = 1 ]; then
+    echo "perfgate: $BENCH $metric OK: $cur vs baseline $base (${ratio}x <= ${LIMIT}x)"
+  else
+    echo "perfgate: $BENCH $metric REGRESSED: $cur vs baseline $base (${ratio}x > ${LIMIT}x)" >&2
+    fail=1
+  fi
+done
+exit $fail
