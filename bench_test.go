@@ -145,6 +145,26 @@ func BenchmarkFig10PredictionScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFig10PerformanceUnderFailure reproduces the §4.5 experiment:
+// steady closed-loop DAG load with one executor VM killed mid-run and
+// restarted, reporting p50/p99 before/during/after recovery plus the
+// recovery spike and re-execution count.
+func BenchmarkFig10PerformanceUnderFailure(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig10Failure(bench.Fig10FailureQuick())
+		b.ReportMetric(r.Pre.Median, "ms_p50:pre")
+		b.ReportMetric(r.Pre.P99, "ms_p99:pre")
+		b.ReportMetric(r.During.Median, "ms_p50:during")
+		b.ReportMetric(r.During.P99, "ms_p99:during")
+		b.ReportMetric(r.Post.Median, "ms_p50:post")
+		b.ReportMetric(r.Post.P99, "ms_p99:post")
+		b.ReportMetric(r.PeakBucketP99, "ms_p99:recoveryspike")
+		b.ReportMetric(float64(r.Reexecutions), "reexecs")
+		b.ReportMetric(float64(r.Failed), "failedreqs")
+	}
+}
+
 // BenchmarkFig11Retwis reproduces Figure 11: Retwis on Cloudburst
 // LWW/causal vs serverful Redis, with anomaly rates.
 func BenchmarkFig11Retwis(b *testing.B) {

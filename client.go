@@ -198,6 +198,13 @@ func buildOpts(opts []InvokeOption) callOpts {
 // WithTimeout bounds how long the returned future's Wait blocks (in
 // virtual time) before returning ErrTimedOut. Futures created without
 // it use the client's Timeout field.
+//
+// For DAG invocations the timeout also has a wire presence: it is
+// carried as the request's Deadline, and when it is shorter than the
+// scheduler's global DAGTimeout it drives the §4.5 re-execution timer
+// for this request, so an impatient caller's request is retried on
+// fresh executors on the caller's schedule (a patient timeout never
+// delays recovery).
 func WithTimeout(d time.Duration) InvokeOption { return func(o *callOpts) { o.timeout = d } }
 
 // WithStoreInKVS persists the result in the KVS under the future's Key
@@ -276,6 +283,7 @@ func (cl *Client) InvokeDAG(dagName string, args map[string][]any, opts ...Invok
 		Direct:     o.direct,
 		WantHops:   o.wantHops,
 		ResultKey:  f.Key,
+		Deadline:   o.timeout,
 	}
 	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
 	return f

@@ -95,6 +95,14 @@ type Config struct {
 	ScaleUpVMs int           // VMs added per saturation event
 	MaxVMs     int           // node-count ceiling
 	MinPinned  int           // replica floor per function
+
+	// Failure-handling tuning (zero values keep the §4.5 defaults).
+	// DAGTimeout is the global re-execution timeout for in-flight DAGs
+	// (per-request WithTimeout deadlines override it on the wire);
+	// StaleAfter is how long an executor's last metrics report keeps it
+	// in scheduling — the failure-detection horizon.
+	DAGTimeout time.Duration
+	StaleAfter time.Duration
 }
 
 // DefaultConfig returns a small LWW-mode deployment.
@@ -166,6 +174,12 @@ func (c *Cluster) internalConfig(mutate func(*cluster.Config)) cluster.Config {
 	}
 	if cfg.MinPinned > 0 {
 		icfg.Monitor.MinPin = cfg.MinPinned
+	}
+	if cfg.DAGTimeout > 0 {
+		icfg.Scheduler.DAGTimeout = cfg.DAGTimeout
+	}
+	if cfg.StaleAfter > 0 {
+		icfg.Scheduler.StaleAfter = cfg.StaleAfter
 	}
 	icfg.Monitor.MinVMs = icfg.InitialVMs
 	if mutate != nil {

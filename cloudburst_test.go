@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cloudburst/internal/core"
+	"cloudburst/internal/simnet"
 )
 
 func testCluster(t *testing.T, cfg Config) *Cluster {
@@ -565,6 +566,259 @@ func TestDAGReexecutionAfterVMFailure(t *testing.T) {
 			t.Fatalf("result = %v", out)
 		}
 	})
+}
+
+func TestPerRequestDeadlineDrivesReexecution(t *testing.T) {
+	// WithTimeout has a wire presence: the request's Deadline replaces
+	// the global DAGTimeout as its §4.5 re-execution timer. With the
+	// global timer set absurdly long, recovery from a VM failure must
+	// still happen on the caller's 2s schedule.
+	cfg := DefaultConfig()
+	cfg.VMs = 3
+	cfg.DAGTimeout = 2 * time.Minute
+	cfg.StaleAfter = 3 * time.Second
+	c := testCluster(t, cfg)
+	if err := c.RegisterFunction("step", func(ctx *Ctx, args []any) (any, error) {
+		ctx.Compute(200 * time.Millisecond)
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(LinearDAG("impatient", "step"), 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) { cl.Sleep(5 * time.Second) })
+
+	c.Run(func(cl *Client) {
+		victims := c.Internal().VMs()
+		start := cl.Now()
+		fut := cl.InvokeDAG("impatient", nil, WithTimeout(2*time.Second))
+		cl.Kernel().Go("killer", func() {
+			cl.Sleep(50 * time.Millisecond)
+			c.Internal().KillVM(victims[0].Name)
+			c.Internal().KillVM(victims[1].Name)
+		})
+		// The future's wait bound is also 2s, so poll Wait until the
+		// re-executed attempt lands.
+		var out any
+		var err error
+		for i := 0; i < 20; i++ {
+			out, err = fut.Wait()
+			if err == nil {
+				break
+			}
+		}
+		if err != nil || out.(string) != "done" {
+			t.Fatalf("short-deadline DAG never recovered: %v, %v", out, err)
+		}
+		elapsed := cl.Now() - start
+		if elapsed >= cfg.DAGTimeout {
+			t.Fatalf("recovery took %v — the global timer fired, not the per-request deadline", elapsed)
+		}
+		if elapsed > 30*time.Second {
+			t.Fatalf("recovery took %v, want the ~2s deadline plus staleness horizon", elapsed)
+		}
+	})
+	var reexecs int64
+	for _, s := range c.Internal().Schedulers() {
+		reexecs += s.Reexecutions()
+	}
+	if reexecs == 0 {
+		t.Fatal("no re-execution recorded")
+	}
+}
+
+func TestRestartedVMReregistersWithSchedulers(t *testing.T) {
+	// The rejoin half of the §4.5 lifecycle: after RestartVM, the
+	// replacement's threads re-register through the ordinary metrics
+	// path and the scheduler routes work to them. Killing every other
+	// VM leaves the replacement as the only possible executor.
+	cfg := DefaultConfig()
+	cfg.VMs = 2
+	cfg.VMSpinUp = 5 * time.Second
+	c := testCluster(t, cfg)
+	in := c.Internal()
+	if err := c.RegisterFunction("where", func(ctx *Ctx, args []any) (any, error) {
+		return ctx.ID(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(LinearDAG("where-dag", "where"), 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) { cl.Sleep(3 * time.Second) })
+
+	c.Run(func(cl *Client) {
+		cl.Timeout = time.Minute
+		in.KillVM("vm0")
+		replacement := in.RestartVM("vm0")
+		if replacement == "" {
+			t.Errorf("restart refused")
+			return
+		}
+		cl.Sleep(6 * time.Second)  // spin-up
+		in.KillVM("vm1")           // only the replacement remains
+		cl.Sleep(12 * time.Second) // let vm1's metrics go stale
+		var out any
+		var err error
+		for i := 0; i < 10; i++ {
+			if out, err = cl.InvokeDAG("where-dag", nil).Wait(); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Errorf("DAG never ran on the restarted VM: %v", err)
+			return
+		}
+		if id := out.(string); !strings.Contains(id, replacement) {
+			t.Errorf("ran on %q, want the replacement %q", id, replacement)
+		}
+	})
+}
+
+func TestDuplicateResultUnderInjectedReexecutionRace(t *testing.T) {
+	// Asymmetric partition (only possible with per-node policies): cut
+	// off the victim VM's metrics manager so the scheduler believes the
+	// executor died, while the execution itself keeps running. Both the
+	// original attempt and the §4.5 re-execution then complete, and the
+	// client must keep the first Result and drop the duplicate.
+	cfg := DefaultConfig()
+	cfg.VMs = 2
+	cfg.DAGTimeout = 2 * time.Second
+	cfg.StaleAfter = 3 * time.Second
+	c := testCluster(t, cfg)
+	in := c.Internal()
+	if err := c.RegisterFunction("slowmark", func(ctx *Ctx, args []any) (any, error) {
+		if err := ctx.Put("ran-on", ctx.ID()); err != nil {
+			return nil, err
+		}
+		ctx.Compute(12 * time.Second)
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(LinearDAG("marked", "slowmark"), 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) { cl.Sleep(5 * time.Second) })
+
+	before := completedSum(c)
+	c.Run(func(cl *Client) {
+		cl.Timeout = time.Minute
+		// The killer watches for the marker write, derives the running
+		// VM, and partitions only its metrics manager.
+		cl.Kernel().Go("metrics-killer", func() {
+			probe := c.newClient()
+			for {
+				probe.Sleep(100 * time.Millisecond)
+				v, found, err := probe.Get("ran-on")
+				if err != nil || !found {
+					continue
+				}
+				id := v.(string) // "exec-<vm>-<i>#<seq>"
+				vm := id[len("exec-"):strings.LastIndex(id[:strings.IndexByte(id, '#')], "-")]
+				in.Net.SetDown(simnet.NodeID("vmmgr-"+vm), true)
+				return
+			}
+		})
+		fut := cl.InvokeDAG("marked", nil)
+		out, err := fut.Wait()
+		// t.Errorf, not Fatalf: Goexit inside a kernel process would
+		// deadlock the simulation instead of failing the test.
+		if err != nil || out.(string) != "done" {
+			t.Errorf("first result = %v, %v", out, err)
+			return
+		}
+		// Let the re-executed attempt finish and deliver its duplicate
+		// Result; TryGet drains the endpoint past it.
+		cl.Sleep(20 * time.Second)
+		if v, ok, gerr := fut.TryGet(); !ok || gerr != nil || v.(string) != "done" {
+			t.Errorf("duplicate corrupted the completed future: %v %v %v", v, ok, gerr)
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	var reexecs int64
+	for _, s := range in.Schedulers() {
+		reexecs += s.Reexecutions()
+	}
+	if reexecs == 0 {
+		t.Fatal("no re-execution happened: the race was not injected")
+	}
+	if delta := completedSum(c) - before; delta < 2 {
+		t.Fatalf("only %d executions for 1 request — both attempts should have run", delta)
+	}
+}
+
+// completedSum totals finished invocations across live executor threads.
+func completedSum(c *Cluster) int64 {
+	var total int64
+	for _, vm := range c.Internal().VMs() {
+		for _, th := range vm.Threads {
+			total += th.Completed()
+		}
+	}
+	return total
+}
+
+func TestIsolatedSchedulerDrainsAfterPartitionHeals(t *testing.T) {
+	// A scheduler partitioned right after dispatching a DAG misses the
+	// sink's DAGComplete: the request stays outstanding. Once the link
+	// policy clears, the bounded alive-extension policy forces a
+	// re-execution and the table drains — a lost completion notice must
+	// not strand requests forever.
+	cfg := DefaultConfig()
+	cfg.VMs = 2
+	cfg.DAGTimeout = 2 * time.Second
+	c := testCluster(t, cfg)
+	in := c.Internal()
+	if err := c.RegisterFunction("brief", func(ctx *Ctx, args []any) (any, error) {
+		ctx.Compute(300 * time.Millisecond)
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(LinearDAG("brief-dag", "brief"), 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) { cl.Sleep(5 * time.Second) })
+
+	sched := in.Schedulers()[0]
+	c.Run(func(cl *Client) {
+		cl.Timeout = time.Minute
+		cl.Kernel().Go("partitioner", func() {
+			cl.Sleep(10 * time.Millisecond) // let the request and trigger through
+			in.Net.SetNodePolicy(sched.ID(), simnet.LinkPolicy{Drop: 1})
+		})
+		// The data plane is unaffected: the sink replies directly to the
+		// client even while the scheduler is isolated. (t.Errorf, not
+		// Fatalf: Goexit inside a kernel process deadlocks the kernel.)
+		out, err := cl.InvokeDAG("brief-dag", nil).Wait()
+		if err != nil || out.(string) != "ok" {
+			t.Errorf("result through isolated scheduler = %v, %v", out, err)
+			return
+		}
+		if sched.Inflight() != 1 {
+			t.Errorf("inflight = %d, want 1 (DAGComplete must have been dropped)", sched.Inflight())
+			return
+		}
+		// Hold the partition across a few deadline expiries, then heal.
+		cl.Sleep(5 * time.Second)
+		in.Net.ClearNodePolicy(sched.ID())
+		for i := 0; i < 60 && sched.Inflight() > 0; i++ {
+			cl.Sleep(time.Second)
+		}
+		if got := sched.Inflight(); got != 0 {
+			t.Errorf("outstanding DAGs did not drain after heal: inflight = %d", got)
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	if sched.Reexecutions() == 0 {
+		t.Fatal("drain happened without a re-execution — unexpected path")
+	}
 }
 
 func TestCausalDecodeMemoHitsOnRepeatedReads(t *testing.T) {

@@ -82,6 +82,18 @@ var experiments = []experiment{
 		full:  func() string { return bench.RunFig10(bench.Fig10Paper()).Print() },
 	},
 	{
+		name:  "fig10-failure",
+		about: "performance under failure: VM crash + restart (§4.5)",
+		quick: func() string { return bench.RunFig10Failure(bench.Fig10FailureQuick()).Print() },
+		full:  func() string { return bench.RunFig10Failure(bench.Fig10FailurePaper()).Print() },
+	},
+	{
+		name:  "chaos",
+		about: "chaos matrix: workloads × consistency modes × randomized fault plans",
+		quick: func() string { return bench.RunChaosMatrix(bench.ChaosQuick()).Print() },
+		full:  func() string { return bench.RunChaosMatrix(bench.ChaosFull()).Print() },
+	},
+	{
 		name:  "fig11",
 		about: "Retwis latency and anomaly rates (§6.3.2)",
 		quick: func() string { return bench.RunFig11(bench.Fig11Quick()).Print() },

@@ -23,6 +23,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.AnnaNodes = 3
 	cfg.Replication = 2
+	cfg.VMSpinUp = 30 * time.Second // keep the restart demo brisk
 	switch *mode {
 	case "lww":
 		cfg.Mode = cloudburst.LWW
@@ -110,6 +111,14 @@ func main() {
 			note = "timed out on the dead VM and was re-executed (§4.5)"
 		}
 		fmt.Printf("pipeline(41) = %v after %.1fs virtual (%s)\n", out, elapsed.Seconds(), note)
+
+		// Recovery half of the lifecycle: a replacement instance spins
+		// up, re-registers through the metrics path, and serves again.
+		replacement := c.Internal().RestartVM(victims[0].Name)
+		fmt.Printf("restarting %s as %s (EC2-like spin-up)...\n", victims[0].Name, replacement)
+		cl.Sleep(cfg.VMSpinUp + 10*time.Second)
+		fmt.Printf("replacement joined: %d VMs, %d executor threads live again\n",
+			c.Internal().VMCount(), c.Internal().ThreadCount())
 	})
 
 	fmt.Printf("\ncluster state: %d VMs, %d executor threads, %d keys in Anna\n",

@@ -131,6 +131,54 @@
 // must call Reply exactly once: requests are pooled and recycled after
 // the caller consumes the reply.
 //
+// # Injecting faults
+//
+// The chaos plane (internal/fault, layered on simnet's fault overlays)
+// turns any deployment into a failure experiment. A fault.Plan is a
+// declarative schedule of typed events on the virtual clock; an
+// Injector runs it as a daemon and records a timeline experiments can
+// align with their latency samples:
+//
+//	in := cb.Internal()
+//	inj := fault.NewInjector(in)
+//	plan := fault.NewPlan("demo").
+//		At(30*time.Second, fault.CrashVM{VM: "vm1"}).
+//		At(60*time.Second, fault.RestartVM{VM: "vm1"}).
+//		At(40*time.Second, fault.DegradeLink{From: "sched-0", To: "anna-0",
+//			Policy: simnet.LinkPolicy{Drop: 0.3, Jitter: 2 * time.Millisecond}}).
+//		At(55*time.Second, fault.HealLink{From: "sched-0", To: "anna-0"})
+//	cb.Run(func(cl *cloudburst.Client) { inj.Start(plan) })
+//
+// The primitives compose three fault families:
+//
+//   - Network: simnet.LinkPolicy overlays (drop probability, added
+//     latency, jitter, duplication) installed per directed link
+//     (DegradeLink/HealLink) or per node (DegradeNode/HealNode,
+//     DegradeVM/HealVM). Drop ≥ 1 is a full partition — asymmetric when
+//     installed on one direction only. Network.SetDown (and
+//     Cluster.KillVM on top of it) is the thin full-drop special case.
+//     Duplication applies to one-way datagrams only; RPCs ride pooled
+//     at-most-once records.
+//   - Compute: CrashVM partitions a VM away mid-flight (§4.5 —
+//     in-flight DAGs time out and re-execute; WithTimeout's deadline
+//     travels on the wire and drives that timer per request).
+//     RestartVM boots a replacement generation after the spin-up
+//     delay: fresh endpoints, a cold cache, executor threads that
+//     re-register with the schedulers through the ordinary metrics
+//     path, and monitor re-admission.
+//   - Storage: CrashAnnaNode/ReviveAnnaNode partition one storage
+//     replica (the client replica walk rides it out when the
+//     replication factor covers the loss); DropSnapshots discards
+//     per-request version snapshots (§5.3's upstream-cache failure —
+//     session-consistent DAGs see ErrSnapshotGone and re-issue).
+//
+// fault.RandomPlan draws a reproducible randomized plan (equal seeds,
+// equal schedules) whose every fault heals inside a bounded window —
+// the chaos-matrix smoke sweeps it across all workloads × all
+// consistency modes, and the Figure 10 bench
+// (internal/bench/fig10.go) uses an explicit crash/restart plan to
+// reproduce the §4.5 performance-under-failure timeline.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-reproduction results.
 package cloudburst

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	cb "cloudburst"
+	"cloudburst/internal/audit"
+	"cloudburst/internal/fault"
+	"cloudburst/internal/simnet"
+	"cloudburst/internal/workload"
+)
+
+// ChaosConfig parameterizes the chaos matrix: every workload × every
+// consistency mode × a randomized-but-reproducible fault plan. The
+// matrix is the scenario-diversity smoke behind the chaos plane: each
+// cell asserts liveness (post-heal probes succeed), no lost requests
+// (every chaos-phase request reaches a terminal outcome within bounded
+// client retries), and clean audit detectors over the traced execution.
+type ChaosConfig struct {
+	Workloads []string         // subset of "retwis", "predserve", "gossip"
+	Modes     []cb.Consistency // consistency levels to sweep
+	Clients   int              // concurrent clients per cell
+	Requests  int              // chaos-phase logical requests per client
+	Window    time.Duration    // chaos window the fault plan fills
+	Faults    int              // fault/heal pairs per randomized plan
+	Probes    int              // post-heal liveness probes per client
+	Seed      int64
+}
+
+// AllModes is the §6.2 sweep.
+var AllModes = []cb.Consistency{cb.LWW, cb.RepeatableRead, cb.SingleKeyCausal, cb.MultiKeyCausal, cb.Causal}
+
+// ChaosQuick returns the CI cell sizing: 15 cells, seconds each.
+func ChaosQuick() ChaosConfig {
+	return ChaosConfig{
+		Workloads: []string{"retwis", "predserve", "gossip"},
+		Modes:     AllModes,
+		Clients:   3, Requests: 5, Window: 20 * time.Second,
+		Faults: 3, Probes: 2, Seed: 97,
+	}
+}
+
+// ChaosFull returns a heavier sweep for cb-bench -full.
+func ChaosFull() ChaosConfig {
+	c := ChaosQuick()
+	c.Clients, c.Requests, c.Faults = 6, 25, 6
+	c.Window = 60 * time.Second
+	return c
+}
+
+// ChaosCell is one matrix cell's outcome.
+type ChaosCell struct {
+	Workload string
+	Mode     string
+
+	Issued int // logical requests in the chaos phase
+	OK     int // terminal success
+	Failed int // terminal failure reported by the system
+	Lost   int // no terminal outcome within bounded retries — must be 0
+
+	ProbesOK   bool // every post-heal liveness probe succeeded
+	Reexecs    int64
+	FaultCount int
+	Faults     []string // injector timeline
+
+	Reads, Writes int // audit-trace sizes (detector sanity)
+	Anomalies     audit.Report
+}
+
+// ChaosResult is the full matrix.
+type ChaosResult struct {
+	Cells []ChaosCell
+}
+
+// Print renders the matrix.
+func (r ChaosResult) Print() string {
+	rows := make([][]string, len(r.Cells))
+	for i, c := range r.Cells {
+		live := "ok"
+		if !c.ProbesOK {
+			live = "FAIL"
+		}
+		rows[i] = []string{
+			c.Workload, c.Mode,
+			fmt.Sprintf("%d", c.Issued), fmt.Sprintf("%d", c.OK),
+			fmt.Sprintf("%d", c.Failed), fmt.Sprintf("%d", c.Lost),
+			live, fmt.Sprintf("%d", c.Reexecs), fmt.Sprintf("%d", c.FaultCount),
+		}
+	}
+	out := Table("Chaos matrix: workloads × modes × randomized fault plans",
+		[]string{"workload", "mode", "issued", "ok", "failed", "lost", "liveness", "reexecs", "faults"}, rows)
+	for _, c := range r.Cells {
+		for _, f := range c.Faults {
+			out += fmt.Sprintf("  [%s/%s] %s\n", c.Workload, c.Mode, f)
+		}
+	}
+	return out
+}
+
+// RunChaosMatrix sweeps every cell. Each cell boots its own traced
+// cluster, draws a plan from its own seeded rng (equal seeds give
+// identical matrices), runs closed-loop load through the chaos window,
+// waits for every fault to heal and every replacement VM to join, then
+// probes liveness.
+func RunChaosMatrix(cfg ChaosConfig) ChaosResult {
+	var out ChaosResult
+	for _, wl := range cfg.Workloads {
+		for mi, mode := range cfg.Modes {
+			cellSeed := cfg.Seed + int64(mi) + 100*int64(len(wl)) + int64(wl[0])
+			out.Cells = append(out.Cells, runChaosCell(cfg, wl, mode, cellSeed))
+		}
+	}
+	return out
+}
+
+// chaosDriver issues one logical workload request; err semantics follow
+// the client API (ErrTimedOut means no terminal outcome yet).
+type chaosDriver func(cl *cb.Client, rng *rand.Rand) error
+
+func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64) ChaosCell {
+	cell := ChaosCell{Workload: wl, Mode: mode.String()}
+	rec := audit.NewRecorder()
+
+	ccfg := cb.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.Mode = mode
+	ccfg.VMs = 3
+	ccfg.ThreadsPerVM = 2
+	ccfg.AnnaNodes = 3
+	ccfg.Replication = 2 // replica loss must be survivable
+	ccfg.VMSpinUp = 6 * time.Second
+	ccfg.DAGTimeout = 4 * time.Second
+	ccfg.StaleAfter = 4 * time.Second
+	c := cb.NewClusterWithTracer(ccfg, rec)
+	defer c.Close()
+	in := c.Internal()
+
+	driver := registerChaosWorkload(c, wl, cfg, seed)
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+
+	// Draw the cell's randomized plan and start it.
+	vms := make([]string, 0, 3)
+	for _, h := range in.VMs() {
+		vms = append(vms, h.Name)
+	}
+	var scheds []simnet.NodeID
+	for _, s := range in.Schedulers() {
+		scheds = append(scheds, s.ID())
+	}
+	planRng := rand.New(rand.NewSource(seed * 31))
+	plan := fault.RandomPlan(planRng, fault.RandomOpts{
+		Start: 0, Window: cfg.Window, Faults: cfg.Faults,
+		VMs: vms, Nodes: scheds, AnnaNodes: 3, AllowCrash: true,
+	})
+	inj := fault.NewInjector(in)
+	c.Run(func(cl *cb.Client) { inj.Start(plan) })
+
+	// Chaos phase: closed-loop logical requests with bounded client-side
+	// re-issue. A timeout is not terminal — single-function workloads
+	// (Retwis, gossip) have no §4.5 retry tracking, and a request to a
+	// degraded scheduler can vanish before being tracked — so the client
+	// re-issues, as a real application would. Only a request with no
+	// terminal outcome across all attempts counts as lost.
+	const maxAttempts = 5
+	windowEnd := c.Now() + cfg.Window
+	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
+		cl.Timeout = 15 * time.Second
+		rng := rand.New(rand.NewSource(seed + 500 + int64(i)))
+		for r := 0; r < cfg.Requests; r++ {
+			cell.Issued++
+			var err error
+			settled := false
+			for attempt := 0; attempt < maxAttempts; attempt++ {
+				err = driver(cl, rng)
+				if err == nil {
+					cell.OK++
+					settled = true
+					break
+				}
+				if !errors.Is(err, cb.ErrTimedOut) {
+					cell.Failed++ // terminal failure delivered by the system
+					settled = true
+					break
+				}
+			}
+			if !settled {
+				cell.Lost++
+			}
+			if time.Duration(cl.Now()) > windowEnd {
+				break // keep cells bounded; Issued tracks the actual count
+			}
+		}
+	})
+
+	// Settle: wait for the plan to finish, replacements to boot, and the
+	// control plane to re-learn the fleet.
+	c.Run(func(cl *cb.Client) {
+		for inj.Running() || in.PendingVMs() > 0 {
+			cl.Sleep(time.Second)
+		}
+		cl.Sleep(8 * time.Second)
+	})
+
+	// Liveness probes: the healed cluster must serve every probe.
+	probesOK := true
+	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
+		cl.Timeout = 30 * time.Second
+		rng := rand.New(rand.NewSource(seed + 900 + int64(i)))
+		for r := 0; r < cfg.Probes; r++ {
+			var err error
+			for attempt := 0; attempt < 3; attempt++ {
+				if err = driver(cl, rng); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				probesOK = false
+			}
+		}
+	})
+	cell.ProbesOK = probesOK
+
+	for _, s := range in.Schedulers() {
+		cell.Reexecs += s.Reexecutions()
+	}
+	cell.Faults = inj.TimelineStrings()
+	cell.FaultCount = len(cell.Faults)
+	cell.Reads, cell.Writes = rec.Counts()
+	cell.Anomalies = rec.Analyze() // detectors must run cleanly on chaos traces
+	return cell
+}
+
+// registerChaosWorkload installs one workload and returns its request
+// driver.
+func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64) chaosDriver {
+	switch wl {
+	case "retwis":
+		r := workload.DefaultRetwis()
+		r.Users = 60
+		r.Tweets = 240
+		if err := r.Register(c); err != nil {
+			panic(err)
+		}
+		g := r.Generate(rand.New(rand.NewSource(seed)))
+		r.Preload(c, g)
+		return func(cl *cb.Client, rng *rand.Rand) error {
+			_, err := r.Request(cl, rng, g)
+			return err
+		}
+	case "predserve":
+		p := workload.DefaultPredServe()
+		p.ModelBytes = 1 << 20 // keep cell transfer cost CI-sized
+		p.ModelTime = 40 * time.Millisecond
+		p.Preload(c)
+		if err := p.Register(c, 6); err != nil {
+			panic(err)
+		}
+		return func(cl *cb.Client, rng *rand.Rand) error {
+			_, err := p.Predict(cl)
+			return err
+		}
+	case "gossip":
+		g := workload.DefaultGossip()
+		g.Actors = 4
+		g.MaxSteps = 150
+		if err := g.Register(c); err != nil {
+			panic(err)
+		}
+		round := 0
+		return func(cl *cb.Client, rng *rand.Rand) error {
+			round++ // kernel-serialized: unique id per round, retries included
+			values := make([]float64, g.Actors)
+			for i := range values {
+				values[i] = 10 + 5*rng.Float64()
+			}
+			_, err := g.RunRound(cl, round, values)
+			return err
+		}
+	default:
+		panic("bench: unknown chaos workload " + wl)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import "testing"
+
+// TestChaosMatrix is the chaos-plane smoke: every workload × every
+// consistency mode, each under its own randomized-but-seeded fault plan
+// (VM crash+restart, transient partitions, flaky/slow/duplicating
+// links, Anna replica loss, cache snapshot drops). Asserted per cell:
+// liveness after heal, no lost requests, and audit detectors that run
+// cleanly over the traced chaotic execution. CI runs this as a required
+// job.
+func TestChaosMatrix(t *testing.T) {
+	r := RunChaosMatrix(ChaosQuick())
+	t.Log(r.Print())
+	if len(r.Cells) != 15 {
+		t.Fatalf("cells = %d, want 3 workloads × 5 modes", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		name := c.Workload + "/" + c.Mode
+		if c.Issued == 0 || c.OK == 0 {
+			t.Errorf("%s: no successful requests (issued %d, ok %d)", name, c.Issued, c.OK)
+		}
+		if c.Lost != 0 {
+			t.Errorf("%s: %d requests lost (no terminal outcome within bounded retries)", name, c.Lost)
+		}
+		if !c.ProbesOK {
+			t.Errorf("%s: post-heal liveness probes failed", name)
+		}
+		if c.FaultCount == 0 {
+			t.Errorf("%s: fault plan injected nothing", name)
+		}
+		if c.Reads == 0 {
+			t.Errorf("%s: audit trace empty (reads %d, writes %d)", name, c.Reads, c.Writes)
+		}
+		// The table2 detectors must produce a sane report on a chaotic
+		// trace — non-negative counts over a non-empty execution set.
+		a := c.Anomalies
+		if a.SK < 0 || a.MK < 0 || a.DSC < 0 || a.DSRR < 0 {
+			t.Errorf("%s: negative anomaly counts: %+v", name, a)
+		}
+	}
+}
+
+// TestChaosMatrixDeterministic pins the randomized plans: the same seed
+// must produce the same fault schedule (and so the same simulation).
+func TestChaosMatrixDeterministic(t *testing.T) {
+	cfg := ChaosQuick()
+	cfg.Workloads = []string{"predserve"}
+	cfg.Modes = AllModes[:1]
+	cfg.Requests = 3
+	a := RunChaosMatrix(cfg)
+	b := RunChaosMatrix(cfg)
+	fa, fb := a.Cells[0].Faults, b.Cells[0].Faults
+	if len(fa) != len(fb) {
+		t.Fatalf("timelines differ in length: %v vs %v", fa, fb)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("timeline diverged at %d: %q vs %q", i, fa[i], fb[i])
+		}
+	}
+	if a.Cells[0].OK != b.Cells[0].OK || a.Cells[0].Failed != b.Cells[0].Failed {
+		t.Fatalf("outcomes diverged: %+v vs %+v", a.Cells[0], b.Cells[0])
+	}
+}

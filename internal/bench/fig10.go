@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	cb "cloudburst"
+	"cloudburst/internal/fault"
+)
+
+// Fig10FailureConfig parameterizes the §4.5 performance-under-failure
+// experiment: steady closed-loop DAG load, one executor VM killed
+// mid-run, its replacement spun up later, and the latency timeline
+// tabulated in one-second buckets before/during/after recovery.
+type Fig10FailureConfig struct {
+	VMs      int           // executor VMs (×3 threads each)
+	Clients  int           // closed-loop clients
+	Compute  time.Duration // per-request simulated work
+	Deadline time.Duration // per-request §4.5 re-execution deadline (wire Deadline)
+	KillAt   time.Duration // when the victim VM is crashed
+	RestFor  time.Duration // crash→restart gap
+	VMSpinUp time.Duration // replacement boot delay
+	RunFor   time.Duration // total load duration
+	Seed     int64
+}
+
+// Fig10FailureQuick returns CI-friendly parameters.
+func Fig10FailureQuick() Fig10FailureConfig {
+	return Fig10FailureConfig{
+		VMs: 4, Clients: 12,
+		Compute: 40 * time.Millisecond, Deadline: 3 * time.Second,
+		KillAt: 25 * time.Second, RestFor: 20 * time.Second,
+		VMSpinUp: 10 * time.Second, RunFor: 90 * time.Second, Seed: 43,
+	}
+}
+
+// Fig10FailurePaper returns a full-scale configuration (the paper kills
+// one of its VMs ten minutes into a steady run; scaled here to keep the
+// full sweep in minutes of real time).
+func Fig10FailurePaper() Fig10FailureConfig {
+	return Fig10FailureConfig{
+		VMs: 12, Clients: 60,
+		Compute: 40 * time.Millisecond, Deadline: 4 * time.Second,
+		KillAt: 60 * time.Second, RestFor: 60 * time.Second,
+		VMSpinUp: 30 * time.Second, RunFor: 240 * time.Second, Seed: 43,
+	}
+}
+
+// Fig10Bucket is one second of the latency timeline.
+type Fig10Bucket struct {
+	AtS  float64
+	N    int
+	P50  float64 // milliseconds
+	P99  float64
+	Errs int
+}
+
+// Fig10FailureResult is the §4.5 figure: phase digests, the 1s-bucket
+// timeline, and the fault/recovery bookkeeping aligned with it.
+type Fig10FailureResult struct {
+	Pre    Summary // [0, KillAt)
+	During Summary // [KillAt, recovery) — recovery = restart + spin-up
+	Post   Summary // [recovery, end]
+
+	Buckets      []Fig10Bucket
+	Timeline     []string // injector events, virtual-time stamped
+	RecoveredAtS float64  // when the replacement VM joined
+	// PeakBucketP99 is the worst 1s-bucket p99 (ms) inside the failure
+	// window — the recovery spike the §4.5 figure is about, which the
+	// whole-phase digest dilutes (only the requests in flight at the
+	// kill ride the re-execution path).
+	PeakBucketP99 float64
+	Completed     int
+	Failed        int   // requests with a terminal error
+	Reexecutions  int64 // §4.5 re-executions issued by the schedulers
+}
+
+// Print renders the phase table, a downsampled timeline, and the fault
+// log.
+func (r Fig10FailureResult) Print() string {
+	out := Table("Figure 10: performance under failure (§4.5)", LatencyHeader,
+		SummaryRows([]Summary{r.Pre, r.During, r.Post}))
+	rows := make([][]string, 0, len(r.Buckets))
+	step := len(r.Buckets)/30 + 1
+	for i := 0; i < len(r.Buckets); i += step {
+		b := r.Buckets[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", b.AtS),
+			fmt.Sprintf("%d", b.N),
+			fmt.Sprintf("%.2f", b.P50),
+			fmt.Sprintf("%.2f", b.P99),
+			fmt.Sprintf("%d", b.Errs),
+		})
+	}
+	out += Table("latency timeline (1s buckets)", []string{"t(s)", "n", "p50(ms)", "p99(ms)", "errs"}, rows)
+	out += fmt.Sprintf("completed %d, failed %d, re-executions %d, recovered at t=%.0fs, peak bucket p99 %.0fms\n",
+		r.Completed, r.Failed, r.Reexecutions, r.RecoveredAtS, r.PeakBucketP99)
+	for _, e := range r.Timeline {
+		out += "  fault: " + e + "\n"
+	}
+	return out
+}
+
+// RunFig10Failure drives the experiment: closed-loop clients, a fault
+// plan that kills one executor VM mid-run and restarts it, and
+// per-completion latency samples aligned against the injector timeline.
+func RunFig10Failure(cfg Fig10FailureConfig) Fig10FailureResult {
+	ccfg := cb.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	ccfg.VMs = cfg.VMs
+	ccfg.AnnaNodes = 3
+	ccfg.Replication = 2 // ride out storage-adjacent chaos in derived plans
+	ccfg.VMSpinUp = cfg.VMSpinUp
+	ccfg.StaleAfter = 5 * time.Second // failure-detection horizon
+	// The monitor re-admits the replacement VM and re-pins the function
+	// after the crash; node counts are clamped so the only lifecycle
+	// events on the timeline are the injected ones.
+	ccfg.Autoscale = true
+	ccfg.MaxVMs = cfg.VMs
+	ccfg.MinPinned = cfg.VMs * 3 // pinned everywhere; see RegisterDAG below
+	c := cb.NewCluster(ccfg)
+	defer c.Close()
+	in := c.Internal()
+
+	// Pure compute: requests spread over the pinned threads via the
+	// scheduler's least-recently-assigned policy, so the killed VM holds
+	// a proportional share of in-flight requests.
+	if err := c.RegisterFunction("ff", func(ctx *cb.Ctx, args []any) (any, error) {
+		ctx.Compute(cfg.Compute)
+		return len(args), nil
+	}); err != nil {
+		panic(err)
+	}
+	// Pin the function on every thread: the victim VM then carries a
+	// proportional share of in-flight requests when it dies, and the
+	// monitor re-pins the replacement's threads after recovery.
+	if err := c.RegisterDAG(cb.LinearDAG("ff-dag", "ff"), cfg.VMs*3); err != nil {
+		panic(err)
+	}
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+
+	// The fault plan: kill the second VM mid-run, restart it later. The
+	// victim is fixed so equal seeds give identical runs.
+	victim := in.VMs()[1].Name
+	inj := fault.NewInjector(in)
+	plan := fault.NewPlan("fig10").
+		At(cfg.KillAt, fault.CrashVM{VM: victim}).
+		At(cfg.KillAt+cfg.RestFor, fault.RestartVM{VM: victim})
+	c.Run(func(cl *cb.Client) { inj.Start(plan) })
+
+	type sample struct {
+		at  time.Duration // completion time
+		lat time.Duration
+	}
+	var samples []sample
+	failed := 0
+	errBuckets := make(map[int]int)
+	start := c.Now() // load begins here; virtual time is frozen between Runs
+	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
+		end := start + cfg.RunFor
+		for time.Duration(cl.Now()) < end {
+			issued := time.Duration(cl.Now())
+			fut := cl.InvokeDAG("ff-dag", nil, cb.WithTimeout(cfg.Deadline))
+			for {
+				_, err := fut.Wait()
+				if err == nil {
+					samples = append(samples, sample{at: time.Duration(cl.Now()), lat: time.Duration(cl.Now()) - issued})
+					break
+				}
+				// The wait bound equals the re-execution deadline, so a
+				// request riding a §4.5 retry times out client-side while
+				// still in flight — keep waiting for the terminal outcome
+				// (that latency IS the figure). Non-timeout errors are
+				// terminal.
+				if !errors.Is(err, cb.ErrTimedOut) || time.Duration(cl.Now())-issued > time.Minute {
+					failed++
+					errBuckets[int((time.Duration(cl.Now())-start)/time.Second)]++
+					break
+				}
+			}
+		}
+	})
+
+	res := Fig10FailureResult{
+		Completed:    len(samples),
+		Failed:       failed,
+		Timeline:     inj.TimelineStrings(),
+		RecoveredAtS: (start + cfg.KillAt + cfg.RestFor + cfg.VMSpinUp).Seconds(),
+	}
+	for _, s := range in.Schedulers() {
+		res.Reexecutions += s.Reexecutions()
+	}
+
+	killAt := start + cfg.KillAt
+	recoverAt := start + cfg.KillAt + cfg.RestFor + cfg.VMSpinUp
+	var pre, during, post []time.Duration
+	byBucket := make(map[int][]time.Duration)
+	for _, s := range samples {
+		switch {
+		case s.at < killAt:
+			pre = append(pre, s.lat)
+		case s.at < recoverAt:
+			during = append(during, s.lat)
+		default:
+			post = append(post, s.lat)
+		}
+		byBucket[int((s.at-start)/time.Second)] = append(byBucket[int((s.at-start)/time.Second)], s.lat)
+	}
+	res.Pre = Summarize("pre-failure", pre)
+	res.During = Summarize("during-failure", during)
+	res.Post = Summarize("post-recovery", post)
+	for sec := 0; sec <= int(cfg.RunFor/time.Second); sec++ {
+		durs, errs := byBucket[sec], errBuckets[sec]
+		if len(durs) == 0 && errs == 0 {
+			continue
+		}
+		sum := Summarize("", durs)
+		res.Buckets = append(res.Buckets, Fig10Bucket{
+			AtS: float64(sec), N: sum.N, P50: sum.Median, P99: sum.P99, Errs: errs,
+		})
+		if at := start + time.Duration(sec)*time.Second; at >= killAt && at < recoverAt && sum.P99 > res.PeakBucketP99 {
+			res.PeakBucketP99 = sum.P99
+		}
+	}
+	return res
+}

@@ -23,9 +23,15 @@ type Fig7Config struct {
 }
 
 // Fig7Quick returns CI-friendly parameters (everything scaled ~1/8).
+// The client count is set well past the initial fleet's capacity knee
+// so saturation is decisive: 88 closed-loop clients against 24 threads
+// put the fleet far over both the 0.70-utilization threshold and the
+// monitor's backlog-per-thread signal, instead of parking the policy on
+// the knife edge that flipped the VM-add trigger across PRs 1-3 (see
+// BENCH_3.json's note).
 func Fig7Quick() Fig7Config {
 	return Fig7Config{
-		InitialVMs: 8, Clients: 56, Keys: 50_000,
+		InitialVMs: 8, Clients: 88, Keys: 50_000,
 		LoadFor: 150 * time.Second, DrainFor: 40 * time.Second,
 		VMSpinUp: 30 * time.Second, ScaleUpVMs: 4, MaxVMFactor: 2, Seed: 17,
 	}

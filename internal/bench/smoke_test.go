@@ -53,6 +53,32 @@ func TestSmokeFig10(t *testing.T) {
 	t.Log(r.Print())
 }
 
+func TestSmokeFig10Failure(t *testing.T) {
+	cfg := Fig10FailureQuick()
+	cfg.Clients = 6
+	cfg.KillAt, cfg.RestFor, cfg.VMSpinUp = 12e9, 10e9, 5e9
+	cfg.RunFor = 40e9
+	r := RunFig10Failure(cfg)
+	t.Log(r.Print())
+	if r.Pre.N == 0 || r.During.N == 0 || r.Post.N == 0 {
+		t.Fatalf("empty phase: pre=%d during=%d post=%d", r.Pre.N, r.During.N, r.Post.N)
+	}
+	if r.Reexecutions == 0 {
+		t.Fatal("no §4.5 re-execution visible in the failure run")
+	}
+	if len(r.Timeline) != 2 {
+		t.Fatalf("fault timeline = %v", r.Timeline)
+	}
+	// The recovery spike must be visible in the bucketed timeline: the
+	// requests in flight at the kill ride deadline + staleness + retry.
+	if r.PeakBucketP99 < 10*r.Pre.Median {
+		t.Fatalf("no recovery spike: peak bucket p99 %.1fms vs pre median %.1fms", r.PeakBucketP99, r.Pre.Median)
+	}
+	if r.Post.P99 > 3*r.Pre.Median {
+		t.Fatalf("post-recovery latency did not settle: p99 %.1fms vs pre median %.1fms", r.Post.P99, r.Pre.Median)
+	}
+}
+
 func TestSmokeFig11(t *testing.T) {
 	cfg := Fig11Quick()
 	cfg.Clients, cfg.Requests = 3, 20

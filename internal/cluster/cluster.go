@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"cloudburst/internal/anna"
@@ -86,6 +87,11 @@ type VMHandle struct {
 	nodeIDs []simnet.NodeID // all endpoints (threads + cache)
 }
 
+// NodeIDs lists every network endpoint belonging to the VM (executor
+// threads, the co-located cache, and the metrics manager) — the unit a
+// fault plan partitions or degrades.
+func (h *VMHandle) NodeIDs() []simnet.NodeID { return h.nodeIDs }
+
 // Cluster is a running deployment.
 type Cluster struct {
 	K        *vtime.Kernel
@@ -104,6 +110,10 @@ type Cluster struct {
 	dagCache  map[string]*dag.DAG
 	dagClient *anna.Client
 	down      map[simnet.NodeID]bool
+	// killed remembers crashed VM names so RestartVM can replace them;
+	// gens counts replacement generations per base name.
+	killed map[string]bool
+	gens   map[string]int
 }
 
 // New boots a cluster. The initial VMs and schedulers are live
@@ -129,6 +139,8 @@ func New(cfg Config) *Cluster {
 		vms:      make(map[string]*VMHandle),
 		dagCache: make(map[string]*dag.DAG),
 		down:     make(map[simnet.NodeID]bool),
+		killed:   make(map[string]bool),
+		gens:     make(map[string]int),
 	}
 	c.dagClient = c.KV.NewClient(net.AddNode("dag-resolver"), 0)
 
@@ -164,11 +176,15 @@ func (c *Cluster) Close() { c.K.Stop() }
 // Schedulers exposes the scheduler handles (tests, reports).
 func (c *Cluster) Schedulers() []*scheduler.Scheduler { return c.schedulers }
 
-// bootVM constructs and starts one VM synchronously.
+// bootVM constructs and starts one fresh-numbered VM synchronously.
 func (c *Cluster) bootVM() *VMHandle {
 	name := fmt.Sprintf("vm%d", c.nextVM)
 	c.nextVM++
+	return c.bootVMNamed(name)
+}
 
+// bootVMNamed constructs and starts one VM under the given name.
+func (c *Cluster) bootVMNamed(name string) *VMHandle {
 	cacheEP := c.Net.AddNode(simnet.NodeID("cache-" + name))
 	// The cache moves multi-MB objects; give its KVS client headroom
 	// beyond the default RPC timeout.
@@ -276,7 +292,8 @@ func (c *Cluster) stopVM(name string) {
 
 // KillVM abruptly partitions a VM away without stopping its processes —
 // the §4.5 failure model (messages to it vanish; in-flight DAGs time out
-// and are re-executed).
+// and are re-executed). Each endpoint gets a full-drop node policy; the
+// VM can later be replaced with RestartVM.
 func (c *Cluster) KillVM(name string) {
 	h, ok := c.vms[name]
 	if !ok {
@@ -287,6 +304,42 @@ func (c *Cluster) KillVM(name string) {
 		c.down[id] = true
 	}
 	delete(c.vms, name)
+	c.killed[name] = true
+}
+
+// baseVMName strips replacement-generation suffixes ("vm0.r2" → "vm0").
+func baseVMName(name string) string {
+	if i := strings.Index(name, ".r"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// RestartVM replaces a crashed (or still-live, which it crashes first)
+// VM with a fresh instance after the spin-up delay — the recovery half
+// of the §4.5 lifecycle. The replacement runs under a new generation
+// name ("vm0" → "vm0.r1") with fresh endpoints and a cold cache; its
+// executor threads re-register with the schedulers through the ordinary
+// metrics-publication path, and the monitor re-admits the node via
+// VMCount. The dead generation's endpoints stay partitioned forever.
+// Returns the replacement's name ("" when the VM never existed).
+func (c *Cluster) RestartVM(name string) string {
+	if _, live := c.vms[name]; live {
+		c.KillVM(name)
+	} else if !c.killed[name] {
+		return ""
+	}
+	delete(c.killed, name)
+	base := baseVMName(name)
+	c.gens[base]++
+	replacement := fmt.Sprintf("%s.r%d", base, c.gens[base])
+	c.pending++
+	c.K.Go("cluster/restart", func() {
+		c.K.Sleep(c.cfg.VMSpinUp)
+		c.bootVMNamed(replacement)
+		c.pending--
+	})
+	return replacement
 }
 
 // VMCount reports live VMs.

@@ -80,6 +80,70 @@ func TestKillVMMarksNodesDown(t *testing.T) {
 	}
 }
 
+func TestRestartVMBootsReplacementGeneration(t *testing.T) {
+	c := testCluster(t, nil)
+	vm := c.VMs()[0]
+	oldThread := vm.Threads[0].ID()
+	c.K.Run("main", func() {
+		c.KillVM(vm.Name)
+		if c.VMCount() != 1 {
+			t.Fatalf("VMs after kill = %d", c.VMCount())
+		}
+		name := c.RestartVM(vm.Name)
+		if name != vm.Name+".r1" {
+			t.Fatalf("replacement name = %q", name)
+		}
+		if c.PendingVMs() != 1 {
+			t.Fatalf("pending = %d", c.PendingVMs())
+		}
+		c.K.Sleep(11 * time.Second) // spin-up is 10s here
+		if c.VMCount() != 2 || c.PendingVMs() != 0 {
+			t.Fatalf("after restart: vms=%d pending=%d", c.VMCount(), c.PendingVMs())
+		}
+		var fresh *VMHandle
+		for _, h := range c.VMs() {
+			if h.Name == name {
+				fresh = h
+			}
+		}
+		if fresh == nil {
+			t.Fatalf("replacement %q not in inventory: %v", name, c.vmNames())
+		}
+		// Fresh endpoints, alive; the dead generation stays partitioned.
+		if !c.Alive(fresh.Threads[0].ID()) {
+			t.Fatal("replacement thread not alive")
+		}
+		if c.Alive(oldThread) {
+			t.Fatal("dead generation's thread still alive")
+		}
+		if fresh.Cache.Contains("anything") {
+			t.Fatal("replacement cache not cold")
+		}
+	})
+}
+
+func TestRestartVMOfLiveVMCrashesFirst(t *testing.T) {
+	c := testCluster(t, nil)
+	vm := c.VMs()[0]
+	thread := vm.Threads[0].ID()
+	c.K.Run("main", func() {
+		if name := c.RestartVM("no-such-vm"); name != "" {
+			t.Fatalf("restart of unknown VM returned %q", name)
+		}
+		name := c.RestartVM(vm.Name)
+		if name == "" {
+			t.Fatal("restart of live VM refused")
+		}
+		if c.Alive(thread) {
+			t.Fatal("live VM not crashed by restart")
+		}
+		c.K.Sleep(11 * time.Second)
+		if c.VMCount() != 2 {
+			t.Fatalf("VMs = %d after crash-restart", c.VMCount())
+		}
+	})
+}
+
 func TestThreadsDeterministicOrder(t *testing.T) {
 	c := testCluster(t, func(cfg *Config) { cfg.InitialVMs = 3 })
 	a := c.Threads()

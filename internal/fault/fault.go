@@ -1,0 +1,318 @@
+// Package fault is the chaos plane of the Cloudburst reproduction: a
+// declarative fault-injection subsystem layered on the virtual-time
+// kernel and the simnet fault overlays. A Plan is a schedule of typed
+// fault events on the virtual clock — VM crashes and restarts
+// (Cluster.KillVM/RestartVM), asymmetric network partitions and per-link
+// degradation (simnet.LinkPolicy: drop probability, added latency,
+// jitter, duplication), storage faults (Anna replica loss, ridden out by
+// the client's replica walk), and cache snapshot drops (the §5.3
+// upstream-failure path). An Injector runs plans as a daemon on a
+// simnet.Dispatcher and records a fault timeline that experiments align
+// with their latency samples — the §4.5 "performance under failure"
+// figure family, and every chaos scenario after it.
+//
+// Plans are data: build them with NewPlan().At(offset, action)..., or
+// draw a randomized-but-reproducible one with RandomPlan. Every action
+// is idempotent-ish and tolerant of a cluster that changed underneath it
+// (a named VM that already died makes the action a recorded no-op), so
+// randomized plans compose safely with autoscaling.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/simnet"
+)
+
+// Event is one scheduled fault: Action fires At after the plan starts
+// (virtual time).
+type Event struct {
+	At     time.Duration
+	Action Action
+}
+
+// Action is one applicable fault. Apply performs it against the
+// injector's cluster and returns a human-readable timeline entry.
+type Action interface {
+	Apply(inj *Injector) string
+}
+
+// Plan is a declarative fault schedule. Events run in At order (ties in
+// insertion order).
+type Plan struct {
+	Name   string
+	Events []Event
+}
+
+// NewPlan creates an empty plan.
+func NewPlan(name string) *Plan { return &Plan{Name: name} }
+
+// At appends an event and returns the plan for chaining.
+func (p *Plan) At(offset time.Duration, a Action) *Plan {
+	p.Events = append(p.Events, Event{At: offset, Action: a})
+	return p
+}
+
+// Duration reports the offset of the last event.
+func (p *Plan) Duration() time.Duration {
+	var max time.Duration
+	for _, e := range p.Events {
+		if e.At > max {
+			max = e.At
+		}
+	}
+	return max
+}
+
+// sorted returns the events in firing order without mutating the plan.
+func (p *Plan) sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// --- actions -------------------------------------------------------------
+
+// CrashVM abruptly partitions a VM away (Cluster.KillVM): its processes
+// keep running but every message to or from its endpoints is dropped.
+// An empty VM picks a random live victim (never the last VM standing).
+type CrashVM struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a CrashVM) Apply(inj *Injector) string {
+	name := a.VM
+	if name == "" {
+		name = inj.pickVictim()
+	}
+	if name == "" {
+		return "crash: no eligible VM"
+	}
+	if !inj.liveVM(name) {
+		return fmt.Sprintf("crash %s: already gone", name)
+	}
+	inj.c.KillVM(name)
+	inj.crashed = append(inj.crashed, name)
+	return "crash " + name
+}
+
+// RestartVM replaces a crashed VM with a fresh instance after the
+// cluster's spin-up delay (Cluster.RestartVM): new endpoints, cold
+// cache, executor threads that re-register with the schedulers through
+// the ordinary metrics path. An empty VM restarts the most recently
+// crashed one.
+type RestartVM struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a RestartVM) Apply(inj *Injector) string {
+	name := a.VM
+	if name == "" && len(inj.crashed) > 0 {
+		name = inj.crashed[len(inj.crashed)-1]
+		inj.crashed = inj.crashed[:len(inj.crashed)-1]
+	}
+	if name == "" {
+		return "restart: nothing crashed"
+	}
+	replacement := inj.c.RestartVM(name)
+	if replacement == "" {
+		return fmt.Sprintf("restart %s: unknown VM", name)
+	}
+	return fmt.Sprintf("restart %s -> %s (spin-up)", name, replacement)
+}
+
+// DegradeVM installs a simnet node policy on every endpoint of a VM —
+// Drop 1 is a transient full partition, smaller values a flaky NIC.
+// Unlike CrashVM the VM stays in the inventory, so this models network
+// trouble rather than instance loss; pair with HealVM.
+type DegradeVM struct {
+	VM     string
+	Policy simnet.LinkPolicy
+}
+
+// Apply implements Action.
+func (a DegradeVM) Apply(inj *Injector) string {
+	h := inj.vmHandle(a.VM)
+	if h == nil {
+		return fmt.Sprintf("degrade %s: not live", a.VM)
+	}
+	for _, id := range h.NodeIDs() {
+		inj.c.Net.SetNodePolicy(id, a.Policy)
+	}
+	return fmt.Sprintf("degrade %s %s", a.VM, policyString(a.Policy))
+}
+
+// HealVM clears the node policies DegradeVM installed.
+type HealVM struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a HealVM) Apply(inj *Injector) string {
+	h := inj.vmHandle(a.VM)
+	if h == nil {
+		return fmt.Sprintf("heal %s: not live", a.VM)
+	}
+	for _, id := range h.NodeIDs() {
+		inj.c.Net.ClearNodePolicy(id)
+	}
+	return "heal " + a.VM
+}
+
+// DegradeNode installs a node policy on one endpoint (a scheduler, a
+// storage node, the monitor, ...); pair with HealNode.
+type DegradeNode struct {
+	Node   simnet.NodeID
+	Policy simnet.LinkPolicy
+}
+
+// Apply implements Action.
+func (a DegradeNode) Apply(inj *Injector) string {
+	inj.c.Net.SetNodePolicy(a.Node, a.Policy)
+	return fmt.Sprintf("degrade node %s %s", a.Node, policyString(a.Policy))
+}
+
+// HealNode clears a node policy.
+type HealNode struct {
+	Node simnet.NodeID
+}
+
+// Apply implements Action.
+func (a HealNode) Apply(inj *Injector) string {
+	inj.c.Net.ClearNodePolicy(a.Node)
+	return fmt.Sprintf("heal node %s", a.Node)
+}
+
+// DegradeLink installs a directed (or, with Symmetric, bidirectional)
+// link policy between two endpoints — the asymmetric-partition
+// primitive; pair with HealLink.
+type DegradeLink struct {
+	From, To  simnet.NodeID
+	Policy    simnet.LinkPolicy
+	Symmetric bool
+}
+
+// Apply implements Action.
+func (a DegradeLink) Apply(inj *Injector) string {
+	inj.c.Net.SetLinkPolicy(a.From, a.To, a.Policy)
+	arrow := "->"
+	if a.Symmetric {
+		inj.c.Net.SetLinkPolicy(a.To, a.From, a.Policy)
+		arrow = "<->"
+	}
+	return fmt.Sprintf("degrade link %s%s%s %s", a.From, arrow, a.To, policyString(a.Policy))
+}
+
+// HealLink clears a link policy (both directions with Symmetric).
+type HealLink struct {
+	From, To  simnet.NodeID
+	Symmetric bool
+}
+
+// Apply implements Action.
+func (a HealLink) Apply(inj *Injector) string {
+	inj.c.Net.ClearLinkPolicy(a.From, a.To)
+	arrow := "->"
+	if a.Symmetric {
+		inj.c.Net.ClearLinkPolicy(a.To, a.From)
+		arrow = "<->"
+	}
+	return fmt.Sprintf("heal link %s%s%s", a.From, arrow, a.To)
+}
+
+// CrashAnnaNode partitions one storage node away (replica loss). Reads
+// ride it out through the Anna client's replica walk when the
+// replication factor covers the loss; pair with ReviveAnnaNode. Index
+// is resolved modulo the node count.
+type CrashAnnaNode struct {
+	Index int
+}
+
+// Apply implements Action.
+func (a CrashAnnaNode) Apply(inj *Injector) string {
+	id, ok := inj.annaNode(a.Index)
+	if !ok {
+		return "crash anna: no storage nodes"
+	}
+	inj.c.Net.SetDown(id, true)
+	return fmt.Sprintf("crash anna replica %s", id)
+}
+
+// ReviveAnnaNode heals a storage-node partition.
+type ReviveAnnaNode struct {
+	Index int
+}
+
+// Apply implements Action.
+func (a ReviveAnnaNode) Apply(inj *Injector) string {
+	id, ok := inj.annaNode(a.Index)
+	if !ok {
+		return "revive anna: no storage nodes"
+	}
+	inj.c.Net.SetDown(id, false)
+	return fmt.Sprintf("revive anna replica %s", id)
+}
+
+// DropSnapshots discards the per-request version snapshots of one VM's
+// cache (all caches when VM is empty) — the §5.3 upstream-cache-failure
+// path; in-flight session-consistent DAGs that depended on them fail
+// with ErrSnapshotGone and are re-issued.
+type DropSnapshots struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a DropSnapshots) Apply(inj *Injector) string {
+	n := 0
+	for _, h := range inj.c.VMs() {
+		if a.VM != "" && h.Name != a.VM {
+			continue
+		}
+		h.Cache.DropSnapshots()
+		n++
+	}
+	return fmt.Sprintf("drop snapshots on %d cache(s)", n)
+}
+
+func policyString(p simnet.LinkPolicy) string {
+	return fmt.Sprintf("{drop %.2f lat +%s jitter %s dup %.2f}",
+		p.Drop, p.ExtraLatency, p.Jitter, p.Duplicate)
+}
+
+// liveVM reports whether name is in the live inventory.
+func (inj *Injector) liveVM(name string) bool { return inj.vmHandle(name) != nil }
+
+func (inj *Injector) vmHandle(name string) *cluster.VMHandle {
+	for _, h := range inj.c.VMs() {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// pickVictim chooses a random live VM, never the last one standing.
+func (inj *Injector) pickVictim() string {
+	vms := inj.c.VMs()
+	if len(vms) < 2 {
+		return ""
+	}
+	return vms[inj.c.K.Rand().Intn(len(vms))].Name
+}
+
+// annaNode resolves a storage node by index (modulo the node count).
+func (inj *Injector) annaNode(idx int) (simnet.NodeID, bool) {
+	nodes := inj.c.KV.Nodes()
+	if len(nodes) == 0 {
+		return "", false
+	}
+	if idx < 0 {
+		idx = -idx
+	}
+	return nodes[idx%len(nodes)].ID(), true
+}

@@ -58,6 +58,13 @@ type Config struct {
 	ScaleUp   int // VMs added per saturation event (20 in §6.1.4)
 	ScaleDown int // VMs removed per underload tick
 	MinPin    int // replica floor per function
+	// BacklogHigh is the request-backlog node-scaling signal (§4.4
+	// discusses tracking incoming request rates alongside utilization):
+	// when the outstanding DAG requests per live executor thread exceed
+	// it, VMs are added even if the lagging utilization reports sit just
+	// below UtilHigh — the dead zone the 0.70 threshold alone leaves
+	// between pin saturation and node adds. <= 0 disables the signal.
+	BacklogHigh float64
 	// Decoded is an optional cluster-shared decoded-metrics cache; nil
 	// gives the monitor a private one.
 	Decoded *core.DecodeCache
@@ -66,14 +73,15 @@ type Config struct {
 // DefaultConfig returns the paper's thresholds.
 func DefaultConfig() Config {
 	return Config{
-		Interval:  5 * time.Second,
-		UtilHigh:  0.70,
-		UtilLow:   0.20,
-		MinVMs:    1,
-		MaxVMs:    1 << 30,
-		ScaleUp:   20,
-		ScaleDown: 2,
-		MinPin:    1,
+		Interval:    5 * time.Second,
+		UtilHigh:    0.70,
+		UtilLow:     0.20,
+		MinVMs:      1,
+		MaxVMs:      1 << 30,
+		ScaleUp:     20,
+		ScaleDown:   2,
+		MinPin:      1,
+		BacklogHigh: 2.0,
 	}
 }
 
@@ -157,7 +165,7 @@ func (m *Monitor) tick() {
 	m.lastTick = m.k.Now()
 
 	m.scaleReplicas(calls, done, elapsed)
-	m.scaleNodes()
+	m.scaleNodes(calls, done)
 
 	total := 0
 	for _, ts := range m.pins {
@@ -169,7 +177,10 @@ func (m *Monitor) tick() {
 }
 
 // refresh pulls executor and scheduler metrics from Anna and returns the
-// cumulative per-DAG call and completion counters.
+// cumulative per-DAG call and completion counters. Like the schedulers'
+// refreshView, each metric registry is read with one grouped multi-get
+// per storage node instead of one Get per key; keys the grouped read
+// misses (replication lag at the primary) are simply absent this tick.
 func (m *Monitor) refresh() (calls, done map[string]int64) {
 	calls = make(map[string]int64)
 	done = make(map[string]int64)
@@ -178,11 +189,7 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 	pins := make(map[string][]simnet.NodeID)
 	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			for _, key := range sortedElems(set) {
-				v, ok := m.decodeLWW(key)
-				if !ok {
-					continue
-				}
+			for _, v := range m.fetchRegistry(set) {
 				em, ok := v.(core.ExecutorMetrics)
 				if !ok {
 					continue
@@ -204,11 +211,7 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 
 	if lat, found, err := m.anna.Get(scheduler.SchedListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			for _, key := range sortedElems(set) {
-				v, ok := m.decodeLWW(key)
-				if !ok {
-					continue
-				}
+			for _, v := range m.fetchRegistry(set) {
 				sm, ok := v.(core.SchedulerMetrics)
 				if !ok {
 					continue
@@ -225,6 +228,32 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 		}
 	}
 	return calls, done
+}
+
+// fetchRegistry bulk-reads a metric registry's keys in deterministic
+// order via one grouped multi-get per storage node and decodes each
+// capsule through the shared version-keyed cache.
+func (m *Monitor) fetchRegistry(set *lattice.Set) []any {
+	keys := sortedElems(set)
+	got, _, err := m.anna.MultiGet(keys)
+	if err != nil {
+		return nil
+	}
+	out := make([]any, 0, len(got))
+	for _, key := range keys {
+		lat, ok := got[key]
+		if !ok {
+			continue
+		}
+		l, ok := lat.(*lattice.LWW)
+		if !ok {
+			continue
+		}
+		if v, ok := m.decoded.Decode(key, l); ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (m *Monitor) decodeLWW(key string) (any, bool) {
@@ -394,8 +423,12 @@ func (m *Monitor) unpinSome(fn string, n int) {
 }
 
 // scaleNodes applies the 70/20 node-count thresholds (§4.4), waiting out
-// pending boots before adding again.
-func (m *Monitor) scaleNodes() {
+// pending boots before adding again. Alongside utilization it watches
+// the request backlog (cumulative calls minus terminal outcomes): the
+// utilization reports lag by a metrics interval and saturate just below
+// the threshold under perfectly-balanced closed-loop load, so backlog
+// per thread is the signal that closes that dead zone.
+func (m *Monitor) scaleNodes(calls, done map[string]int64) {
 	if len(m.threadMetrics) == 0 {
 		return
 	}
@@ -404,15 +437,23 @@ func (m *Monitor) scaleNodes() {
 		sum += em.Utilization
 	}
 	avg := sum / float64(len(m.threadMetrics))
+	var backlog int64
+	for d, n := range calls {
+		if out := n - done[d]; out > 0 {
+			backlog += out
+		}
+	}
+	perThread := float64(backlog) / float64(len(m.threadMetrics))
+	backlogHigh := m.cfg.BacklogHigh > 0 && perThread > m.cfg.BacklogHigh
 	switch {
-	case avg > m.cfg.UtilHigh && m.pool.PendingVMs() == 0 && m.pool.VMCount() < m.cfg.MaxVMs:
+	case (avg > m.cfg.UtilHigh || backlogHigh) && m.pool.PendingVMs() == 0 && m.pool.VMCount() < m.cfg.MaxVMs:
 		n := m.cfg.ScaleUp
 		if m.pool.VMCount()+n > m.cfg.MaxVMs {
 			n = m.cfg.MaxVMs - m.pool.VMCount()
 		}
 		if n > 0 {
 			m.pool.AddVMs(n)
-			m.event(fmt.Sprintf("add %d VMs (util %.2f)", n, avg))
+			m.event(fmt.Sprintf("add %d VMs (util %.2f, backlog %.1f/thread)", n, avg, perThread))
 		}
 	case avg < m.cfg.UtilLow && m.pool.VMCount() > m.cfg.MinVMs:
 		n := m.cfg.ScaleDown

@@ -61,6 +61,13 @@ type DAGInvokeReq struct {
 	Direct     bool // carry the value inline in the Result even when storing
 	WantHops   bool // report the executor hop count in the Result
 	ResultKey  string
+	// Deadline, when positive and shorter than the scheduler's global
+	// DAGTimeout, replaces it as this request's §4.5 re-execution
+	// timeout, so an impatient caller's request is retried on fresh
+	// executors before the global policy would have looked at it. A
+	// longer Deadline never delays recovery. Clients set it from
+	// WithTimeout.
+	Deadline time.Duration
 }
 
 // Config carries scheduler policy constants.
@@ -74,10 +81,21 @@ type Config struct {
 	// UtilThreshold is the backpressure bound: executors above it are
 	// avoided when alternatives exist (0.70 in §4.3).
 	UtilThreshold float64
-	// DAGTimeout is §4.5's re-execution timeout for in-flight DAGs.
+	// DAGTimeout is §4.5's re-execution timeout for in-flight DAGs;
+	// requests carrying their own DAGInvokeReq.Deadline override it.
 	DAGTimeout time.Duration
 	// MaxRetries bounds re-executions per request.
 	MaxRetries int
+	// MaxAliveExtensions bounds how often an expired request whose
+	// assigned executors still look alive gets its deadline extended
+	// instead of re-executed. Extension avoids doubling load on a
+	// merely-slow fleet, but an unbounded extension turns a lost
+	// completion notice (e.g. the scheduler was partitioned when the
+	// sink reported) into a permanently stuck request — after this many
+	// extensions the request is re-executed regardless, and the client's
+	// duplicate-Result guard absorbs the race if the original did in
+	// fact finish.
+	MaxAliveExtensions int
 	// RandomPolicy disables the locality heuristic (ablation).
 	RandomPolicy bool
 	// MetricsInterval is how often scheduler stats are published.
@@ -90,12 +108,13 @@ type Config struct {
 // DefaultConfig returns the §4.3/§4.5 defaults.
 func DefaultConfig() Config {
 	return Config{
-		PollInterval:    time.Second,
-		StaleAfter:      10 * time.Second,
-		UtilThreshold:   0.70,
-		DAGTimeout:      8 * time.Second,
-		MaxRetries:      3,
-		MetricsInterval: 2 * time.Second,
+		PollInterval:       time.Second,
+		StaleAfter:         10 * time.Second,
+		UtilThreshold:      0.70,
+		DAGTimeout:         8 * time.Second,
+		MaxRetries:         3,
+		MaxAliveExtensions: 3,
+		MetricsInterval:    2 * time.Second,
 	}
 }
 
@@ -106,10 +125,17 @@ type threadInfo struct {
 
 // outstanding tracks an in-flight DAG request for §4.5 re-execution.
 type outstanding struct {
-	req      DAGInvokeReq
-	deadline vtime.Time
-	retries  int
-	used     map[simnet.NodeID]bool // executors tried (avoided on retry)
+	req          DAGInvokeReq
+	timeout      time.Duration // per-request re-execution period
+	deadline     vtime.Time
+	retries      int
+	aliveExtends int                    // consecutive deadline extensions granted
+	used         map[simnet.NodeID]bool // executors tried (avoided on retry)
+	// current is the latest attempt's assignment set — the liveness
+	// check runs against it, not the cumulative used set, so one dead
+	// executor from a past attempt does not condemn every subsequent
+	// attempt to immediate re-execution.
+	current map[simnet.NodeID]bool
 }
 
 // Scheduler is one scheduler node. Traffic dispatches through a serial
@@ -161,6 +187,7 @@ type Scheduler struct {
 	dagCalls map[string]int64
 	fnCalls  map[string]int64
 	dagDone  map[string]int64
+	reexecs  int64 // §4.5 re-executions issued
 }
 
 // New creates (but does not start) a scheduler on endpoint ep.
@@ -194,8 +221,25 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		req.Reply(s.registerDAG(b), 16)
 	})
 	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeRequest) { s.invokeSingle(b) })
-	simnet.OnMessage(s.disp, func(_ simnet.Message, b DAGInvokeReq) { s.invokeDAG(b, nil) })
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b DAGInvokeReq) {
+		// Clients mint a fresh ReqID per invocation, so a tracked ReqID
+		// arriving here can only be a duplicated datagram (fault-plan
+		// link duplication) — re-dispatching it would run the whole DAG
+		// twice. Only expireOne re-enters invokeDAG for tracked requests.
+		if _, dup := s.inflight[b.ReqID]; dup {
+			return
+		}
+		s.invokeDAG(b, nil)
+	})
 	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.DAGComplete) {
+		// Count each request's terminal outcome once: a re-executed
+		// original finishing late (or a completion after the terminal
+		// failure was already counted) finds the entry gone and must not
+		// inflate dagDone past dagCalls — the monitor's backlog signal
+		// is the difference of the two.
+		if _, tracked := s.inflight[b.ReqID]; !tracked {
+			return
+		}
 		delete(s.inflight, b.ReqID)
 		s.dagDone[b.DAG]++
 	})
@@ -387,12 +431,30 @@ func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) 
 	s.ensureView()
 	if _, tracked := s.inflight[req.ReqID]; !tracked {
 		s.dagCalls[req.DAG]++
+		// A wire Deadline only ever shortens the re-execution timer: a
+		// patient WithTimeout must not delay §4.5 failure recovery past
+		// the global policy.
+		timeout := s.cfg.DAGTimeout
+		if req.Deadline > 0 && req.Deadline < timeout {
+			timeout = req.Deadline
+		}
 		s.inflight[req.ReqID] = &outstanding{
 			req:      req,
-			deadline: s.k.Now().Add(s.cfg.DAGTimeout),
+			timeout:  timeout,
+			deadline: s.k.Now().Add(timeout),
 			used:     make(map[simnet.NodeID]bool),
+			current:  make(map[simnet.NodeID]bool),
+		}
+		if req.Deadline > 0 && req.Deadline < s.cfg.DAGTimeout {
+			// The periodic retry scan is paced for the global timeout; a
+			// shorter per-request deadline gets its own watcher so it can
+			// re-execute before the global policy would even have looked.
+			id := req.ReqID
+			s.disp.Go("deadline", func() { s.watchDeadline(id) })
 		}
 	}
+	o := s.inflight[req.ReqID]
+	o.current = make(map[simnet.NodeID]bool, len(d.Functions))
 	assignments := make(map[string]simnet.NodeID, len(d.Functions))
 	for _, fn := range d.Functions {
 		t := s.pickExecutor(fn, req.Args[fn], exclude, true)
@@ -402,10 +464,12 @@ func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) 
 		if t == "" {
 			s.ep.Send(req.RespondTo, core.Result{ReqID: req.ReqID, Err: "scheduler: no executors available"}, 64)
 			delete(s.inflight, req.ReqID)
+			s.dagDone[req.DAG]++ // terminal: keep the backlog signal clean
 			return
 		}
 		assignments[fn] = t
-		s.inflight[req.ReqID].used[t] = true
+		o.used[t] = true
+		o.current[t] = true
 	}
 	sched := &core.DAGSchedule{
 		ReqID:       req.ReqID,
@@ -676,30 +740,67 @@ func (s *Scheduler) retryTick() {
 		s.refreshView()
 	}
 	for _, id := range expired {
-		o := s.inflight[id]
-		// Re-execute only when an assigned executor looks dead
-		// (its metrics went stale). A merely-overloaded fleet gets
-		// more time: re-executing slow requests would double the
-		// load exactly when the system can least afford it.
-		if s.allAssignedAlive(o) {
-			o.deadline = now.Add(s.cfg.DAGTimeout)
-			continue
-		}
-		if o.retries >= s.cfg.MaxRetries {
-			delete(s.inflight, id)
-			s.ep.Send(o.req.RespondTo, core.Result{ReqID: id, Err: "scheduler: DAG failed after retries"}, 64)
-			continue
-		}
-		o.retries++
-		o.deadline = now.Add(s.cfg.DAGTimeout)
-		s.invokeDAG(o.req, o.used)
+		s.expireOne(id)
 	}
 }
 
-// allAssignedAlive reports whether every executor this request was
-// assigned to still publishes fresh metrics.
+// expireOne handles one expired request against a freshly-refreshed
+// view. When an assigned executor looks dead (its metrics went stale),
+// the request is re-executed on fresh executors. A merely-overloaded
+// fleet instead gets its deadline extended — re-executing slow requests
+// would double the load exactly when the system can least afford it —
+// but only MaxAliveExtensions times: past that the request is
+// re-executed regardless, so a lost completion notice cannot strand it
+// forever (the client's duplicate-Result guard absorbs the race when
+// the original execution did finish).
+func (s *Scheduler) expireOne(id string) {
+	o, ok := s.inflight[id]
+	if !ok || s.k.Now() < o.deadline {
+		return // completed, or re-armed by a concurrent expiry path
+	}
+	if s.allAssignedAlive(o) && o.aliveExtends < s.cfg.MaxAliveExtensions {
+		o.aliveExtends++
+		o.deadline = s.k.Now().Add(o.timeout)
+		return
+	}
+	if o.retries >= s.cfg.MaxRetries {
+		delete(s.inflight, id)
+		// Terminal failure: count it as done so the monitor's backlog
+		// signal (calls minus terminal outcomes) does not accumulate a
+		// permanent residue from failed requests.
+		s.dagDone[o.req.DAG]++
+		s.ep.Send(o.req.RespondTo, core.Result{ReqID: id, Err: "scheduler: DAG failed after retries"}, 64)
+		return
+	}
+	o.retries++
+	o.aliveExtends = 0
+	o.deadline = s.k.Now().Add(o.timeout)
+	s.reexecs++
+	s.invokeDAG(o.req, o.used)
+}
+
+// watchDeadline drives §4.5 expiry for one request whose wire Deadline
+// is shorter than the global retry-scan cadence; it exits once the
+// request leaves the inflight table.
+func (s *Scheduler) watchDeadline(id string) {
+	for {
+		o, ok := s.inflight[id]
+		if !ok {
+			return
+		}
+		if d := o.deadline.Sub(s.k.Now()); d > 0 {
+			s.k.Sleep(d)
+			continue
+		}
+		s.refreshView()
+		s.expireOne(id)
+	}
+}
+
+// allAssignedAlive reports whether every executor of the request's
+// current attempt still publishes fresh metrics.
 func (s *Scheduler) allAssignedAlive(o *outstanding) bool {
-	for t := range o.used {
+	for t := range o.current {
 		if _, fresh := s.threads[t]; !fresh {
 			return false
 		}
@@ -751,6 +852,10 @@ func copyCounts(m map[string]int64) map[string]int64 {
 
 // Inflight reports tracked DAG requests (test hook).
 func (s *Scheduler) Inflight() int { return len(s.inflight) }
+
+// Reexecutions reports how many §4.5 re-executions this scheduler has
+// issued (failure experiments align it with their latency timelines).
+func (s *Scheduler) Reexecutions() int64 { return s.reexecs }
 
 // KnownThreads reports the scheduler's current executor view size (test
 // hook).

@@ -1,9 +1,16 @@
 // Package simnet is the simulated datacenter network the Cloudburst
 // reproduction runs on: virtual-time message delivery with per-link
 // latency models, bandwidth/NIC contention, per-sender FIFO ordering,
-// node failure, synchronous RPC, and a typed dispatch layer (Dispatcher)
-// that server components register handlers with instead of writing
-// receive loops by hand.
+// fault injection (per-link and per-node policies: probabilistic drops,
+// added latency and jitter, duplication, full partitions), synchronous
+// RPC, and a typed dispatch layer (Dispatcher) that server components
+// register handlers with instead of writing receive loops by hand.
+//
+// Faults are dynamic overlays on the static Link model: SetLinkPolicy
+// degrades one direction of one link, SetNodePolicy degrades every
+// message into or out of a node, and SetDown is the thin full-drop
+// special case (the §4.5 VM-failure model). The internal/fault package
+// schedules these on the virtual clock as declarative plans.
 //
 // The data path is amortized allocation-free: every message or RPC reply
 // travels in a pooled delivery event (no per-send closures), RPC Request
@@ -45,11 +52,46 @@ func (l Link) transfer(size int) time.Duration {
 	return time.Duration(float64(size) / l.Bandwidth * float64(time.Second))
 }
 
+// LinkPolicy is a dynamic fault overlay on message delivery: drop
+// probability, deterministic extra latency, uniform jitter, and
+// duplication probability. Policies compose — a message is subject to
+// the sender's node policy, the receiver's node policy, and the
+// directed link's policy, all at once. The zero value is "healthy".
+//
+// Duplication applies to one-way datagrams only: RPC requests and
+// replies ride pooled at-most-once records (see Request), so a
+// duplicated RPC would either trip the duplicate-Reply guard or land in
+// a recycled reply channel. A full-drop (Drop >= 1) node policy also
+// applies to messages already in flight when it is installed — a
+// crashed receiver loses its queued traffic, which is what makes
+// SetDown a thin wrapper over this type.
+type LinkPolicy struct {
+	Drop         float64       // probability a message vanishes (>= 1: always)
+	ExtraLatency time.Duration // deterministic one-way latency added
+	Jitter       time.Duration // extra uniform random latency in [0, Jitter)
+	Duplicate    float64       // probability a datagram is delivered twice
+}
+
+// IsZero reports whether the policy is the healthy no-op.
+func (p LinkPolicy) IsZero() bool {
+	return p.Drop == 0 && p.ExtraLatency == 0 && p.Jitter == 0 && p.Duplicate == 0
+}
+
+// combine composes two policies: independent drop/duplicate draws
+// (complement product) and summed latency terms.
+func (p LinkPolicy) combine(q LinkPolicy) LinkPolicy {
+	return LinkPolicy{
+		Drop:         1 - (1-p.Drop)*(1-q.Drop),
+		ExtraLatency: p.ExtraLatency + q.ExtraLatency,
+		Jitter:       p.Jitter + q.Jitter,
+		Duplicate:    1 - (1-p.Duplicate)*(1-q.Duplicate),
+	}
+}
+
 // node holds per-endpoint state.
 type node struct {
 	id    NodeID
 	inbox *vtime.Chan[Message]
-	down  bool
 	// lastArrival enforces per-sender FIFO delivery (TCP-like): a later
 	// message on the same link never overtakes an earlier one even when
 	// its latency draw is smaller.
@@ -69,6 +111,13 @@ type Network struct {
 	links       map[[2]NodeID]Link
 	nodes       map[NodeID]*node
 
+	// Fault overlays (see LinkPolicy). Empty maps are the fast path: the
+	// delivery code skips all policy work (and consumes no extra random
+	// draws) until the first policy is installed, so fault-free runs stay
+	// byte-identical to the pre-fault network.
+	linkPolicies map[[2]NodeID]LinkPolicy
+	nodePolicies map[NodeID]LinkPolicy
+
 	// Free lists. The kernel runs one party at a time, so plain slices
 	// need no locking.
 	freeDeliveries []*delivery
@@ -78,15 +127,18 @@ type Network struct {
 	MessagesSent  int64
 	BytesSent     int64
 	MessagesDropt int64
+	MessagesDuped int64
 }
 
 // New creates a network whose unspecified links use defaultLink.
 func New(k *vtime.Kernel, defaultLink Link) *Network {
 	return &Network{
-		k:           k,
-		defaultLink: defaultLink,
-		links:       make(map[[2]NodeID]Link),
-		nodes:       make(map[NodeID]*node),
+		k:            k,
+		defaultLink:  defaultLink,
+		links:        make(map[[2]NodeID]Link),
+		nodes:        make(map[NodeID]*node),
+		linkPolicies: make(map[[2]NodeID]LinkPolicy),
+		nodePolicies: make(map[NodeID]LinkPolicy),
 	}
 }
 
@@ -123,13 +175,78 @@ func (n *Network) AddNode(id NodeID) *Endpoint {
 // arrival.
 func (n *Network) RemoveNode(id NodeID) { delete(n.nodes, id) }
 
-// SetDown marks a node unreachable (true) or reachable (false). Messages
-// to a down node are silently dropped, so RPCs to it time out — the
-// failure mode §4.5 recovers from.
-func (n *Network) SetDown(id NodeID, down bool) {
-	if nd, ok := n.nodes[id]; ok {
-		nd.down = down
+// SetLinkPolicy installs a fault overlay on the from→to direction only
+// (asymmetric partitions and flaky links are built from these). A zero
+// policy clears the entry.
+func (n *Network) SetLinkPolicy(from, to NodeID, p LinkPolicy) {
+	key := [2]NodeID{from, to}
+	if p.IsZero() {
+		delete(n.linkPolicies, key)
+		return
 	}
+	n.linkPolicies[key] = p
+}
+
+// ClearLinkPolicy removes the from→to fault overlay.
+func (n *Network) ClearLinkPolicy(from, to NodeID) { delete(n.linkPolicies, [2]NodeID{from, to}) }
+
+// SetNodePolicy installs a fault overlay on every message into or out of
+// id. A zero policy clears the entry.
+func (n *Network) SetNodePolicy(id NodeID, p LinkPolicy) {
+	if p.IsZero() {
+		delete(n.nodePolicies, id)
+		return
+	}
+	n.nodePolicies[id] = p
+}
+
+// ClearNodePolicy removes id's fault overlay.
+func (n *Network) ClearNodePolicy(id NodeID) { delete(n.nodePolicies, id) }
+
+// Down reports whether id carries a full-drop node policy.
+func (n *Network) Down(id NodeID) bool { return n.nodePolicies[id].Drop >= 1 }
+
+// SetDown marks a node unreachable (true) or reachable (false) — a thin
+// wrapper that installs (or clears) a full-drop node policy, the same
+// mechanism fault plans use for partial failures. Messages to or from a
+// down node are silently dropped, so RPCs to it time out — the failure
+// mode §4.5 recovers from.
+func (n *Network) SetDown(id NodeID, down bool) {
+	if _, ok := n.nodes[id]; !ok {
+		return
+	}
+	if down {
+		n.SetNodePolicy(id, LinkPolicy{Drop: 1})
+	} else {
+		n.ClearNodePolicy(id)
+	}
+}
+
+// policyFor resolves the composed fault overlay for one transmission;
+// active is false (and no random draws are consumed) when no overlay
+// touches the pair.
+func (n *Network) policyFor(from, to NodeID) (pol LinkPolicy, active bool) {
+	if len(n.nodePolicies) == 0 && len(n.linkPolicies) == 0 {
+		return LinkPolicy{}, false
+	}
+	if q, ok := n.nodePolicies[from]; ok {
+		pol, active = q, true
+	}
+	if q, ok := n.nodePolicies[to]; ok {
+		if active {
+			pol = pol.combine(q)
+		} else {
+			pol, active = q, true
+		}
+	}
+	if q, ok := n.linkPolicies[[2]NodeID{from, to}]; ok {
+		if active {
+			pol = pol.combine(q)
+		} else {
+			pol, active = q, true
+		}
+	}
+	return pol, active
 }
 
 // delivery is one in-flight transmission: a pooled timer event carrying
@@ -145,11 +262,13 @@ type delivery struct {
 }
 
 // Fire implements vtime.Event: the scheduled arrival at the destination.
+// A receiver that went fully down while the message was in flight loses
+// it on arrival (probabilistic policies are applied once, at send time).
 func (d *delivery) Fire() {
 	n := d.n
 	dst, ok := n.nodes[d.to]
 	switch {
-	case !ok || dst.down:
+	case !ok || n.Down(d.to):
 		n.MessagesDropt++
 	case d.reply != nil:
 		d.reply.TrySend(d.resp)
@@ -185,21 +304,32 @@ func (n *Network) Send(from, to NodeID, payload any, size int) {
 	n.deliver(from, to, size, d)
 }
 
-// deliver schedules d's arrival with full path modeling: link latency,
-// per-sender FIFO, and receiver-NIC transfer serialization.
+// deliver schedules d's arrival with full path modeling: fault overlay,
+// link latency, per-sender FIFO, and receiver-NIC transfer
+// serialization.
 func (n *Network) deliver(from, to NodeID, size int, d *delivery) {
-	// A down node neither receives nor sends: without the outbound
-	// check, a "killed" VM's daemons would keep publishing fresh
-	// metrics and the failure would be invisible to the schedulers.
-	if src, ok := n.nodes[from]; ok && src.down {
-		n.MessagesDropt++
-		n.releaseDelivery(d)
-		return
+	// Fault overlay. A fully-down node neither receives nor sends:
+	// without the outbound drop, a "killed" VM's daemons would keep
+	// publishing fresh metrics and the failure would be invisible to the
+	// schedulers.
+	pol, faulty := n.policyFor(from, to)
+	if faulty && pol.Drop > 0 {
+		if pol.Drop >= 1 || n.k.Rand().Float64() < pol.Drop {
+			n.MessagesDropt++
+			n.releaseDelivery(d)
+			return
+		}
 	}
 	n.MessagesSent++
 	n.BytesSent += int64(size)
 	link := n.linkFor(from, to)
 	propagation := link.Latency.Sample(n.k.Rand())
+	if faulty {
+		propagation += pol.ExtraLatency
+		if pol.Jitter > 0 {
+			propagation += time.Duration(n.k.Rand().Int63n(int64(pol.Jitter)))
+		}
+	}
 	transfer := link.transfer(size)
 
 	arrival := n.k.Now().Add(propagation)
@@ -220,6 +350,18 @@ func (n *Network) deliver(from, to NodeID, size int, d *delivery) {
 	}
 	d.to = to
 	n.k.AfterEvent(arrival.Sub(n.k.Now()), d)
+	if faulty && pol.Duplicate > 0 && d.reply == nil {
+		if _, isReq := d.msg.Payload.(*Request); !isReq && n.k.Rand().Float64() < pol.Duplicate {
+			// Datagram duplication: a second copy arrives after an
+			// independent latency draw (duplicates may reorder, as on a
+			// real retransmitting network). RPC traffic is exempt — see
+			// the LinkPolicy comment.
+			dup := n.getDelivery()
+			dup.to, dup.msg = d.to, d.msg
+			n.MessagesDuped++
+			n.k.AfterEvent(arrival.Sub(n.k.Now())+link.Latency.Sample(n.k.Rand()), dup)
+		}
+	}
 }
 
 // Endpoint is a node's handle for sending and receiving.

@@ -186,6 +186,119 @@ func TestLatencyModels(t *testing.T) {
 	}
 }
 
+func TestLinkPolicyDropIsAsymmetric(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.SetLinkPolicy("a", "b", LinkPolicy{Drop: 1})
+	k.Run("main", func() {
+		a.Send("b", "lost", 8)
+		if _, ok := b.RecvTimeout(20 * time.Millisecond); ok {
+			t.Fatal("a->b delivered through a full-drop link policy")
+		}
+		// The reverse direction is untouched.
+		b.Send("a", "back", 8)
+		if m, ok := a.RecvTimeout(20 * time.Millisecond); !ok || m.Payload != "back" {
+			t.Fatalf("b->a = %v %v", m, ok)
+		}
+		// Clearing the policy heals the link.
+		n.ClearLinkPolicy("a", "b")
+		a.Send("b", "healed", 8)
+		if m, ok := b.RecvTimeout(20 * time.Millisecond); !ok || m.Payload != "healed" {
+			t.Fatalf("after heal = %v %v", m, ok)
+		}
+	})
+	if n.MessagesDropt != 1 {
+		t.Fatalf("drops = %d", n.MessagesDropt)
+	}
+}
+
+func TestLinkPolicyAddsLatencyAndJitter(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.SetLinkPolicy("a", "b", LinkPolicy{ExtraLatency: 40 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	k.Run("main", func() {
+		a.Send("b", 1, 8)
+		b.Recv()
+		at := k.Now()
+		if at < vtime.Time(41*time.Millisecond) || at > vtime.Time(46*time.Millisecond) {
+			t.Fatalf("delivered at %v, want 41ms..46ms", at)
+		}
+	})
+}
+
+func TestLinkPolicyDuplicatesDatagramsNotRPCs(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.SetLinkPolicy("a", "b", LinkPolicy{Duplicate: 1})
+	n.SetLinkPolicy("b", "a", LinkPolicy{Duplicate: 1})
+	k.Run("main", func() {
+		a.Send("b", "dup", 8)
+		first := b.Recv()
+		second, ok := b.RecvTimeout(20 * time.Millisecond)
+		if !ok || first.Payload != "dup" || second.Payload != "dup" {
+			t.Fatalf("duplication missing: %v / %v %v", first.Payload, second.Payload, ok)
+		}
+		// RPC traffic must stay at-most-once: the pooled request record
+		// would otherwise Reply twice (panic) or poison a recycled reply
+		// channel.
+		k.Go("server", func() {
+			b.Serve(func(req *Request) (any, int) { return req.Body.(int) + 1, 8 })
+		})
+		for i := 0; i < 20; i++ {
+			resp, err := a.Call("b", i, 8, time.Second)
+			if err != nil || resp.(int) != i+1 {
+				t.Fatalf("rpc %d under duplication: %v %v", i, resp, err)
+			}
+		}
+	})
+	if n.MessagesDuped != 1 {
+		t.Fatalf("duped = %d, want 1 (datagram only)", n.MessagesDuped)
+	}
+}
+
+func TestNodePolicyCombinesWithSetDown(t *testing.T) {
+	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.SetDown("b", true)
+	if !n.Down("b") {
+		t.Fatal("SetDown did not install a full-drop node policy")
+	}
+	k.Run("main", func() {
+		a.Send("b", 1, 8)
+		if _, ok := b.RecvTimeout(20 * time.Millisecond); ok {
+			t.Fatal("down node received")
+		}
+		n.SetDown("b", false)
+		if n.Down("b") {
+			t.Fatal("SetDown(false) left the policy installed")
+		}
+		a.Send("b", 2, 8)
+		if m, ok := b.RecvTimeout(20 * time.Millisecond); !ok || m.Payload != 2 {
+			t.Fatalf("after revive = %v %v", m, ok)
+		}
+	})
+}
+
+func TestFullDownDropsInFlightAtArrival(t *testing.T) {
+	// Messages already in flight when the receiver goes fully down are
+	// lost on arrival — the crash takes the receive queue with it.
+	k, n := testNet(t, Link{Latency: Constant(10 * time.Millisecond)})
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	k.Run("main", func() {
+		a.Send("b", "doomed", 8)
+		k.Sleep(time.Millisecond)
+		n.SetDown("b", true)
+		if _, ok := b.RecvTimeout(50 * time.Millisecond); ok {
+			t.Fatal("in-flight message survived a full-down receiver")
+		}
+	})
+}
+
 func TestNetworkStats(t *testing.T) {
 	k, n := testNet(t, Link{Latency: Constant(time.Millisecond)})
 	a := n.AddNode("a")

@@ -21,11 +21,17 @@ type Gossip struct {
 	StepInterval time.Duration
 	// MaxSteps bounds a round in case of pathological schedules.
 	MaxSteps int
+	// PeerWait bounds how long an actor waits for a peer's ID to appear
+	// before abandoning the round. Unbounded waiting turns one lost
+	// peer invocation (its dispatch message died with a crashed VM)
+	// into a permanently wedged executor thread — under fault
+	// injection, enough of those starve the whole fleet. Zero means 5s.
+	PeerWait time.Duration
 }
 
 // DefaultGossip returns the paper's configuration: 10 actors.
 func DefaultGossip() Gossip {
-	return Gossip{Actors: 10, StepInterval: 8 * time.Millisecond, MaxSteps: 400}
+	return Gossip{Actors: 10, StepInterval: 8 * time.Millisecond, MaxSteps: 400, PeerWait: 5 * time.Second}
 }
 
 // Register installs the gossip actor and the gather functions.
@@ -56,6 +62,10 @@ func (g Gossip) actor(ctx *cb.Ctx, args []any) (any, error) {
 	if err := ctx.Put(idKey(idx), ctx.ID()); err != nil {
 		return nil, err
 	}
+	peerWait := g.PeerWait
+	if peerWait <= 0 {
+		peerWait = 5 * time.Second
+	}
 	peers := make([]string, n)
 	for i := 0; i < n; i++ {
 		for {
@@ -66,6 +76,9 @@ func (g Gossip) actor(ctx *cb.Ctx, args []any) (any, error) {
 			if found {
 				peers[i] = v.(string)
 				break
+			}
+			if ctx.Now().Sub(start) > peerWait {
+				return nil, fmt.Errorf("gossip: peer %d never joined round %s", i, round)
 			}
 			ctx.Compute(2 * time.Millisecond)
 		}

@@ -42,10 +42,18 @@ func (p PredServe) ComputeTotal() time.Duration {
 // ModelKey is where the weights blob lives in the KVS.
 const ModelKey = "model/mobilenet-v1"
 
-// Preload stores the model weights in Anna.
+// Preload stores the model weights in Anna, encapsulated for the
+// cluster's consistency mode (a causal-mode cache read asserts a causal
+// capsule, so an LWW preload would poison it).
 func (p PredServe) Preload(c *cb.Cluster) {
 	blob := codec.MustEncode(make([]byte, p.ModelBytes))
-	c.Internal().KV.Preload(ModelKey, lattice.NewLWW(lattice.Timestamp{Clock: 1}, blob))
+	var lat lattice.Lattice
+	if c.Internal().Mode().Causal() {
+		lat = lattice.NewCausal(lattice.VectorClock{"preload": 1}, nil, blob)
+	} else {
+		lat = lattice.NewLWW(lattice.Timestamp{Clock: 1}, blob)
+	}
+	c.Internal().KV.Preload(ModelKey, lat)
 }
 
 // Register installs the three pipeline stages and the DAG. The model

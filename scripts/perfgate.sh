@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# perfgate.sh — the perf-regression tripwire (ROADMAP item, armed in PR 3).
+# perfgate.sh — the perf-regression tripwire (ROADMAP item, armed for
+# Fig5 in PR 3 and extended to Fig7/Fig11 in PR 4 once BENCH_3/BENCH_4
+# recorded their run-to-run noise).
 #
-# Compares the Fig5 harness-cost metrics (ns/op, allocs/op) of a fresh
-# bench report against the committed baseline and fails on a >25%
-# regression of either. The bound comes from the run-to-run noise
-# observed across BENCH_1/BENCH_2 CI artifacts: allocs/op is
+# Compares each gated benchmark's harness-cost metrics (ns/op,
+# allocs/op) of a fresh bench report against the committed baseline and
+# fails on a >25% regression of either. The bound comes from the noise
+# observed across BENCH_1..BENCH_4 CI artifacts: allocs/op is
 # deterministic to <1% (the simulation replays the same schedule), and
 # min-of-N ns/op stays well inside 25% on same-class runners, so a 25%
 # excursion means a real regression, not noise. Run the benches with
@@ -19,15 +21,15 @@ set -euo pipefail
 
 CUR=${1:?usage: perfgate.sh <current.json> <baseline.json>}
 BASE=${2:?usage: perfgate.sh <current.json> <baseline.json>}
-BENCH=BenchmarkFig5DataLocality
+BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig11Retwis"
 LIMIT=1.25
 
-# min_metric <file> <metric>: minimum value of metric across the named
-# benchmark's rows (bench.sh emits one row per -c repetition). Rows under
-# "baseline_seed"/"baseline_pr2" blocks are excluded by requiring the
-# 4-space indentation bench.sh uses for top-level benchmark rows.
+# min_metric <file> <bench> <metric>: minimum value of metric across the
+# named benchmark's rows (bench.sh emits one row per -c repetition).
+# Rows under "baseline_seed"/"baseline_pr*" blocks are excluded by
+# requiring the 4-space indentation bench.sh uses for top-level rows.
 min_metric() {
-  awk -v bench="$BENCH" -v metric="$2" '
+  awk -v bench="$2" -v metric="$3" '
     $0 ~ "^    \\{\"name\": \"" bench "\"" {
       pat = "\"" metric "\": "
       line = $0
@@ -43,16 +45,18 @@ min_metric() {
 }
 
 fail=0
-for metric in "ns/op" "allocs/op"; do
-  cur=$(min_metric "$CUR" "$metric") || { echo "perfgate: $metric missing from $CUR" >&2; exit 2; }
-  base=$(min_metric "$BASE" "$metric") || { echo "perfgate: $metric missing from $BASE" >&2; exit 2; }
-  ok=$(awk -v c="$cur" -v b="$base" -v l="$LIMIT" 'BEGIN { print (c + 0 <= b * l) ? 1 : 0 }')
-  ratio=$(awk -v c="$cur" -v b="$base" 'BEGIN { printf "%.3f", c / b }')
-  if [ "$ok" = 1 ]; then
-    echo "perfgate: $BENCH $metric OK: $cur vs baseline $base (${ratio}x <= ${LIMIT}x)"
-  else
-    echo "perfgate: $BENCH $metric REGRESSED: $cur vs baseline $base (${ratio}x > ${LIMIT}x)" >&2
-    fail=1
-  fi
+for bench in $BENCHES; do
+  for metric in "ns/op" "allocs/op"; do
+    cur=$(min_metric "$CUR" "$bench" "$metric") || { echo "perfgate: $bench $metric missing from $CUR" >&2; exit 2; }
+    base=$(min_metric "$BASE" "$bench" "$metric") || { echo "perfgate: $bench $metric missing from $BASE" >&2; exit 2; }
+    ok=$(awk -v c="$cur" -v b="$base" -v l="$LIMIT" 'BEGIN { print (c + 0 <= b * l) ? 1 : 0 }')
+    ratio=$(awk -v c="$cur" -v b="$base" 'BEGIN { printf "%.3f", c / b }')
+    if [ "$ok" = 1 ]; then
+      echo "perfgate: $bench $metric OK: $cur vs baseline $base (${ratio}x <= ${LIMIT}x)"
+    else
+      echo "perfgate: $bench $metric REGRESSED: $cur vs baseline $base (${ratio}x > ${LIMIT}x)" >&2
+      fail=1
+    fi
+  done
 done
 exit $fail
