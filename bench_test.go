@@ -16,6 +16,8 @@ import (
 
 	cloudburst "cloudburst"
 	"cloudburst/internal/bench"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/core"
 )
 
 // reportRows exports each system's median/p99 as benchmark metrics.
@@ -257,4 +259,36 @@ func BenchmarkDAGInvocation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCodecStructRoundTrip measures the reflection-free struct
+// codec on the wire shapes the control plane publishes every metrics
+// interval (an executor report and a scheduler report). Each b.N
+// iteration performs 1000 encode+decode round trips of both so the
+// -benchtime=1x rows bench.sh records carry a stable ns/op for the perf
+// gate; allocs/op is the authoritative signal (the gob fallback this
+// replaced cost hundreds of allocations per round trip).
+func BenchmarkCodecStructRoundTrip(b *testing.B) {
+	em := core.ExecutorMetrics{
+		Thread: "exec-vm0-1", VM: "vm0", Utilization: 0.73,
+		Pinned: []string{"rt-timeline", "rt-post"}, Completed: 912,
+		AvgLatencyS: 0.041, ReportedAtS: 12.5,
+	}
+	sm := core.SchedulerMetrics{
+		Scheduler:   "sched-0",
+		DAGCalls:    map[string]int64{"rt": 4096, "pred": 128},
+		FnCalls:     map[string]int64{"rt-timeline": 3686, "rt-post": 410, "done/rt": 4095},
+		ReportedAtS: 12.5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			if got := codec.MustDecode(codec.MustEncode(em)).(core.ExecutorMetrics); got.Completed != em.Completed {
+				b.Fatal("executor metrics round trip corrupted")
+			}
+			if got := codec.MustDecode(codec.MustEncode(sm)).(core.SchedulerMetrics); got.FnCalls["rt-timeline"] != 3686 {
+				b.Fatal("scheduler metrics round trip corrupted")
+			}
+		}
+	}
 }

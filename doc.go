@@ -93,6 +93,51 @@
 // The copies this removes are harness overhead, not modeled latency:
 // simulated metrics are identical with and without them.
 //
+// # Defining a wire struct
+//
+// Control-plane structs that cross the wire every metrics interval
+// (executor/cache/scheduler metrics, DAG topologies, workload results)
+// do not ride the gob fallback: they implement codec.Struct — a
+// hand-laid-out, reflection-free encoding (wire tag 0x0f) — and
+// register a stable wire name. To add one:
+//
+//	type Report struct {
+//		Node  string
+//		Score float64
+//		Tags  []string
+//		Calls map[string]int64
+//	}
+//
+//	func (r Report) AppendWire(dst []byte) []byte { // value receiver
+//		dst = codec.AppendStr(dst, r.Node)
+//		dst = codec.AppendF64(dst, r.Score)
+//		dst = codec.AppendStrs(dst, r.Tags)
+//		return codec.AppendI64Map(dst, r.Calls)
+//	}
+//
+//	func (r *Report) DecodeWire(body []byte) error { // pointer receiver
+//		rd := codec.NewReader(body)
+//		r.Node = rd.Str()
+//		r.Score = rd.F64()
+//		r.Tags = rd.Strs()
+//		r.Calls = rd.I64Map()
+//		return rd.Done() // sticky error + whole-body consumption check
+//	}
+//
+//	func init() { codec.RegisterStruct[Report, *Report]("mypkg.Report") }
+//
+// DecodeWire must read fields in AppendWire's order and end with
+// Done(). Slices encode as a count (nil and empty both decode nil,
+// matching gob's struct-field omission); maps carry a presence byte
+// (nil round-trips nil, non-nil empty round-trips non-nil, again
+// matching gob). Parity with the old gob encoding is tested per type,
+// and a CI test asserts the steady-state figure benchmarks hit zero gob
+// fallbacks (codec.ReadStats), so a new hot-path struct that forgets to
+// register is caught immediately. Encoded size is the struct's actual
+// field bytes, which the simulated transfer and KVS service times see —
+// migrating a type changes the control-plane byte schedule, so re-run
+// the figure benches (scripts/bench.sh) when you add one.
+//
 // # The allocation-free simulation substrate
 //
 // Underneath the data plane, the substrate itself is amortized

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	"cloudburst/internal/codec"
+)
+
+// TestSteadyStateFiguresZeroGobFallbacks is the gob-floor tripwire: the
+// steady-state figure experiments (composition, data locality, retwis —
+// together they exercise metrics publication, DAG registration and
+// resolution, and struct-valued function results) must run entirely on
+// the codec fast paths. A wire type quietly falling back to gob
+// re-compiles an encoder engine per publication and re-inflates the
+// Fig5 allocation floor this PR removed, so any nonzero gob count here
+// is a regression, caught in CI rather than in an allocation profile.
+func TestSteadyStateFiguresZeroGobFallbacks(t *testing.T) {
+	codec.ResetStats()
+
+	cfg1 := Fig1Quick()
+	cfg1.Trials = 20
+	RunFig1(cfg1)
+
+	cfg5 := Fig5Quick()
+	cfg5.Clients, cfg5.Trials = 2, 4
+	cfg5.Elems = []int{1000, 100000}
+	RunFig5(cfg5)
+
+	cfg11 := Fig11Quick()
+	cfg11.Clients, cfg11.Requests = 3, 20
+	RunFig11(cfg11)
+
+	s := codec.ReadStats()
+	if s.GobEncodes != 0 || s.GobDecodes != 0 {
+		t.Fatalf("steady-state figures hit the gob fallback: %+v", s)
+	}
+	if s.StructEncodes == 0 || s.StructDecodes == 0 {
+		t.Fatalf("struct fast path unused — wire registration broken? %+v", s)
+	}
+}

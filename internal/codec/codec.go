@@ -29,12 +29,26 @@
 //	                      |   u32 vlen, encoding), sorted by key
 //	0x0e map[string]float64| u32 count, then count x (u32 klen, key,
 //	                      |   8 bytes LE IEEE 754 bits), sorted by key
+//	0x0f wire struct      | u8 name length, registered wire name, then
+//	                      |   the struct's hand-laid-out fields
 //
 // Container elements tagged 0x0b/0x0d are full encodings themselves
 // (recursively fast-path or gob), so a map[string]any holding an exotic
 // struct still round-trips. Map entries are emitted in sorted key order
 // so encoding is deterministic, which run-to-run-reproducible simulation
 // output depends on.
+//
+// Tag 0x0f is the reflection-free struct fast path: a struct that
+// implements the two-method Struct interface (AppendWire/DecodeWire) and
+// registers a wire name via RegisterStruct encodes as its name followed
+// by hand-laid-out fields — no gob engine compilation, no reflection on
+// the hot path. The field layout is whatever AppendWire writes,
+// conventionally built from the Append* helpers (fixed-width
+// little-endian numbers, u32-length-prefixed strings, u32-counted
+// slices/maps in sorted key order); see wire.go and the "Defining a wire
+// struct" section of the module's doc.go. The gob fallback remains for
+// types registered with Register, and Stats counts traffic on both paths
+// so benchmarks can assert the steady state never falls back.
 //
 // Decoding matches gob's conventions for empty values: zero-length
 // slices decode as nil slices, zero-entry maps as non-nil empty maps.
@@ -56,6 +70,7 @@ import (
 	"fmt"
 	"maps"
 	"math"
+	"reflect"
 	"slices"
 	"sync"
 )
@@ -93,21 +108,49 @@ const (
 	tagMapSS   = 0x0c
 	tagMapSA   = 0x0d
 	tagMapSF   = 0x0e
+	tagStruct  = 0x0f
 )
 
 // bufPool recycles the scratch buffers the gob fallback encodes into.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// scratchPool recycles the build buffers Encode uses for variable-size
+// values; maxScratch caps how large a grown buffer the pool retains
+// (one figure workload encodes multi-MB values — those must not pin
+// their peak size in the pool forever).
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+const maxScratch = 1 << 20
+
 // Register makes a concrete type encodable when stored in an interface,
-// mirroring gob.Register. Registered types use the gob fallback.
+// mirroring gob.Register. Registered types use the gob fallback; hot
+// wire structs should implement Struct and use RegisterStruct instead.
 func Register(v any) { gob.Register(v) }
 
 // Encode serializes v.
 func Encode(v any) ([]byte, error) {
-	out, err := appendValue(make([]byte, 0, sizeHint(v)), v)
+	if n, exact := exactSize(v); exact {
+		out, err := appendValue(make([]byte, 0, n), v)
+		if err != nil {
+			return nil, fmt.Errorf("codec: encode %T: %w", v, err)
+		}
+		return out, nil
+	}
+	// Variable-size values (composites, wire structs, gob fallbacks)
+	// build in a pooled scratch buffer and copy out exactly sized: one
+	// allocation per Encode no matter how often the encoding grew.
+	sp := scratchPool.Get().(*[]byte)
+	buf, err := appendValue((*sp)[:0], v)
 	if err != nil {
+		scratchPool.Put(sp)
 		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
 	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	if cap(buf) <= maxScratch {
+		*sp = buf[:0] // keep the grown array for the next Encode
+	}
+	scratchPool.Put(sp)
 	return out, nil
 }
 
@@ -122,27 +165,27 @@ func MustEncode(v any) []byte {
 	return b
 }
 
-// sizeHint returns the exact encoded size for flat fast-path types and a
-// small default for everything else (composite encodings grow by
-// append).
-func sizeHint(v any) int {
+// exactSize returns the encoded size for the flat fast-path types whose
+// size is knowable up front; everything else builds in a pooled scratch
+// buffer.
+func exactSize(v any) (int, bool) {
 	switch x := v.(type) {
-	case nil, bool:
-		return 2
+	case nil:
+		return 1, true
+	case bool:
+		return 2, true
 	case int, int64, float64:
-		return 9
+		return 9, true
 	case []byte:
-		return 1 + len(x)
+		return 1 + len(x), true
 	case string:
-		return 1 + len(x)
+		return 1 + len(x), true
 	case []float64:
-		return 5 + 8*len(x)
+		return 5 + 8*len(x), true
 	case []int:
-		return 5 + 8*len(x)
-	case map[string]float64:
-		return 5 + 12*len(x)
+		return 5 + 8*len(x), true
 	}
-	return 64
+	return 0, false
 }
 
 // appendValue appends v's tagged encoding to dst.
@@ -235,6 +278,9 @@ func appendValue(dst []byte, v any) ([]byte, error) {
 		}
 		return dst, nil
 	}
+	if e, ok := structsByType[reflect.TypeOf(v)]; ok {
+		return appendStruct(dst, e, v), nil
+	}
 	return appendGob(dst, v)
 }
 
@@ -253,6 +299,7 @@ func appendBlob(dst []byte, v any) ([]byte, error) {
 
 // appendGob appends the gob-fallback encoding of v.
 func appendGob(dst []byte, v any) ([]byte, error) {
+	stats.gobEncodes.Add(1)
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer bufPool.Put(buf)
 	buf.Reset()
@@ -281,11 +328,14 @@ func Decode(data []byte) (any, error) {
 	tag, body := data[0], data[1:]
 	switch tag {
 	case tagGob:
+		stats.gobDecodes.Add(1)
 		var env envelope
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
 			return nil, fmt.Errorf("codec: decode: %w", err)
 		}
 		return env.V, nil
+	case tagStruct:
+		return decodeStruct(body)
 	case tagNil:
 		return nil, nil
 	case tagBytes:

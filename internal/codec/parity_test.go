@@ -118,11 +118,13 @@ func TestParityEmptyAndNil(t *testing.T) {
 // with nested containers (and the occasional gob-fallback struct) up to
 // the given depth.
 func randValue(r *rand.Rand, depth int) any {
-	max := 13
+	max := 14
 	if depth <= 0 {
 		max = 8 // leaves only
 	}
 	switch r.Intn(max) {
+	case 12:
+		return randWireProbe(r) // struct fast path (tag 0x0f)
 	case 0:
 		return nil
 	case 1:
@@ -232,6 +234,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add(MustEncode([]any{"a", []string{"b"}, map[string]string{"c": "d"}}))
 	f.Add([]byte{tagMapSA, 255, 255, 255, 255})
 	f.Add([]byte{tagFloats, 4, 0, 0, 0, 1})
+	f.Add(MustEncode(wireProbe{S: "p", Ss: []string{"a"}, M: map[string]int64{"k": 1}}))
+	f.Add([]byte{tagStruct, 200})                     // name length past the buffer
+	f.Add(append([]byte{tagStruct, 7}, "no.Such"...)) // unregistered wire name
+	f.Add(MustEncode(wireProbe{S: "q"})[:12])         // truncated struct body
 	f.Fuzz(func(t *testing.T, data []byte) {
 		v, err := Decode(data)
 		if err != nil {
@@ -270,6 +276,8 @@ func containsNaN(v any) bool {
 	switch x := v.(type) {
 	case float64:
 		return math.IsNaN(x)
+	case wireProbe:
+		return math.IsNaN(x.F)
 	case []float64:
 		for _, f := range x {
 			if math.IsNaN(f) {

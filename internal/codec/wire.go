@@ -1,0 +1,375 @@
+package codec
+
+// The reflection-free struct fast path (tag 0x0f). Control-plane wire
+// structs — metrics publications, DAG topologies, workload results —
+// used to ride the gob fallback, which re-compiles an encoder/decoder
+// engine per stream and dominated steady-state allocations once the
+// rest of the data plane was pooled. A wire struct instead lays out its
+// fields by hand through the Append*/Reader helpers below and registers
+// a decode factory under a stable wire name; encoding and decoding then
+// touch no reflection beyond one type lookup.
+//
+// See the package comment for the wire format and doc.go for a guide to
+// defining a wire struct.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"slices"
+	"sync/atomic"
+)
+
+// Struct is the reflection-free wire interface. AppendWire lays the
+// struct's fields out onto dst (conventionally with the codec.Append*
+// helpers) and returns the extended buffer; DecodeWire parses exactly
+// what AppendWire wrote (conventionally through a codec.Reader),
+// consuming the whole body. Implement AppendWire on the value receiver
+// and DecodeWire on the pointer receiver; RegisterStruct wires both up.
+type Struct interface {
+	AppendWire(dst []byte) []byte
+	DecodeWire(body []byte) error
+}
+
+// structEntry is one registered wire struct.
+type structEntry struct {
+	name   string
+	encode func(dst []byte, v any) []byte
+	decode func(body []byte) (any, error)
+}
+
+var (
+	structsByType = make(map[reflect.Type]*structEntry)
+	structsByName = make(map[string]*structEntry)
+)
+
+// RegisterStruct makes T encodable on the struct fast path under the
+// given wire name (conventionally "pkg.Type"). The name travels in the
+// encoding, so it must be stable and unique; registration normally
+// happens in the defining package's init. Values encode as T (not *T),
+// and Decode returns a T, matching what the gob fallback produced for
+// the same types.
+func RegisterStruct[T any, PT interface {
+	*T
+	Struct
+}](name string) {
+	if len(name) == 0 || len(name) > 255 {
+		panic(fmt.Sprintf("codec: RegisterStruct name %q: must be 1..255 bytes", name))
+	}
+	typ := reflect.TypeFor[T]()
+	if e, dup := structsByName[name]; dup {
+		panic(fmt.Sprintf("codec: RegisterStruct name %q already used by %v", name, e))
+	}
+	if _, dup := structsByType[typ]; dup {
+		panic(fmt.Sprintf("codec: RegisterStruct type %v already registered", typ))
+	}
+	e := &structEntry{
+		name: name,
+		encode: func(dst []byte, v any) []byte {
+			t := v.(T)
+			return PT(&t).AppendWire(dst)
+		},
+		decode: func(body []byte) (any, error) {
+			var t T
+			if err := PT(&t).DecodeWire(body); err != nil {
+				return nil, fmt.Errorf("codec: decode %s: %w", name, err)
+			}
+			return t, nil
+		},
+	}
+	structsByType[typ] = e
+	structsByName[name] = e
+}
+
+// wireAppender is the encode half of Struct, implementable by the value
+// receiver: asserting it on the already-boxed value avoids copying the
+// struct out of the interface (and re-boxing it) per encode.
+type wireAppender interface{ AppendWire(dst []byte) []byte }
+
+// appendStruct appends the tagged fast-path encoding of a registered
+// wire struct: tag, one-byte name length, name, fields.
+func appendStruct(dst []byte, e *structEntry, v any) []byte {
+	stats.structEncodes.Add(1)
+	dst = append(dst, tagStruct, byte(len(e.name)))
+	dst = append(dst, e.name...)
+	if a, ok := v.(wireAppender); ok {
+		return a.AppendWire(dst)
+	}
+	return e.encode(dst, v) // AppendWire on the pointer receiver only
+}
+
+// decodeStruct parses a tagStruct body (everything after the tag byte).
+func decodeStruct(body []byte) (any, error) {
+	if len(body) < 1 {
+		return nil, errTruncated(tagStruct)
+	}
+	n := int(body[0])
+	if 1+n > len(body) {
+		return nil, errTruncated(tagStruct)
+	}
+	e, ok := structsByName[string(body[1:1+n])]
+	if !ok {
+		return nil, fmt.Errorf("codec: decode: unregistered wire struct %q", string(body[1:1+n]))
+	}
+	stats.structDecodes.Add(1)
+	return e.decode(body[1+n:])
+}
+
+// --- Stats ---------------------------------------------------------------
+
+// Stats counts codec traffic by path. The gob counters are the fallback
+// tripwire: steady-state figure benchmarks assert they stay zero, so a
+// new wire type silently falling back to reflection is caught in CI
+// rather than in an allocation profile.
+type Stats struct {
+	StructEncodes int64 // struct fast-path encodes (tag 0x0f)
+	StructDecodes int64 // struct fast-path decodes
+	GobEncodes    int64 // gob-fallback encodes (tag 0x00)
+	GobDecodes    int64 // gob-fallback decodes
+}
+
+var stats struct {
+	structEncodes atomic.Int64
+	structDecodes atomic.Int64
+	gobEncodes    atomic.Int64
+	gobDecodes    atomic.Int64
+}
+
+// ReadStats returns the process-lifetime codec counters.
+func ReadStats() Stats {
+	return Stats{
+		StructEncodes: stats.structEncodes.Load(),
+		StructDecodes: stats.structDecodes.Load(),
+		GobEncodes:    stats.gobEncodes.Load(),
+		GobDecodes:    stats.gobDecodes.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (tests bracket a workload with
+// ResetStats/ReadStats to assert its codec behavior).
+func ResetStats() {
+	stats.structEncodes.Store(0)
+	stats.structDecodes.Store(0)
+	stats.gobEncodes.Store(0)
+	stats.gobDecodes.Store(0)
+}
+
+// --- Append helpers ------------------------------------------------------
+//
+// Field layouts for AppendWire implementations. All integers are
+// little-endian and fixed-width; variable-size fields carry a u32
+// length/count prefix. Maps are emitted in sorted key order so struct
+// encodings are deterministic (simulation reproducibility depends on
+// byte-identical wire traffic for identical runs).
+
+// AppendU32 appends a u32 count or length prefix.
+func AppendU32(dst []byte, n uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, n)
+}
+
+// AppendI64 appends a fixed-width int64.
+func AppendI64(dst []byte, n int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(n))
+}
+
+// AppendF64 appends a float64 as IEEE 754 bits.
+func AppendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendBool appends a bool as one byte.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendStr appends a u32-length-prefixed string.
+func AppendStr(dst []byte, s string) []byte {
+	dst = AppendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// AppendStrs appends a u32 count followed by each string. Nil and empty
+// slices encode identically (count 0) and decode as nil, matching how
+// gob round-trips empty struct fields.
+func AppendStrs(dst []byte, xs []string) []byte {
+	dst = AppendU32(dst, uint32(len(xs)))
+	for _, s := range xs {
+		dst = AppendStr(dst, s)
+	}
+	return dst
+}
+
+// AppendI64Map appends a presence byte, then a u32 count followed by
+// (string key, int64 value) pairs in sorted key order. Unlike slices,
+// maps keep their nilness on the wire: gob transmits zero-length
+// non-nil maps (they decode non-nil empty) while omitting nil ones, and
+// the struct fast path preserves that parity.
+func AppendI64Map(dst []byte, m map[string]int64) []byte {
+	if m == nil {
+		return AppendBool(dst, false)
+	}
+	dst = AppendBool(dst, true)
+	dst = AppendU32(dst, uint32(len(m)))
+	for _, k := range sortedKeysI64(m) {
+		dst = AppendStr(dst, k)
+		dst = AppendI64(dst, m[k])
+	}
+	return dst
+}
+
+// sortedKeysI64 collects m's keys sorted, with a plain range (the
+// iterator helpers allocate closures on a path hot enough to care).
+func sortedKeysI64(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// --- Reader --------------------------------------------------------------
+
+// Reader parses a wire-struct body field by field, mirroring the
+// Append* helpers. Errors are sticky: after the first malformed field
+// every subsequent read returns a zero value, and Done reports the
+// error, so DecodeWire implementations read unconditionally and check
+// once at the end.
+type Reader struct {
+	body []byte
+	err  error
+}
+
+// NewReader wraps a wire-struct body.
+func NewReader(body []byte) Reader { return Reader{body: body} }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated wire struct")
+	}
+}
+
+// U32 reads a u32 count or length prefix.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || len(r.body) < 4 {
+		r.fail()
+		return 0
+	}
+	n := binary.LittleEndian.Uint32(r.body)
+	r.body = r.body[4:]
+	return n
+}
+
+// I64 reads a fixed-width int64.
+func (r *Reader) I64() int64 {
+	if r.err != nil || len(r.body) < 8 {
+		r.fail()
+		return 0
+	}
+	n := binary.LittleEndian.Uint64(r.body)
+	r.body = r.body[8:]
+	return int64(n)
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 {
+	return math.Float64frombits(uint64(r.I64()))
+}
+
+// Bool reads a one-byte bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil || len(r.body) < 1 {
+		r.fail()
+		return false
+	}
+	b := r.body[0]
+	r.body = r.body[1:]
+	return b != 0
+}
+
+// Str reads a u32-length-prefixed string.
+func (r *Reader) Str() string {
+	n := int(r.U32())
+	// n < 0 guards 32-bit ints, where a >=2^31 prefix wraps negative and
+	// would slip past the length check into a slice-bounds panic.
+	if r.err != nil || n < 0 || n > len(r.body) {
+		r.fail()
+		return ""
+	}
+	s := string(r.body[:n])
+	r.body = r.body[n:]
+	return s
+}
+
+// Count reads a u32 element count and sanity-checks it against the
+// remaining bytes (each element needs at least minElem bytes), so
+// malformed input cannot drive a huge allocation. The bound is
+// computed by division, never an overflowable multiply.
+func (r *Reader) Count(minElem int) int {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || (minElem > 0 && n > len(r.body)/minElem) {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// Strs reads a string slice written by AppendStrs; count 0 decodes as
+// nil (gob struct-field parity).
+func (r *Reader) Strs() []string {
+	n := r.Count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Str())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// I64Map reads a map written by AppendI64Map; a nil map round-trips
+// nil, a present map (even empty) round-trips non-nil (gob
+// struct-field parity).
+func (r *Reader) I64Map() map[string]int64 {
+	if !r.Bool() || r.err != nil {
+		return nil
+	}
+	n := r.Count(12)
+	if r.err != nil {
+		return nil
+	}
+	out := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		k := r.Str()
+		v := r.I64()
+		if r.err != nil {
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// Err reports the first parse error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Done finishes a DecodeWire: it reports the first parse error, or an
+// error if unconsumed bytes remain (a struct must parse exactly what
+// AppendWire wrote — trailing garbage means a schema mismatch).
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.body) != 0 {
+		return fmt.Errorf("%d trailing bytes after last field", len(r.body))
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package codec
+
+// Tests for the struct fast path (tag 0x0f): round trips, gob parity
+// (including inside containers, via the probe type randValue feeds the
+// shared property/fuzz harness), malformed input, and the Stats
+// counters the figure benchmarks gate on.
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// wireProbe exercises every field kind the Append*/Reader helpers
+// support; it stands in for the runtime's wire structs, which live in
+// packages this one cannot import.
+type wireProbe struct {
+	S  string
+	F  float64
+	I  int64
+	B  bool
+	Ss []string
+	M  map[string]int64
+}
+
+func (w wireProbe) AppendWire(dst []byte) []byte {
+	dst = AppendStr(dst, w.S)
+	dst = AppendF64(dst, w.F)
+	dst = AppendI64(dst, w.I)
+	dst = AppendBool(dst, w.B)
+	dst = AppendStrs(dst, w.Ss)
+	return AppendI64Map(dst, w.M)
+}
+
+func (w *wireProbe) DecodeWire(body []byte) error {
+	r := NewReader(body)
+	w.S = r.Str()
+	w.F = r.F64()
+	w.I = r.I64()
+	w.B = r.Bool()
+	w.Ss = r.Strs()
+	w.M = r.I64Map()
+	return r.Done()
+}
+
+func init() {
+	RegisterStruct[wireProbe, *wireProbe]("codec.wireProbe")
+	gob.Register(wireProbe{}) // for the parity harness's gob side
+}
+
+// randWireProbe builds a random probe, mixing nil and empty containers
+// so the gob empty-field conventions stay covered.
+func randWireProbe(r *rand.Rand) wireProbe {
+	w := wireProbe{S: randString(r), F: r.NormFloat64(), I: r.Int63() - (1 << 40), B: r.Intn(2) == 0}
+	switch r.Intn(3) {
+	case 0: // nil containers
+	case 1:
+		w.Ss, w.M = []string{}, map[string]int64{}
+	default:
+		w.M = map[string]int64{}
+		for i := r.Intn(4); i > 0; i-- {
+			w.Ss = append(w.Ss, randString(r))
+			w.M[randString(r)] = r.Int63()
+		}
+	}
+	return w
+}
+
+func TestWireStructRoundTrip(t *testing.T) {
+	for _, w := range []wireProbe{
+		{S: "s", F: 1.5, I: -9, B: true, Ss: []string{"a", ""}, M: map[string]int64{"k": 7, "": -1}},
+		{},
+		{Ss: []string{}, M: map[string]int64{}},
+	} {
+		enc := MustEncode(w)
+		if enc[0] != tagStruct {
+			t.Fatalf("probe missed the struct path: tag %#x", enc[0])
+		}
+		got := MustDecode(enc).(wireProbe)
+		want := MustDecode(gobEncode(t, w)).(wireProbe) // gob-parity reference
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("struct/gob divergence:\n struct: %#v\n gob:    %#v", got, want)
+		}
+	}
+}
+
+func TestWireStructParityInContainers(t *testing.T) {
+	assertParity(t, map[string]any{"probe": wireProbe{S: "x", Ss: []string{"y"}}, "n": 3})
+	assertParity(t, []any{wireProbe{I: 5}, "tail"})
+}
+
+func TestWireStructPropertyParity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		assertParity(t, randWireProbe(r))
+	}
+}
+
+func TestDecodeUnregisteredWireName(t *testing.T) {
+	enc := append([]byte{tagStruct, 7}, "no.Such"...)
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "unregistered") {
+		t.Fatalf("err = %v, want unregistered-wire-struct error", err)
+	}
+}
+
+func TestDecodeTruncatedWireStruct(t *testing.T) {
+	enc := MustEncode(wireProbe{S: "sss", Ss: []string{"a"}, M: map[string]int64{"k": 1}})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(enc))
+		}
+	}
+}
+
+// TestStatsCountPaths: struct traffic counts on the struct counters,
+// gob traffic on the gob counters — the tripwire the steady-state
+// figure benchmarks assert stays at zero gob.
+func TestStatsCountPaths(t *testing.T) {
+	ResetStats()
+	b := MustEncode(wireProbe{S: "x"})
+	MustDecode(b)
+	s := ReadStats()
+	if s.StructEncodes != 1 || s.StructDecodes != 1 || s.GobEncodes != 0 || s.GobDecodes != 0 {
+		t.Fatalf("struct path stats = %+v", s)
+	}
+	ResetStats()
+	Register(custom{})
+	g := MustEncode(custom{A: 1})
+	MustDecode(g)
+	s = ReadStats()
+	if s.GobEncodes != 1 || s.GobDecodes != 1 {
+		t.Fatalf("gob fallback stats = %+v", s)
+	}
+}
+
+// TestEncodeAllocsStructPath pins the pooled encode path: one
+// allocation per Encode (the returned buffer), with the build scratch
+// coming from the pool.
+func TestEncodeAllocsStructPath(t *testing.T) {
+	w := wireProbe{S: "steady", Ss: []string{"a", "b"}, M: map[string]int64{"k": 1}}
+	MustEncode(w) // warm the scratch pool
+	allocs := testing.AllocsPerRun(100, func() { MustEncode(w) })
+	// 1 for the copied-out buffer, plus amortized noise from the sorted
+	// key walk; the gob path this replaced cost hundreds.
+	if allocs > 3 {
+		t.Fatalf("struct encode: %.1f allocs/op, want <= 3", allocs)
+	}
+}

@@ -1,0 +1,61 @@
+package dag
+
+// Wire-codec parity for DAG topologies against the gob fallback they
+// used to ride (see internal/core/wire_test.go for the convention).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"cloudburst/internal/codec"
+)
+
+func init() { gob.Register(DAG{}) }
+
+func gobEncode(t *testing.T, v any) []byte {
+	t.Helper()
+	type envelope struct{ V any }
+	var buf bytes.Buffer
+	buf.WriteByte(0x00) // tagGob
+	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+		t.Fatalf("gob encode %T: %v", v, err)
+	}
+	return buf.Bytes()
+}
+
+func TestDAGWireParity(t *testing.T) {
+	for _, d := range []DAG{
+		*Linear("chain", "a", "b", "c"),
+		*New("diamond", []string{"s", "l", "r", "t"},
+			[][2]string{{"s", "l"}, {"s", "r"}, {"l", "t"}, {"r", "t"}}),
+		{Name: "lonely", Functions: []string{"only"}},
+		{},                      // zero value
+		{Functions: []string{}}, // empty slice → nil, like gob
+		{Edges: [][2]string{}},  // empty edges → nil, like gob
+	} {
+		fast := codec.MustEncode(d)
+		if fast[0] != 0x0f {
+			t.Fatalf("DAG did not take the struct fast path (tag %#x)", fast[0])
+		}
+		viaFast := codec.MustDecode(fast)
+		viaGob := codec.MustDecode(gobEncode(t, d))
+		if !reflect.DeepEqual(viaFast, viaGob) {
+			t.Fatalf("wire parity violation:\n struct: %#v\n gob:    %#v", viaFast, viaGob)
+		}
+		got := viaFast.(DAG)
+		if got.Name != d.Name || len(got.Functions) != len(d.Functions) || len(got.Edges) != len(d.Edges) {
+			t.Fatalf("round trip lost structure: %#v vs %#v", got, d)
+		}
+	}
+}
+
+func TestDAGWireRejectsGarbage(t *testing.T) {
+	enc := codec.MustEncode(*Linear("chain", "a", "b"))
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := codec.Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(enc))
+		}
+	}
+}

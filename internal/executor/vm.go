@@ -11,12 +11,6 @@ import (
 	"cloudburst/internal/vtime"
 )
 
-func init() {
-	codec.Register(core.ExecutorMetrics{})
-	codec.Register(core.CacheMetrics{})
-	codec.Register(core.SchedulerMetrics{})
-}
-
 // MetricListKey is the registry Set of all executor-metric keys; the
 // monitor and schedulers read it to discover threads (Anna has no scans,
 // so discovery goes through a well-known set, §4.4).

@@ -185,13 +185,23 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 	calls = make(map[string]int64)
 	done = make(map[string]int64)
 
+	// The compute pool is the authoritative thread-liveness source (the
+	// monitor owns VM lifecycle): a crashed or deallocated VM's threads
+	// leave their final reports in Anna forever, and without this filter
+	// those ghost entries keep dead pins counted (so a crashed replica is
+	// never replaced) and frozen utilizations averaged into the scaling
+	// signals.
+	live := make(map[simnet.NodeID]bool)
+	for _, id := range m.pool.Threads() {
+		live[id] = true
+	}
 	fresh := make(map[simnet.NodeID]core.ExecutorMetrics)
 	pins := make(map[string][]simnet.NodeID)
 	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
 			for _, v := range m.fetchRegistry(set) {
 				em, ok := v.(core.ExecutorMetrics)
-				if !ok {
+				if !ok || !live[em.Thread] {
 					continue
 				}
 				fresh[em.Thread] = em
@@ -365,7 +375,13 @@ func (m *Monitor) avgLatency() float64 {
 	return sum / float64(n)
 }
 
-// pinMore pins fn onto up to n additional least-utilized threads.
+// pinMore pins fn onto up to n additional least-utilized threads,
+// spreading the new pins across VMs the way the scheduler's
+// pickPinTargets does: one pick per distinct VM first, then fill the
+// remainder by (util, id). Without the spread, equal utilizations (the
+// common state right after a VM crash) made the sort's thread-id
+// tie-break concentrate every replacement pin on the
+// lexicographically-lowest threads of one surviving VM.
 func (m *Monitor) pinMore(fn string, n int) {
 	if n <= 0 {
 		return
@@ -377,11 +393,13 @@ func (m *Monitor) pinMore(fn string, n int) {
 	type cand struct {
 		id   simnet.NodeID
 		util float64
+		vm   string
 	}
 	var cands []cand
 	for _, id := range m.pool.Threads() {
 		if !pinned[id] {
-			cands = append(cands, cand{id, m.threadMetrics[id].Utilization})
+			em := m.threadMetrics[id]
+			cands = append(cands, cand{id, em.Utilization, em.VM})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -391,13 +409,31 @@ func (m *Monitor) pinMore(fn string, n int) {
 		return cands[i].id < cands[j].id
 	})
 	added := 0
+	picked := make(map[simnet.NodeID]bool, n)
+	pick := func(c cand) {
+		m.ep.Send(c.id, core.PinFunction{Function: fn}, 32)
+		m.pins[fn] = append(m.pins[fn], c.id)
+		picked[c.id] = true
+		added++
+	}
+	usedVM := make(map[string]bool)
 	for _, c := range cands {
 		if added >= n {
 			break
 		}
-		m.ep.Send(c.id, core.PinFunction{Function: fn}, 32)
-		m.pins[fn] = append(m.pins[fn], c.id)
-		added++
+		if usedVM[c.vm] {
+			continue
+		}
+		usedVM[c.vm] = true
+		pick(c)
+	}
+	for _, c := range cands { // fill remainder ignoring the VM spread
+		if added >= n {
+			break
+		}
+		if !picked[c.id] {
+			pick(c)
+		}
 	}
 	if added > 0 {
 		m.event(fmt.Sprintf("pin %s +%d (now %d)", fn, added, len(m.pins[fn])))
@@ -472,6 +508,12 @@ func (m *Monitor) event(action string) {
 
 // Pins reports the current replica count for fn (test hook).
 func (m *Monitor) Pins(fn string) int { return len(m.pins[fn]) }
+
+// PinnedThreads reports the threads fn is currently pinned on (test
+// hook; the copy is safe to inspect across ticks).
+func (m *Monitor) PinnedThreads(fn string) []simnet.NodeID {
+	return append([]simnet.NodeID(nil), m.pins[fn]...)
+}
 
 func sortedElems(s *lattice.Set) []string {
 	out := make([]string, 0, s.Len())

@@ -1,11 +1,13 @@
 package monitor_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	cb "cloudburst"
 	"cloudburst/internal/monitor"
+	"cloudburst/internal/simnet"
 )
 
 // The monitor is tested end to end against a live cluster: its inputs
@@ -95,6 +97,86 @@ func TestNodeScalingAddsAndRemovesVMs(t *testing.T) {
 	c.Run(func(cl *cb.Client) { cl.Sleep(2 * time.Minute) })
 	if in.VMCount() >= peak {
 		t.Fatalf("no scale-down after drain: peak=%d now=%d", peak, in.VMCount())
+	}
+}
+
+// vmOf recovers the VM name from an executor-thread id ("exec-vm1-2" →
+// "vm1").
+func vmOf(id simnet.NodeID) string {
+	s := strings.TrimPrefix(string(id), "exec-")
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestCrashReplacementPinsSpreadAcrossVMs crashes a VM under sustained
+// load and checks the monitor's replacement pins: they must land on the
+// surviving VMs (never the dead one) and spread across at least two
+// distinct VMs instead of concentrating on the lexicographically-lowest
+// threads of one survivor (the carried ROADMAP bias — with four
+// replicas pinned as vm0-0/vm0-1/vm1-0/vm2-0, killing vm0 makes the
+// biased pinMore refill both replacements on vm1).
+func TestCrashReplacementPinsSpreadAcrossVMs(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 3 // 9 threads across vm0..vm2
+	cfg.Autoscale = true
+	cfg.MaxVMs = 3 // no node adds: replacement pins must use survivors
+	cfg.MinPinned = 4
+	cfg.VMSpinUp = time.Hour
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	if err := c.RegisterFunction("busy", func(ctx *cb.Ctx, args []any) (any, error) {
+		ctx.Compute(40 * time.Millisecond)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDAG(cb.LinearDAG("busy-dag", "busy"), 4); err != nil {
+		t.Fatal(err)
+	}
+	mon := c.Internal().Monitor
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
+
+	var atKill []simnet.NodeID
+	c.RunN(13, func(i int, cl *cb.Client) {
+		cl.Timeout = 2 * time.Minute
+		if i == 0 {
+			// The killer: crash vm0 (hosting two of the four pins)
+			// mid-load; the monitor's MinPin floor then has to refill the
+			// lost replicas from the survivors.
+			cl.Sleep(8 * time.Second)
+			atKill = mon.PinnedThreads("busy")
+			c.Internal().KillVM("vm0")
+			return
+		}
+		deadline := time.Duration(cl.Now()) + 40*time.Second
+		for time.Duration(cl.Now()) < deadline {
+			cl.InvokeDAG("busy-dag", nil).Wait()
+		}
+	})
+
+	before := make(map[simnet.NodeID]bool, len(atKill))
+	for _, id := range atKill {
+		before[id] = true
+	}
+	var added []simnet.NodeID
+	vms := make(map[string]bool)
+	for _, id := range mon.PinnedThreads("busy") {
+		if before[id] {
+			continue
+		}
+		added = append(added, id)
+		if vmOf(id) == "vm0" {
+			t.Fatalf("replacement pin landed on the dead VM: %s", id)
+		}
+		vms[vmOf(id)] = true
+	}
+	if len(added) < 2 {
+		t.Fatalf("expected >=2 replacement pins after the crash, got %v", added)
+	}
+	if len(vms) < 2 {
+		t.Fatalf("replacement pins concentrated on one VM: %v", added)
 	}
 }
 

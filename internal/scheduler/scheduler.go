@@ -27,10 +27,6 @@ import (
 	"cloudburst/internal/vtime"
 )
 
-func init() {
-	codec.Register(dag.DAG{})
-}
-
 // SchedListKey is the registry Set of scheduler-metric keys.
 const SchedListKey = "sys/metrics/sched-list"
 

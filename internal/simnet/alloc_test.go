@@ -43,6 +43,42 @@ func TestSendAllocsPerMessage(t *testing.T) {
 	}
 }
 
+// TestConcurrentDispatchAllocs pins the concurrent dispatch path: a
+// Concurrent dispatcher must run each inbound payload on a pooled
+// dispatchTask riding a free-list kernel process (vtime.GoRunner), not
+// a per-payload closure — amortized zero allocations per message.
+func TestConcurrentDispatchAllocs(t *testing.T) {
+	k := vtime.NewKernel(5)
+	defer k.Stop()
+	n := New(k, Link{Latency: Constant(50 * time.Microsecond)})
+	a := n.AddNode("a")
+	srv := n.AddNode("srv")
+
+	handled := 0
+	d := NewDispatcher(srv, "srv").Concurrent()
+	OnMessage(d, func(m Message, b *echoBody) { handled++ })
+	d.Start()
+
+	payload := &echoBody{N: 1}
+	const perRun = 200
+	run := func() {
+		k.Run("bench", func() {
+			for i := 0; i < perRun; i++ {
+				a.Send("srv", payload, 32)
+			}
+			k.Sleep(time.Millisecond) // let deliveries land and handlers run
+		})
+	}
+	run() // warm the pools (procs, tasks, deliveries)
+	if handled != perRun {
+		t.Fatalf("handled %d of %d warm-up messages", handled, perRun)
+	}
+	allocs := testing.AllocsPerRun(5, run) / perRun
+	if allocs > 0.5 {
+		t.Fatalf("concurrent dispatch: %.3f allocs/message, want amortized 0", allocs)
+	}
+}
+
 // TestRPCAllocsPerRoundTrip pins the synchronous RPC path end to end:
 // request records, reply channels, both direction's delivery events, and
 // the server dispatch must all come from pools.

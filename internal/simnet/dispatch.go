@@ -46,6 +46,50 @@ type Dispatcher struct {
 	// back for ordinary dispatch. Drained before the endpoint inbox.
 	injected    []Message
 	injectedPos int
+
+	// freeTasks recycles concurrent-dispatch units: each inbound payload
+	// of a Concurrent dispatcher rides one dispatchTask onto a kernel
+	// process instead of allocating a fresh closure. The kernel runs one
+	// party at a time, so the free list is a plain slice.
+	freeTasks []*dispatchTask
+}
+
+// dispatchTask is one in-flight concurrent dispatch: the resolved
+// handler plus its payload, run as a closure-free vtime.Runner. The
+// task returns itself to the dispatcher's free list when the handler
+// finishes, so the pool's size tracks peak handler concurrency.
+type dispatchTask struct {
+	d    *Dispatcher
+	reqH func(*Request)
+	req  *Request
+	msgH func(Message)
+	msg  Message
+}
+
+// Run implements vtime.Runner; it releases the payload references
+// before invoking the handler so a long-blocking handler does not pin
+// them.
+func (t *dispatchTask) Run() {
+	if t.reqH != nil {
+		h, req := t.reqH, t.req
+		t.reqH, t.req = nil, nil
+		h(req)
+	} else {
+		h, m := t.msgH, t.msg
+		t.msgH, t.msg = nil, Message{}
+		h(m)
+	}
+	t.d.freeTasks = append(t.d.freeTasks, t)
+}
+
+// getTask pops a pooled dispatch unit (or makes the pool's next one).
+func (d *Dispatcher) getTask() *dispatchTask {
+	if n := len(d.freeTasks); n > 0 {
+		t := d.freeTasks[n-1]
+		d.freeTasks = d.freeTasks[:n-1]
+		return t
+	}
+	return &dispatchTask{d: d}
 }
 
 // NewDispatcher creates a dispatcher for ep. name prefixes the kernel
@@ -127,7 +171,9 @@ func (d *Dispatcher) dispatch(m Message) {
 			return
 		}
 		if d.concurrent {
-			d.k.Go(d.handlerName, func() { h(req) })
+			t := d.getTask()
+			t.reqH, t.req = h, req
+			d.k.GoRunner(d.handlerName, t)
 			return
 		}
 		h(req)
@@ -138,7 +184,9 @@ func (d *Dispatcher) dispatch(m Message) {
 		return
 	}
 	if d.concurrent {
-		d.k.Go(d.handlerName, func() { h(m) })
+		t := d.getTask()
+		t.msgH, t.msg = h, m
+		d.k.GoRunner(d.handlerName, t)
 		return
 	}
 	h(m)

@@ -85,11 +85,19 @@ type proc struct {
 	killed bool // set by Stop; the next resume unwinds the process
 	retire bool // set by Stop for idle procs; the next resume exits the goroutine
 	body   func()
+	runner Runner // closure-free alternative to body (GoRunner)
 	k      *Kernel
 }
 
 // killedPanic unwinds a process that is being terminated by Kernel.Stop.
 type killedPanic struct{}
+
+// Runner is a reusable process body: GoRunner runs r.Run() as a kernel
+// process without allocating a per-spawn closure. Hot dispatch paths
+// (e.g. simnet's concurrent dispatcher) hand the kernel pooled Runner
+// objects carrying their own arguments, so steady-state traffic spawns
+// processes allocation-free.
+type Runner interface{ Run() }
 
 // Event is a pooled timer callback: AfterEvent schedules ev.Fire() at a
 // future instant without allocating a closure. Fire runs on the scheduler
@@ -182,7 +190,17 @@ func (k *Kernel) Stats() Stats { return k.stats }
 // process or from outside the kernel between Run invocations. The process
 // is runnable immediately but does not execute until the scheduler
 // dispatches it. Parked goroutines from completed processes are reused.
-func (k *Kernel) Go(name string, fn func()) {
+func (k *Kernel) Go(name string, fn func()) { k.launch(name, fn, nil) }
+
+// GoRunner spawns r.Run() as a kernel process — Go without the closure:
+// the Runner is typically a caller-pooled object carrying its own
+// arguments, so spawning allocates nothing once the process free list
+// is warm.
+func (k *Kernel) GoRunner(name string, r Runner) { k.launch(name, nil, r) }
+
+// launch arms a free-list (or fresh) process with the next body; exactly
+// one of fn and r is set.
+func (k *Kernel) launch(name string, fn func(), r Runner) {
 	if k.stopped {
 		panic("vtime: Go on stopped kernel")
 	}
@@ -191,7 +209,7 @@ func (k *Kernel) Go(name string, fn func()) {
 	if n := len(k.freeProcs); n > 0 {
 		p = k.freeProcs[n-1]
 		k.freeProcs = k.freeProcs[:n-1]
-		p.id, p.name, p.body = k.nextID, name, fn
+		p.id, p.name, p.body, p.runner = k.nextID, name, fn, r
 		p.state = stateRunnable
 		p.killed = false
 		k.stats.Reuses++
@@ -202,6 +220,7 @@ func (k *Kernel) Go(name string, fn func()) {
 			resume: make(chan struct{}, 1),
 			state:  stateRunnable,
 			body:   fn,
+			runner: r,
 			k:      k,
 		}
 		k.stats.Spawns++
@@ -224,7 +243,7 @@ func (p *proc) top() {
 		p.runBody()
 		p.state = stateDone
 		delete(p.k.live, p.id)
-		p.body = nil
+		p.body, p.runner = nil, nil
 		p.k.freeProcs = append(p.k.freeProcs, p)
 		p.k.yield <- struct{}{}
 	}
@@ -248,7 +267,11 @@ func (p *proc) runBody() {
 	if p.killed {
 		panic(killedPanic{})
 	}
-	p.body()
+	if p.body != nil {
+		p.body()
+	} else {
+		p.runner.Run()
+	}
 }
 
 // park blocks the calling process until another party wakes it. The caller

@@ -40,7 +40,22 @@ type TimelineResult struct {
 }
 
 func init() {
-	codec.Register(TimelineResult{})
+	codec.RegisterStruct[TimelineResult, *TimelineResult]("workload.TimelineResult")
+}
+
+// AppendWire implements codec.Struct: rt-timeline returns one of these
+// per timeline request, so the result encodes reflection-free.
+func (t TimelineResult) AppendWire(dst []byte) []byte {
+	dst = codec.AppendI64(dst, int64(t.Posts))
+	return codec.AppendI64(dst, int64(t.Anomalies))
+}
+
+// DecodeWire implements codec.Struct.
+func (t *TimelineResult) DecodeWire(body []byte) error {
+	r := codec.NewReader(body)
+	t.Posts = int(r.I64())
+	t.Anomalies = int(r.I64())
+	return r.Done()
 }
 
 // Register installs the six Cloudburst functions (the paper's port

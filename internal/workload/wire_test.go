@@ -1,0 +1,42 @@
+package workload
+
+// Wire-codec parity for TimelineResult against the gob fallback it used
+// to ride (see internal/core/wire_test.go for the convention).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"cloudburst/internal/codec"
+)
+
+func init() { gob.Register(TimelineResult{}) }
+
+func TestTimelineResultWireParity(t *testing.T) {
+	type envelope struct{ V any }
+	for _, v := range []TimelineResult{
+		{Posts: 10, Anomalies: 3},
+		{Posts: 1},
+		{}, // zero value
+	} {
+		fast := codec.MustEncode(v)
+		if fast[0] != 0x0f {
+			t.Fatalf("TimelineResult did not take the struct fast path (tag %#x)", fast[0])
+		}
+		var buf bytes.Buffer
+		buf.WriteByte(0x00) // tagGob
+		if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+			t.Fatal(err)
+		}
+		viaFast := codec.MustDecode(fast)
+		viaGob := codec.MustDecode(buf.Bytes())
+		if !reflect.DeepEqual(viaFast, viaGob) {
+			t.Fatalf("wire parity violation:\n struct: %#v\n gob:    %#v", viaFast, viaGob)
+		}
+		if got := viaFast.(TimelineResult); got != v {
+			t.Fatalf("round trip: %+v != %+v", got, v)
+		}
+	}
+}

@@ -12,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN='Fig|Table|Ablation'
+PATTERN='Fig|Table|Ablation|Codec'
 OUT=BENCH_1.json
 COUNT=1
 while getopts "p:o:c:" opt; do

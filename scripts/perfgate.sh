@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # perfgate.sh — the perf-regression tripwire (ROADMAP item, armed for
-# Fig5 in PR 3 and extended to Fig7/Fig11 in PR 4 once BENCH_3/BENCH_4
-# recorded their run-to-run noise).
+# Fig5 in PR 3, extended to Fig7/Fig11 in PR 4, and to the struct-codec
+# microbench in PR 5; the current baseline is BENCH_5.json).
 #
 # Compares each gated benchmark's harness-cost metrics (ns/op,
 # allocs/op) of a fresh bench report against the committed baseline and
 # fails on a >25% regression of either. The bound comes from the noise
-# observed across BENCH_1..BENCH_4 CI artifacts: allocs/op is
+# observed across BENCH_1..BENCH_5 CI artifacts: allocs/op is
 # deterministic to <1% (the simulation replays the same schedule), and
 # min-of-N ns/op stays well inside 25% on same-class runners, so a 25%
 # excursion means a real regression, not noise. Run the benches with
@@ -14,14 +14,16 @@
 # one-off scheduling noise. allocs/op is the authoritative signal; if
 # runner hardware ever drifts enough to trip the ns/op bound without a
 # code change, re-record the baseline from a CI bench artifact (see
-# ROADMAP).
+# ROADMAP). BenchmarkCodecStructRoundTrip runs 1000 round trips per
+# iteration precisely so its -benchtime=1x ns/op stays inside the same
+# bound.
 #
 # Usage: scripts/perfgate.sh <current.json> <baseline.json>
 set -euo pipefail
 
 CUR=${1:?usage: perfgate.sh <current.json> <baseline.json>}
 BASE=${2:?usage: perfgate.sh <current.json> <baseline.json>}
-BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig11Retwis"
+BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig11Retwis BenchmarkCodecStructRoundTrip"
 LIMIT=1.25
 
 # min_metric <file> <bench> <metric>: minimum value of metric across the
