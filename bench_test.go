@@ -167,6 +167,26 @@ func BenchmarkFig10PerformanceUnderFailure(b *testing.B) {
 	}
 }
 
+// BenchmarkFig10Lifecycle runs the state-lifecycle experiment: the same
+// crash under steady closed-loop load recovered three ways — cold
+// restart (refault storm), warm restart (peer cache handoff), and a
+// drained rolling upgrade — reporting each recovery spike and the
+// cold/warm ratio.
+func BenchmarkFig10Lifecycle(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig10Lifecycle(bench.Fig10LifecycleQuick())
+		b.ReportMetric(r.Cold.Steady.P99, "ms_p99:steady")
+		b.ReportMetric(r.Cold.SpikeP99, "ms_p99:coldspike")
+		b.ReportMetric(r.Warm.SpikeP99, "ms_p99:warmspike")
+		b.ReportMetric(r.SpikeRatio, "x_coldoverwarm")
+		b.ReportMetric(r.Rolling.SpikeP99, "ms_p99:rollingpeak")
+		b.ReportMetric(r.RollingPeakRatio, "x_rollingoversteady")
+		b.ReportMetric(float64(r.Warm.WarmFilled), "warmfilledkeys")
+		b.ReportMetric(float64(r.Cold.Failed+r.Warm.Failed+r.Rolling.Failed), "failedreqs")
+	}
+}
+
 // BenchmarkFig11Retwis reproduces Figure 11: Retwis on Cloudburst
 // LWW/causal vs serverful Redis, with anomaly rates.
 func BenchmarkFig11Retwis(b *testing.B) {

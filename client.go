@@ -199,12 +199,12 @@ func buildOpts(opts []InvokeOption) callOpts {
 // virtual time) before returning ErrTimedOut. Futures created without
 // it use the client's Timeout field.
 //
-// For DAG invocations the timeout also has a wire presence: it is
-// carried as the request's Deadline, and when it is shorter than the
-// scheduler's global DAGTimeout it drives the §4.5 re-execution timer
-// for this request, so an impatient caller's request is retried on
-// fresh executors on the caller's schedule (a patient timeout never
-// delays recovery).
+// The timeout also has a wire presence, for DAGs and single-function
+// invocations alike: it is carried as the request's Deadline, and when
+// it is shorter than the scheduler's global DAGTimeout it drives the
+// §4.5 re-execution timer for this request, so an impatient caller's
+// request is retried on fresh executors on the caller's schedule (a
+// patient timeout never delays recovery).
 func WithTimeout(d time.Duration) InvokeOption { return func(o *callOpts) { o.timeout = d } }
 
 // WithStoreInKVS persists the result in the KVS under the future's Key
@@ -245,6 +245,7 @@ func (cl *Client) Invoke(fn string, args []any, opts ...InvokeOption) *Future {
 		Direct:     o.direct,
 		WantHops:   o.wantHops,
 		ResultKey:  f.Key,
+		Deadline:   o.timeout,
 	}
 	size := 96
 	for _, a := range wireArgs {

@@ -628,6 +628,121 @@ func TestPerRequestDeadlineDrivesReexecution(t *testing.T) {
 	}
 }
 
+func TestSingleInvokeReexecutionAfterVMFailure(t *testing.T) {
+	// §4.5 for bare Invoke: single-function requests are tracked by the
+	// dispatching scheduler like DAGs, so an executor dying mid-flight
+	// triggers a re-execution instead of stranding the client until its
+	// own timeout.
+	cfg := DefaultConfig()
+	cfg.VMs = 3
+	cfg.DAGTimeout = 2 * time.Second
+	cfg.StaleAfter = 3 * time.Second
+	c := testCluster(t, cfg)
+	in := c.Internal()
+	if err := c.RegisterFunction("slowstep", func(ctx *Ctx, args []any) (any, error) {
+		ctx.Compute(500 * time.Millisecond)
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) { cl.Sleep(5 * time.Second) })
+
+	c.Run(func(cl *Client) {
+		cl.Timeout = 2 * time.Minute
+		victims := in.VMs()
+		cl.Kernel().Go("killer", func() {
+			cl.Sleep(50 * time.Millisecond)
+			in.KillVM(victims[0].Name)
+			in.KillVM(victims[1].Name)
+		})
+		out, err := cl.Invoke("slowstep", nil).Wait()
+		if err != nil {
+			t.Errorf("single did not recover from VM failure: %v", err)
+			return
+		}
+		if out.(string) != "done" {
+			t.Errorf("result = %v", out)
+			return
+		}
+		// The tracking table must drain once the result is delivered.
+		cl.Sleep(5 * time.Second)
+		for _, s := range in.Schedulers() {
+			if n := s.InflightSingles(); n != 0 {
+				t.Errorf("scheduler %s still tracks %d singles", s.ID(), n)
+			}
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	var reexecs int64
+	for _, s := range in.Schedulers() {
+		reexecs += s.Reexecutions()
+	}
+	if reexecs == 0 {
+		t.Fatal("no single re-execution recorded")
+	}
+}
+
+func TestSingleInvokeDeadlineDrivesReexecution(t *testing.T) {
+	// WithTimeout on a bare Invoke is the §4.5 re-execution timer, same
+	// as for DAGs: with the global DAGTimeout absurdly long, recovery
+	// must still happen on the caller's 2s schedule.
+	cfg := DefaultConfig()
+	cfg.VMs = 3
+	cfg.DAGTimeout = 2 * time.Minute
+	cfg.StaleAfter = 3 * time.Second
+	c := testCluster(t, cfg)
+	in := c.Internal()
+	if err := c.RegisterFunction("slowstep", func(ctx *Ctx, args []any) (any, error) {
+		ctx.Compute(500 * time.Millisecond)
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(cl *Client) { cl.Sleep(5 * time.Second) })
+
+	c.Run(func(cl *Client) {
+		victims := in.VMs()
+		start := cl.Now()
+		fut := cl.Invoke("slowstep", nil, WithTimeout(2*time.Second))
+		cl.Kernel().Go("killer", func() {
+			cl.Sleep(50 * time.Millisecond)
+			in.KillVM(victims[0].Name)
+			in.KillVM(victims[1].Name)
+		})
+		var out any
+		var err error
+		for i := 0; i < 20; i++ {
+			out, err = fut.Wait()
+			if err == nil {
+				break
+			}
+		}
+		if err != nil || out.(string) != "done" {
+			t.Errorf("short-deadline single never recovered: %v, %v", out, err)
+			return
+		}
+		elapsed := cl.Now() - start
+		if elapsed >= cfg.DAGTimeout {
+			t.Errorf("recovery took %v — the global timer fired, not the per-request deadline", elapsed)
+		}
+		if elapsed > 30*time.Second {
+			t.Errorf("recovery took %v, want the ~2s deadline plus staleness horizon", elapsed)
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	var reexecs int64
+	for _, s := range in.Schedulers() {
+		reexecs += s.Reexecutions()
+	}
+	if reexecs == 0 {
+		t.Fatal("no re-execution recorded")
+	}
+}
+
 func TestRestartedVMReregistersWithSchedulers(t *testing.T) {
 	// The rejoin half of the §4.5 lifecycle: after RestartVM, the
 	// replacement's threads re-register through the ordinary metrics

@@ -88,6 +88,12 @@ var experiments = []experiment{
 		full:  func() string { return bench.RunFig10Failure(bench.Fig10FailurePaper()).Print() },
 	},
 	{
+		name:  "lifecycle",
+		about: "state lifecycle: cold vs warm recovery, rolling upgrade (§4.5)",
+		quick: func() string { return bench.RunFig10Lifecycle(bench.Fig10LifecycleQuick()).Print() },
+		full:  func() string { return bench.RunFig10Lifecycle(bench.Fig10LifecyclePaper()).Print() },
+	},
+	{
 		name:  "chaos",
 		about: "chaos matrix: workloads × consistency modes × randomized fault plans",
 		quick: func() string { return bench.RunChaosMatrix(bench.ChaosQuick()).Print() },

@@ -205,12 +205,14 @@
 //     Duplication applies to one-way datagrams only; RPCs ride pooled
 //     at-most-once records.
 //   - Compute: CrashVM partitions a VM away mid-flight (§4.5 —
-//     in-flight DAGs time out and re-execute; WithTimeout's deadline
-//     travels on the wire and drives that timer per request).
-//     RestartVM boots a replacement generation after the spin-up
-//     delay: fresh endpoints, a cold cache, executor threads that
-//     re-register with the schedulers through the ordinary metrics
-//     path, and monitor re-admission.
+//     in-flight DAGs and tracked single invocations time out and
+//     re-execute; WithTimeout's deadline travels on the wire and
+//     drives that timer per request). RestartVM boots a replacement
+//     generation after the spin-up delay: fresh endpoints, a cold
+//     cache, executor threads that re-register with the schedulers
+//     through the ordinary metrics path, and monitor re-admission.
+//     WarmRestartVM, RollingRestart, and RackFailure compose the full
+//     state lifecycle below.
 //   - Storage: CrashAnnaNode/ReviveAnnaNode partition one storage
 //     replica (the client replica walk rides it out when the
 //     replication factor covers the loss); DropSnapshots discards
@@ -223,6 +225,44 @@
 // consistency modes, and the Figure 10 bench
 // (internal/bench/fig10.go) uses an explicit crash/restart plan to
 // reproduce the §4.5 performance-under-failure timeline.
+//
+// # VM lifecycle: crash, warm replacement, rolling upgrades
+//
+// A VM generation that dies is fully retired, not abandoned. When its
+// replacement boots (or the VM is deliberately deallocated), the
+// generation reaper removes the dead generation's simnet endpoints —
+// waking and releasing any kernel processes still parked on them — and
+// scrubs its metric keys out of the Anna discovery registries: the
+// per-thread executor reports, the per-VM cache keyset, and their
+// entries in the grow-only registry sets the schedulers and monitor
+// poll. N crash/restart cycles therefore leave zero ghost keys, zero
+// orphaned endpoints, and a flat kernel process count (asserted by the
+// lifecycle tests and re-checked after every chaos-matrix cell).
+//
+// Recovery comes in two temperatures. Cluster.RestartVM boots a cold
+// replacement: every cached key refaults from Anna on first use, which
+// under load shows up as a latency spike an order of magnitude above
+// steady state (the refault storm). Cluster.WarmRestartVM instead
+// restores state the moment the replacement boots: KillVM records a
+// WarmSeed — the dying generation's cached key set and pinned
+// functions — under a lifecycle key in Anna, and the replacement
+// bulk-fetches those keys from a live peer cache's snapshot service and
+// re-pins the recorded functions, so only keys no peer holds refault
+// cold. The lifecycle experiment (cmd/cb-bench -run lifecycle) measures
+// the difference: the warm replacement's recovery spike is >=5x lower
+// than the cold one's in the same run.
+//
+// Rolling upgrades compose the same primitives with a drain phase.
+// Cluster.DrainVM stops a VM's metrics publication without touching
+// its processes: schedulers drop its threads from the routing view once
+// the reports age past StaleAfter, in-flight work completes normally,
+// and only then does the plan replace the idle VM. fault.RollingRestart
+// walks a VM list one at a time (drain → warm replace → wait for the
+// replacement to join → settle), keeping per-second p99 within a small
+// factor of steady state for the whole upgrade; fault.RackFailure
+// models the correlated cousin — several VMs lost at once, recovered
+// cold or warm. Both appear in fault.RandomPlan's draw (AllowRolling,
+// AllowRackFailure) and as dedicated chaos-matrix cells.
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-reproduction results.

@@ -212,6 +212,38 @@ func (c *Client) Delete(key string) error {
 	return fmt.Errorf("anna: delete %q: %w", key, lastErr)
 }
 
+// RemoveFromSet removes elems from the Set lattice stored at key on
+// every owner — the operational counterpart of Delete for registry sets
+// (grow-only sets have no mergeable deletion; replicas do not
+// re-gossip, so the fanned removal sticks). The generation reaper uses
+// it to scrub a dead VM generation's keys from the metric registries.
+func (c *Client) RemoveFromSet(key string, elems []string) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	owners := c.kv.ring.OwnersFor(key)
+	size := 24 + len(key)
+	for _, e := range elems {
+		size += 4 + len(e)
+	}
+	var lastErr error = ErrUnavailable
+	okAny := false
+	for _, o := range owners {
+		resp, err := c.ep.Call(o, SetRemoveReq{Key: key, Elems: elems}, size, c.timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, ok := resp.(SetRemoveResp); ok {
+			okAny = true
+		}
+	}
+	if okAny {
+		return nil
+	}
+	return fmt.Errorf("anna: set-remove %q: %w", key, lastErr)
+}
+
 // PublishKeyset sends a cache's keyset delta, partitioned to each key's
 // primary owner (the index is partitioned with the key space, §4.2).
 // Fire-and-forget.

@@ -64,6 +64,23 @@ type DeleteResp struct {
 	OK bool
 }
 
+// SetRemoveReq removes elements from the Set lattice stored at Key on
+// one node. Grow-only sets have no lattice-theoretic deletion, so like
+// DeleteReq this is the pragmatic operational kind: the client fans the
+// removal to every owner, and because replicas do not re-gossip, the
+// shrunken set sticks. The generation reaper uses it to scrub a dead VM
+// generation's keys out of the shared metric registries.
+type SetRemoveReq struct {
+	Key   string
+	Elems []string
+}
+
+// SetRemoveResp acknowledges a SetRemoveReq. OK reports whether any
+// element was present and removed on this node.
+type SetRemoveResp struct {
+	OK bool
+}
+
 // KeysetUpdate is a cache's periodic snapshot delta of its cached keys
 // (§4.2), already partitioned by the sender so every key belongs to the
 // receiving node. Fire-and-forget.

@@ -90,6 +90,7 @@ func NewNode(k *vtime.Kernel, ep *simnet.Endpoint, ring *Ring, cfg NodeConfig) *
 	simnet.OnRequest(n.disp, n.handleMultiGet)
 	simnet.OnRequest(n.disp, n.handlePut)
 	simnet.OnRequest(n.disp, n.handleDelete)
+	simnet.OnRequest(n.disp, n.handleSetRemove)
 	simnet.OnRequest(n.disp, n.handleStats)
 	simnet.OnMessage(n.disp, n.handleGossip)
 	simnet.OnMessage(n.disp, n.handleKeyset)
@@ -162,6 +163,30 @@ func (n *Node) handleDelete(req *simnet.Request, b DeleteReq) {
 	ok := n.st.delete(b.Key)
 	n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, false, 0))
 	req.Reply(DeleteResp{OK: ok}, 8)
+}
+
+func (n *Node) handleSetRemove(req *simnet.Request, b SetRemoveReq) {
+	n.ops++
+	e, fromDisk := n.st.get(b.Key, n.k.Now())
+	removed := false
+	if e != nil {
+		if s, isSet := e.lat.(*lattice.Set); isSet {
+			for _, el := range b.Elems {
+				if _, ok := s.Elems[el]; ok {
+					delete(s.Elems, el)
+					removed = true
+				}
+			}
+			if removed {
+				// The dirty flags stay untouched: the client reaches every
+				// owner itself, and pushing a shrunken set to replicas or
+				// caches would be a union no-op anyway.
+				n.st.resize(e)
+			}
+		}
+	}
+	n.k.Sleep(n.serviceTime(n.cfg.PutServiceTime, fromDisk, 0))
+	req.Reply(SetRemoveResp{OK: removed}, 8)
 }
 
 func (n *Node) handleStats(req *simnet.Request, _ StatsReq) {

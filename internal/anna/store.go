@@ -89,6 +89,20 @@ func (s *tieredStore) delete(key string) bool {
 	return false
 }
 
+// resize re-accounts e's size after an in-place mutation (set-element
+// removal). get promotes entries to the memory tier, so the common case
+// adjusts memBytes; the fallback covers entries mutated while
+// disk-resident.
+func (s *tieredStore) resize(e *entry) {
+	if _, ok := s.mem[e.key]; ok {
+		s.memBytes -= e.size
+		e.size = e.lat.ByteSize()
+		s.memBytes += e.size
+		return
+	}
+	e.size = e.lat.ByteSize()
+}
+
 // insertMem places e in the memory tier, demoting LRU entries if the
 // capacity is exceeded.
 func (s *tieredStore) insertMem(e *entry, now vtime.Time) {

@@ -8,7 +8,11 @@ import (
 
 	cb "cloudburst"
 	"cloudburst/internal/audit"
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/core"
+	"cloudburst/internal/executor"
 	"cloudburst/internal/fault"
+	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/workload"
 )
@@ -28,6 +32,10 @@ type ChaosConfig struct {
 	Faults    int              // fault/heal pairs per randomized plan
 	Probes    int              // post-heal liveness probes per client
 	Seed      int64
+	// Lifecycle appends two deterministic state-lifecycle cells to the
+	// randomized matrix: a rolling upgrade (drain → warm replace → rejoin,
+	// one VM at a time) and a correlated rack failure with warm recovery.
+	Lifecycle bool
 }
 
 // AllModes is the §6.2 sweep.
@@ -39,7 +47,7 @@ func ChaosQuick() ChaosConfig {
 		Workloads: []string{"retwis", "predserve", "gossip"},
 		Modes:     AllModes,
 		Clients:   3, Requests: 5, Window: 20 * time.Second,
-		Faults: 3, Probes: 2, Seed: 97,
+		Faults: 3, Probes: 2, Seed: 97, Lifecycle: true,
 	}
 }
 
@@ -65,6 +73,7 @@ type ChaosCell struct {
 	Reexecs    int64
 	FaultCount int
 	Faults     []string // injector timeline
+	GhostKeys  int      // dead-generation entries left in Anna registries — must be 0
 
 	Reads, Writes int // audit-trace sizes (detector sanity)
 	Anomalies     audit.Report
@@ -110,8 +119,13 @@ func RunChaosMatrix(cfg ChaosConfig) ChaosResult {
 	for _, wl := range cfg.Workloads {
 		for mi, mode := range cfg.Modes {
 			cellSeed := cfg.Seed + int64(mi) + 100*int64(len(wl)) + int64(wl[0])
-			out.Cells = append(out.Cells, runChaosCell(cfg, wl, mode, cellSeed))
+			out.Cells = append(out.Cells, runChaosCell(cfg, wl, mode, cellSeed, ""))
 		}
+	}
+	if cfg.Lifecycle {
+		out.Cells = append(out.Cells,
+			runChaosCell(cfg, "predserve", cb.LWW, cfg.Seed+7001, "rolling"),
+			runChaosCell(cfg, "retwis", cb.LWW, cfg.Seed+7002, "rack"))
 	}
 	return out
 }
@@ -120,8 +134,13 @@ func RunChaosMatrix(cfg ChaosConfig) ChaosResult {
 // the client API (ErrTimedOut means no terminal outcome yet).
 type chaosDriver func(cl *cb.Client, rng *rand.Rand) error
 
-func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64) ChaosCell {
+// runChaosCell runs one cell. scenario "" draws a randomized plan;
+// "rolling" and "rack" run the deterministic lifecycle composites.
+func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, scenario string) ChaosCell {
 	cell := ChaosCell{Workload: wl, Mode: mode.String()}
+	if scenario != "" {
+		cell.Workload = wl + "+" + scenario
+	}
 	rec := audit.NewRecorder()
 
 	ccfg := cb.DefaultConfig()
@@ -150,11 +169,22 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64) C
 	for _, s := range in.Schedulers() {
 		scheds = append(scheds, s.ID())
 	}
-	planRng := rand.New(rand.NewSource(seed * 31))
-	plan := fault.RandomPlan(planRng, fault.RandomOpts{
-		Start: 0, Window: cfg.Window, Faults: cfg.Faults,
-		VMs: vms, Nodes: scheds, AnnaNodes: 3, AllowCrash: true,
-	})
+	var plan *fault.Plan
+	switch scenario {
+	case "rolling":
+		plan = fault.NewPlan("rolling").At(2*time.Second,
+			fault.RollingRestart{VMs: vms[:2], Drain: 5 * time.Second, Settle: 2 * time.Second})
+	case "rack":
+		plan = fault.NewPlan("rack").At(2*time.Second,
+			fault.RackFailure{Count: 2, After: 4 * time.Second, Warm: true})
+	default:
+		planRng := rand.New(rand.NewSource(seed * 31))
+		plan = fault.RandomPlan(planRng, fault.RandomOpts{
+			Start: 0, Window: cfg.Window, Faults: cfg.Faults,
+			VMs: vms, Nodes: scheds, AnnaNodes: 3,
+			AllowCrash: true, AllowWarmRestart: true,
+		})
+	}
 	inj := fault.NewInjector(in)
 	c.Run(func(cl *cb.Client) { inj.Start(plan) })
 
@@ -226,11 +256,46 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64) C
 	for _, s := range in.Schedulers() {
 		cell.Reexecs += s.Reexecutions()
 	}
+	// Every crashed generation was replaced by now, so its reaper ran:
+	// the discovery registries must describe exactly the live fleet.
+	c.Run(func(cl *cb.Client) { cell.GhostKeys = countGhostKeys(in) })
 	cell.Faults = inj.TimelineStrings()
 	cell.FaultCount = len(cell.Faults)
 	cell.Reads, cell.Writes = rec.Counts()
 	cell.Anomalies = rec.Analyze() // detectors must run cleanly on chaos traces
 	return cell
+}
+
+// countGhostKeys returns how many entries in the Anna discovery
+// registries name a thread or cache that no live VM owns — tombstones
+// the generation reaper failed to scrub. Must be called from inside the
+// kernel (it issues Anna RPCs).
+func countGhostKeys(in *cluster.Cluster) int {
+	live := map[string]bool{}
+	for _, h := range in.VMs() {
+		for _, t := range h.Threads {
+			live[core.ExecMetricsKey(string(t.ID()))] = true
+		}
+		live[core.CacheKeysKey(h.Name)] = true
+	}
+	kv := in.AnnaClientFor(in.NewClientEndpoint())
+	ghosts := 0
+	for _, reg := range []string{executor.MetricListKey, executor.CacheListKey} {
+		lat, found, err := kv.Get(reg)
+		if err != nil || !found {
+			continue
+		}
+		set, ok := lat.(*lattice.Set)
+		if !ok {
+			continue
+		}
+		for e := range set.Elems {
+			if !live[e] {
+				ghosts++
+			}
+		}
+	}
+	return ghosts
 }
 
 // registerChaosWorkload installs one workload and returns its request

@@ -1,20 +1,30 @@
 package bench
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"cloudburst/internal/codec"
+)
 
 // TestChaosMatrix is the chaos-plane smoke: every workload × every
 // consistency mode, each under its own randomized-but-seeded fault plan
-// (VM crash+restart, transient partitions, flaky/slow/duplicating
-// links, Anna replica loss, cache snapshot drops). Asserted per cell:
-// liveness after heal, no lost requests, and audit detectors that run
-// cleanly over the traced chaotic execution. CI runs this as a required
-// job.
+// (VM crash + warm restart, transient partitions, flaky/slow/duplicating
+// links, Anna replica loss, cache snapshot drops), plus two
+// deterministic state-lifecycle cells (rolling upgrade, rack failure).
+// Asserted per cell: liveness after heal, no lost requests, zero ghost
+// registry keys left by dead VM generations, and audit detectors that
+// run cleanly over the traced chaotic execution. The whole matrix must
+// also stay on the codec fast paths (zero gob fallbacks). CI runs this
+// as a required job.
 func TestChaosMatrix(t *testing.T) {
+	codec.ResetStats()
 	r := RunChaosMatrix(ChaosQuick())
 	t.Log(r.Print())
-	if len(r.Cells) != 15 {
-		t.Fatalf("cells = %d, want 3 workloads × 5 modes", len(r.Cells))
+	if len(r.Cells) != 17 {
+		t.Fatalf("cells = %d, want 3 workloads × 5 modes + 2 lifecycle", len(r.Cells))
 	}
+	var sawRolling, sawRack bool
 	for _, c := range r.Cells {
 		name := c.Workload + "/" + c.Mode
 		if c.Issued == 0 || c.OK == 0 {
@@ -29,6 +39,9 @@ func TestChaosMatrix(t *testing.T) {
 		if c.FaultCount == 0 {
 			t.Errorf("%s: fault plan injected nothing", name)
 		}
+		if c.GhostKeys != 0 {
+			t.Errorf("%s: %d dead-generation keys left in the Anna registries", name, c.GhostKeys)
+		}
 		if c.Reads == 0 {
 			t.Errorf("%s: audit trace empty (reads %d, writes %d)", name, c.Reads, c.Writes)
 		}
@@ -38,6 +51,20 @@ func TestChaosMatrix(t *testing.T) {
 		if a.SK < 0 || a.MK < 0 || a.DSC < 0 || a.DSRR < 0 {
 			t.Errorf("%s: negative anomaly counts: %+v", name, a)
 		}
+		for _, f := range c.Faults {
+			if strings.Contains(f, "rolling restart") {
+				sawRolling = true
+			}
+			if strings.Contains(f, "rack failure") {
+				sawRack = true
+			}
+		}
+	}
+	if !sawRolling || !sawRack {
+		t.Errorf("lifecycle cells missing from matrix: rolling=%v rack=%v", sawRolling, sawRack)
+	}
+	if s := codec.ReadStats(); s.GobEncodes != 0 || s.GobDecodes != 0 {
+		t.Errorf("chaos matrix hit the gob fallback: %+v", s)
 	}
 }
 
@@ -48,6 +75,7 @@ func TestChaosMatrixDeterministic(t *testing.T) {
 	cfg.Workloads = []string{"predserve"}
 	cfg.Modes = AllModes[:1]
 	cfg.Requests = 3
+	cfg.Lifecycle = false
 	a := RunChaosMatrix(cfg)
 	b := RunChaosMatrix(cfg)
 	fa, fb := a.Cells[0].Faults, b.Cells[0].Faults

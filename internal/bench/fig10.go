@@ -3,6 +3,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	cb "cloudburst"
@@ -224,4 +225,253 @@ func RunFig10Failure(cfg Fig10FailureConfig) Fig10FailureResult {
 		}
 	}
 	return res
+}
+
+// --- state lifecycle: cold vs warm recovery, rolling upgrade -------------
+
+// Fig10LifecycleConfig parameterizes the state-lifecycle extension of
+// the §4.5 figure: a data-reading workload (every request resolves a KVS
+// reference through the co-located cache) with one VM crashed mid-run,
+// comparing a cold replacement (empty cache, every request refaults from
+// Anna) against a warm one (cache restored from a peer's snapshots via
+// the recorded WarmSeed), plus a rolling-upgrade timeline.
+type Fig10LifecycleConfig struct {
+	VMs        int
+	Clients    int
+	Keys       int           // working-set size
+	ValueBytes int           // per-key payload (drives the refault cost)
+	Compute    time.Duration // per-request simulated work
+	Deadline   time.Duration // §4.5 re-execution deadline (wire Deadline)
+	KillAt     time.Duration // victim crash (also the rolling-restart start)
+	RestFor    time.Duration // crash → restart issued
+	VMSpinUp   time.Duration
+	RunFor     time.Duration // per-scenario load duration
+	SpikeWin   time.Duration // post-recovery window the spike is measured in
+	RollSettle time.Duration // per-VM settle grace in the rolling upgrade
+	Seed       int64
+}
+
+// Fig10LifecycleQuick returns CI-friendly parameters. The value size is
+// chosen so a refault from Anna (~25ms: storage serve + transfer) dwarfs
+// the steady request cost (~2ms compute served from the local cache) —
+// the regime where cache state matters, per §6.1.
+func Fig10LifecycleQuick() Fig10LifecycleConfig {
+	return Fig10LifecycleConfig{
+		VMs: 3, Clients: 6, Keys: 24, ValueBytes: 6 << 20,
+		Compute: 2 * time.Millisecond, Deadline: 3 * time.Second,
+		KillAt: 15 * time.Second, RestFor: 5 * time.Second,
+		VMSpinUp: 8 * time.Second, RunFor: 80 * time.Second,
+		SpikeWin: 12 * time.Second, RollSettle: 4 * time.Second, Seed: 47,
+	}
+}
+
+// Fig10LifecyclePaper returns a heavier configuration for -full runs.
+func Fig10LifecyclePaper() Fig10LifecycleConfig {
+	cfg := Fig10LifecycleQuick()
+	cfg.VMs, cfg.Clients, cfg.Keys = 4, 10, 40
+	cfg.KillAt, cfg.RunFor = 30*time.Second, 180*time.Second
+	cfg.VMSpinUp = 20 * time.Second
+	return cfg
+}
+
+// LifecycleRun is one scenario's timeline and digests.
+type LifecycleRun struct {
+	Name       string
+	Steady     Summary // pre-fault phase
+	Buckets    []Fig10Bucket
+	Timeline   []string
+	SpikeP99   float64 // peak 1s-bucket p99 (ms) in the measured window
+	WarmFilled int64   // keys restored by the warm handoff (warm runs)
+	Completed  int
+	Failed     int
+}
+
+// Fig10LifecycleResult is the figure: cold vs warm recovery plus the
+// rolling-upgrade timeline.
+type Fig10LifecycleResult struct {
+	Cold    LifecycleRun
+	Warm    LifecycleRun
+	Rolling LifecycleRun
+	// SpikeRatio is cold recovery-spike p99 over warm — the headline
+	// number (the warm handoff should win by roughly an order of
+	// magnitude).
+	SpikeRatio float64
+	// RollingPeakRatio is the rolling upgrade's worst bucket p99 over its
+	// own steady p99 — how bounded the upgrade's latency impact stays.
+	RollingPeakRatio float64
+}
+
+// Print renders the three timelines and the headline ratios.
+func (r Fig10LifecycleResult) Print() string {
+	out := Table("Figure 10b: state lifecycle — cold vs warm recovery, rolling upgrade",
+		[]string{"scenario", "steady p99(ms)", "spike p99(ms)", "warm-filled", "completed", "failed"},
+		[][]string{
+			{r.Cold.Name, fmt.Sprintf("%.2f", r.Cold.Steady.P99), fmt.Sprintf("%.2f", r.Cold.SpikeP99), "-", fmt.Sprintf("%d", r.Cold.Completed), fmt.Sprintf("%d", r.Cold.Failed)},
+			{r.Warm.Name, fmt.Sprintf("%.2f", r.Warm.Steady.P99), fmt.Sprintf("%.2f", r.Warm.SpikeP99), fmt.Sprintf("%d", r.Warm.WarmFilled), fmt.Sprintf("%d", r.Warm.Completed), fmt.Sprintf("%d", r.Warm.Failed)},
+			{r.Rolling.Name, fmt.Sprintf("%.2f", r.Rolling.Steady.P99), fmt.Sprintf("%.2f", r.Rolling.SpikeP99), fmt.Sprintf("%d", r.Rolling.WarmFilled), fmt.Sprintf("%d", r.Rolling.Completed), fmt.Sprintf("%d", r.Rolling.Failed)},
+		})
+	out += fmt.Sprintf("cold/warm recovery-spike ratio %.1fx, rolling peak/steady ratio %.1fx\n",
+		r.SpikeRatio, r.RollingPeakRatio)
+	for _, run := range []LifecycleRun{r.Cold, r.Warm, r.Rolling} {
+		for _, e := range run.Timeline {
+			out += "  [" + run.Name + "] fault: " + e + "\n"
+		}
+	}
+	return out
+}
+
+// RunFig10Lifecycle runs the three scenarios on identically-seeded
+// clusters: cold restart, warm restart, rolling upgrade.
+func RunFig10Lifecycle(cfg Fig10LifecycleConfig) Fig10LifecycleResult {
+	var r Fig10LifecycleResult
+	r.Cold = runLifecycleScenario(cfg, "cold-restart", false, false)
+	r.Warm = runLifecycleScenario(cfg, "warm-restart", true, false)
+	r.Rolling = runLifecycleScenario(cfg, "rolling-upgrade", true, true)
+	if r.Warm.SpikeP99 > 0 {
+		r.SpikeRatio = r.Cold.SpikeP99 / r.Warm.SpikeP99
+	}
+	if r.Rolling.Steady.P99 > 0 {
+		r.RollingPeakRatio = r.Rolling.SpikeP99 / r.Rolling.Steady.P99
+	}
+	return r
+}
+
+func runLifecycleScenario(cfg Fig10LifecycleConfig, name string, warm, rolling bool) LifecycleRun {
+	run := LifecycleRun{Name: name}
+	ccfg := cb.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	ccfg.VMs = cfg.VMs
+	ccfg.AnnaNodes = 3
+	ccfg.Replication = 2
+	ccfg.VMSpinUp = cfg.VMSpinUp
+	ccfg.StaleAfter = 4 * time.Second
+	ccfg.DAGTimeout = 4 * time.Second
+	// Random placement isolates the cache-state effect this figure is
+	// about: under locality routing a cold replacement scores zero on
+	// every reference and is simply starved until it warms organically —
+	// the fleet runs a VM short either way. Random placement hands the
+	// replacement its traffic share immediately, which is exactly the
+	// recovery path the warm handoff accelerates.
+	ccfg.RandomScheduling = true
+	c := cb.NewCluster(ccfg)
+	defer c.Close()
+	in := c.Internal()
+
+	if err := c.RegisterFunction("wf", func(ctx *cb.Ctx, args []any) (any, error) {
+		ctx.Compute(cfg.Compute)
+		b, _ := args[0].([]byte)
+		return len(b), nil
+	}); err != nil {
+		panic(err)
+	}
+
+	// Preload the working set, then warm every cache with one grouped
+	// prefetch per VM, so the pre-fault fleet serves all reads locally —
+	// the state a long-running deployment is in when a VM dies.
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ws/%d", i)
+	}
+	c.Run(func(cl *cb.Client) {
+		val := make([]byte, cfg.ValueBytes)
+		for i := range val {
+			val[i] = byte(i)
+		}
+		for _, k := range keys {
+			if err := cl.Put(k, val); err != nil {
+				panic(err)
+			}
+		}
+		for _, h := range in.VMs() {
+			h.Cache.Prefetch(keys)
+		}
+		cl.Sleep(3 * time.Second)
+	})
+
+	victim := in.VMs()[1].Name
+	inj := fault.NewInjector(in)
+	plan := fault.NewPlan(name)
+	if rolling {
+		plan.At(cfg.KillAt, fault.RollingRestart{Drain: 6 * time.Second, Settle: cfg.RollSettle})
+	} else {
+		plan.At(cfg.KillAt, fault.CrashVM{VM: victim})
+		if warm {
+			plan.At(cfg.KillAt+cfg.RestFor, fault.WarmRestartVM{VM: victim})
+		} else {
+			plan.At(cfg.KillAt+cfg.RestFor, fault.RestartVM{VM: victim})
+		}
+	}
+	c.Run(func(cl *cb.Client) { inj.Start(plan) })
+
+	type sample struct{ at, lat time.Duration }
+	var samples []sample
+	failed := 0
+	errBuckets := make(map[int]int)
+	start := c.Now()
+	c.RunN(cfg.Clients, func(i int, cl *cb.Client) {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(i)))
+		end := start + cfg.RunFor
+		for time.Duration(cl.Now()) < end {
+			issued := time.Duration(cl.Now())
+			key := keys[rng.Intn(len(keys))]
+			fut := cl.Invoke("wf", []any{cb.Ref(key)}, cb.WithTimeout(cfg.Deadline))
+			for {
+				_, err := fut.Wait()
+				if err == nil {
+					samples = append(samples, sample{at: time.Duration(cl.Now()), lat: time.Duration(cl.Now()) - issued})
+					break
+				}
+				// Like the failure experiment: the wait bound doubles as the
+				// §4.5 re-execution deadline, so client-side timeouts mean
+				// "still in flight" — keep waiting for the terminal outcome.
+				if !errors.Is(err, cb.ErrTimedOut) || time.Duration(cl.Now())-issued > time.Minute {
+					failed++
+					errBuckets[int((time.Duration(cl.Now())-start)/time.Second)]++
+					break
+				}
+			}
+		}
+	})
+
+	run.Completed = len(samples)
+	run.Failed = failed
+	run.Timeline = inj.TimelineStrings()
+	for _, h := range in.VMs() {
+		run.WarmFilled += h.Cache.Stats.WarmFilledKeys
+	}
+
+	// Bucketize; the spike window starts when the replacement joins (the
+	// cold refault storm happens after recovery, not during the outage).
+	// The rolling scenario has no single recovery instant — its window is
+	// the whole upgrade, from the first drain to the end of the run.
+	spikeFrom := start + cfg.KillAt + cfg.RestFor + cfg.VMSpinUp
+	spikeTo := spikeFrom + cfg.SpikeWin
+	if rolling {
+		spikeFrom = start + cfg.KillAt
+		spikeTo = start + cfg.RunFor
+	}
+	killAt := start + cfg.KillAt
+	var steady []time.Duration
+	byBucket := make(map[int][]time.Duration)
+	for _, s := range samples {
+		if s.at < killAt {
+			steady = append(steady, s.lat)
+		}
+		byBucket[int((s.at-start)/time.Second)] = append(byBucket[int((s.at-start)/time.Second)], s.lat)
+	}
+	run.Steady = Summarize("steady", steady)
+	for sec := 0; sec <= int(cfg.RunFor/time.Second); sec++ {
+		durs, errs := byBucket[sec], errBuckets[sec]
+		if len(durs) == 0 && errs == 0 {
+			continue
+		}
+		sum := Summarize("", durs)
+		run.Buckets = append(run.Buckets, Fig10Bucket{
+			AtS: float64(sec), N: sum.N, P50: sum.Median, P99: sum.P99, Errs: errs,
+		})
+		if at := start + time.Duration(sec)*time.Second; at >= spikeFrom && at < spikeTo && sum.P99 > run.SpikeP99 {
+			run.SpikeP99 = sum.P99
+		}
+	}
+	return run
 }

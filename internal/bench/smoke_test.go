@@ -79,6 +79,36 @@ func TestSmokeFig10Failure(t *testing.T) {
 	}
 }
 
+func TestSmokeFig10Lifecycle(t *testing.T) {
+	r := RunFig10Lifecycle(Fig10LifecycleQuick())
+	t.Log(r.Print())
+	for _, run := range []LifecycleRun{r.Cold, r.Warm, r.Rolling} {
+		if run.Completed == 0 {
+			t.Fatalf("%s: no completed requests", run.Name)
+		}
+		if run.Failed != 0 {
+			t.Errorf("%s: %d requests failed terminally", run.Name, run.Failed)
+		}
+	}
+	if r.Warm.WarmFilled == 0 {
+		t.Fatal("warm restart restored nothing from the peer cache")
+	}
+	// The acceptance floor: a warm replacement's recovery spike must be
+	// at least 5x below the cold replacement's refault storm.
+	if r.SpikeRatio < 5 {
+		t.Fatalf("cold/warm recovery-spike ratio %.1fx, want >= 5x", r.SpikeRatio)
+	}
+	// A drained rolling upgrade must keep the per-second p99 bounded —
+	// no refault storm, no deadline-riding stranded requests.
+	if r.RollingPeakRatio > 3 {
+		t.Fatalf("rolling-upgrade peak p99 is %.1fx steady, want <= 3x", r.RollingPeakRatio)
+	}
+	if len(r.Cold.Timeline) != 2 || len(r.Warm.Timeline) != 2 || len(r.Rolling.Timeline) != 1 {
+		t.Fatalf("fault timelines: cold=%v warm=%v rolling=%v",
+			r.Cold.Timeline, r.Warm.Timeline, r.Rolling.Timeline)
+	}
+}
+
 func TestSmokeFig11(t *testing.T) {
 	cfg := Fig11Quick()
 	cfg.Clients, cfg.Requests = 3, 20

@@ -84,6 +84,8 @@ type Stats struct {
 	SnapshotsTaken int64
 	Prefetches     int64 // grouped multi-get warm fills issued
 	PrefetchedKeys int64 // keys installed by those fills
+	WarmFetches    int64 // peer current-version fetches issued by WarmFill
+	WarmFilledKeys int64 // keys restored from a peer by WarmFill
 }
 
 // Cache is one VM's co-located cache process. Network traffic — update
@@ -114,6 +116,7 @@ type Cache struct {
 	wbq        *vtime.Chan[wbItem]
 	wbInFlight int
 	wbName     string // precomputed write-back process name
+	stopped    bool   // guards Stop idempotence
 
 	Stats Stats
 }
@@ -201,6 +204,20 @@ func (c *Cache) Start() {
 	c.disp.Go("writeback", c.writeBackLoop)
 }
 
+// Stop shuts the cache's processes down: the dispatcher (serve loop and
+// keyset daemon) stops, and closing the write-back queue makes the
+// drainer exit once it has handed off its queued items. The generation
+// reaper closes the cache's endpoint afterwards, which wakes the parked
+// serve loop so it can observe the stop. Idempotent.
+func (c *Cache) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.disp.Stop()
+	c.wbq.Close()
+}
+
 // handlePush ingests an update pushed by Anna (§4.2).
 func (c *Cache) handlePush(_ simnet.Message, b anna.KeyUpdatePush) {
 	c.ingestUpdate(b.Key, b.Lat)
@@ -215,11 +232,17 @@ func (c *Cache) handleDAGDone(_ simnet.Message, b core.DAGDone) {
 }
 
 // handleSnapshotFetch serves a peer cache's version-snapshot request
-// (Algorithms 1 and 2's fetch_from_upstream).
+// (Algorithms 1 and 2's fetch_from_upstream). An empty ReqID is the
+// warm-handoff form: the peer asks for this cache's current version of
+// the key (WarmFill), not a per-request snapshot.
 func (c *Cache) handleSnapshotFetch(req *simnet.Request, rb SnapshotFetchReq) {
 	c.mu.Lock()
 	var resp SnapshotFetchResp
-	if snaps, ok := c.snapshots[rb.ReqID]; ok {
+	if rb.ReqID == "" {
+		if lat, ok := c.store[rb.Key]; ok {
+			resp = SnapshotFetchResp{Lat: lat.Clone(), Found: true}
+		}
+	} else if snaps, ok := c.snapshots[rb.ReqID]; ok {
 		if lat, ok := snaps[rb.Key]; ok {
 			resp = SnapshotFetchResp{Lat: lat.Clone(), Found: true}
 		}
@@ -373,6 +396,46 @@ func (c *Cache) Prefetch(keys []string) {
 		c.mu.Unlock()
 		c.Stats.PrefetchedKeys++
 	}
+}
+
+// WarmFill restores keys from a live peer cache's current versions (the
+// warm-handoff path of a replacement VM): each missing key is fetched
+// with an empty-ReqID SnapshotFetchReq and installed exactly as a
+// per-key fill would install it — in the causal modes every restored
+// capsule maintains the local causal cut. Keys the peer lacks (or that
+// arrive after the peer becomes unreachable) are left to the ordinary
+// cold refault path. Returns the number of keys restored.
+func (c *Cache) WarmFill(peer simnet.NodeID, keys []string) (filled int) {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		c.mu.Lock()
+		_, have := c.store[k]
+		c.mu.Unlock()
+		if have {
+			continue
+		}
+		c.Stats.WarmFetches++
+		resp, err := c.ep.Call(peer, SnapshotFetchReq{Key: k}, 32+len(k), 500*time.Millisecond)
+		if err != nil {
+			continue // peer unreachable; remaining keys refault cold
+		}
+		r := resp.(SnapshotFetchResp)
+		if !r.Found {
+			continue
+		}
+		if c.cfg.Mode == core.MK || c.cfg.Mode == core.DSC {
+			if cap, isCausal := r.Lat.(*lattice.Causal); isCausal {
+				c.ensureCut(cap.DepsUnion())
+			}
+		}
+		c.mu.Lock()
+		c.mergeLocked(k, r.Lat)
+		c.mu.Unlock()
+		filled++
+		c.Stats.WarmFilledKeys++
+	}
+	return filled
 }
 
 // KVSStats reports the cache's Anna-client round-trip counters (the

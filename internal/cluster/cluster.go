@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"time"
@@ -84,7 +85,8 @@ type VMHandle struct {
 	Cache   *cache.Cache
 	VM      *executor.VM
 	Threads []*executor.Thread
-	nodeIDs []simnet.NodeID // all endpoints (threads + cache)
+	nodeIDs []simnet.NodeID    // all endpoints (threads + cache)
+	eps     []*simnet.Endpoint // endpoint handles, for the generation reaper
 }
 
 // NodeIDs lists every network endpoint belonging to the VM (executor
@@ -114,6 +116,12 @@ type Cluster struct {
 	// gens counts replacement generations per base name.
 	killed map[string]bool
 	gens   map[string]int
+	// deadGens holds crashed generations' handles until the reaper
+	// retires them (at replacement boot); lifecycle is the reaper's own
+	// Anna client (its endpoint outlives every VM generation).
+	deadGens    map[string]*VMHandle
+	lifecycle   *anna.Client
+	lifecycleEP *simnet.Endpoint
 }
 
 // New boots a cluster. The initial VMs and schedulers are live
@@ -141,8 +149,11 @@ func New(cfg Config) *Cluster {
 		down:     make(map[simnet.NodeID]bool),
 		killed:   make(map[string]bool),
 		gens:     make(map[string]int),
+		deadGens: make(map[string]*VMHandle),
 	}
 	c.dagClient = c.KV.NewClient(net.AddNode("dag-resolver"), 0)
+	c.lifecycleEP = net.AddNode("lifecycle-0")
+	c.lifecycle = c.KV.NewClient(c.lifecycleEP, 0)
 
 	// All control-plane consumers share one decoded-metrics cache: each
 	// publication is gob-decoded once per cluster, not once per poll tick
@@ -193,9 +204,11 @@ func (c *Cluster) bootVMNamed(name string) *VMHandle {
 
 	h := &VMHandle{Name: name, Cache: ch}
 	h.nodeIDs = append(h.nodeIDs, cacheEP.ID())
+	h.eps = append(h.eps, cacheEP)
 	for i := 0; i < c.cfg.ThreadsPerVM; i++ {
 		id := simnet.NodeID(fmt.Sprintf("exec-%s-%d", name, i))
 		ep := c.Net.AddNode(id)
+		h.eps = append(h.eps, ep)
 		t := executor.NewThread(c.K, ep, name, executor.Deps{
 			Cache:          ch,
 			Anna:           c.KV.NewClient(ep, 0),
@@ -212,6 +225,7 @@ func (c *Cluster) bootVMNamed(name string) *VMHandle {
 	h.VM = executor.NewVM(c.K, name, h.Threads, ch.Keys, func() string { return string(ch.ID()) },
 		c.KV.NewClient(metricsEP, 0), c.cfg.MetricsInterval)
 	h.nodeIDs = append(h.nodeIDs, metricsEP.ID())
+	h.eps = append(h.eps, metricsEP)
 	h.VM.Start()
 	c.vms[name] = h
 	return h
@@ -282,12 +296,28 @@ func (c *Cluster) stopVM(name string) {
 	if !ok {
 		return
 	}
-	h.VM.Stop()
 	for _, id := range h.nodeIDs {
 		c.Net.SetDown(id, true)
 		c.down[id] = true
 	}
 	delete(c.vms, name)
+	// A deliberate deallocation reaps immediately: there is no replacement
+	// coming to trigger it later.
+	c.reapGeneration(h)
+}
+
+// DrainVM takes a VM out of new-work rotation without touching its
+// processes or endpoints: its metrics publication stops, so schedulers
+// drop its threads once their reports age past StaleAfter, while
+// in-flight and queued work keeps completing. The drain half of a
+// rolling upgrade; follow with WarmRestartVM once traffic has moved.
+func (c *Cluster) DrainVM(name string) bool {
+	h, ok := c.vms[name]
+	if !ok {
+		return false
+	}
+	h.VM.DrainMetrics()
+	return true
 }
 
 // KillVM abruptly partitions a VM away without stopping its processes —
@@ -299,12 +329,14 @@ func (c *Cluster) KillVM(name string) {
 	if !ok {
 		return
 	}
+	c.recordWarmSeed(h)
 	for _, id := range h.nodeIDs {
 		c.Net.SetDown(id, true)
 		c.down[id] = true
 	}
 	delete(c.vms, name)
 	c.killed[name] = true
+	c.deadGens[name] = h
 }
 
 // baseVMName strips replacement-generation suffixes ("vm0.r2" → "vm0").
@@ -321,25 +353,156 @@ func baseVMName(name string) string {
 // name ("vm0" → "vm0.r1") with fresh endpoints and a cold cache; its
 // executor threads re-register with the schedulers through the ordinary
 // metrics-publication path, and the monitor re-admits the node via
-// VMCount. The dead generation's endpoints stay partitioned forever.
+// VMCount. Just before the replacement boots, the dead generation is
+// reaped: its endpoints are retired, its parked processes released, and
+// its ghost metric keys scrubbed from the Anna registries (so the
+// replacement's registration gossips an already-clean discovery set).
 // Returns the replacement's name ("" when the VM never existed).
-func (c *Cluster) RestartVM(name string) string {
+func (c *Cluster) RestartVM(name string) string { return c.restart(name, false) }
+
+// WarmRestartVM is RestartVM plus a warm cache handoff: after booting,
+// the replacement restores the dead generation's cached key set from a
+// live peer cache's snapshots (seeded by the WarmSeed the crash
+// recorded) and pre-pins the functions the dead generation served.
+// Keys no peer holds are simply refaulted cold on first use.
+func (c *Cluster) WarmRestartVM(name string) string { return c.restart(name, true) }
+
+func (c *Cluster) restart(name string, warm bool) string {
 	if _, live := c.vms[name]; live {
 		c.KillVM(name)
 	} else if !c.killed[name] {
 		return ""
 	}
 	delete(c.killed, name)
+	dead := c.deadGens[name]
+	delete(c.deadGens, name)
 	base := baseVMName(name)
 	c.gens[base]++
 	replacement := fmt.Sprintf("%s.r%d", base, c.gens[base])
 	c.pending++
 	c.K.Go("cluster/restart", func() {
 		c.K.Sleep(c.cfg.VMSpinUp)
-		c.bootVMNamed(replacement)
+		if dead != nil {
+			c.reapGeneration(dead)
+		}
+		h := c.bootVMNamed(replacement)
+		if warm {
+			c.warmFill(h, base)
+		}
 		c.pending--
 	})
 	return replacement
+}
+
+// --- generation reaper and warm handoff ----------------------------------
+
+// reapGeneration retires a dead VM generation: stops its processes,
+// removes its simnet endpoints (so parked dispatcher procs wake and
+// exit, returning to the kernel's free pool), and scrubs its ghost
+// metric keys out of the Anna discovery registries. Without the scrub,
+// every crash leaves a tombstone ExecMetricsKey per thread plus a
+// CacheKeysKey in the grow-only registry sets, and each monitor refresh
+// multi-gets and fails to decode them forever.
+func (c *Cluster) reapGeneration(h *VMHandle) {
+	h.VM.Stop()
+	h.Cache.Stop()
+	for _, ep := range h.eps {
+		// RemoveNode first: in-flight deliveries to an unknown node drop
+		// harmlessly; Close then wakes any proc parked on the inbox. The
+		// full-drop policy installed at kill time stays, so anything a
+		// zombie process still sends keeps vanishing.
+		c.Net.RemoveNode(ep.ID())
+		ep.Close()
+	}
+	threadKeys := make([]string, 0, len(h.Threads))
+	for _, t := range h.Threads {
+		key := core.ExecMetricsKey(string(t.ID()))
+		threadKeys = append(threadKeys, key)
+		c.lifecycle.Delete(key)
+	}
+	c.lifecycle.Delete(core.CacheKeysKey(h.Name))
+	c.lifecycle.RemoveFromSet(executor.MetricListKey, threadKeys)
+	c.lifecycle.RemoveFromSet(executor.CacheListKey, []string{core.CacheKeysKey(h.Name)})
+}
+
+// recordWarmSeed snapshots what the dying generation held — its cached
+// key set and pinned functions — under a per-base-name lifecycle key, so
+// a later WarmRestartVM can restore the working set from peers. The
+// snapshot itself is taken synchronously (the handle is still intact);
+// the Anna put rides its own process so KillVM stays non-blocking.
+func (c *Cluster) recordWarmSeed(h *VMHandle) {
+	base := baseVMName(h.Name)
+	seed := core.WarmSeed{
+		VM:      base,
+		Keys:    h.Cache.Keys(),
+		DiedAtS: c.K.Now().Seconds(),
+	}
+	if c.Monitor != nil {
+		seed.Pinned = c.Monitor.PinsForVM(h.Name)
+	}
+	if len(seed.Pinned) == 0 {
+		set := make(map[string]bool)
+		for _, t := range h.Threads {
+			for _, fn := range t.Pinned() {
+				set[fn] = true
+			}
+		}
+		for fn := range set {
+			seed.Pinned = append(seed.Pinned, fn)
+		}
+		sort.Strings(seed.Pinned)
+	}
+	payload := codec.MustEncode(seed)
+	ts := lattice.Timestamp{Clock: int64(c.K.Now()), Node: nodeHashCluster(base)}
+	c.K.Go("cluster/seed", func() {
+		c.lifecycle.Put(core.WarmSeedKey(base), lattice.NewLWW(ts, payload))
+	})
+}
+
+// warmFill restores a fresh replacement's cache from a live peer using
+// the dead generation's recorded seed, then pre-pins the functions the
+// dead generation served so the schedulers' locality heuristics see the
+// replacement as equivalent. Missing seed or missing peers degrade to a
+// cold start.
+func (c *Cluster) warmFill(h *VMHandle, base string) {
+	lat, found, err := c.lifecycle.Get(core.WarmSeedKey(base))
+	if err != nil || !found {
+		return
+	}
+	l, ok := lat.(*lattice.LWW)
+	if !ok {
+		return
+	}
+	v, err := codec.Decode(l.Value)
+	if err != nil {
+		return
+	}
+	seed, ok := v.(core.WarmSeed)
+	if !ok {
+		return
+	}
+	var peer simnet.NodeID
+	for _, name := range c.vmNames() {
+		if name == h.Name {
+			continue
+		}
+		peer = c.vms[name].Cache.ID()
+		break
+	}
+	if peer != "" && len(seed.Keys) > 0 {
+		h.Cache.WarmFill(peer, seed.Keys)
+	}
+	for _, fn := range seed.Pinned {
+		for _, t := range h.Threads {
+			c.lifecycleEP.Send(t.ID(), core.PinFunction{Function: fn}, 32)
+		}
+	}
+}
+
+func nodeHashCluster(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // VMCount reports live VMs.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"cloudburst/internal/codec"
 	"cloudburst/internal/lattice"
@@ -183,6 +184,8 @@ type InvokeRequest struct {
 	Function   string
 	Args       []Arg
 	RespondTo  simnet.NodeID // where the Result goes
+	Scheduler  simnet.NodeID // receives the executor's InvokeComplete (§4.5 tracking)
+	Deadline   time.Duration // client timeout; drives scheduler re-execution when lost
 	StoreInKVS bool          // persist the result in the KVS under ResultKey
 	Direct     bool          // carry the value inline in the Result even when storing
 	WantHops   bool          // report the executor hop count in the Result
@@ -263,10 +266,31 @@ type DAGComplete struct {
 	DAG   string
 }
 
+// InvokeComplete is the single-function counterpart of DAGComplete: the
+// executor notifies the issuing scheduler that a tracked InvokeRequest
+// finished, clearing its §4.5 re-execution timer. Fire-and-forget.
+type InvokeComplete struct {
+	ReqID    string
+	Function string
+}
+
 // DirectMessage is executor-to-executor communication (Table 1 send/recv).
 type DirectMessage struct {
 	FromID string // sender invocation id
 	Body   []byte
+}
+
+// WarmSeed is a dead VM generation's working-set record, written to Anna
+// when the cluster kills (or drains) a VM: the keys its cache held and
+// the functions its threads had pinned. A warm replacement reads the
+// seed and restores its cache from a live peer's snapshots before
+// serving (FireCamp-style membership+state handoff), falling back to
+// cold refault for keys no peer holds.
+type WarmSeed struct {
+	VM      string   // logical VM name (generation-independent)
+	Keys    []string // cache working set at death
+	Pinned  []string // pinned functions at death (from the monitor's view)
+	DiedAtS float64  // virtual seconds, for staleness checks
 }
 
 // ExecutorMetrics is what each executor thread periodically publishes to
@@ -362,6 +386,7 @@ func CacheKeysKey(vm string) string       { return "sys/metrics/cache/" + vm }
 func CacheKeysPrefix() string             { return "sys/metrics/cache/" }
 func SchedMetricsKey(id string) string    { return "sys/metrics/sched/" + id }
 func SchedMetricsPrefix() string          { return "sys/metrics/sched/" }
+func WarmSeedKey(vm string) string        { return "sys/lifecycle/seed/" + vm }
 func InboxKey(invocationID string) string { return "sys/inbox/" + invocationID }
 
 // SplitInvocationID recovers the executor-thread address from a function

@@ -17,6 +17,25 @@ func init() {
 	codec.RegisterStruct[ExecutorMetrics, *ExecutorMetrics]("core.ExecutorMetrics")
 	codec.RegisterStruct[CacheMetrics, *CacheMetrics]("core.CacheMetrics")
 	codec.RegisterStruct[SchedulerMetrics, *SchedulerMetrics]("core.SchedulerMetrics")
+	codec.RegisterStruct[WarmSeed, *WarmSeed]("core.WarmSeed")
+}
+
+// AppendWire implements codec.Struct.
+func (s WarmSeed) AppendWire(dst []byte) []byte {
+	dst = codec.AppendStr(dst, s.VM)
+	dst = codec.AppendStrs(dst, s.Keys)
+	dst = codec.AppendStrs(dst, s.Pinned)
+	return codec.AppendF64(dst, s.DiedAtS)
+}
+
+// DecodeWire implements codec.Struct.
+func (s *WarmSeed) DecodeWire(body []byte) error {
+	r := codec.NewReader(body)
+	s.VM = r.Str()
+	s.Keys = r.Strs()
+	s.Pinned = r.Strs()
+	s.DiedAtS = r.F64()
+	return r.Done()
 }
 
 // AppendWire implements codec.Struct.

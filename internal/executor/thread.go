@@ -344,13 +344,13 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 	}
 	if err != nil {
 		res.Err = err.Error()
-		t.ep.Send(req.RespondTo, res, 64)
+		t.completeSingle(req, res, 64)
 		return
 	}
 	payload, encErr := codec.Encode(result)
 	if encErr != nil {
 		res.Err = encErr.Error()
-		t.ep.Send(req.RespondTo, res, 64)
+		t.completeSingle(req, res, 64)
 		return
 	}
 	if req.StoreInKVS {
@@ -362,11 +362,21 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 				res.Val = payload
 			}
 		}
-		t.ep.Send(req.RespondTo, res, 64+len(res.Val))
+		t.completeSingle(req, res, 64+len(res.Val))
 		return
 	}
 	res.Val = payload
-	t.ep.Send(req.RespondTo, res, 48+len(payload))
+	t.completeSingle(req, res, 48+len(payload))
+}
+
+// completeSingle delivers a single invocation's terminal Result and, when
+// the request was routed through a scheduler, notifies it so the §4.5
+// re-execution tracking entry is cleared.
+func (t *Thread) completeSingle(req core.InvokeRequest, res core.Result, size int) {
+	t.ep.Send(req.RespondTo, res, size)
+	if req.Scheduler != "" {
+		t.ep.Send(req.Scheduler, core.InvokeComplete{ReqID: req.ReqID, Function: req.Function}, 32)
+	}
 }
 
 // runTrigger serves one DAG hop: assemble fan-in inputs, execute, and

@@ -63,6 +63,12 @@ func (vm *VM) Start() {
 	vm.k.Go("vm-"+vm.Name+"/metrics", vm.metricsLoop)
 }
 
+// DrainMetrics halts the metrics daemon without stopping the worker
+// threads: the VM keeps serving in-flight and queued work, but its
+// metrics go stale, so schedulers drop its threads from the routing view
+// after their StaleAfter horizon — the drain half of a rolling upgrade.
+func (vm *VM) DrainMetrics() { vm.stopped = true }
+
 // Stop halts the metrics daemon and the threads (after in-flight work).
 func (vm *VM) Stop() {
 	vm.stopped = true

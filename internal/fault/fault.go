@@ -16,6 +16,19 @@
 // is idempotent-ish and tolerant of a cluster that changed underneath it
 // (a named VM that already died makes the action a recorded no-op), so
 // randomized plans compose safely with autoscaling.
+//
+// Beyond the point faults, three lifecycle actions drive whole
+// state-transfer scenarios. WarmRestartVM is RestartVM with a warm cache
+// handoff: the replacement restores the dead generation's cached keys
+// from a live peer and pre-pins its functions (Cluster.WarmRestartVM).
+// RollingRestart is a composite that drains and replaces VMs one at a
+// time — each replacement must finish spinning up and get a settle
+// grace before the next VM is touched — the rolling-upgrade primitive.
+// RackFailure crashes several VMs at the same instant (correlated
+// failure) and launches their replacements together after the outage.
+// Composite actions sleep inside Apply, so events scheduled after them
+// in the same plan are pushed out accordingly; RandomPlan only draws
+// them when the corresponding RandomOpts flag is set.
 package fault
 
 import (
@@ -124,6 +137,152 @@ func (a RestartVM) Apply(inj *Injector) string {
 		return fmt.Sprintf("restart %s: unknown VM", name)
 	}
 	return fmt.Sprintf("restart %s -> %s (spin-up)", name, replacement)
+}
+
+// WarmRestartVM replaces a crashed VM with a warm replacement
+// (Cluster.WarmRestartVM): after the spin-up delay the new instance
+// restores the dead generation's cached key set from a live peer cache
+// and pre-pins the functions it served, so recovery skips the cold
+// refault storm. An empty VM restarts the most recently crashed one.
+type WarmRestartVM struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a WarmRestartVM) Apply(inj *Injector) string {
+	name := a.VM
+	if name == "" && len(inj.crashed) > 0 {
+		name = inj.crashed[len(inj.crashed)-1]
+		inj.crashed = inj.crashed[:len(inj.crashed)-1]
+	}
+	if name == "" {
+		return "warm restart: nothing crashed"
+	}
+	replacement := inj.c.WarmRestartVM(name)
+	if replacement == "" {
+		return fmt.Sprintf("warm restart %s: unknown VM", name)
+	}
+	return fmt.Sprintf("warm restart %s -> %s (spin-up)", name, replacement)
+}
+
+// RollingRestart drains and replaces VMs one at a time — the
+// rolling-upgrade primitive. Each VM is first drained
+// (Cluster.DrainVM: metrics stop, schedulers route away once the
+// reports age out, in-flight work completes), then warm-replaced; the
+// action waits for the replacement to finish spinning up (its first
+// metrics publication lands at boot, re-registering it with the
+// schedulers) and a settle grace before the next VM is touched, so at
+// most one VM's capacity is ever missing and no request is killed
+// mid-flight. The action sleeps inside Apply; later events in the same
+// plan are pushed out by the whole rolling window.
+type RollingRestart struct {
+	// VMs lists the restart order; empty means every VM live at apply
+	// time, in sorted order.
+	VMs []string
+	// Drain is how long to wait after taking a VM out of rotation before
+	// killing it — it must cover the schedulers' StaleAfter horizon plus
+	// the tail of in-flight work (default 6s).
+	Drain time.Duration
+	// Settle is the post-spin-up health grace per VM (default 5s: a
+	// couple of metrics/poll intervals, so schedulers and monitor see the
+	// replacement before the next drain).
+	Settle time.Duration
+}
+
+// Apply implements Action.
+func (a RollingRestart) Apply(inj *Injector) string {
+	vms := a.VMs
+	if len(vms) == 0 {
+		for _, h := range inj.c.VMs() {
+			vms = append(vms, h.Name)
+		}
+	}
+	drain := a.Drain
+	if drain <= 0 {
+		drain = 6 * time.Second
+	}
+	settle := a.Settle
+	if settle <= 0 {
+		settle = 5 * time.Second
+	}
+	n := 0
+	for _, vm := range vms {
+		if !inj.c.DrainVM(vm) {
+			continue
+		}
+		inj.c.K.Sleep(drain)
+		if inj.c.WarmRestartVM(vm) == "" {
+			continue
+		}
+		for inj.c.PendingVMs() > 0 {
+			inj.c.K.Sleep(500 * time.Millisecond)
+		}
+		inj.c.K.Sleep(settle)
+		n++
+	}
+	return fmt.Sprintf("rolling restart: replaced %d VM(s)", n)
+}
+
+// RackFailure crashes several VMs at the same instant — the correlated
+// failure a real rack or AZ outage produces — and launches all their
+// replacements together once the outage ends. At least one VM is always
+// left standing.
+type RackFailure struct {
+	// VMs names the victims; empty draws Count random live VMs.
+	VMs []string
+	// Count is how many random victims to draw when VMs is empty
+	// (default 2, capped to leave one VM standing).
+	Count int
+	// After is the outage duration before replacements launch
+	// (default 10s).
+	After time.Duration
+	// Warm restores the replacements' caches from surviving peers.
+	Warm bool
+}
+
+// Apply implements Action.
+func (a RackFailure) Apply(inj *Injector) string {
+	victims := a.VMs
+	if len(victims) == 0 {
+		count := a.Count
+		if count <= 0 {
+			count = 2
+		}
+		live := inj.c.VMs()
+		if count >= len(live) {
+			count = len(live) - 1
+		}
+		if count < 1 {
+			return "rack failure: no eligible VMs"
+		}
+		perm := inj.c.K.Rand().Perm(len(live))
+		for _, i := range perm[:count] {
+			victims = append(victims, live[i].Name)
+		}
+		sort.Strings(victims)
+	}
+	n := 0
+	for _, vm := range victims {
+		if inj.liveVM(vm) {
+			inj.c.KillVM(vm)
+			n++
+		}
+	}
+	after := a.After
+	if after <= 0 {
+		after = 10 * time.Second
+	}
+	inj.c.K.Sleep(after)
+	mode := "cold"
+	for _, vm := range victims {
+		if a.Warm {
+			inj.c.WarmRestartVM(vm)
+			mode = "warm"
+		} else {
+			inj.c.RestartVM(vm)
+		}
+	}
+	return fmt.Sprintf("rack failure: %d VM(s) down %s, %s replacements launched", n, after, mode)
 }
 
 // DegradeVM installs a simnet node policy on every endpoint of a VM —

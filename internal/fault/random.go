@@ -28,6 +28,14 @@ type RandomOpts struct {
 	// AllowCrash enables VM crash+restart pairs (needs a spin-up delay
 	// short enough to complete inside Window).
 	AllowCrash bool
+	// AllowWarmRestart makes drawn crash faults (and rack failures)
+	// recover through the warm cache handoff instead of a cold restart.
+	AllowWarmRestart bool
+	// AllowRolling adds rolling-restart composites over two random VMs to
+	// the draw (needs AllowCrash-grade spin-up headroom inside Window).
+	AllowRolling bool
+	// AllowRackFailure adds correlated two-VM failures to the draw.
+	AllowRackFailure bool
 }
 
 // RandomPlan draws a reproducible randomized chaos plan from rng: a mix
@@ -80,13 +88,23 @@ func RandomPlan(rng *rand.Rand, o RandomOpts) *Plan {
 		kinds = append(kinds, 3)
 	}
 	kinds = append(kinds, 4) // snapshot drops are always available
+	if o.AllowRolling && len(o.VMs) > 1 {
+		kinds = append(kinds, 5)
+	}
+	if o.AllowRackFailure && len(o.VMs) > 2 {
+		kinds = append(kinds, 6)
+	}
 	for i := 0; i < o.Faults; i++ {
 		from, to := interval()
 		switch kinds[rng.Intn(len(kinds))] {
 		case 0:
 			vm := o.VMs[rng.Intn(len(o.VMs))]
 			p.At(from, CrashVM{VM: vm})
-			p.At(to, RestartVM{VM: vm})
+			if o.AllowWarmRestart {
+				p.At(to, WarmRestartVM{VM: vm})
+			} else {
+				p.At(to, RestartVM{VM: vm})
+			}
 		case 1:
 			vm := o.VMs[rng.Intn(len(o.VMs))]
 			pol := degradation()
@@ -103,6 +121,15 @@ func RandomPlan(rng *rand.Rand, o RandomOpts) *Plan {
 			idx := rng.Intn(o.AnnaNodes)
 			p.At(from, CrashAnnaNode{Index: idx})
 			p.At(to, ReviveAnnaNode{Index: idx})
+		case 5:
+			// Two-VM rolling restart: one VM's capacity missing at a time.
+			a, b := rng.Intn(len(o.VMs)), rng.Intn(len(o.VMs))
+			for b == a {
+				b = rng.Intn(len(o.VMs))
+			}
+			p.At(from, RollingRestart{VMs: []string{o.VMs[a], o.VMs[b]}, Settle: 3 * time.Second})
+		case 6:
+			p.At(from, RackFailure{Count: 2, After: 5 * time.Second, Warm: o.AllowWarmRestart})
 		default:
 			p.At(from, DropSnapshots{})
 		}

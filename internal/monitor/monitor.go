@@ -331,6 +331,27 @@ func (m *Monitor) scaleReplicas(calls, done map[string]int64, elapsed float64) {
 	}
 }
 
+// PinsForVM returns the union of functions pinned on a VM's threads, as
+// of its last metrics publication. The cluster's lifecycle manager uses
+// it to seed a warm replacement with the dead generation's pin set.
+func (m *Monitor) PinsForVM(vm string) []string {
+	set := make(map[string]bool)
+	for _, em := range m.threadMetrics {
+		if em.VM != vm {
+			continue
+		}
+		for _, fn := range em.Pinned {
+			set[fn] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // pinnedUtil averages the reported utilization of a function's pinned
 // threads.
 func (m *Monitor) pinnedUtil(fn string) float64 {

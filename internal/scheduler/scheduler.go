@@ -134,6 +134,20 @@ type outstanding struct {
 	current map[simnet.NodeID]bool
 }
 
+// singleFlight tracks an in-flight single-function invocation for §4.5
+// re-execution — the single-function analogue of outstanding. DAGs got
+// this tracking first; a lost InvokeRequest (executor VM died holding
+// it) used to strand the client until its own timeout.
+type singleFlight struct {
+	req          core.InvokeRequest
+	timeout      time.Duration
+	deadline     vtime.Time
+	retries      int
+	aliveExtends int
+	target       simnet.NodeID          // latest attempt's executor
+	used         map[simnet.NodeID]bool // executors tried (avoided on retry)
+}
+
 // Scheduler is one scheduler node. Traffic dispatches through a serial
 // simnet.Dispatcher; the view-refresh, metrics, and retry daemons are its
 // periodic processes.
@@ -154,6 +168,7 @@ type Scheduler struct {
 	pins      map[string][]simnet.NodeID // function → threads pinned
 
 	inflight map[string]*outstanding
+	singles  map[string]*singleFlight
 
 	// pickScratch holds pickExecutor's candidate slices, reused across
 	// calls: pickExecutor never blocks, so no two invocations overlap.
@@ -200,6 +215,7 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		cacheKeys:    make(map[string]map[string]bool),
 		pins:         make(map[string][]simnet.NodeID),
 		inflight:     make(map[string]*outstanding),
+		singles:      make(map[string]*singleFlight),
 		lastAssigned: make(map[simnet.NodeID]int64),
 		dagCalls:     make(map[string]int64),
 		fnCalls:      make(map[string]int64),
@@ -216,7 +232,17 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 	simnet.OnRequest(s.disp, func(req *simnet.Request, b RegisterDAGReq) {
 		req.Reply(s.registerDAG(b), 16)
 	})
-	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeRequest) { s.invokeSingle(b) })
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeRequest) {
+		// Same duplicated-datagram guard as DAGs below: a tracked ReqID
+		// arriving here again can only be a duplicated link delivery.
+		if _, dup := s.singles[b.ReqID]; dup {
+			return
+		}
+		s.invokeSingle(b)
+	})
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeComplete) {
+		delete(s.singles, b.ReqID)
+	})
 	simnet.OnMessage(s.disp, func(_ simnet.Message, b DAGInvokeReq) {
 		// Clients mint a fresh ReqID per invocation, so a tracked ReqID
 		// arriving here can only be a duplicated datagram (fault-plan
@@ -400,20 +426,53 @@ func (s *Scheduler) ensureView() bool {
 }
 
 // invokeSingle forwards a single-function request to a policy-picked
-// executor.
+// executor and tracks it for §4.5 re-execution, exactly like DAGs: the
+// executor's InvokeComplete notice clears the entry, and retryTick
+// re-sends expired requests to a different executor.
 func (s *Scheduler) invokeSingle(req core.InvokeRequest) {
 	s.fnCalls[req.Function]++
 	s.ensureView()
-	target := s.pickExecutor(req.Function, req.Args, nil, false)
-	if target == "" {
-		s.ep.Send(req.RespondTo, core.Result{ReqID: req.ReqID, Err: "scheduler: no executors available"}, 64)
+	timeout := s.cfg.DAGTimeout
+	if req.Deadline > 0 && req.Deadline < timeout {
+		timeout = req.Deadline
+	}
+	req.Scheduler = s.id // route the executor's completion notice back here
+	o := &singleFlight{
+		req:      req,
+		timeout:  timeout,
+		deadline: s.k.Now().Add(timeout),
+		used:     make(map[simnet.NodeID]bool),
+	}
+	if !s.dispatchSingle(o, nil) {
 		return
 	}
+	s.singles[req.ReqID] = o
+	if req.Deadline > 0 && req.Deadline < s.cfg.DAGTimeout {
+		id := req.ReqID
+		s.disp.Go("deadline", func() { s.watchSingleDeadline(id) })
+	}
+}
+
+// dispatchSingle sends one attempt of a tracked single invocation,
+// avoiding already-tried executors when alternatives exist. Returns
+// false on terminal failure (no executors at all).
+func (s *Scheduler) dispatchSingle(o *singleFlight, exclude map[simnet.NodeID]bool) bool {
+	target := s.pickExecutor(o.req.Function, o.req.Args, exclude, false)
+	if target == "" {
+		target = s.pickExecutor(o.req.Function, o.req.Args, nil, false)
+	}
+	if target == "" {
+		s.ep.Send(o.req.RespondTo, core.Result{ReqID: o.req.ReqID, Err: "scheduler: no executors available"}, 64)
+		return false
+	}
+	o.target = target
+	o.used[target] = true
 	size := 96
-	for _, a := range req.Args {
+	for _, a := range o.req.Args {
 		size += len(a.Val) + len(a.Ref)
 	}
-	s.ep.Send(target, req, size)
+	s.ep.Send(target, o.req, size)
+	return true
 }
 
 // invokeDAG builds a schedule (one executor per function, §4.3) and
@@ -721,22 +780,31 @@ func (s *Scheduler) decodeCached(key string, lat lattice.Lattice) (any, bool) {
 	return s.decoded.Decode(key, l)
 }
 
-// retryTick re-executes timed-out DAG requests on fresh executors
-// (§4.5).
+// retryTick re-executes timed-out DAG and single-function requests on
+// fresh executors (§4.5).
 func (s *Scheduler) retryTick() {
 	now := s.k.Now()
-	var expired []string
+	var expired, expiredSingles []string
 	for id, o := range s.inflight {
 		if now >= o.deadline {
 			expired = append(expired, id)
 		}
 	}
+	for id, o := range s.singles {
+		if now >= o.deadline {
+			expiredSingles = append(expiredSingles, id)
+		}
+	}
 	sort.Strings(expired)
-	if len(expired) > 0 {
+	sort.Strings(expiredSingles)
+	if len(expired)+len(expiredSingles) > 0 {
 		s.refreshView()
 	}
 	for _, id := range expired {
 		s.expireOne(id)
+	}
+	for _, id := range expiredSingles {
+		s.expireSingle(id)
 	}
 }
 
@@ -773,6 +841,51 @@ func (s *Scheduler) expireOne(id string) {
 	o.deadline = s.k.Now().Add(o.timeout)
 	s.reexecs++
 	s.invokeDAG(o.req, o.used)
+}
+
+// expireSingle handles one expired single invocation, with the same
+// alive-extension policy as DAGs: a still-reporting executor earns a
+// bounded deadline extension (it may just be slow), a stale one gets the
+// request re-sent elsewhere, and retry exhaustion reports a terminal
+// error (the client's duplicate-Result guard absorbs any late original).
+func (s *Scheduler) expireSingle(id string) {
+	o, ok := s.singles[id]
+	if !ok || s.k.Now() < o.deadline {
+		return
+	}
+	if _, fresh := s.threads[o.target]; fresh && o.aliveExtends < s.cfg.MaxAliveExtensions {
+		o.aliveExtends++
+		o.deadline = s.k.Now().Add(o.timeout)
+		return
+	}
+	if o.retries >= s.cfg.MaxRetries {
+		delete(s.singles, id)
+		s.ep.Send(o.req.RespondTo, core.Result{ReqID: id, Err: "scheduler: invocation failed after retries"}, 64)
+		return
+	}
+	o.retries++
+	o.aliveExtends = 0
+	o.deadline = s.k.Now().Add(o.timeout)
+	s.reexecs++
+	if !s.dispatchSingle(o, o.used) {
+		delete(s.singles, id)
+	}
+}
+
+// watchSingleDeadline is watchDeadline for single invocations.
+func (s *Scheduler) watchSingleDeadline(id string) {
+	for {
+		o, ok := s.singles[id]
+		if !ok {
+			return
+		}
+		if d := o.deadline.Sub(s.k.Now()); d > 0 {
+			s.k.Sleep(d)
+			continue
+		}
+		s.refreshView()
+		s.expireSingle(id)
+	}
 }
 
 // watchDeadline drives §4.5 expiry for one request whose wire Deadline
@@ -848,6 +961,9 @@ func copyCounts(m map[string]int64) map[string]int64 {
 
 // Inflight reports tracked DAG requests (test hook).
 func (s *Scheduler) Inflight() int { return len(s.inflight) }
+
+// InflightSingles reports tracked single invocations (test hook).
+func (s *Scheduler) InflightSingles() int { return len(s.singles) }
 
 // Reexecutions reports how many §4.5 re-executions this scheduler has
 // issued (failure experiments align it with their latency timelines).

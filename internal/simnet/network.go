@@ -101,6 +101,9 @@ type node struct {
 	// parallel large fetches to one machine contend (the §6.1.2
 	// cache-miss path depends on this).
 	nicFreeAt vtime.Time
+	// closed guards Endpoint.Close idempotence (vtime.Chan panics on a
+	// double close).
+	closed bool
 }
 
 // Network is a simulated datacenter network. All methods must be called
@@ -174,6 +177,11 @@ func (n *Network) AddNode(id NodeID) *Endpoint {
 // RemoveNode deletes a node; in-flight messages to it are dropped on
 // arrival.
 func (n *Network) RemoveNode(id NodeID) { delete(n.nodes, id) }
+
+// NodeCount reports how many nodes are currently registered — the
+// lifecycle tests use it to assert that crash/restart cycles retire the
+// dead generation's endpoints instead of leaking them.
+func (n *Network) NodeCount() int { return len(n.nodes) }
 
 // SetLinkPolicy installs a fault overlay on the from→to direction only
 // (asymmetric partitions and flaky links are built from these). A zero
@@ -390,11 +398,26 @@ func (e *Endpoint) RecvTimeout(d time.Duration) (Message, bool) {
 	return m, !timedOut
 }
 
-// TryRecv receives without blocking.
+// TryRecv receives without blocking. A closed-and-drained inbox reports
+// nothing available (not the zero-Message closed indication), so drain
+// loops on a reaped endpoint terminate instead of spinning.
 func (e *Endpoint) TryRecv() (Message, bool) {
-	m, _, got := e.node.inbox.TryRecv()
-	return m, got
+	m, ok, got := e.node.inbox.TryRecv()
+	return m, got && ok
 }
 
 // Pending reports queued inbound messages.
 func (e *Endpoint) Pending() int { return e.node.inbox.Len() }
+
+// Close shuts the endpoint's inbox: parked receivers wake immediately
+// with a zero Message, which lets a stopped Dispatcher's serve loop exit
+// instead of parking forever. The generation reaper calls this after
+// RemoveNode, so in-flight deliveries drop at the (now absent) node
+// rather than landing in a closed inbox. Close is idempotent.
+func (e *Endpoint) Close() {
+	if e.node.closed {
+		return
+	}
+	e.node.closed = true
+	e.node.inbox.Close()
+}

@@ -139,6 +139,7 @@ type Stats struct {
 	Reuses     int64 // Kernel.Go calls served from the process free list
 	Dispatches int64 // token grants to processes
 	TimerFires int64 // timers fired
+	LiveProcs  int64 // processes currently running, runnable, or parked
 }
 
 // Kernel is a deterministic virtual-time scheduler. The zero value is not
@@ -183,8 +184,14 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Dispatches reports how many times a process has been granted the token.
 func (k *Kernel) Dispatches() int64 { return k.stats.Dispatches }
 
-// Stats returns the kernel's lifetime counters.
-func (k *Kernel) Stats() Stats { return k.stats }
+// Stats returns the kernel's lifetime counters plus the current live
+// process count — the lifecycle tests use LiveProcs to assert that
+// crash/restart cycles do not leak parked serve loops.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	s.LiveProcs = int64(len(k.live))
+	return s
+}
 
 // Go spawns fn as a new kernel process. It may be called from a running
 // process or from outside the kernel between Run invocations. The process

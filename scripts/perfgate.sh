@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # perfgate.sh — the perf-regression tripwire (ROADMAP item, armed for
-# Fig5 in PR 3, extended to Fig7/Fig11 in PR 4, and to the struct-codec
-# microbench in PR 5; the current baseline is BENCH_5.json).
+# Fig5 in PR 3, extended to Fig7/Fig11 in PR 4, to the struct-codec
+# microbench in PR 5, and to the state-lifecycle experiment in PR 6;
+# the current baseline is BENCH_6.json).
 #
 # Compares each gated benchmark's harness-cost metrics (ns/op,
 # allocs/op) of a fresh bench report against the committed baseline and
@@ -23,7 +24,7 @@ set -euo pipefail
 
 CUR=${1:?usage: perfgate.sh <current.json> <baseline.json>}
 BASE=${2:?usage: perfgate.sh <current.json> <baseline.json>}
-BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig11Retwis BenchmarkCodecStructRoundTrip"
+BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig10Lifecycle BenchmarkFig11Retwis BenchmarkCodecStructRoundTrip"
 LIMIT=1.25
 
 # min_metric <file> <bench> <metric>: minimum value of metric across the
