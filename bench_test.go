@@ -11,6 +11,7 @@ package cloudburst_test
 // records paper-vs-measured for every row.
 
 import (
+	"fmt"
 	"runtime/debug"
 	"testing"
 
@@ -209,6 +210,24 @@ func BenchmarkFig12RetwisScaling(b *testing.B) {
 		for _, row := range r.Rows {
 			b.ReportMetric(row.ThroughputKOp*1000, "simops/s_"+metricName(row.Summary.Name))
 		}
+	}
+}
+
+// BenchmarkFig13Saturation runs the open-loop saturation sweep: offered
+// load × scheduler-group size, with the partitioned monitor on in the
+// sharded arms. The knees are the headline — the sharded knee must hold
+// a multiple of the single scheduler's.
+func BenchmarkFig13Saturation(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		cfg := bench.Fig13Quick()
+		r := bench.RunFig13(cfg)
+		base := cfg.SchedulerCounts[0]
+		b.ReportMetric(r.Knees[base], "simreq/s_knee1")
+		for _, n := range cfg.SchedulerCounts[1:] {
+			b.ReportMetric(r.Knees[n], fmt.Sprintf("simreq/s_knee%d", n))
+		}
+		b.ReportMetric(r.KneeRatio, "x_knee_ratio")
 	}
 }
 

@@ -251,7 +251,8 @@ func (cl *Client) Invoke(fn string, args []any, opts ...InvokeOption) *Future {
 	for _, a := range wireArgs {
 		size += len(a.Val) + len(a.Ref)
 	}
-	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
+	f.resend, f.resendSize = req, size
+	cl.ep.Send(cl.c.in.RouteScheduler(reqID, 0), req, size)
 	return f
 }
 
@@ -286,7 +287,8 @@ func (cl *Client) InvokeDAG(dagName string, args map[string][]any, opts ...Invok
 		ResultKey:  f.Key,
 		Deadline:   o.timeout,
 	}
-	cl.ep.Send(cl.c.in.PickScheduler(), req, size)
+	f.resend, f.resendSize = req, size
+	cl.ep.Send(cl.c.in.RouteScheduler(reqID, 0), req, size)
 	return f
 }
 

@@ -103,6 +103,17 @@ type Config struct {
 	// in scheduling — the failure-detection horizon.
 	DAGTimeout time.Duration
 	StaleAfter time.Duration
+
+	// Control-plane scaling knobs (fig13's subject matter; zero values
+	// keep dispatch free and the monitor unsharded).
+	// SchedulerDispatchCost models each scheduler's per-request CPU
+	// time; a positive cost caps one scheduler at ~1/cost req/s and the
+	// serial dispatcher queues the excess.
+	SchedulerDispatchCost time.Duration
+	// MonitorShards > 1 partitions the monitor's metric-registry scan
+	// across that many concurrent scanner endpoints with incremental
+	// counter aggregation.
+	MonitorShards int
 }
 
 // DefaultConfig returns a small LWW-mode deployment.
@@ -180,6 +191,12 @@ func (c *Cluster) internalConfig(mutate func(*cluster.Config)) cluster.Config {
 	}
 	if cfg.StaleAfter > 0 {
 		icfg.Scheduler.StaleAfter = cfg.StaleAfter
+	}
+	if cfg.SchedulerDispatchCost > 0 {
+		icfg.Scheduler.DispatchCost = cfg.SchedulerDispatchCost
+	}
+	if cfg.MonitorShards > 1 {
+		icfg.Monitor.Shards = cfg.MonitorShards
 	}
 	icfg.Monitor.MinVMs = icfg.InitialVMs
 	if mutate != nil {

@@ -743,6 +743,45 @@ func TestSingleInvokeDeadlineDrivesReexecution(t *testing.T) {
 	}
 }
 
+// TestWaitReroutesAfterSchedulerShardDies covers the shard-failover
+// remnant of the sharded control plane: a request routed to a
+// scheduler that dies before acking is tracked by no scheduler, so
+// §4.5 re-execution never fires — Future.Wait must re-route it to the
+// next-ranked shard at half its wait budget instead of hanging to the
+// deadline.
+func TestWaitReroutesAfterSchedulerShardDies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Schedulers = 2
+	c := testCluster(t, cfg)
+	registerArith(t, c)
+	c.Run(func(cl *Client) {
+		cl.Timeout = 12 * time.Second
+		reqID := string(cl.ep.ID()) + "-r1" // the next Invoke's request ID
+		primary := c.in.RouteScheduler(reqID, 0)
+		backup := c.in.RouteScheduler(reqID, 1)
+		if primary == backup {
+			t.Fatalf("rendezvous ranking returned %s twice", primary)
+		}
+		c.in.Net.SetDown(primary, true)
+		start := cl.Now()
+		out, err := As[int](cl.Invoke("square", []any{6}))
+		if err != nil {
+			t.Fatalf("invoke through dead shard: %v", err)
+		}
+		if out != 36 {
+			t.Fatalf("out = %d", out)
+		}
+		if waited := cl.Now() - start; waited < 5*time.Second {
+			t.Fatalf("completed in %v — the re-route must fire at half the wait budget, not earlier", waited)
+		}
+		// The healed shard serves later requests normally again.
+		c.in.Net.SetDown(primary, false)
+		if out, err := As[int](cl.Invoke("increment", []any{9})); err != nil || out != 10 {
+			t.Fatalf("post-heal invoke = %v, %v", out, err)
+		}
+	})
+}
+
 func TestRestartedVMReregistersWithSchedulers(t *testing.T) {
 	// The rejoin half of the §4.5 lifecycle: after RestartVM, the
 	// replacement's threads re-register through the ordinary metrics

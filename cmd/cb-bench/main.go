@@ -112,6 +112,12 @@ var experiments = []experiment{
 		full:  func() string { return bench.RunFig12(bench.Fig12Paper()).Print() },
 	},
 	{
+		name:  "fig13-saturation",
+		about: "open-loop saturation: offered load × scheduler-group size (§3.2)",
+		quick: func() string { return bench.RunFig13(bench.Fig13Quick()).Print() },
+		full:  func() string { return bench.RunFig13(bench.Fig13Paper()).Print() },
+	},
+	{
 		name:  "ablation-locality",
 		about: "locality-aware vs random scheduling (§4.3)",
 		quick: func() string { return bench.RunAblationLocality(bench.AblationQuick()).Print() },

@@ -203,7 +203,10 @@
 //     installed on one direction only. Network.SetDown (and
 //     Cluster.KillVM on top of it) is the thin full-drop special case.
 //     Duplication applies to one-way datagrams only; RPCs ride pooled
-//     at-most-once records.
+//     at-most-once records. SplitBrain/HealSplitBrain compose link
+//     drops into a control-plane partition: one VM blinded from the
+//     monitor's scanner endpoints (or half the scheduler group) while
+//     the rest of the control plane keeps scheduling onto it.
 //   - Compute: CrashVM partitions a VM away mid-flight (§4.5 —
 //     in-flight DAGs and tracked single invocations time out and
 //     re-execute; WithTimeout's deadline travels on the wire and
@@ -225,6 +228,52 @@
 // consistency modes, and the Figure 10 bench
 // (internal/bench/fig10.go) uses an explicit crash/restart plan to
 // reproduce the §4.5 performance-under-failure timeline.
+//
+// # Generating traffic
+//
+// Every paper figure drives the system closed-loop: N simulated
+// clients block on their own futures, so offered load collapses
+// exactly when the system slows down and saturation never shows. The
+// traffic plane (internal/traffic) is the open-loop alternative: a
+// seeded arrival process fires requests at their generated instants
+// whether or not earlier ones have completed, which is how real
+// aggregate load behaves and the only way a control-plane bottleneck
+// becomes visible as a diverging queue.
+//
+//	zip := traffic.NewZipfKeys(seed, 1.3, keys, "k")
+//	spec := traffic.Spec{
+//		Name:     "ramp",
+//		Workers:  4,
+//		Arrivals: traffic.NewDiurnal(seed, 100, 1200, 5*time.Minute),
+//		Window:   2 * time.Minute,
+//		Next: func(n int64) traffic.Invocation {
+//			return traffic.Invocation{Function: "serve",
+//				Args: []core.Arg{{Ref: zip.Next()}}}
+//		},
+//	}
+//	rec := traffic.NewPool(in.K, in, eps, spec).Run()
+//	p99 := rec.Capsule("ramp").Quantile(0.99)
+//
+// Arrival processes — Poisson, a diurnal ramp, a flash-crowd spike —
+// all draw from their own seeded source, so a fixed seed replays the
+// identical request stream; ZipfKeys and Mix add hot-key skew and
+// per-tenant DAG mixes. The pool records latencies into a fixed-bucket
+// streaming histogram (no per-request sample slice), and the resulting
+// Capsule is a codec wire struct, so whole measurement windows travel
+// through Anna like any other control-plane state. A bounded reaper
+// re-issues requests that stay silent past RetryAfter, walking the
+// scheduler ranking so retries land on a different shard.
+//
+// Offered load beyond one scheduler's dispatch capacity is the
+// headline experiment (cmd/cb-bench -run fig13-saturation): the
+// scheduler group is sharded behind consistent request hashing
+// (Config.Schedulers), each request's ranking of shards is stable and
+// client-computed, the monitor's registry scan partitions across
+// scanner endpoints with incremental counter aggregation
+// (Config.MonitorShards), and Future.Wait re-routes a still-silent
+// request to the next-ranked shard at half its wait budget — so the
+// saturation knee scales with the shard count (§3.2's "many schedulers
+// behind a load balancer").
 //
 // # VM lifecycle: crash, warm replacement, rolling upgrades
 //

@@ -3,6 +3,8 @@ package cloudburst
 import (
 	"fmt"
 	"time"
+
+	"cloudburst/internal/vtime"
 )
 
 // Future is the handle to an in-flight invocation (CloudburstFuture in
@@ -27,6 +29,15 @@ type Future struct {
 	val      any
 	err      error
 	hops     int
+
+	// resend carries the original wire request so Wait can re-route it
+	// to another scheduler shard after a deadline miss: a request routed
+	// to a shard killed pre-ack is tracked by no scheduler, so nothing
+	// §4.5 does recovers it — only the client can (§3.2's load-balancer
+	// failover). rerouted caps the remnant at one re-route per request.
+	resend     any
+	resendSize int
+	rerouted   bool
 }
 
 // complete resolves the future and stops tracking it; later duplicate
@@ -55,7 +66,19 @@ func (f *Future) timeoutErr() error {
 // arrive, and a later Wait or TryGet picks it up.
 func (f *Future) Wait() (any, error) {
 	cl := f.cl
-	deadline := cl.k.Now().Add(f.waitTimeout())
+	budget := f.waitTimeout()
+	deadline := cl.k.Now().Add(budget)
+	// With a sharded scheduler group, a silent request is re-routed to
+	// the next-ranked shard at half budget (once per request): the
+	// primary shard may have died before acking, in which case no
+	// scheduler tracks the request and only the client can recover it.
+	// Single-scheduler clusters never arm this, keeping their schedules
+	// byte-identical.
+	rerouteArmed := f.resend != nil && !f.rerouted && cl.c.in.SchedulerCount() > 1
+	var rerouteAt vtime.Time
+	if rerouteArmed {
+		rerouteAt = cl.k.Now().Add(budget / 2)
+	}
 	for {
 		cl.drain()
 		if f.done {
@@ -67,6 +90,11 @@ func (f *Future) Wait() (any, error) {
 		remaining := deadline.Sub(cl.k.Now())
 		if remaining <= 0 {
 			return nil, f.timeoutErr()
+		}
+		if rerouteArmed && !f.notified && rerouteAt.Sub(cl.k.Now()) <= 0 {
+			cl.ep.Send(cl.c.in.RouteScheduler(f.reqID, 1), f.resend, f.resendSize)
+			f.rerouted = true
+			rerouteArmed = false
 		}
 		if f.store && f.notified {
 			// The result was persisted rather than carried inline; the
@@ -92,7 +120,14 @@ func (f *Future) Wait() (any, error) {
 			cl.k.Sleep(d)
 			continue
 		}
-		if m, ok := cl.ep.RecvTimeout(remaining); ok {
+		wait := remaining
+		if rerouteArmed {
+			// Wake at the re-route instant even if no message arrives.
+			if d := rerouteAt.Sub(cl.k.Now()); d < wait {
+				wait = d
+			}
+		}
+		if m, ok := cl.ep.RecvTimeout(wait); ok {
 			cl.demux(m)
 		}
 	}

@@ -4,16 +4,19 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	cb "cloudburst"
 	"cloudburst/internal/audit"
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/executor"
 	"cloudburst/internal/fault"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/traffic"
 	"cloudburst/internal/workload"
 )
 
@@ -32,9 +35,12 @@ type ChaosConfig struct {
 	Faults    int              // fault/heal pairs per randomized plan
 	Probes    int              // post-heal liveness probes per client
 	Seed      int64
-	// Lifecycle appends two deterministic state-lifecycle cells to the
+	// Lifecycle appends three deterministic scenario cells to the
 	// randomized matrix: a rolling upgrade (drain → warm replace → rejoin,
-	// one VM at a time) and a correlated rack failure with warm recovery.
+	// one VM at a time), a correlated rack failure with warm recovery, and
+	// an open-loop traffic cell — the internal/traffic pool firing at a
+	// sharded scheduler group while a split-brain blinds the monitor shard
+	// from a VM the schedulers keep using.
 	Lifecycle bool
 }
 
@@ -125,7 +131,8 @@ func RunChaosMatrix(cfg ChaosConfig) ChaosResult {
 	if cfg.Lifecycle {
 		out.Cells = append(out.Cells,
 			runChaosCell(cfg, "predserve", cb.LWW, cfg.Seed+7001, "rolling"),
-			runChaosCell(cfg, "retwis", cb.LWW, cfg.Seed+7002, "rack"))
+			runChaosCell(cfg, "retwis", cb.LWW, cfg.Seed+7002, "rack"),
+			runChaosCell(cfg, "openloop", cb.LWW, cfg.Seed+7003, "traffic"))
 	}
 	return out
 }
@@ -153,6 +160,18 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	ccfg.VMSpinUp = 6 * time.Second
 	ccfg.DAGTimeout = 4 * time.Second
 	ccfg.StaleAfter = 4 * time.Second
+	if scenario == "traffic" {
+		// The open-loop cell runs the whole sharded control plane: a
+		// 3-scheduler group (consistent-hash routed, retries walk the
+		// ranking), plus the partitioned monitor on a fixed fleet
+		// (MaxVMs = VMs, everything pinned) so the split-brain has a real
+		// monitor shard to blind.
+		ccfg.Schedulers = 3
+		ccfg.Autoscale = true
+		ccfg.MaxVMs = ccfg.VMs
+		ccfg.MinPinned = ccfg.VMs * ccfg.ThreadsPerVM
+		ccfg.MonitorShards = 2
+	}
 	c := cb.NewClusterWithTracer(ccfg, rec)
 	defer c.Close()
 	in := c.Internal()
@@ -177,6 +196,18 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	case "rack":
 		plan = fault.NewPlan("rack").At(2*time.Second,
 			fault.RackFailure{Count: 2, After: 4 * time.Second, Warm: true})
+	case "traffic":
+		planRng := rand.New(rand.NewSource(seed * 31))
+		plan = fault.RandomPlan(planRng, fault.RandomOpts{
+			Start: 0, Window: cfg.Window, Faults: cfg.Faults,
+			VMs: vms, Nodes: scheds, AnnaNodes: 3,
+			AllowCrash: true, AllowWarmRestart: true, AllowSplitBrain: true,
+		})
+		// A deterministic split-brain bracket on the first VM guarantees
+		// the divergent-view path fires every run, whatever the random
+		// draw adds on top.
+		plan.At(2*time.Second, fault.SplitBrain{VM: vms[0]})
+		plan.At(8*time.Second, fault.HealSplitBrain{VM: vms[0]})
 	default:
 		planRng := rand.New(rand.NewSource(seed * 31))
 		plan = fault.RandomPlan(planRng, fault.RandomOpts{
@@ -188,10 +219,46 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	inj := fault.NewInjector(in)
 	c.Run(func(cl *cb.Client) { inj.Start(plan) })
 
-	// Chaos phase: closed-loop logical requests with bounded client-side
-	// re-issue. A timeout is not terminal — single-function workloads
-	// (Retwis, gossip) have no §4.5 retry tracking, and a request to a
-	// degraded scheduler can vanish before being tracked — so the client
+	// Chaos phase. The traffic scenario swaps the closed-loop drivers for
+	// the open-loop pool: Poisson arrivals fire at the scheduler group
+	// regardless of completions, and the pool's own bounded reaper
+	// (re-routing each retry to the next shard in the ranking) stands in
+	// for the client-side re-issue loop — Lost keeps the same meaning, a
+	// request with no terminal outcome across all attempts.
+	if scenario == "traffic" {
+		zip := traffic.NewZipfKeys(seed+11, 1.2, chaosTrafficKeys, "ck")
+		mix := traffic.NewMix(seed+13, 80, 20)
+		spec := traffic.Spec{
+			Name:     "chaos-traffic",
+			Arrivals: traffic.NewPoisson(seed+17, 25),
+			Window:   cfg.Window,
+			Next: func(n int64) traffic.Invocation {
+				key, _ := codec.Encode(zip.Next())
+				if mix.Next() == 1 {
+					return traffic.Invocation{DAG: "tchain",
+						DAGArgs: map[string][]core.Arg{"tfn": {{Val: key}}}}
+				}
+				return traffic.Invocation{Function: "tfn", Args: []core.Arg{{Val: key}}}
+			},
+			RetryAfter:  3 * time.Second,
+			MaxAttempts: 6,
+			Drain:       30 * time.Second,
+		}
+		eps := []*simnet.Endpoint{in.NewClientEndpoint(), in.NewClientEndpoint()}
+		c.Run(func(cl *cb.Client) {
+			prec := traffic.NewPool(in.K, in, eps, spec).Run()
+			cell.Issued = int(prec.Issued)
+			cell.OK = int(prec.Done)
+			cell.Failed = int(prec.Failed)
+			cell.Lost = int(prec.Lost)
+		})
+		return settleChaosCell(cfg, c, in, inj, rec, driver, seed, cell)
+	}
+
+	// Closed-loop logical requests with bounded client-side re-issue. A
+	// timeout is not terminal — single-function workloads (Retwis,
+	// gossip) have no §4.5 retry tracking, and a request to a degraded
+	// scheduler can vanish before being tracked — so the client
 	// re-issues, as a real application would. Only a request with no
 	// terminal outcome across all attempts counts as lost.
 	const maxAttempts = 5
@@ -224,7 +291,14 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 			}
 		}
 	})
+	return settleChaosCell(cfg, c, in, inj, rec, driver, seed, cell)
+}
 
+// settleChaosCell finishes a cell after its chaos phase: waits out the
+// plan and any replacement boots, probes liveness on the healed
+// cluster, and collects the re-execution, registry, and audit digests.
+func settleChaosCell(cfg ChaosConfig, c *cb.Cluster, in *cluster.Cluster, inj *fault.Injector,
+	rec *audit.Recorder, driver chaosDriver, seed int64, cell ChaosCell) ChaosCell {
 	// Settle: wait for the plan to finish, replacements to boot, and the
 	// control plane to re-learn the fleet.
 	c.Run(func(cl *cb.Client) {
@@ -344,7 +418,43 @@ func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64
 			_, err := g.RunRound(cl, round, values)
 			return err
 		}
+	case "openloop":
+		fn := func(ctx *cb.Ctx, args []any) (any, error) {
+			key, _ := args[0].(string)
+			if _, _, err := ctx.Get(key); err != nil {
+				return nil, err
+			}
+			ctx.Compute(2 * time.Millisecond)
+			return 1, nil
+		}
+		tail := func(ctx *cb.Ctx, args []any) (any, error) {
+			ctx.Compute(time.Millisecond)
+			return 1, nil
+		}
+		if err := c.RegisterFunction("tfn", fn); err != nil {
+			panic(err)
+		}
+		if err := c.RegisterFunction("ttail", tail); err != nil {
+			panic(err)
+		}
+		if err := c.RegisterDAG(cb.LinearDAG("tchain", "tfn", "ttail"), 6); err != nil {
+			panic(err)
+		}
+		c.Run(func(cl *cb.Client) {
+			for i := 0; i < chaosTrafficKeys; i++ {
+				if err := cl.Put("ck"+strconv.Itoa(i), "v"); err != nil {
+					panic(err)
+				}
+			}
+		})
+		return func(cl *cb.Client, rng *rand.Rand) error {
+			_, err := cl.Invoke("tfn", []any{"ck" + strconv.Itoa(rng.Intn(chaosTrafficKeys))}).Wait()
+			return err
+		}
 	default:
 		panic("bench: unknown chaos workload " + wl)
 	}
 }
+
+// chaosTrafficKeys sizes the open-loop cell's Zipf keyspace.
+const chaosTrafficKeys = 80

@@ -10,8 +10,11 @@ import (
 // TestChaosMatrix is the chaos-plane smoke: every workload × every
 // consistency mode, each under its own randomized-but-seeded fault plan
 // (VM crash + warm restart, transient partitions, flaky/slow/duplicating
-// links, Anna replica loss, cache snapshot drops), plus two
-// deterministic state-lifecycle cells (rolling upgrade, rack failure).
+// links, Anna replica loss, cache snapshot drops), plus three
+// deterministic scenario cells: a rolling upgrade, a rack failure, and
+// an open-loop traffic cell (the internal/traffic pool against a
+// 3-scheduler group and partitioned monitor, with a control-plane
+// split-brain blinding the monitor shard from a VM mid-window).
 // Asserted per cell: liveness after heal, no lost requests, zero ghost
 // registry keys left by dead VM generations, and audit detectors that
 // run cleanly over the traced chaotic execution. The whole matrix must
@@ -21,10 +24,10 @@ func TestChaosMatrix(t *testing.T) {
 	codec.ResetStats()
 	r := RunChaosMatrix(ChaosQuick())
 	t.Log(r.Print())
-	if len(r.Cells) != 17 {
-		t.Fatalf("cells = %d, want 3 workloads × 5 modes + 2 lifecycle", len(r.Cells))
+	if len(r.Cells) != 18 {
+		t.Fatalf("cells = %d, want 3 workloads × 5 modes + 3 scenario cells", len(r.Cells))
 	}
-	var sawRolling, sawRack bool
+	var sawRolling, sawRack, sawSplit bool
 	for _, c := range r.Cells {
 		name := c.Workload + "/" + c.Mode
 		if c.Issued == 0 || c.OK == 0 {
@@ -58,10 +61,14 @@ func TestChaosMatrix(t *testing.T) {
 			if strings.Contains(f, "rack failure") {
 				sawRack = true
 			}
+			if strings.Contains(f, "split-brain") {
+				sawSplit = true
+			}
 		}
 	}
-	if !sawRolling || !sawRack {
-		t.Errorf("lifecycle cells missing from matrix: rolling=%v rack=%v", sawRolling, sawRack)
+	if !sawRolling || !sawRack || !sawSplit {
+		t.Errorf("scenario cells missing from matrix: rolling=%v rack=%v split-brain=%v",
+			sawRolling, sawRack, sawSplit)
 	}
 	if s := codec.ReadStats(); s.GobEncodes != 0 || s.GobDecodes != 0 {
 		t.Errorf("chaos matrix hit the gob fallback: %+v", s)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"cloudburst/internal/codec"
 )
@@ -14,6 +15,9 @@ import (
 // re-compiles an encoder engine per publication and re-inflates the
 // Fig5 allocation floor this PR removed, so any nonzero gob count here
 // is a regression, caught in CI rather than in an allocation profile.
+// The reduced fig13 sweep covers the open-loop plane: the traffic
+// Capsule is published to and re-read from Anna as the measurement of
+// record, so a capsule quietly riding gob trips the same wire.
 func TestSteadyStateFiguresZeroGobFallbacks(t *testing.T) {
 	codec.ResetStats()
 
@@ -29,6 +33,14 @@ func TestSteadyStateFiguresZeroGobFallbacks(t *testing.T) {
 	cfg11 := Fig11Quick()
 	cfg11.Clients, cfg11.Requests = 3, 20
 	RunFig11(cfg11)
+
+	cfg13 := Fig13Quick()
+	cfg13.SchedulerCounts = []int{2}
+	cfg13.Loads = []float64{120}
+	cfg13.Window = 2 * time.Second
+	cfg13.Drain = time.Second
+	cfg13.VMs = 3
+	RunFig13(cfg13)
 
 	s := codec.ReadStats()
 	if s.GobEncodes != 0 || s.GobDecodes != 0 {

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+	"time"
+)
 
 func TestSmokeFig1(t *testing.T) {
 	cfg := Fig1Quick()
@@ -122,6 +126,40 @@ func TestSmokeFig12(t *testing.T) {
 	cfg.Requests = 12
 	r := RunFig12(cfg)
 	t.Log(r.Print())
+}
+
+// TestSmokeFig13 gates the PR-7 acceptance criterion: under the quick
+// open-loop sweep the sharded scheduler group's saturation knee must
+// sit at least 2x the single scheduler's on the same cluster, and the
+// whole sweep must be deterministic under its fixed seed.
+func TestSmokeFig13(t *testing.T) {
+	cfg := Fig13Quick()
+	r := RunFig13(cfg)
+	t.Log(r.Print())
+	if k := r.Knees[cfg.SchedulerCounts[0]]; k == 0 {
+		t.Fatal("single-scheduler arm never met the knee criterion — sweep floor too high")
+	}
+	if r.KneeRatio < 2 {
+		t.Fatalf("sharded/single knee ratio %.1fx, want >= 2x", r.KneeRatio)
+	}
+	for _, p := range r.Points {
+		if p.Issued == 0 || p.Done == 0 {
+			t.Fatalf("dead point %+v", p)
+		}
+	}
+
+	// Determinism: a reduced sweep, run twice from scratch, must agree
+	// on every field of every point.
+	small := cfg
+	small.SchedulerCounts = []int{1, 2}
+	small.Loads = []float64{100, 250}
+	small.Window = 2 * time.Second
+	small.Drain = time.Second
+	small.VMs = 3
+	a, b := RunFig13(small), RunFig13(small)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fig13 not deterministic under fixed seed:\n a: %+v\n b: %+v", a, b)
+	}
 }
 
 func TestSmokeFig7(t *testing.T) {

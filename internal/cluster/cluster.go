@@ -102,12 +102,13 @@ type Cluster struct {
 	Registry *executor.Registry
 	Monitor  *monitor.Monitor
 
-	cfg        Config
-	schedulers []*scheduler.Scheduler
-	vms        map[string]*VMHandle
-	pending    int
-	nextVM     int
-	nextClient int
+	cfg          Config
+	schedulers   []*scheduler.Scheduler
+	routeScratch []schedRank
+	vms          map[string]*VMHandle
+	pending      int
+	nextVM       int
+	nextClient   int
 
 	dagCache  map[string]*dag.DAG
 	dagClient *anna.Client
@@ -174,6 +175,13 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.EnableMonitor {
 		ep := net.AddNode("monitor-0")
+		// Shard scanners (monitor.Config.Shards > 1) get their own
+		// endpoints so their partition multi-gets overlap; the closure is
+		// inert unless the monitor asks for shards.
+		cfg.Monitor.NewShardEP = func(i int) (*simnet.Endpoint, *anna.Client) {
+			sep := net.AddNode(simnet.NodeID(fmt.Sprintf("monitor-0.s%d", i)))
+			return sep, c.KV.NewClient(sep, 0)
+		}
 		c.Monitor = monitor.New(k, ep, c.KV.NewClient(ep, 0), c, cfg.Monitor)
 		c.Monitor.Start()
 	}
@@ -548,6 +556,59 @@ func (c *Cluster) vmNames() []string {
 // cloud load balancer in front of the schedulers (§4).
 func (c *Cluster) PickScheduler() simnet.NodeID {
 	return c.schedulers[c.K.Rand().Intn(len(c.schedulers))].ID()
+}
+
+// SchedulerCount reports the scheduler-group size.
+func (c *Cluster) SchedulerCount() int { return len(c.schedulers) }
+
+// RouteScheduler maps a request id onto a scheduler shard by rendezvous
+// (highest-random-weight) hashing: the id is scored against every
+// shard, attempt 0 goes to the top-ranked shard and attempt k to the
+// k'th — so retries and client re-routes walk distinct shards
+// deterministically without consuming kernel randomness, and every
+// party routing the same request id independently picks the same
+// shard. A single-scheduler group delegates to PickScheduler, which
+// consumes one kernel rand draw — keeping every existing
+// single-scheduler schedule byte-identical.
+func (c *Cluster) RouteScheduler(reqID string, attempt int) simnet.NodeID {
+	if len(c.schedulers) == 1 {
+		return c.PickScheduler()
+	}
+	if cap(c.routeScratch) < len(c.schedulers) {
+		c.routeScratch = make([]schedRank, len(c.schedulers))
+	}
+	ranks := c.routeScratch[:len(c.schedulers)]
+	for i, s := range c.schedulers {
+		ranks[i] = schedRank{score: rendezvousScore(reqID, s.ID()), id: s.ID()}
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].score != ranks[j].score {
+			return ranks[i].score > ranks[j].score
+		}
+		return ranks[i].id < ranks[j].id
+	})
+	return ranks[attempt%len(ranks)].id
+}
+
+// schedRank pairs a shard with its rendezvous score for one request.
+type schedRank struct {
+	score uint64
+	id    simnet.NodeID
+}
+
+// rendezvousScore is FNV-1a over "<reqID>|<shard>", inlined to keep
+// routing allocation-free on the per-request path.
+func rendezvousScore(reqID string, id simnet.NodeID) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(reqID); i++ {
+		h = (h ^ uint64(reqID[i])) * prime
+	}
+	h = (h ^ '|') * prime
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * prime
+	}
+	return h
 }
 
 // NewClientEndpoint allocates a fresh client network endpoint.

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"cloudburst/internal/core"
+	"cloudburst/internal/simnet"
 )
 
 func testCluster(t *testing.T, mutate func(*Config)) *Cluster {
@@ -168,6 +170,39 @@ func TestPickSchedulerCoversAll(t *testing.T) {
 	}
 	if len(seen) != 3 {
 		t.Fatalf("load balancer only hit %d of 3 schedulers", len(seen))
+	}
+}
+
+// TestRouteSchedulerRendezvous pins the consistent request-hash
+// routing: deterministic per request, balanced across the group, and
+// an attempt walk that enumerates every shard before wrapping — the
+// property the traffic pool's re-issues and Future.Wait's re-route
+// rely on to land on a different shard than the one that went silent.
+func TestRouteSchedulerRendezvous(t *testing.T) {
+	c := testCluster(t, func(cfg *Config) { cfg.Schedulers = 3 })
+	seen := map[simnet.NodeID]int{}
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("client-9-r%d", i)
+		primary := c.RouteScheduler(id, 0)
+		if got := c.RouteScheduler(id, 0); got != primary {
+			t.Fatalf("route not deterministic for %s: %s vs %s", id, got, primary)
+		}
+		seen[primary]++
+		walk := map[simnet.NodeID]bool{}
+		for a := 0; a < 3; a++ {
+			walk[c.RouteScheduler(id, a)] = true
+		}
+		if len(walk) != 3 {
+			t.Fatalf("attempt walk visited %d of 3 shards for %s", len(walk), id)
+		}
+		if c.RouteScheduler(id, 3) != primary {
+			t.Fatalf("attempt ranking did not wrap for %s", id)
+		}
+	}
+	for sid, n := range seen {
+		if n < 50 {
+			t.Fatalf("unbalanced rendezvous routing: %s got %d of 300", sid, n)
+		}
 	}
 }
 

@@ -347,6 +347,81 @@ func (a HealNode) Apply(inj *Injector) string {
 	return fmt.Sprintf("heal node %s", a.Node)
 }
 
+// SplitBrain severs one VM from the monitor's scanner endpoints (or,
+// on a monitor-less cluster, from half the scheduler group) while every
+// other path stays intact: schedulers still see the VM's metrics and
+// keep dispatching work to it, but the blinded control-plane shard can
+// no longer reach it directly — its pin/unpin commands and health RPCs
+// black-hole. The two shards now act on divergent views of the fleet,
+// the classic split-brain between control-plane partitions. Pair with
+// HealSplitBrain; an empty VM picks a random live victim.
+type SplitBrain struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a SplitBrain) Apply(inj *Injector) string {
+	name := a.VM
+	if name == "" {
+		name = inj.pickVictim()
+	}
+	h := inj.vmHandle(name)
+	if h == nil {
+		return fmt.Sprintf("split-brain %s: not live", name)
+	}
+	blind := inj.blindShard()
+	if len(blind) == 0 {
+		return "split-brain: no control-plane shard to blind"
+	}
+	var pairs [][2]simnet.NodeID
+	for _, vid := range h.NodeIDs() {
+		for _, bid := range blind {
+			inj.c.Net.SetLinkPolicy(vid, bid, simnet.LinkPolicy{Drop: 1})
+			inj.c.Net.SetLinkPolicy(bid, vid, simnet.LinkPolicy{Drop: 1})
+			pairs = append(pairs, [2]simnet.NodeID{vid, bid})
+		}
+	}
+	inj.splitBrains[name] = pairs
+	return fmt.Sprintf("split-brain %s: blinded from %d control endpoint(s)", name, len(blind))
+}
+
+// HealSplitBrain clears the link policies a SplitBrain on the same VM
+// installed. Healing a VM that was never split (or whose split-brained
+// generation has since been replaced) is a recorded no-op.
+type HealSplitBrain struct {
+	VM string
+}
+
+// Apply implements Action.
+func (a HealSplitBrain) Apply(inj *Injector) string {
+	pairs, ok := inj.splitBrains[a.VM]
+	if !ok {
+		return fmt.Sprintf("heal split-brain %s: none recorded", a.VM)
+	}
+	delete(inj.splitBrains, a.VM)
+	for _, pr := range pairs {
+		inj.c.Net.ClearLinkPolicy(pr[0], pr[1])
+		inj.c.Net.ClearLinkPolicy(pr[1], pr[0])
+	}
+	return fmt.Sprintf("heal split-brain %s", a.VM)
+}
+
+// blindShard picks the control-plane endpoints a SplitBrain blinds: the
+// monitor's scanner endpoints when the monitoring system is running,
+// else the odd-indexed half of the scheduler group.
+func (inj *Injector) blindShard() []simnet.NodeID {
+	if inj.c.Monitor != nil {
+		return inj.c.Monitor.Endpoints()
+	}
+	var out []simnet.NodeID
+	for i, s := range inj.c.Schedulers() {
+		if i%2 == 1 {
+			out = append(out, s.ID())
+		}
+	}
+	return out
+}
+
 // DegradeLink installs a directed (or, with Symmetric, bidirectional)
 // link policy between two endpoints — the asymmetric-partition
 // primitive; pair with HealLink.

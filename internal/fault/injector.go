@@ -30,14 +30,19 @@ type Injector struct {
 	// Timeline records every applied event in order.
 	Timeline []Entry
 
-	crashed []string // stack of crashed VM names, for RestartVM{""}
-	stopped bool
-	running int
+	crashed     []string // stack of crashed VM names, for RestartVM{""}
+	splitBrains map[string][][2]simnet.NodeID
+	stopped     bool
+	running     int
 }
 
 // NewInjector creates an injector for c.
 func NewInjector(c *cluster.Cluster) *Injector {
-	return &Injector{c: c, disp: simnet.NewDispatcher(c.NewClientEndpoint(), "fault")}
+	return &Injector{
+		c:           c,
+		disp:        simnet.NewDispatcher(c.NewClientEndpoint(), "fault"),
+		splitBrains: make(map[string][][2]simnet.NodeID),
+	}
 }
 
 // Cluster returns the injected cluster.

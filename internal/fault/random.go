@@ -36,6 +36,11 @@ type RandomOpts struct {
 	AllowRolling bool
 	// AllowRackFailure adds correlated two-VM failures to the draw.
 	AllowRackFailure bool
+	// AllowSplitBrain adds control-plane split-brain pairs to the draw: a
+	// VM is blinded from the monitor shard (or half the scheduler group)
+	// while the rest of the control plane keeps scheduling onto it, then
+	// healed inside the window.
+	AllowSplitBrain bool
 }
 
 // RandomPlan draws a reproducible randomized chaos plan from rng: a mix
@@ -94,6 +99,9 @@ func RandomPlan(rng *rand.Rand, o RandomOpts) *Plan {
 	if o.AllowRackFailure && len(o.VMs) > 2 {
 		kinds = append(kinds, 6)
 	}
+	if o.AllowSplitBrain && len(o.VMs) > 0 {
+		kinds = append(kinds, 7)
+	}
 	for i := 0; i < o.Faults; i++ {
 		from, to := interval()
 		switch kinds[rng.Intn(len(kinds))] {
@@ -130,6 +138,10 @@ func RandomPlan(rng *rand.Rand, o RandomOpts) *Plan {
 			p.At(from, RollingRestart{VMs: []string{o.VMs[a], o.VMs[b]}, Settle: 3 * time.Second})
 		case 6:
 			p.At(from, RackFailure{Count: 2, After: 5 * time.Second, Warm: o.AllowWarmRestart})
+		case 7:
+			vm := o.VMs[rng.Intn(len(o.VMs))]
+			p.At(from, SplitBrain{VM: vm})
+			p.At(to, HealSplitBrain{VM: vm})
 		default:
 			p.At(from, DropSnapshots{})
 		}

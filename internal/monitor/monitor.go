@@ -68,6 +68,15 @@ type Config struct {
 	// Decoded is an optional cluster-shared decoded-metrics cache; nil
 	// gives the monitor a private one.
 	Decoded *core.DecodeCache
+	// Shards partitions the registry scan: with Shards > 1 (and a
+	// NewShardEP factory) the metric keys are hash-split across that
+	// many endpoints whose multi-gets run concurrently, and scheduler
+	// counters aggregate incrementally (see shard.go). Shards <= 1
+	// keeps the original single-endpoint scan, byte for byte.
+	Shards int
+	// NewShardEP allocates shard i's endpoint and KVS client (i >= 1;
+	// shard 0 rides the monitor's own endpoint). Set by the cluster.
+	NewShardEP func(i int) (*simnet.Endpoint, *anna.Client)
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -112,6 +121,12 @@ type Monitor struct {
 	// once instead of on every policy tick. Shared cluster-wide when
 	// Config.Decoded is set.
 	decoded *core.DecodeCache
+	// shards, when non-empty (Config.Shards > 1), partition the
+	// registry scan; aggCalls/aggDone are the incrementally-maintained
+	// scheduler-counter aggregates the shards fold deltas into.
+	shards   []*shard
+	aggCalls map[string]int64
+	aggDone  map[string]int64
 
 	Events []Event
 	// ReplicaSamples records (time, total pinned replicas) per tick —
@@ -144,7 +159,29 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, pool ComputePool
 	if m.decoded == nil {
 		m.decoded = core.NewDecodeCache()
 	}
+	if cfg.Shards > 1 && cfg.NewShardEP != nil {
+		m.shards = append(m.shards, newShard(ep, ac))
+		for i := 1; i < cfg.Shards; i++ {
+			sep, sac := cfg.NewShardEP(i)
+			m.shards = append(m.shards, newShard(sep, sac))
+		}
+		m.aggCalls = make(map[string]int64)
+		m.aggDone = make(map[string]int64)
+	}
 	return m
+}
+
+// Endpoints lists the monitor's network endpoints (the policy endpoint
+// plus any shard scanners) — the surface a fault plan partitions.
+func (m *Monitor) Endpoints() []simnet.NodeID {
+	if len(m.shards) == 0 {
+		return []simnet.NodeID{m.ep.ID()}
+	}
+	out := make([]simnet.NodeID, len(m.shards))
+	for i, s := range m.shards {
+		out[i] = s.ep.ID()
+	}
+	return out
 }
 
 // Start launches the policy loop.
@@ -182,6 +219,9 @@ func (m *Monitor) tick() {
 // per storage node instead of one Get per key; keys the grouped read
 // misses (replication lag at the primary) are simply absent this tick.
 func (m *Monitor) refresh() (calls, done map[string]int64) {
+	if len(m.shards) > 1 {
+		return m.refreshSharded()
+	}
 	calls = make(map[string]int64)
 	done = make(map[string]int64)
 

@@ -94,6 +94,12 @@ type Config struct {
 	MaxAliveExtensions int
 	// RandomPolicy disables the locality heuristic (ablation).
 	RandomPolicy bool
+	// DispatchCost models the scheduler's per-request CPU time (policy
+	// evaluation, schedule construction). The dispatcher serves requests
+	// serially, so a positive cost caps one scheduler at ~1/DispatchCost
+	// req/s and queues the excess — the saturation behaviour fig13
+	// measures. Zero (the default) keeps dispatch free and instant.
+	DispatchCost time.Duration
 	// MetricsInterval is how often scheduler stats are published.
 	MetricsInterval time.Duration
 	// Decoded is an optional cluster-shared decoded-metrics cache; nil
@@ -430,6 +436,9 @@ func (s *Scheduler) ensureView() bool {
 // executor's InvokeComplete notice clears the entry, and retryTick
 // re-sends expired requests to a different executor.
 func (s *Scheduler) invokeSingle(req core.InvokeRequest) {
+	if s.cfg.DispatchCost > 0 {
+		s.k.Sleep(s.cfg.DispatchCost)
+	}
 	s.fnCalls[req.Function]++
 	s.ensureView()
 	timeout := s.cfg.DAGTimeout
@@ -478,6 +487,9 @@ func (s *Scheduler) dispatchSingle(o *singleFlight, exclude map[simnet.NodeID]bo
 // invokeDAG builds a schedule (one executor per function, §4.3) and
 // triggers the sources. exclude lists executors to avoid (retries).
 func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) {
+	if s.cfg.DispatchCost > 0 {
+		s.k.Sleep(s.cfg.DispatchCost)
+	}
 	d, ok := s.dagView(req.DAG)
 	if !ok {
 		s.ep.Send(req.RespondTo, core.Result{ReqID: req.ReqID, Err: fmt.Sprintf("scheduler: unknown DAG %q", req.DAG)}, 64)

@@ -1,0 +1,158 @@
+// Package traffic is the open-loop load plane: seeded arrival
+// generators (Poisson, diurnal ramp, flash-crowd spike), Zipfian
+// hot-key and weighted DAG-mix selectors, a fire-and-forget client
+// pool that issues invocations at the generated instants regardless of
+// completions, and a streaming latency/throughput recorder.
+//
+// Closed-loop drivers (the fig1–fig11 harnesses) put each simulated
+// client to sleep on its own future, so offered load collapses exactly
+// when the system slows down — the regime the paper's §3.2/§4.4 scale
+// claims are *not* about. Here arrivals come from a seeded stochastic
+// process on the virtual clock: when the control plane saturates, the
+// queue in front of it grows and p99 diverges, which is what fig13
+// measures. Everything is deterministic — generators own their
+// rand.Source, pacing runs on the vtime kernel, and the recorder is an
+// incremental fixed-geometry histogram (no per-request sample slice,
+// so 10⁵+ req/s windows cost O(buckets) memory, not O(requests)).
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// Arrivals produces a monotone stream of arrival instants as offsets
+// from the stream's start. Implementations are pure functions of their
+// seed: two generators built with the same parameters emit
+// byte-identical streams.
+type Arrivals interface {
+	// Next returns the offset of the next arrival. Offsets never
+	// decrease.
+	Next() time.Duration
+}
+
+func offset(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Poisson is a homogeneous Poisson process: independent exponential
+// inter-arrival gaps with mean 1/rate.
+type Poisson struct {
+	rate float64
+	rng  *rand.Rand
+	at   float64 // seconds since stream start
+}
+
+// NewPoisson returns a Poisson arrival stream at rate requests/second.
+func NewPoisson(seed int64, rate float64) *Poisson {
+	return &Poisson{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *Poisson) Next() time.Duration {
+	p.at += p.rng.ExpFloat64() / p.rate
+	return offset(p.at)
+}
+
+// nhpp is a non-homogeneous Poisson process realized by thinning
+// (Lewis–Shedler): propose arrivals at the peak rate, accept each with
+// probability rate(t)/peak. The accepted stream has instantaneous
+// intensity rate(t).
+type nhpp struct {
+	peak float64
+	rate func(tSeconds float64) float64
+	rng  *rand.Rand
+	at   float64
+}
+
+func (g *nhpp) Next() time.Duration {
+	for {
+		g.at += g.rng.ExpFloat64() / g.peak
+		if g.rng.Float64()*g.peak <= g.rate(g.at) {
+			return offset(g.at)
+		}
+	}
+}
+
+// NewDiurnal returns a sinusoidal day/night ramp: intensity moves
+// between base and peak requests/second over the given period,
+// starting at the trough.
+func NewDiurnal(seed int64, base, peak float64, period time.Duration) Arrivals {
+	p := period.Seconds()
+	return &nhpp{
+		peak: peak,
+		rate: func(t float64) float64 {
+			return base + (peak-base)*0.5*(1-math.Cos(2*math.Pi*t/p))
+		},
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewSpike returns a flash-crowd profile: base requests/second, except
+// during [start, start+width) where intensity jumps to peak.
+func NewSpike(seed int64, base, peak float64, start, width time.Duration) Arrivals {
+	s, e := start.Seconds(), (start + width).Seconds()
+	return &nhpp{
+		peak: peak,
+		rate: func(t float64) float64 {
+			if t >= s && t < e {
+				return peak
+			}
+			return base
+		},
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ZipfKeys draws hot-skewed key names "<prefix><rank>" with
+// P(rank=k) ∝ (1+k)^(-s) over n keys (Go's rand.Zipf convention;
+// s must be > 1).
+type ZipfKeys struct {
+	prefix string
+	zipf   *rand.Zipf
+}
+
+// NewZipfKeys builds a Zipfian key selector over n keys.
+func NewZipfKeys(seed int64, s float64, n int, prefix string) *ZipfKeys {
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfKeys{prefix: prefix, zipf: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next draws a key by popularity; rank 0 is the hottest key.
+func (z *ZipfKeys) Next() string {
+	return z.prefix + strconv.FormatUint(z.zipf.Uint64(), 10)
+}
+
+// Mix is a weighted categorical selector used for per-tenant DAG
+// mixes: Next returns index i with probability weights[i]/Σweights.
+type Mix struct {
+	rng     *rand.Rand
+	weights []int
+	total   int
+}
+
+// NewMix builds a weighted selector. Weights must be non-negative with
+// a positive sum.
+func NewMix(seed int64, weights ...int) *Mix {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("traffic: NewMix needs a positive total weight")
+	}
+	return &Mix{rng: rand.New(rand.NewSource(seed)), weights: weights, total: total}
+}
+
+// Next draws a category index proportionally to its weight.
+func (m *Mix) Next() int {
+	r := m.rng.Intn(m.total)
+	for i, w := range m.weights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(m.weights) - 1
+}

@@ -1,0 +1,183 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"cloudburst/internal/codec"
+)
+
+// drawOffsets materializes the first n arrivals of a stream.
+func drawOffsets(a Arrivals, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+// TestGeneratorsDeterministic: the same seed yields byte-identical
+// streams across independent generator instances, for every generator
+// kind and for the selectors.
+func TestGeneratorsDeterministic(t *testing.T) {
+	mk := map[string]func() Arrivals{
+		"poisson": func() Arrivals { return NewPoisson(7, 500) },
+		"diurnal": func() Arrivals { return NewDiurnal(7, 100, 900, 10*time.Second) },
+		"spike":   func() Arrivals { return NewSpike(7, 200, 2000, 3*time.Second, time.Second) },
+	}
+	for name, build := range mk {
+		a, b := drawOffsets(build(), 5000), drawOffsets(build(), 5000)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different streams", name)
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[i-1] {
+				t.Fatalf("%s: offsets not monotone at %d: %v < %v", name, i, a[i], a[i-1])
+			}
+		}
+	}
+
+	z1, z2 := NewZipfKeys(3, 1.3, 1000, "k"), NewZipfKeys(3, 1.3, 1000, "k")
+	m1, m2 := NewMix(5, 7, 3), NewMix(5, 7, 3)
+	for i := 0; i < 5000; i++ {
+		if z1.Next() != z2.Next() {
+			t.Fatalf("zipf: same seed diverged at draw %d", i)
+		}
+		if m1.Next() != m2.Next() {
+			t.Fatalf("mix: same seed diverged at draw %d", i)
+		}
+	}
+}
+
+// TestPoissonInterArrivalMean: over 50k arrivals at 1000 req/s the
+// empirical mean inter-arrival time is within 2% of 1ms.
+func TestPoissonInterArrivalMean(t *testing.T) {
+	const rate, n = 1000.0, 50000
+	offs := drawOffsets(NewPoisson(11, rate), n)
+	mean := offs[n-1].Seconds() / float64(n)
+	want := 1 / rate
+	if err := math.Abs(mean-want) / want; err > 0.02 {
+		t.Fatalf("mean inter-arrival %.6fs, want %.6fs ±2%% (err %.1f%%)", mean, want, err*100)
+	}
+}
+
+// TestZipfHeadFrequency: the hottest key's empirical frequency matches
+// the closed form P(0) = 1 / Σ_{k=0}^{n-1} (1+k)^(-s) (Go's rand.Zipf
+// convention) within 5%.
+func TestZipfHeadFrequency(t *testing.T) {
+	const s, n, draws = 1.3, 1000, 200000
+	z := NewZipfKeys(13, s, n, "h")
+	head := 0
+	for i := 0; i < draws; i++ {
+		if z.Next() == "h0" {
+			head++
+		}
+	}
+	var norm float64
+	for k := 0; k < n; k++ {
+		norm += math.Pow(1+float64(k), -s)
+	}
+	want := 1 / norm
+	got := float64(head) / draws
+	if err := math.Abs(got-want) / want; err > 0.05 {
+		t.Fatalf("head frequency %.4f, want %.4f ±5%% (err %.1f%%)", got, want, err*100)
+	}
+}
+
+// TestDiurnalRampShape: the diurnal stream puts more arrivals near the
+// peak half of the period than the trough half.
+func TestDiurnalRampShape(t *testing.T) {
+	period := 10 * time.Second
+	a := NewDiurnal(17, 50, 950, period)
+	trough, crest := 0, 0
+	for {
+		off := a.Next()
+		if off >= period {
+			break
+		}
+		phase := off % period
+		if phase >= period/4 && phase < 3*period/4 {
+			crest++ // middle of the period holds the sinusoid's crest
+		} else {
+			trough++
+		}
+	}
+	if crest < 2*trough {
+		t.Fatalf("diurnal ramp not peaked: crest-half %d, trough-half %d", crest, trough)
+	}
+}
+
+// TestSpikeShape: the flash-crowd window is denser than the baseline.
+func TestSpikeShape(t *testing.T) {
+	a := NewSpike(19, 100, 2000, 2*time.Second, time.Second)
+	base, spike := 0, 0
+	for {
+		off := a.Next()
+		if off >= 4*time.Second {
+			break
+		}
+		if off >= 2*time.Second && off < 3*time.Second {
+			spike++
+		} else {
+			base++
+		}
+	}
+	// ~2000 arrivals in the 1s spike vs ~300 across the 3 base seconds.
+	if spike < 3*base {
+		t.Fatalf("spike not visible: spike-second %d, base-seconds %d", spike, base)
+	}
+}
+
+// TestHistogramQuantiles: quantiles land on the right bucket bound and
+// merge is additive.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 2, 10)
+	for i := 0; i < 99; i++ {
+		h.Observe(1500 * time.Microsecond) // bucket (1ms, 2ms]
+	}
+	h.Observe(3 * time.Second) // overflow
+	if got := h.Quantile(0.50); got != 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want 2ms", got)
+	}
+	if got := h.Quantile(0.999); got != 3*time.Second {
+		t.Fatalf("p99.9 = %v, want the exact max 3s", got)
+	}
+	if h.Count() != 100 || h.Mean() != (99*1500*time.Microsecond+3*time.Second)/100 {
+		t.Fatalf("count/mean wrong: %d %v", h.Count(), h.Mean())
+	}
+	o := NewHistogram(time.Millisecond, 2, 10)
+	o.Observe(10 * time.Millisecond)
+	h.Merge(o)
+	if h.Count() != 101 {
+		t.Fatalf("merge: count %d, want 101", h.Count())
+	}
+}
+
+// TestCapsuleRoundTrip: the wire capsule survives the struct codec
+// and reconstructs the same quantiles.
+func TestCapsuleRoundTrip(t *testing.T) {
+	h := NewHistogram(100*time.Microsecond, 1.05, 284)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	c := Capsule{
+		Name: "w", FirstNS: int64(h.first), Growth: h.growth,
+		Counts: h.counts, SumNS: int64(h.sum), MaxNS: int64(h.max),
+		PerSec: []uint64{10, 20, 0, 5}, Issued: 1010, Done: 1000, Failed: 7, Lost: 3,
+	}
+	enc := codec.MustEncode(c)
+	got := codec.MustDecode(enc).(Capsule)
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("capsule round trip diverged:\n got  %#v\n want %#v", got, c)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q%.2f: capsule %v, histogram %v", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+	if s := got.Sustained(2 * time.Second); s != 15 {
+		t.Fatalf("sustained over 2s = %v, want 15", s)
+	}
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # perfgate.sh — the perf-regression tripwire (ROADMAP item, armed for
 # Fig5 in PR 3, extended to Fig7/Fig11 in PR 4, to the struct-codec
-# microbench in PR 5, and to the state-lifecycle experiment in PR 6;
-# the current baseline is BENCH_6.json).
+# microbench in PR 5, to the state-lifecycle experiment in PR 6, and
+# to the fig13 open-loop saturation sweep in PR 7; the current
+# baseline is BENCH_7.json).
 #
 # Compares each gated benchmark's harness-cost metrics (ns/op,
 # allocs/op) of a fresh bench report against the committed baseline and
@@ -24,7 +25,7 @@ set -euo pipefail
 
 CUR=${1:?usage: perfgate.sh <current.json> <baseline.json>}
 BASE=${2:?usage: perfgate.sh <current.json> <baseline.json>}
-BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig10Lifecycle BenchmarkFig11Retwis BenchmarkCodecStructRoundTrip"
+BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig10Lifecycle BenchmarkFig11Retwis BenchmarkFig13Saturation BenchmarkCodecStructRoundTrip"
 LIMIT=1.25
 
 # min_metric <file> <bench> <metric>: minimum value of metric across the
