@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"cloudburst/internal/anna"
-	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/executor"
 	"cloudburst/internal/lattice"
@@ -67,7 +66,7 @@ func (cl *Client) Sleep(d time.Duration) { cl.k.Sleep(d) }
 // cluster's consistency mode (§5.2's lattice capsules: an LWW capsule by
 // default, a causal capsule in the causal modes).
 func (cl *Client) Put(key string, val any) error {
-	payload, err := codec.Encode(val)
+	payload, err := cl.c.in.Codec.Encode(val)
 	if err != nil {
 		return err
 	}
@@ -88,7 +87,7 @@ func (cl *Client) Get(key string) (val any, found bool, err error) {
 	if err != nil || !found {
 		return nil, found, err
 	}
-	v, err := decodeCapsule(lat)
+	v, err := cl.decodeCapsule(lat)
 	if err != nil {
 		return nil, true, err
 	}
@@ -105,7 +104,7 @@ func (cl *Client) GetMany(keys ...string) (map[string]any, error) {
 	}
 	out := make(map[string]any, len(found))
 	for key, lat := range found {
-		v, derr := decodeCapsule(lat)
+		v, derr := cl.decodeCapsule(lat)
 		if derr != nil {
 			return out, derr
 		}
@@ -144,25 +143,26 @@ func capsulePayload(lat lattice.Lattice) ([]byte, error) {
 	return inner, nil
 }
 
-// decodeCapsule unwraps and decodes a capsule to the stored value.
-func decodeCapsule(lat lattice.Lattice) (any, error) {
+// decodeCapsule unwraps and decodes a capsule to the stored value,
+// counting the decode on the cluster's codec handle.
+func (cl *Client) decodeCapsule(lat lattice.Lattice) (any, error) {
 	payload, err := capsulePayload(lat)
 	if err != nil {
 		return nil, err
 	}
-	return codec.Decode(payload)
+	return cl.c.in.Codec.Decode(payload)
 }
 
 // encodeArgs converts call arguments to wire form; Ref arguments become
 // KVS references.
-func encodeArgs(args []any) ([]core.Arg, error) {
+func (cl *Client) encodeArgs(args []any) ([]core.Arg, error) {
 	out := make([]core.Arg, len(args))
 	for i, a := range args {
 		if r, ok := a.(Ref); ok {
 			out[i] = core.Arg{Ref: string(r)}
 			continue
 		}
-		b, err := codec.Encode(a)
+		b, err := cl.c.in.Codec.Encode(a)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +230,7 @@ func WithHopCount() InvokeOption { return func(o *callOpts) { o.wantHops = true 
 // compose without intermediate error plumbing (Batch, All, As).
 func (cl *Client) Invoke(fn string, args []any, opts ...InvokeOption) *Future {
 	o := buildOpts(opts)
-	wireArgs, err := encodeArgs(args)
+	wireArgs, err := cl.encodeArgs(args)
 	if err != nil {
 		return cl.failedFuture(err)
 	}
@@ -265,7 +265,7 @@ func (cl *Client) InvokeDAG(dagName string, args map[string][]any, opts ...Invok
 	wire := make(map[string][]core.Arg, len(args))
 	size := 128
 	for fn, as := range args {
-		ea, err := encodeArgs(as)
+		ea, err := cl.encodeArgs(as)
 		if err != nil {
 			return cl.failedFuture(err)
 		}
@@ -369,7 +369,7 @@ func (cl *Client) deliver(res core.Result) {
 		return
 	}
 	if res.Val != nil {
-		v, err := decodeResult(res)
+		v, err := cl.decodeResult(res)
 		f.complete(v, err)
 		return
 	}
@@ -386,8 +386,9 @@ func (cl *Client) deliver(res core.Result) {
 	f.complete(nil, nil)
 }
 
-// decodeResult unwraps a successful Result's payload.
-func decodeResult(res core.Result) (any, error) {
+// decodeResult unwraps a successful Result's payload, counting the
+// decode on the cluster's codec handle.
+func (cl *Client) decodeResult(res core.Result) (any, error) {
 	if !res.OK() {
 		return nil, errors.New(res.Err)
 	}
@@ -395,7 +396,7 @@ func decodeResult(res core.Result) (any, error) {
 		return nil, nil
 	}
 	_, inner := executor.Untag(res.Val)
-	return codec.Decode(inner)
+	return cl.c.in.Codec.Decode(inner)
 }
 
 // Endpoint exposes the client's network endpoint for advanced uses

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/dag"
 	"cloudburst/internal/executor"
@@ -114,6 +115,14 @@ type Config struct {
 	// across that many concurrent scanner endpoints with incremental
 	// counter aggregation.
 	MonitorShards int
+
+	// CodecCounters, when set, receives this cluster's codec traffic
+	// (struct fast path vs gob fallback). The process-wide
+	// codec.ReadStats mixes traffic from every concurrently running
+	// cluster; a per-cluster handle keeps zero-gob assertions exact
+	// under the parallel experiment runner. Nil allocates a private
+	// handle internally.
+	CodecCounters *codec.Counters
 }
 
 // DefaultConfig returns a small LWW-mode deployment.
@@ -198,6 +207,7 @@ func (c *Cluster) internalConfig(mutate func(*cluster.Config)) cluster.Config {
 	if cfg.MonitorShards > 1 {
 		icfg.Monitor.Shards = cfg.MonitorShards
 	}
+	icfg.Codec = cfg.CodecCounters
 	icfg.Monitor.MinVMs = icfg.InitialVMs
 	if mutate != nil {
 		mutate(&icfg)

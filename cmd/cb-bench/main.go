@@ -9,7 +9,14 @@
 //	cb-bench                 # all experiments, quick parameters
 //	cb-bench -run fig5,fig6  # a subset
 //	cb-bench -run table2 -full
+//	cb-bench -parallel 8     # fan independent simulation cells across 8 threads
+//	cb-bench -parallel 1     # force the serial runner
 //	cb-bench -list
+//
+// Figures fan their independent simulation cells across a worker pool
+// (internal/parallel); tables are byte-identical at every width. The
+// width defaults to GOMAXPROCS and can also be set via the
+// CLOUDBURST_PARALLEL / CLOUDBURST_SERIAL environment variables.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"cloudburst/internal/bench"
+	"cloudburst/internal/parallel"
 )
 
 // experiment binds a name to its quick and full runners.
@@ -135,7 +143,11 @@ func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment names, or 'all'")
 	full := flag.Bool("full", false, "use the paper's full parameters (slow)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	width := flag.Int("parallel", 0, "experiment-runner width: 1 forces serial, 0 keeps the default (GOMAXPROCS or CLOUDBURST_PARALLEL)")
 	flag.Parse()
+	if *width > 0 {
+		parallel.SetWidth(*width)
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -170,7 +182,7 @@ func main() {
 	if *full {
 		mode = "full (paper parameters)"
 	}
-	fmt.Printf("cb-bench: reproducing the Cloudburst (VLDB'20) evaluation — %s configuration\n", mode)
+	fmt.Printf("cb-bench: reproducing the Cloudburst (VLDB'20) evaluation — %s configuration, runner width %d\n", mode, parallel.Width())
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.name] {
 			continue

@@ -313,6 +313,37 @@
 // cold or warm. Both appear in fault.RandomPlan's draw (AllowRolling,
 // AllowRackFailure) and as dedicated chaos-matrix cells.
 //
+// # Running experiments in parallel
+//
+// A figure is a grid of independent simulations: every cell (one load
+// point, one consistency mode, one chaos scenario) boots its own
+// cluster on its own virtual-time kernel from its own seed. The
+// experiment runner (internal/parallel) exploits exactly that
+// boundary: parallel.Map fans the cells of a figure across a bounded
+// pool of OS-locked worker threads and writes each result into its
+// cell's index slot, so the aggregation order — and therefore the
+// rendered table — is byte-identical to a serial run at every width.
+// Parallelism is between kernels, never inside one; within a cell the
+// simulation stays the deterministic cooperative schedule it always
+// was. Per-figure tests render each table at width 1 and width 4 and
+// compare the bytes, and CI repeats the suite under the race detector.
+//
+// The width resolves, in order: an explicit parallel.SetWidth call
+// (cb-bench's -parallel flag), the CLOUDBURST_SERIAL=1 escape hatch,
+// CLOUDBURST_PARALLEL=<n>, else GOMAXPROCS. At width 1 the pool is
+// bypassed and cells run inline on the calling goroutine — literally
+// the old serial loop, panics included. Width does not change any
+// simulated metric; it only divides wall-clock time by the number of
+// cells that can run at once. A panic in any cell propagates after the
+// pool drains, lowest cell index first, again independent of width.
+//
+// Cross-cell isolation is part of the substrate's contract: codec
+// traffic counts on a per-cluster codec.Counters handle
+// (Config.CodecCounters) as well as the process aggregate, the lattice
+// payload guard is internally locked, and decode caches are
+// per-cluster — so concurrent cells cannot bleed statistics or state
+// into each other's gates.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-reproduction results.
 package cloudburst

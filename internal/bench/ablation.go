@@ -5,6 +5,7 @@ import (
 	"time"
 
 	cb "cloudburst"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/workload"
 )
 
@@ -96,17 +97,21 @@ func RunAblationLocality(cfg AblationConfig) AblationPair {
 		})
 		return Summarize(name, durs)
 	}
-	return AblationPair{Locality: run(false), Random: run(true)}
+	rows := parallel.MapN(2, func(i int) Summary { return run(i == 1) })
+	return AblationPair{Locality: rows[0], Random: rows[1]}
 }
 
 // RunAblationCaching measures the co-located cache itself: the same
 // workload with every key evicted before each request (all reads go to
 // Anna), quantifying the LDPC colocation benefit.
 func RunAblationCaching(cfg AblationConfig) AblationPair {
-	return AblationPair{
-		Cached:   ablationRun(cfg, "with cache", false, false),
-		Uncached: ablationRun(cfg, "cache disabled", false, true),
-	}
+	rows := parallel.MapN(2, func(i int) Summary {
+		if i == 0 {
+			return ablationRun(cfg, "with cache", false, false)
+		}
+		return ablationRun(cfg, "cache disabled", false, true)
+	})
+	return AblationPair{Cached: rows[0], Uncached: rows[1]}
 }
 
 func ablationRun(cfg AblationConfig, name string, randomSched, evict bool) Summary {

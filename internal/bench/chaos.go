@@ -15,6 +15,7 @@ import (
 	"cloudburst/internal/executor"
 	"cloudburst/internal/fault"
 	"cloudburst/internal/lattice"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/traffic"
 	"cloudburst/internal/workload"
@@ -35,6 +36,9 @@ type ChaosConfig struct {
 	Faults    int              // fault/heal pairs per randomized plan
 	Probes    int              // post-heal liveness probes per client
 	Seed      int64
+	// Codec, when set, receives every cell cluster's codec traffic —
+	// the per-cluster hook behind the matrix's zero-gob assertion.
+	Codec *codec.Counters
 	// Lifecycle appends three deterministic scenario cells to the
 	// randomized matrix: a rolling upgrade (drain → warm replace → rejoin,
 	// one VM at a time), a correlated rack failure with warm recovery, and
@@ -121,20 +125,31 @@ func (r ChaosResult) Print() string {
 // waits for every fault to heal and every replacement VM to join, then
 // probes liveness.
 func RunChaosMatrix(cfg ChaosConfig) ChaosResult {
-	var out ChaosResult
+	type cellSpec struct {
+		wl       string
+		mode     cb.Consistency
+		seed     int64
+		scenario string
+	}
+	var cells []cellSpec
 	for _, wl := range cfg.Workloads {
 		for mi, mode := range cfg.Modes {
 			cellSeed := cfg.Seed + int64(mi) + 100*int64(len(wl)) + int64(wl[0])
-			out.Cells = append(out.Cells, runChaosCell(cfg, wl, mode, cellSeed, ""))
+			cells = append(cells, cellSpec{wl, mode, cellSeed, ""})
 		}
 	}
 	if cfg.Lifecycle {
-		out.Cells = append(out.Cells,
-			runChaosCell(cfg, "predserve", cb.LWW, cfg.Seed+7001, "rolling"),
-			runChaosCell(cfg, "retwis", cb.LWW, cfg.Seed+7002, "rack"),
-			runChaosCell(cfg, "openloop", cb.LWW, cfg.Seed+7003, "traffic"))
+		cells = append(cells,
+			cellSpec{"predserve", cb.LWW, cfg.Seed + 7001, "rolling"},
+			cellSpec{"retwis", cb.LWW, cfg.Seed + 7002, "rack"},
+			cellSpec{"openloop", cb.LWW, cfg.Seed + 7003, "traffic"})
 	}
-	return out
+	// Every cell boots its own traced cluster from a precomputed seed, so
+	// the whole matrix fans out on the parallel runner; cell order in the
+	// table is the spec order, independent of completion order.
+	return ChaosResult{Cells: parallel.Map(cells, func(_ int, s cellSpec) ChaosCell {
+		return runChaosCell(cfg, s.wl, s.mode, s.seed, s.scenario)
+	})}
 }
 
 // chaosDriver issues one logical workload request; err semantics follow
@@ -160,6 +175,7 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	ccfg.VMSpinUp = 6 * time.Second
 	ccfg.DAGTimeout = 4 * time.Second
 	ccfg.StaleAfter = 4 * time.Second
+	ccfg.CodecCounters = cfg.Codec
 	if scenario == "traffic" {
 		// The open-loop cell runs the whole sharded control plane: a
 		// 3-scheduler group (consistent-hash routed, retries walk the

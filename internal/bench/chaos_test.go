@@ -21,8 +21,11 @@ import (
 // also stay on the codec fast paths (zero gob fallbacks). CI runs this
 // as a required job.
 func TestChaosMatrix(t *testing.T) {
-	codec.ResetStats()
-	r := RunChaosMatrix(ChaosQuick())
+	cfg := ChaosQuick()
+	// Per-cluster counters keep the zero-gob assertion exact when other
+	// tests' clusters run concurrently under the parallel runner.
+	cfg.Codec = new(codec.Counters)
+	r := RunChaosMatrix(cfg)
 	t.Log(r.Print())
 	if len(r.Cells) != 18 {
 		t.Fatalf("cells = %d, want 3 workloads × 5 modes + 3 scenario cells", len(r.Cells))
@@ -70,7 +73,7 @@ func TestChaosMatrix(t *testing.T) {
 		t.Errorf("scenario cells missing from matrix: rolling=%v rack=%v split-brain=%v",
 			sawRolling, sawRack, sawSplit)
 	}
-	if s := codec.ReadStats(); s.GobEncodes != 0 || s.GobDecodes != 0 {
+	if s := cfg.Codec.Read(); s.GobEncodes != 0 || s.GobDecodes != 0 {
 		t.Errorf("chaos matrix hit the gob fallback: %+v", s)
 	}
 }

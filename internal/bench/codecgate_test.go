@@ -18,20 +18,29 @@ import (
 // The reduced fig13 sweep covers the open-loop plane: the traffic
 // Capsule is published to and re-read from Anna as the measurement of
 // record, so a capsule quietly riding gob trips the same wire.
+//
+// The assertion reads a per-cluster Counters handle threaded through
+// the figure configs, not the process-wide codec.ReadStats: under the
+// parallel experiment runner other tests' clusters run concurrently on
+// sibling OS threads, and the global aggregate would mix their traffic
+// into this gate.
 func TestSteadyStateFiguresZeroGobFallbacks(t *testing.T) {
-	codec.ResetStats()
+	cnt := new(codec.Counters)
 
 	cfg1 := Fig1Quick()
 	cfg1.Trials = 20
+	cfg1.Codec = cnt
 	RunFig1(cfg1)
 
 	cfg5 := Fig5Quick()
 	cfg5.Clients, cfg5.Trials = 2, 4
 	cfg5.Elems = []int{1000, 100000}
+	cfg5.Codec = cnt
 	RunFig5(cfg5)
 
 	cfg11 := Fig11Quick()
 	cfg11.Clients, cfg11.Requests = 3, 20
+	cfg11.Codec = cnt
 	RunFig11(cfg11)
 
 	cfg13 := Fig13Quick()
@@ -40,9 +49,10 @@ func TestSteadyStateFiguresZeroGobFallbacks(t *testing.T) {
 	cfg13.Window = 2 * time.Second
 	cfg13.Drain = time.Second
 	cfg13.VMs = 3
+	cfg13.Codec = cnt
 	RunFig13(cfg13)
 
-	s := codec.ReadStats()
+	s := cnt.Read()
 	if s.GobEncodes != 0 || s.GobDecodes != 0 {
 		t.Fatalf("steady-state figures hit the gob fallback: %+v", s)
 	}

@@ -7,6 +7,8 @@ import (
 	cb "cloudburst"
 	"cloudburst/internal/baseline"
 	"cloudburst/internal/cloud"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/vtime"
 	"cloudburst/internal/workload"
@@ -16,6 +18,9 @@ import (
 type Fig1Config struct {
 	Trials int // serial requests per system; the paper uses 1000
 	Seed   int64
+	// Codec, when set, receives the Cloudburst clusters' codec traffic —
+	// the per-cluster hook behind the zero-gob gate tests.
+	Codec *codec.Counters
 }
 
 // Fig1Quick returns CI-friendly parameters.
@@ -36,13 +41,27 @@ func (r Fig1Result) Print() string {
 
 // RunFig1 measures median/p99 latency of the two-function composition
 // square(increment(x)) on Cloudburst and every comparison system, plus
-// the single-function "stateless" baselines.
+// the single-function "stateless" baselines. The four rigs are
+// independent simulations, so they run as parallel tasks; rows are
+// stitched back in figure order, keeping the table byte-identical to a
+// serial run.
 func RunFig1(cfg Fig1Config) Fig1Result {
+	groups := parallel.MapN(4, func(i int) []Summary {
+		switch i {
+		case 0:
+			return []Summary{fig1Cloudburst(cfg, false)}
+		case 1:
+			return fig1Baselines(cfg)
+		case 2:
+			return []Summary{fig1Cloudburst(cfg, true)}
+		default:
+			return []Summary{fig1LambdaSingle(cfg)}
+		}
+	})
 	var rows []Summary
-	rows = append(rows, fig1Cloudburst(cfg, false))
-	rows = append(rows, fig1Baselines(cfg)...)
-	rows = append(rows, fig1Cloudburst(cfg, true))
-	rows = append(rows, fig1LambdaSingle(cfg))
+	for _, g := range groups {
+		rows = append(rows, g...)
+	}
 	return Fig1Result{Rows: rows}
 }
 
@@ -51,6 +70,7 @@ func fig1Cloudburst(cfg Fig1Config, single bool) Summary {
 	ccfg := cb.DefaultConfig()
 	ccfg.Seed = cfg.Seed
 	ccfg.VMs = 1 // one executor with 3 worker threads, as in §6.1.1
+	ccfg.CodecCounters = cfg.Codec
 	c := cb.NewCluster(ccfg)
 	defer c.Close()
 	if err := workload.ComposePipeline(c, 2); err != nil {

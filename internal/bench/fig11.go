@@ -6,6 +6,8 @@ import (
 	"time"
 
 	cb "cloudburst"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/vtime"
 	"cloudburst/internal/workload"
 )
@@ -16,6 +18,9 @@ type Fig11Config struct {
 	Clients  int // 10 in the paper
 	Requests int // per client (5000 in the paper)
 	Seed     int64
+	// Codec, when set, receives the Cloudburst clusters' codec traffic —
+	// the per-cluster hook behind the zero-gob gate tests.
+	Codec *codec.Counters
 }
 
 // Fig11Quick returns CI-friendly parameters.
@@ -64,11 +69,17 @@ func (r Fig11Result) Print() string {
 // serverful Redis deployment, all with 10 worker threads and 1 KVS node
 // as in the paper.
 func RunFig11(cfg Fig11Config) Fig11Result {
-	var out Fig11Result
-	out.Rows = append(out.Rows, fig11Cloudburst(cfg, cb.LWW, "Cloudburst (LWW)"))
-	out.Rows = append(out.Rows, fig11Cloudburst(cfg, cb.Causal, "Cloudburst (Causal)"))
-	out.Rows = append(out.Rows, fig11Redis(cfg))
-	return out
+	rows := parallel.MapN(3, func(i int) Fig11Row {
+		switch i {
+		case 0:
+			return fig11Cloudburst(cfg, cb.LWW, "Cloudburst (LWW)")
+		case 1:
+			return fig11Cloudburst(cfg, cb.Causal, "Cloudburst (Causal)")
+		default:
+			return fig11Redis(cfg)
+		}
+	})
+	return Fig11Result{Rows: rows}
 }
 
 func fig11Cloudburst(cfg Fig11Config, mode cb.Consistency, name string) Fig11Row {
@@ -82,6 +93,7 @@ func fig11Cloudburst(cfg Fig11Config, mode cb.Consistency, name string) Fig11Row
 	// the closer equivalent (and lets unordered write-backs race, the
 	// §6.3.2 anomaly mechanism).
 	ccfg.AnnaNodes = 2
+	ccfg.CodecCounters = cfg.Codec
 	c := cb.NewCluster(ccfg)
 	defer c.Close()
 	r := cfg.Retwis
@@ -225,59 +237,64 @@ func (r Fig12Result) Print() string {
 }
 
 // RunFig12 sweeps executor threads with clients = threads, in causal
-// mode.
+// mode. Each ladder rung is an independent cluster, so the sweep runs
+// as parallel tasks; rows land by rung index.
 func RunFig12(cfg Fig12Config) Fig12Result {
-	var out Fig12Result
-	for _, threads := range cfg.Threads {
-		vms := (threads + 1) / 2
-		ccfg := cb.DefaultConfig()
-		ccfg.Seed = cfg.Seed
-		ccfg.Mode = cb.Causal
-		ccfg.VMs = vms
-		ccfg.ThreadsPerVM = 2
-		ccfg.AnnaNodes = threads/8 + 2 // storage scales with the compute sweep
-		c := cb.NewCluster(ccfg)
-		r := cfg.Retwis
-		if err := r.Register(c); err != nil {
-			panic(err)
-		}
-		g := r.Generate(rand.New(rand.NewSource(cfg.Seed)))
-		r.Preload(c, g)
+	rows := parallel.Map(cfg.Threads, func(_ int, threads int) Fig12Row {
+		return fig12Point(cfg, threads)
+	})
+	return Fig12Result{Rows: rows}
+}
 
-		var durs []time.Duration
-		var startT, endT time.Duration
-		completed := 0
-		c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second); startT = time.Duration(cl.Now()) })
-		c.RunN(threads, func(i int, cl *cb.Client) {
-			cl.Timeout = time.Minute
-			rng := rand.New(rand.NewSource(cfg.Seed + 200 + int64(i)))
-			for t := 0; t < cfg.Requests; t++ {
-				s := cl.Now()
-				if _, err := r.Request(cl, rng, g); err != nil {
-					continue
-				}
-				completed++
-				durs = append(durs, cl.Now()-s)
-			}
-		})
-		c.Run(func(cl *cb.Client) { endT = time.Duration(cl.Now()) })
-
-		var hits, misses int64
-		for _, vm := range c.Internal().VMs() {
-			hits += vm.Cache.Stats.Hits
-			misses += vm.Cache.Stats.Misses
-		}
-		missRate := 0.0
-		if hits+misses > 0 {
-			missRate = float64(misses) / float64(hits+misses)
-		}
-		out.Rows = append(out.Rows, Fig12Row{
-			Threads:       threads,
-			Summary:       Summarize(fmt.Sprintf("%d threads", threads), durs),
-			ThroughputKOp: float64(completed) / (endT - startT).Seconds() / 1000,
-			CacheMissRate: missRate,
-		})
-		c.Close()
+// fig12Point runs one thread-ladder rung on a fresh cluster.
+func fig12Point(cfg Fig12Config, threads int) Fig12Row {
+	vms := (threads + 1) / 2
+	ccfg := cb.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	ccfg.Mode = cb.Causal
+	ccfg.VMs = vms
+	ccfg.ThreadsPerVM = 2
+	ccfg.AnnaNodes = threads/8 + 2 // storage scales with the compute sweep
+	c := cb.NewCluster(ccfg)
+	defer c.Close()
+	r := cfg.Retwis
+	if err := r.Register(c); err != nil {
+		panic(err)
 	}
-	return out
+	g := r.Generate(rand.New(rand.NewSource(cfg.Seed)))
+	r.Preload(c, g)
+
+	var durs []time.Duration
+	var startT, endT time.Duration
+	completed := 0
+	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second); startT = time.Duration(cl.Now()) })
+	c.RunN(threads, func(i int, cl *cb.Client) {
+		cl.Timeout = time.Minute
+		rng := rand.New(rand.NewSource(cfg.Seed + 200 + int64(i)))
+		for t := 0; t < cfg.Requests; t++ {
+			s := cl.Now()
+			if _, err := r.Request(cl, rng, g); err != nil {
+				continue
+			}
+			completed++
+			durs = append(durs, cl.Now()-s)
+		}
+	})
+	c.Run(func(cl *cb.Client) { endT = time.Duration(cl.Now()) })
+
+	var hits, misses int64
+	for _, vm := range c.Internal().VMs() {
+		hits += vm.Cache.Stats.Hits
+		misses += vm.Cache.Stats.Misses
+	}
+	missRate := 0.0
+	if hits+misses > 0 {
+		missRate = float64(misses) / float64(hits+misses)
+	}
+	return Fig12Row{
+		Threads:       threads,
+		Summary:       Summarize(fmt.Sprintf("%d threads", threads), durs),
+		ThroughputKOp: float64(completed) / (endT - startT).Seconds() / 1000,
+		CacheMissRate: missRate,
+	}
 }

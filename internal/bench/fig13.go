@@ -24,7 +24,9 @@ import (
 	"time"
 
 	cb "cloudburst"
+	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/traffic"
 )
@@ -47,6 +49,9 @@ type Fig13Config struct {
 	KneeP99         time.Duration // knee criterion: p99 at or under this
 	KneeFrac        float64       // ...and sustained ≥ frac × offered
 	Seed            int64
+	// Codec, when set, receives every cell cluster's codec traffic —
+	// the per-cluster hook behind the zero-gob gate tests.
+	Codec *codec.Counters
 }
 
 // Fig13Quick returns CI-scale parameters. DispatchCost 3ms caps one
@@ -164,20 +169,33 @@ func sortedKneeKeys(m map[int]float64) []int {
 }
 
 // RunFig13 sweeps every (scheduler count, offered load) cell on a
-// fresh, identically-seeded cluster and digests the knees.
+// fresh, identically-seeded cluster and digests the knees. The grid is
+// flattened into independent cells and run through the parallel
+// runner; the knee fold stays serial over the index-ordered points, so
+// the digest is identical to a nested serial sweep.
 func RunFig13(cfg Fig13Config) Fig13Result {
-	res := Fig13Result{Knees: make(map[int]float64)}
+	type cellSpec struct {
+		scount int
+		load   float64
+	}
+	grid := make([]cellSpec, 0, len(cfg.SchedulerCounts)*len(cfg.Loads))
 	for _, scount := range cfg.SchedulerCounts {
 		for _, load := range cfg.Loads {
-			p := runFig13Point(cfg, scount, load)
-			res.Points = append(res.Points, p)
-			if p.P99 <= cfg.KneeP99 && p.Sustained >= cfg.KneeFrac*load {
-				if load > res.Knees[scount] {
-					res.Knees[scount] = load
-				}
-			} else {
-				_ = res.Knees[scount] // ensure the arm has an entry even if 0
+			grid = append(grid, cellSpec{scount, load})
+		}
+	}
+	res := Fig13Result{Knees: make(map[int]float64)}
+	res.Points = parallel.Map(grid, func(_ int, cell cellSpec) Fig13Point {
+		return runFig13Point(cfg, cell.scount, cell.load)
+	})
+	for i, p := range res.Points {
+		load := grid[i].load
+		if p.P99 <= cfg.KneeP99 && p.Sustained >= cfg.KneeFrac*load {
+			if load > res.Knees[p.Schedulers] {
+				res.Knees[p.Schedulers] = load
 			}
+		} else {
+			_ = res.Knees[p.Schedulers] // ensure the arm has an entry even if 0
 		}
 	}
 	base := res.Knees[cfg.SchedulerCounts[0]]
@@ -210,6 +228,7 @@ func runFig13Point(cfg Fig13Config, scount int, load float64) Fig13Point {
 	ccfg.MaxVMs = cfg.VMs
 	ccfg.MinPinned = threads
 	ccfg.SchedulerDispatchCost = cfg.DispatchCost
+	ccfg.CodecCounters = cfg.Codec
 	if scount > 1 {
 		ccfg.MonitorShards = cfg.MonitorShards
 	}
@@ -278,10 +297,10 @@ func runFig13Point(cfg Fig13Config, scount int, load float64) Fig13Point {
 		// the capsule is the measurement of record, so the struct path
 		// (not gob) carries every figure-13 number.
 		ac := in.AnnaClientFor(in.NewClientEndpoint())
-		if err := traffic.PublishCapsule(in.K, ac, rec.Capsule(name)); err != nil {
+		if err := traffic.PublishCapsule(in.K, ac, in.Codec, rec.Capsule(name)); err != nil {
 			panic(err)
 		}
-		got, err := traffic.LoadCapsule(ac, name)
+		got, err := traffic.LoadCapsule(ac, in.Codec, name)
 		if err != nil {
 			panic(err)
 		}

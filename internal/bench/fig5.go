@@ -6,6 +6,8 @@ import (
 
 	cb "cloudburst"
 	"cloudburst/internal/baseline"
+	"cloudburst/internal/codec"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/vtime"
 	"cloudburst/internal/workload"
 )
@@ -18,6 +20,9 @@ type Fig5Config struct {
 	Clients int
 	Trials  int // per client per size
 	Seed    int64
+	// Codec, when set, receives the Cloudburst clusters' codec traffic —
+	// the per-cluster hook behind the zero-gob gate tests.
+	Codec *codec.Counters
 }
 
 // Fig5Quick returns CI-friendly parameters (largest size trimmed).
@@ -80,22 +85,36 @@ func sizeLabel(b int) string {
 }
 
 // RunFig5 sweeps input sizes across Cloudburst (hot/cold caches) and
-// Lambda over Redis and S3.
+// Lambda over Redis and S3. Every (size, system) cell is an
+// independent rig, so the sweep fans out on the parallel runner and
+// rows land in cell order — the same row order as the serial loop.
 func RunFig5(cfg Fig5Config) Fig5Result {
-	var out Fig5Result
+	type cellSpec struct {
+		a      workload.ArraySum
+		system int // 0 hot, 1 cold, 2 redis, 3 s3
+	}
+	grid := make([]cellSpec, 0, 4*len(cfg.Elems))
 	for _, elems := range cfg.Elems {
 		a := workload.ArraySum{NumArrays: 10, Elems: elems}
-		hot, hotRTT := fig5Cloudburst(cfg, a, false)
-		cold, coldRTT := fig5Cloudburst(cfg, a, true)
-		redis := fig5Lambda(cfg, a, "redis")
-		s3 := fig5Lambda(cfg, a, "s3")
-		out.Rows = append(out.Rows,
-			Fig5Row{TotalBytes: a.TotalBytes(), Summary: hot, KVSReadRTT: hotRTT},
-			Fig5Row{TotalBytes: a.TotalBytes(), Summary: cold, KVSReadRTT: coldRTT},
-			Fig5Row{TotalBytes: a.TotalBytes(), Summary: redis},
-			Fig5Row{TotalBytes: a.TotalBytes(), Summary: s3})
+		for sys := 0; sys < 4; sys++ {
+			grid = append(grid, cellSpec{a, sys})
+		}
 	}
-	return out
+	rows := parallel.Map(grid, func(_ int, cell cellSpec) Fig5Row {
+		row := Fig5Row{TotalBytes: cell.a.TotalBytes()}
+		switch cell.system {
+		case 0:
+			row.Summary, row.KVSReadRTT = fig5Cloudburst(cfg, cell.a, false)
+		case 1:
+			row.Summary, row.KVSReadRTT = fig5Cloudburst(cfg, cell.a, true)
+		case 2:
+			row.Summary = fig5Lambda(cfg, cell.a, "redis")
+		default:
+			row.Summary = fig5Lambda(cfg, cell.a, "s3")
+		}
+		return row
+	})
+	return Fig5Result{Rows: rows}
 }
 
 // fig5Cloudburst measures the sum function with warm (hot) or evicted
@@ -106,6 +125,7 @@ func fig5Cloudburst(cfg Fig5Config, a workload.ArraySum, cold bool) (Summary, fl
 	ccfg.Seed = cfg.Seed
 	ccfg.VMs = 7
 	ccfg.AnnaNodes = 4
+	ccfg.CodecCounters = cfg.Codec
 	c := cb.NewCluster(ccfg)
 	defer c.Close()
 	if err := a.Register(c); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	cb "cloudburst"
 	"cloudburst/internal/audit"
+	"cloudburst/internal/parallel"
 	"cloudburst/internal/workload"
 )
 
@@ -82,18 +83,19 @@ func modeLabel(m cb.Consistency) string {
 }
 
 // RunFig8 measures per-depth-normalized DAG latency under all five
-// consistency levels.
+// consistency levels. Each mode boots an independent cluster, so the
+// five run as parallel tasks; rows land by mode index, identical to a
+// serial sweep.
 func RunFig8(cfg Fig8Config) Fig8Result {
-	var out Fig8Result
-	for _, mode := range fig8Modes {
+	rows := parallel.Map(fig8Modes, func(i int, mode cb.Consistency) Fig8Row {
 		sum, meta := fig8Mode(cfg, mode, nil)
-		out.Rows = append(out.Rows, Fig8Row{
+		return Fig8Row{
 			Summary:     sum,
 			MetaMedianB: PercentileInts(meta, 0.50),
 			MetaP99B:    PercentileInts(meta, 0.99),
-		})
-	}
-	return out
+		}
+	})
+	return Fig8Result{Rows: rows}
 }
 
 // fig8Mode runs the random-DAG workload under one mode; the optional

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"cloudburst/internal/parallel"
+)
+
+// The parallel experiment runner's contract is that fanning a figure's
+// independent simulation cells across OS threads changes wall-clock
+// time and nothing else: every cell boots its own virtual-time kernel
+// from the same seed, and results aggregate by cell index, so the
+// rendered table must be byte-identical to a serial run. These tests
+// are that contract, figure by figure: each runs the same reduced
+// config at width 1 and width 4 and compares the Print() bytes. (On a
+// single-core box width 4 still interleaves goroutines across cells,
+// so any cross-kernel leak — shared rng, global counter, pooled buffer
+// mutation — shows up as a diff here long before it corrupts a real
+// 8-core figure run.)
+
+// runBothWidths renders fn's result serially and at width 4.
+func runBothWidths(fn func() string) (serial, parallelOut string) {
+	prev := parallel.SetWidth(1)
+	serial = fn()
+	parallel.SetWidth(4)
+	parallelOut = fn()
+	parallel.SetWidth(prev)
+	return serial, parallelOut
+}
+
+func checkWidths(t *testing.T, name string, fn func() string) {
+	t.Helper()
+	serial, par := runBothWidths(fn)
+	if serial != par {
+		t.Errorf("%s: parallel table differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+			name, serial, par)
+	}
+	if serial == "" {
+		t.Errorf("%s: empty table", name)
+	}
+}
+
+func TestParallelFig1Deterministic(t *testing.T) {
+	cfg := Fig1Quick()
+	cfg.Trials = 15
+	checkWidths(t, "fig1", func() string { return RunFig1(cfg).Print() })
+}
+
+func TestParallelFig5Deterministic(t *testing.T) {
+	cfg := Fig5Quick()
+	cfg.Clients, cfg.Trials = 2, 3
+	cfg.Elems = []int{1000, 10000}
+	checkWidths(t, "fig5", func() string { return RunFig5(cfg).Print() })
+}
+
+func TestParallelFig8Deterministic(t *testing.T) {
+	cfg := Fig8Quick()
+	cfg.Clients, cfg.Requests, cfg.DAGs = 2, 8, 12
+	checkWidths(t, "fig8", func() string { return RunFig8(cfg).Print() })
+}
+
+func TestParallelFig11Deterministic(t *testing.T) {
+	cfg := Fig11Quick()
+	cfg.Clients, cfg.Requests = 3, 15
+	checkWidths(t, "fig11", func() string { return RunFig11(cfg).Print() })
+}
+
+func TestParallelFig12Deterministic(t *testing.T) {
+	cfg := Fig12Quick()
+	cfg.Requests = 10
+	checkWidths(t, "fig12", func() string { return RunFig12(cfg).Print() })
+}
+
+func TestParallelFig13Deterministic(t *testing.T) {
+	cfg := Fig13Quick()
+	cfg.Loads = []float64{150, 600}
+	cfg.Window = 2 * time.Second
+	cfg.Drain = time.Second
+	checkWidths(t, "fig13", func() string { return RunFig13(cfg).Print() })
+}
+
+func TestParallelAblationDeterministic(t *testing.T) {
+	cfg := AblationQuick()
+	cfg.Clients, cfg.Trials, cfg.Elems = 2, 3, 20_000
+	checkWidths(t, "ablation-caching", func() string { return RunAblationCaching(cfg).Print() })
+}
+
+func TestParallelChaosDeterministic(t *testing.T) {
+	cfg := ChaosQuick()
+	cfg.Workloads = []string{"retwis", "gossip"}
+	cfg.Modes = AllModes[:2]
+	cfg.Requests = 3
+	cfg.Lifecycle = false
+	checkWidths(t, "chaos", func() string { return RunChaosMatrix(cfg).Print() })
+}

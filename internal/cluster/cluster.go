@@ -53,6 +53,12 @@ type Config struct {
 	ExecOverhead time.Duration
 	// Tracer, when set, feeds the consistency audit (§6.2.2).
 	Tracer executor.Tracer
+	// Codec, when set, receives this cluster's codec path counters
+	// (struct fast path vs gob fallback). With several clusters running
+	// concurrently the process-wide codec.ReadStats mixes their
+	// traffic; a per-cluster handle keeps the zero-gob gates exact.
+	// Nil allocates a private handle.
+	Codec *codec.Counters
 }
 
 // DefaultConfig returns a small deployment in the given consistency
@@ -101,6 +107,7 @@ type Cluster struct {
 	KV       *anna.KVS
 	Registry *executor.Registry
 	Monitor  *monitor.Monitor
+	Codec    *codec.Counters
 
 	cfg          Config
 	schedulers   []*scheduler.Scheduler
@@ -137,6 +144,9 @@ func New(cfg Config) *Cluster {
 	if cfg.InitialVMs < 1 {
 		cfg.InitialVMs = 1
 	}
+	if cfg.Codec == nil {
+		cfg.Codec = new(codec.Counters)
+	}
 	k := vtime.NewKernel(cfg.Seed)
 	net := simnet.New(k, cfg.Link)
 	c := &Cluster{
@@ -144,6 +154,7 @@ func New(cfg Config) *Cluster {
 		Net:      net,
 		KV:       anna.NewKVS(k, net, cfg.Anna),
 		Registry: executor.NewRegistry(),
+		Codec:    cfg.Codec,
 		cfg:      cfg,
 		vms:      make(map[string]*VMHandle),
 		dagCache: make(map[string]*dag.DAG),
@@ -159,9 +170,11 @@ func New(cfg Config) *Cluster {
 	// All control-plane consumers share one decoded-metrics cache: each
 	// publication is gob-decoded once per cluster, not once per poll tick
 	// per scheduler.
-	decoded := core.NewDecodeCache()
+	decoded := core.NewDecodeCache(cfg.Codec)
 	cfg.Scheduler.Decoded = decoded
+	cfg.Scheduler.Codec = cfg.Codec
 	cfg.Monitor.Decoded = decoded
+	c.cfg = cfg
 
 	for i := 0; i < cfg.InitialVMs; i++ {
 		c.bootVM()
@@ -225,6 +238,7 @@ func (c *Cluster) bootVMNamed(name string) *VMHandle {
 			Alive:          c.Alive,
 			DAGFor:         c.dagFor,
 			InvokeOverhead: c.cfg.ExecOverhead,
+			Codec:          c.Codec,
 		})
 		h.Threads = append(h.Threads, t)
 		h.nodeIDs = append(h.nodeIDs, id)
@@ -252,7 +266,7 @@ func (c *Cluster) dagFor(name string) (*dag.DAG, bool) {
 	if !ok {
 		return nil, false
 	}
-	v, err := codec.Decode(l.Value)
+	v, err := c.Codec.Decode(l.Value)
 	if err != nil {
 		return nil, false
 	}
@@ -460,7 +474,7 @@ func (c *Cluster) recordWarmSeed(h *VMHandle) {
 		}
 		sort.Strings(seed.Pinned)
 	}
-	payload := codec.MustEncode(seed)
+	payload := c.Codec.MustEncode(seed)
 	ts := lattice.Timestamp{Clock: int64(c.K.Now()), Node: nodeHashCluster(base)}
 	c.K.Go("cluster/seed", func() {
 		c.lifecycle.Put(core.WarmSeedKey(base), lattice.NewLWW(ts, payload))
@@ -481,7 +495,7 @@ func (c *Cluster) warmFill(h *VMHandle, base string) {
 	if !ok {
 		return
 	}
-	v, err := codec.Decode(l.Value)
+	v, err := c.Codec.Decode(l.Value)
 	if err != nil {
 		return
 	}

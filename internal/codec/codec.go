@@ -127,10 +127,15 @@ const maxScratch = 1 << 20
 // wire structs should implement Struct and use RegisterStruct instead.
 func Register(v any) { gob.Register(v) }
 
-// Encode serializes v.
-func Encode(v any) ([]byte, error) {
+// Encode serializes v, counting traffic on the process aggregate only.
+// Cluster-owned paths use (*Counters).Encode so per-cluster gob gates
+// stay exact under concurrent runs.
+func Encode(v any) ([]byte, error) { return encodeCounted(nil, v) }
+
+// encodeCounted is Encode with an optional per-handle counter.
+func encodeCounted(cnt *Counters, v any) ([]byte, error) {
 	if n, exact := exactSize(v); exact {
-		out, err := appendValue(make([]byte, 0, n), v)
+		out, err := appendValue(cnt, make([]byte, 0, n), v)
 		if err != nil {
 			return nil, fmt.Errorf("codec: encode %T: %w", v, err)
 		}
@@ -140,7 +145,7 @@ func Encode(v any) ([]byte, error) {
 	// build in a pooled scratch buffer and copy out exactly sized: one
 	// allocation per Encode no matter how often the encoding grew.
 	sp := scratchPool.Get().(*[]byte)
-	buf, err := appendValue((*sp)[:0], v)
+	buf, err := appendValue(cnt, (*sp)[:0], v)
 	if err != nil {
 		scratchPool.Put(sp)
 		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
@@ -188,8 +193,9 @@ func exactSize(v any) (int, bool) {
 	return 0, false
 }
 
-// appendValue appends v's tagged encoding to dst.
-func appendValue(dst []byte, v any) ([]byte, error) {
+// appendValue appends v's tagged encoding to dst, counting struct/gob
+// traffic on cnt (nil-safe: nil counts only the process aggregate).
+func appendValue(cnt *Counters, dst []byte, v any) ([]byte, error) {
 	switch x := v.(type) {
 	case nil:
 		return append(dst, tagNil), nil
@@ -241,7 +247,7 @@ func appendValue(dst []byte, v any) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
 		for _, e := range x {
 			var err error
-			if dst, err = appendBlob(dst, e); err != nil {
+			if dst, err = appendBlob(cnt, dst, e); err != nil {
 				return nil, err
 			}
 		}
@@ -263,7 +269,7 @@ func appendValue(dst []byte, v any) ([]byte, error) {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(k)))
 			dst = append(dst, k...)
 			var err error
-			if dst, err = appendBlob(dst, x[k]); err != nil {
+			if dst, err = appendBlob(cnt, dst, x[k]); err != nil {
 				return nil, err
 			}
 		}
@@ -279,17 +285,17 @@ func appendValue(dst []byte, v any) ([]byte, error) {
 		return dst, nil
 	}
 	if e, ok := structsByType[reflect.TypeOf(v)]; ok {
-		return appendStruct(dst, e, v), nil
+		return appendStruct(cnt, dst, e, v), nil
 	}
-	return appendGob(dst, v)
+	return appendGob(cnt, dst, v)
 }
 
 // appendBlob appends a length-prefixed full encoding of v (container
 // element format).
-func appendBlob(dst []byte, v any) ([]byte, error) {
+func appendBlob(cnt *Counters, dst []byte, v any) ([]byte, error) {
 	lenAt := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, 0) // patched below
-	dst, err := appendValue(dst, v)
+	dst, err := appendValue(cnt, dst, v)
 	if err != nil {
 		return nil, err
 	}
@@ -298,8 +304,8 @@ func appendBlob(dst []byte, v any) ([]byte, error) {
 }
 
 // appendGob appends the gob-fallback encoding of v.
-func appendGob(dst []byte, v any) ([]byte, error) {
-	stats.gobEncodes.Add(1)
+func appendGob(cnt *Counters, dst []byte, v any) ([]byte, error) {
+	cnt.addGobEncode()
 	buf := bufPool.Get().(*bytes.Buffer)
 	defer bufPool.Put(buf)
 	buf.Reset()
@@ -319,23 +325,28 @@ func errTruncated(tag byte) error {
 	return fmt.Errorf("codec: decode: truncated input (tag %#x)", tag)
 }
 
-// Decode deserializes a value produced by Encode. The result may alias
-// data (the []byte fast path is zero-copy); treat both as read-only.
-func Decode(data []byte) (any, error) {
+// Decode deserializes a value produced by Encode, counting traffic on
+// the process aggregate only. The result may alias data (the []byte
+// fast path is zero-copy); treat both as read-only. Cluster-owned
+// paths use (*Counters).Decode.
+func Decode(data []byte) (any, error) { return decodeCounted(nil, data) }
+
+// decodeCounted is Decode with an optional per-handle counter.
+func decodeCounted(cnt *Counters, data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("codec: decode: empty input")
 	}
 	tag, body := data[0], data[1:]
 	switch tag {
 	case tagGob:
-		stats.gobDecodes.Add(1)
+		cnt.addGobDecode()
 		var env envelope
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
 			return nil, fmt.Errorf("codec: decode: %w", err)
 		}
 		return env.V, nil
 	case tagStruct:
-		return decodeStruct(body)
+		return decodeStruct(cnt, body)
 	case tagNil:
 		return nil, nil
 	case tagBytes:
@@ -424,7 +435,7 @@ func Decode(data []byte) (any, error) {
 			if blob, body, err = readChunk(tag, body); err != nil {
 				return nil, err
 			}
-			v, err := Decode(blob)
+			v, err := decodeCounted(cnt, blob)
 			if err != nil {
 				return nil, err
 			}
@@ -462,7 +473,7 @@ func Decode(data []byte) (any, error) {
 			if blob, body, err = readChunk(tag, body); err != nil {
 				return nil, err
 			}
-			v, err := Decode(blob)
+			v, err := decodeCounted(cnt, blob)
 			if err != nil {
 				return nil, err
 			}

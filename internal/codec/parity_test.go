@@ -17,7 +17,7 @@ import (
 // encoding exactly as Encode would for a non-fast-path type.
 func gobEncode(t testing.TB, v any) []byte {
 	t.Helper()
-	out, err := appendGob(nil, v)
+	out, err := appendGob(nil, nil, v)
 	if err != nil {
 		t.Fatalf("gob encode %T: %v", v, err)
 	}

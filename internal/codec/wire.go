@@ -89,8 +89,8 @@ type wireAppender interface{ AppendWire(dst []byte) []byte }
 
 // appendStruct appends the tagged fast-path encoding of a registered
 // wire struct: tag, one-byte name length, name, fields.
-func appendStruct(dst []byte, e *structEntry, v any) []byte {
-	stats.structEncodes.Add(1)
+func appendStruct(cnt *Counters, dst []byte, e *structEntry, v any) []byte {
+	cnt.addStructEncode()
 	dst = append(dst, tagStruct, byte(len(e.name)))
 	dst = append(dst, e.name...)
 	if a, ok := v.(wireAppender); ok {
@@ -100,7 +100,7 @@ func appendStruct(dst []byte, e *structEntry, v any) []byte {
 }
 
 // decodeStruct parses a tagStruct body (everything after the tag byte).
-func decodeStruct(body []byte) (any, error) {
+func decodeStruct(cnt *Counters, body []byte) (any, error) {
 	if len(body) < 1 {
 		return nil, errTruncated(tagStruct)
 	}
@@ -112,7 +112,7 @@ func decodeStruct(body []byte) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("codec: decode: unregistered wire struct %q", string(body[1:1+n]))
 	}
-	stats.structDecodes.Add(1)
+	cnt.addStructDecode()
 	return e.decode(body[1+n:])
 }
 
@@ -129,31 +129,114 @@ type Stats struct {
 	GobDecodes    int64 // gob-fallback decodes
 }
 
-var stats struct {
+// Counters is a per-handle set of codec path counters. Every cluster
+// owns one (threaded through its executors, schedulers, and decode
+// caches), so the zero-gob gates stay exact when several clusters run
+// concurrently: the process-wide aggregate (ReadStats) sums traffic
+// from all of them, but a handle counts only its own cluster's.
+//
+// The methods mirror the package-level functions and are nil-safe: a
+// nil *Counters encodes/decodes identically and bumps only the
+// aggregate, so code paths that never met a cluster keep working
+// unchanged.
+type Counters struct {
 	structEncodes atomic.Int64
 	structDecodes atomic.Int64
 	gobEncodes    atomic.Int64
 	gobDecodes    atomic.Int64
 }
 
-// ReadStats returns the process-lifetime codec counters.
-func ReadStats() Stats {
-	return Stats{
-		StructEncodes: stats.structEncodes.Load(),
-		StructDecodes: stats.structDecodes.Load(),
-		GobEncodes:    stats.gobEncodes.Load(),
-		GobDecodes:    stats.gobDecodes.Load(),
+// aggregate is the process-lifetime sum behind ReadStats/ResetStats.
+// Every bump lands here whether or not a handle is attached.
+var aggregate Counters
+
+func (c *Counters) addStructEncode() {
+	aggregate.structEncodes.Add(1)
+	if c != nil {
+		c.structEncodes.Add(1)
 	}
 }
 
-// ResetStats zeroes the counters (tests bracket a workload with
-// ResetStats/ReadStats to assert its codec behavior).
-func ResetStats() {
-	stats.structEncodes.Store(0)
-	stats.structDecodes.Store(0)
-	stats.gobEncodes.Store(0)
-	stats.gobDecodes.Store(0)
+func (c *Counters) addStructDecode() {
+	aggregate.structDecodes.Add(1)
+	if c != nil {
+		c.structDecodes.Add(1)
+	}
 }
+
+func (c *Counters) addGobEncode() {
+	aggregate.gobEncodes.Add(1)
+	if c != nil {
+		c.gobEncodes.Add(1)
+	}
+}
+
+func (c *Counters) addGobDecode() {
+	aggregate.gobDecodes.Add(1)
+	if c != nil {
+		c.gobDecodes.Add(1)
+	}
+}
+
+// Encode serializes v, counting the traffic on this handle (and the
+// process aggregate). Nil-safe.
+func (c *Counters) Encode(v any) ([]byte, error) { return encodeCounted(c, v) }
+
+// MustEncode is Encode, panicking on failure.
+func (c *Counters) MustEncode(v any) []byte {
+	b, err := c.Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode deserializes data, counting the traffic on this handle (and
+// the process aggregate). Nil-safe.
+func (c *Counters) Decode(data []byte) (any, error) { return decodeCounted(c, data) }
+
+// MustDecode is Decode, panicking on failure.
+func (c *Counters) MustDecode(data []byte) any {
+	v, err := c.Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Read returns this handle's counters. A nil handle reads all zeros.
+func (c *Counters) Read() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		StructEncodes: c.structEncodes.Load(),
+		StructDecodes: c.structDecodes.Load(),
+		GobEncodes:    c.gobEncodes.Load(),
+		GobDecodes:    c.gobDecodes.Load(),
+	}
+}
+
+// Reset zeroes this handle's counters (not the process aggregate).
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.structEncodes.Store(0)
+	c.structDecodes.Store(0)
+	c.gobEncodes.Store(0)
+	c.gobDecodes.Store(0)
+}
+
+// ReadStats returns the process-lifetime codec counters, summed across
+// every handle and every handleless call.
+func ReadStats() Stats { return (&aggregate).Read() }
+
+// ResetStats zeroes the process-wide counters. Tests that bracket a
+// workload with ResetStats/ReadStats are exact only while nothing else
+// encodes concurrently; under parallel runs, bracket a per-cluster
+// Counters handle instead.
+func ResetStats() { (&aggregate).Reset() }
 
 // --- Append helpers ------------------------------------------------------
 //

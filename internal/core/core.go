@@ -330,7 +330,8 @@ type SchedulerMetrics struct {
 // read-only, the same convention the data plane's zero-copy payloads
 // follow. The kernel runs one party at a time, so no locking is needed.
 type DecodeCache struct {
-	m map[string]decodedVersion
+	m   map[string]decodedVersion
+	cnt *codec.Counters
 }
 
 // decodedVersion is a key's latest decoded publication.
@@ -339,9 +340,11 @@ type decodedVersion struct {
 	v  any
 }
 
-// NewDecodeCache returns an empty cache.
-func NewDecodeCache() *DecodeCache {
-	return &DecodeCache{m: make(map[string]decodedVersion)}
+// NewDecodeCache returns an empty cache whose decodes count against
+// cnt (the owning cluster's codec counters; nil counts only the
+// process aggregate).
+func NewDecodeCache(cnt *codec.Counters) *DecodeCache {
+	return &DecodeCache{m: make(map[string]decodedVersion), cnt: cnt}
 }
 
 // Get looks up the decoded value for key at exactly ts.
@@ -366,7 +369,7 @@ func (c *DecodeCache) Decode(key string, l *lattice.LWW) (any, bool) {
 	if v, ok := c.Get(key, l.TS); ok {
 		return v, true
 	}
-	v, err := codec.Decode(l.Value)
+	v, err := c.cnt.Decode(l.Value)
 	if err != nil {
 		return nil, false
 	}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"cloudburst/internal/cache"
-	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/vtime"
@@ -95,7 +94,7 @@ func (c *Ctx) GetSiblings(key string) ([]any, error) {
 				WriteID: writeID, Ver: ver, Cache: ver.Cache, At: c.t.k.Now(),
 			})
 		}
-		v, err := codec.Decode(inner)
+		v, err := c.t.codec.Decode(inner)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +124,7 @@ func (c *Ctx) PutWithDeps(key string, val any, deps ...string) error {
 }
 
 func (c *Ctx) put(key string, val any, deps []string) error {
-	payload, err := codec.Encode(val)
+	payload, err := c.t.codec.Encode(val)
 	if err != nil {
 		return err
 	}
@@ -171,7 +170,7 @@ func (c *Ctx) CachedLocally(key string) bool {
 // thread is unreachable the message is written to the recipient's Anna
 // inbox instead (§3).
 func (c *Ctx) Send(recvID string, msg any) error {
-	payload, err := codec.Encode(msg)
+	payload, err := c.t.codec.Encode(msg)
 	if err != nil {
 		return err
 	}
@@ -199,7 +198,7 @@ func (c *Ctx) Recv() ([]any, error) {
 		c.t.mailbox = nil
 		out := make([]any, 0, len(msgs))
 		for _, m := range msgs {
-			v, err := codec.Decode(m.Body)
+			v, err := c.t.codec.Decode(m.Body)
 			if err != nil {
 				return nil, err
 			}
@@ -237,7 +236,7 @@ func (c *Ctx) Recv() ([]any, error) {
 				break
 			}
 		}
-		v, err := codec.Decode([]byte(payload))
+		v, err := c.t.codec.Decode([]byte(payload))
 		if err != nil {
 			return nil, err
 		}

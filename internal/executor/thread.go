@@ -32,6 +32,7 @@ type Thread struct {
 	alive       func(simnet.NodeID) bool
 	dagFor      func(name string) (*dag.DAG, bool)
 	overhead    time.Duration
+	codec       *codec.Counters
 	disp        *simnet.Dispatcher
 	resolveName string // precomputed process name for parallel arg reads
 
@@ -111,6 +112,9 @@ type Deps struct {
 	// executor; ~0.8ms calibrates Figure 1's Cloudburst bar against
 	// Dask's).
 	InvokeOverhead time.Duration
+	// Codec receives this thread's codec traffic on the owning
+	// cluster's counters (nil counts only the process aggregate).
+	Codec *codec.Counters
 }
 
 // NewThread creates a worker bound to ep.
@@ -127,6 +131,7 @@ func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread 
 		alive:       d.Alive,
 		dagFor:      d.DAGFor,
 		overhead:    d.InvokeOverhead,
+		codec:       d.Codec,
 		resolveName: string(ep.ID()) + "/resolve",
 		pinned:      make(map[string]bool),
 		pending:     make(map[string]*join),
@@ -227,7 +232,7 @@ func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *c
 			refIdx = append(refIdx, i)
 			continue
 		}
-		v, err := codec.Decode(a.Val)
+		v, err := t.codec.Decode(a.Val)
 		if err != nil {
 			return nil, err
 		}
@@ -302,19 +307,19 @@ func (t *Thread) decodeVersioned(key string, ver core.VersionRef, payload []byte
 	switch {
 	case len(ver.VC) != 0:
 		if ver.VCD == 0 {
-			return codec.Decode(payload) // no capsule digest: not memoizable
+			return t.codec.Decode(payload) // no capsule digest: not memoizable
 		}
 		mk = memoKey{key: key, vcd: ver.VCD}
 	case ver.TS != (lattice.Timestamp{}):
 		mk = memoKey{key: key, ts: ver.TS}
 	default:
-		return codec.Decode(payload)
+		return t.codec.Decode(payload)
 	}
 	if v, ok := t.memo[mk]; ok {
 		t.memoHits++
 		return v, nil
 	}
-	v, err := codec.Decode(payload)
+	v, err := t.codec.Decode(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +352,7 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 		t.completeSingle(req, res, 64)
 		return
 	}
-	payload, encErr := codec.Encode(result)
+	payload, encErr := t.codec.Encode(result)
 	if encErr != nil {
 		res.Err = encErr.Error()
 		t.completeSingle(req, res, 64)
@@ -420,7 +425,7 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 	args := append([]core.Arg(nil), tr.Schedule.Args[tr.Target]...)
 	parentVals := make([]any, 0, len(inputs))
 	for _, in := range inputs {
-		v, err := codec.Decode(in.Val)
+		v, err := t.codec.Decode(in.Val)
 		if err != nil {
 			t.fail(tr.Schedule, err)
 			return
@@ -448,7 +453,7 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 		t.fail(tr.Schedule, err)
 		return
 	}
-	payload, encErr := codec.Encode(result)
+	payload, encErr := t.codec.Encode(result)
 	if encErr != nil {
 		t.fail(tr.Schedule, encErr)
 		return

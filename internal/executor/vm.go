@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"cloudburst/internal/anna"
-	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/vtime"
@@ -103,9 +102,12 @@ func (vm *VM) metricsLoop() {
 
 func (vm *VM) publishMetrics() {
 	now := int64(vm.k.Now())
+	// Metrics publications count against the owning cluster's codec
+	// handle; the threads carry it in their deps.
+	cnt := vm.Threads[0].codec
 	for _, t := range vm.Threads {
 		m := t.MetricsSnapshot()
-		payload := codec.MustEncode(m)
+		payload := cnt.MustEncode(m)
 		vm.metricsClient.Put(core.ExecMetricsKey(string(t.ID())),
 			lattice.NewLWW(lattice.Timestamp{Clock: now, Node: nodeHashVM(vm.Name)}, payload))
 	}
@@ -116,7 +118,7 @@ func (vm *VM) publishMetrics() {
 		ReportedAtS: vm.k.Now().Seconds(),
 	}
 	vm.metricsClient.Put(core.CacheKeysKey(vm.Name),
-		lattice.NewLWW(lattice.Timestamp{Clock: now, Node: nodeHashVM(vm.Name)}, codec.MustEncode(cm)))
+		lattice.NewLWW(lattice.Timestamp{Clock: now, Node: nodeHashVM(vm.Name)}, cnt.MustEncode(cm)))
 }
 
 func nodeHashVM(name string) uint64 {

@@ -3,6 +3,7 @@ package lattice
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -28,15 +29,19 @@ const maxGuardEntries = 1 << 16
 
 var (
 	guardEnabled atomic.Bool
+	guardMu      sync.Mutex // guards guardEntries; enabled check stays lock-free
 	guardEntries []guardEntry
 )
 
 // GuardPayloads starts recording capsule payloads for immutability
-// verification. Not safe for concurrent use with capsule construction —
-// call it from test setup, before the simulation runs (the virtual-time
-// kernel is cooperative, so in-simulation construction never races).
+// verification. The entry list is mutex-protected so guarded tests may
+// run while other kernels construct capsules on sibling OS threads (the
+// parallel experiment runner); within one kernel the cooperative
+// scheduler already serializes construction.
 func GuardPayloads() {
+	guardMu.Lock()
 	guardEntries = guardEntries[:0]
+	guardMu.Unlock()
 	guardEnabled.Store(true)
 }
 
@@ -44,9 +49,13 @@ func GuardPayloads() {
 // guarded payload whose bytes changed since construction.
 func VerifyPayloads() error {
 	guardEnabled.Store(false)
+	guardMu.Lock()
+	entries := guardEntries
+	guardEntries = nil
+	guardMu.Unlock()
 	var mutated int
 	var first string
-	for _, e := range guardEntries {
+	for _, e := range entries {
 		if payloadSum(e.payload) != e.sum {
 			mutated++
 			if first == "" {
@@ -54,7 +63,6 @@ func VerifyPayloads() error {
 			}
 		}
 	}
-	guardEntries = nil
 	if mutated > 0 {
 		return fmt.Errorf("lattice: %d capsule payload(s) mutated after construction; first: %s", mutated, first)
 	}
@@ -67,10 +75,11 @@ func recordPayload(b []byte) {
 	if !guardEnabled.Load() || len(b) == 0 {
 		return
 	}
-	if len(guardEntries) >= maxGuardEntries {
-		return
+	guardMu.Lock()
+	if len(guardEntries) < maxGuardEntries {
+		guardEntries = append(guardEntries, guardEntry{payload: b, sum: payloadSum(b)})
 	}
-	guardEntries = append(guardEntries, guardEntry{payload: b, sum: payloadSum(b)})
+	guardMu.Unlock()
 }
 
 func payloadSum(b []byte) uint64 {

@@ -127,6 +127,14 @@ type Monitor struct {
 	shards   []*shard
 	aggCalls map[string]int64
 	aggDone  map[string]int64
+	// execKeys/schedKeys cache each registry's sorted key list (and, in
+	// sharded mode, its hash partitions) between policy ticks; fleet
+	// membership changes rarely, so most ticks skip the re-sort and
+	// re-partition entirely. The Anna reads themselves are untouched —
+	// the cache is CPU-side only, so the simulation schedule (and every
+	// figure) is byte-identical with or without a hit.
+	execKeys  registryKeyCache
+	schedKeys registryKeyCache
 
 	Events []Event
 	// ReplicaSamples records (time, total pinned replicas) per tick —
@@ -157,7 +165,7 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, pool ComputePool
 		decoded:       cfg.Decoded,
 	}
 	if m.decoded == nil {
-		m.decoded = core.NewDecodeCache()
+		m.decoded = core.NewDecodeCache(nil)
 	}
 	if cfg.Shards > 1 && cfg.NewShardEP != nil {
 		m.shards = append(m.shards, newShard(ep, ac))
@@ -239,7 +247,7 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 	pins := make(map[string][]simnet.NodeID)
 	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			for _, v := range m.fetchRegistry(set) {
+			for _, v := range m.fetchRegistry(m.execKeys.get(set)) {
 				em, ok := v.(core.ExecutorMetrics)
 				if !ok || !live[em.Thread] {
 					continue
@@ -261,7 +269,7 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 
 	if lat, found, err := m.anna.Get(scheduler.SchedListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			for _, v := range m.fetchRegistry(set) {
+			for _, v := range m.fetchRegistry(m.schedKeys.get(set)) {
 				sm, ok := v.(core.SchedulerMetrics)
 				if !ok {
 					continue
@@ -280,11 +288,54 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 	return calls, done
 }
 
+// registryKeyCache memoizes one registry Set's sorted key list and its
+// shard partitions. A cached list is valid while the set's membership
+// is unchanged — same cardinality and every cached key still present
+// (equal-length sets with a common subset are equal). The check is one
+// map lookup per key, replacing the per-tick allocate-and-sort.
+type registryKeyCache struct {
+	keys  []string
+	parts [][]string // lazily built by partitions()
+}
+
+// get returns the sorted key list for set, reusing the cached list when
+// membership is unchanged.
+func (c *registryKeyCache) get(set *lattice.Set) []string {
+	if set.Len() == len(c.keys) {
+		hit := true
+		for _, k := range c.keys {
+			if _, ok := set.Elems[k]; !ok {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return c.keys
+		}
+	}
+	c.keys = sortedElems(set)
+	c.parts = nil
+	return c.keys
+}
+
+// partitions returns the cached keys hash-split across n shards,
+// rebuilding only after a membership change invalidated the list.
+func (c *registryKeyCache) partitions(n int) [][]string {
+	if len(c.parts) == n {
+		return c.parts
+	}
+	c.parts = make([][]string, n)
+	for _, key := range c.keys {
+		i := shardOf(key, n)
+		c.parts[i] = append(c.parts[i], key)
+	}
+	return c.parts
+}
+
 // fetchRegistry bulk-reads a metric registry's keys in deterministic
 // order via one grouped multi-get per storage node and decodes each
 // capsule through the shared version-keyed cache.
-func (m *Monitor) fetchRegistry(set *lattice.Set) []any {
-	keys := sortedElems(set)
+func (m *Monitor) fetchRegistry(keys []string) []any {
 	got, _, err := m.anna.MultiGet(keys)
 	if err != nil {
 		return nil

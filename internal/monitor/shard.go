@@ -67,28 +67,27 @@ func (m *Monitor) refreshSharded() (calls, done map[string]int64) {
 	for _, id := range m.pool.Threads() {
 		live[id] = true
 	}
-	var execKeys, schedKeys []string
+	// Key lists and their partitions come from the membership-keyed
+	// cache: an unchanged fleet reuses last tick's sort and hash-split.
+	n := len(m.shards)
+	var execParts, schedParts [][]string
 	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			execKeys = sortedElems(set)
+			m.execKeys.get(set)
+			execParts = m.execKeys.partitions(n)
 		}
 	}
 	if lat, found, err := m.anna.Get(scheduler.SchedListKey); err == nil && found {
 		if set, ok := lat.(*lattice.Set); ok {
-			schedKeys = sortedElems(set)
+			m.schedKeys.get(set)
+			schedParts = m.schedKeys.partitions(n)
 		}
 	}
-
-	n := len(m.shards)
-	execParts := make([][]string, n)
-	schedParts := make([][]string, n)
-	for _, key := range execKeys {
-		i := shardOf(key, n)
-		execParts[i] = append(execParts[i], key)
+	if execParts == nil {
+		execParts = make([][]string, n)
 	}
-	for _, key := range schedKeys {
-		i := shardOf(key, n)
-		schedParts[i] = append(schedParts[i], key)
+	if schedParts == nil {
+		schedParts = make([][]string, n)
 	}
 
 	results := make([]shardScan, n)

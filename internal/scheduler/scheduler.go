@@ -105,6 +105,9 @@ type Config struct {
 	// Decoded is an optional cluster-shared decoded-metrics cache; nil
 	// gives the scheduler a private one.
 	Decoded *core.DecodeCache
+	// Codec receives the scheduler's codec traffic on the owning
+	// cluster's counters (nil counts only the process aggregate).
+	Codec *codec.Counters
 }
 
 // DefaultConfig returns the §4.3/§4.5 defaults.
@@ -190,6 +193,7 @@ type Scheduler struct {
 	// dominant real-CPU cost of an idle scheduler. Shared cluster-wide
 	// when Config.Decoded is set.
 	decoded *core.DecodeCache
+	codec   *codec.Counters
 
 	// lastAssigned spreads rapid-fire assignments across executors:
 	// utilization reports lag by the metrics interval, so without local
@@ -227,9 +231,10 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		fnCalls:      make(map[string]int64),
 		dagDone:      make(map[string]int64),
 		decoded:      cfg.Decoded,
+		codec:        cfg.Codec,
 	}
 	if s.decoded == nil {
-		s.decoded = core.NewDecodeCache()
+		s.decoded = core.NewDecodeCache(cfg.Codec)
 	}
 	s.disp = simnet.NewDispatcher(ep, string(s.id))
 	simnet.OnRequest(s.disp, func(req *simnet.Request, b RegisterFunctionReq) {
@@ -288,7 +293,7 @@ func (s *Scheduler) Start() {
 // registerFunction stores the function's metadata in Anna and updates
 // the shared registered-function list (§4.3).
 func (s *Scheduler) registerFunction(req RegisterFunctionReq) RegisterResp {
-	meta := codec.MustEncode(map[string]any{"name": req.Name})
+	meta := s.codec.MustEncode(map[string]any{"name": req.Name})
 	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 1}
 	if err := s.anna.Put(core.FuncKey(req.Name), lattice.NewLWW(ts, meta)); err != nil {
 		return RegisterResp{Err: err.Error()}
@@ -314,7 +319,7 @@ func (s *Scheduler) registerDAG(req RegisterDAGReq) RegisterResp {
 		}
 	}
 	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 1}
-	if err := s.anna.Put(core.DAGKey(d.Name), lattice.NewLWW(ts, codec.MustEncode(d))); err != nil {
+	if err := s.anna.Put(core.DAGKey(d.Name), lattice.NewLWW(ts, s.codec.MustEncode(d))); err != nil {
 		return RegisterResp{Err: err.Error()}
 	}
 	s.anna.Put(core.DAGListKey(), lattice.NewSet(d.Name))
@@ -570,7 +575,7 @@ func (s *Scheduler) dagView(name string) (*dag.DAG, bool) {
 	if !ok {
 		return nil, false
 	}
-	v, err := codec.Decode(l.Value)
+	v, err := s.codec.Decode(l.Value)
 	if err != nil {
 		return nil, false
 	}
@@ -950,7 +955,7 @@ func (s *Scheduler) metricsTick() {
 		m.FnCalls["done/"+d] = n
 	}
 	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 2}
-	s.anna.Put(core.SchedMetricsKey(string(s.id)), lattice.NewLWW(ts, codec.MustEncode(m)))
+	s.anna.Put(core.SchedMetricsKey(string(s.id)), lattice.NewLWW(ts, s.codec.MustEncode(m)))
 }
 
 // sortedSet returns a Set lattice's elements in deterministic order.

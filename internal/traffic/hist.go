@@ -269,14 +269,15 @@ func CapsuleKey(name string) string { return "sys/traffic/" + name }
 
 // PublishCapsule persists a window's capsule in Anna under
 // CapsuleKey(c.Name) so results survive the pool and cross the wire
-// codec (the encode side of the zero-gob guarantee).
-func PublishCapsule(k *vtime.Kernel, ac *anna.Client, c Capsule) error {
+// codec (the encode side of the zero-gob guarantee). The encode counts
+// against cnt — the owning cluster's codec counters (nil-safe).
+func PublishCapsule(k *vtime.Kernel, ac *anna.Client, cnt *codec.Counters, c Capsule) error {
 	ts := lattice.Timestamp{Clock: int64(k.Now()), Node: 0x7aff1c}
-	return ac.Put(CapsuleKey(c.Name), lattice.NewLWW(ts, codec.MustEncode(c)))
+	return ac.Put(CapsuleKey(c.Name), lattice.NewLWW(ts, cnt.MustEncode(c)))
 }
 
 // LoadCapsule reads a published window back (the decode side).
-func LoadCapsule(ac *anna.Client, name string) (Capsule, error) {
+func LoadCapsule(ac *anna.Client, cnt *codec.Counters, name string) (Capsule, error) {
 	lat, found, err := ac.Get(CapsuleKey(name))
 	if err != nil {
 		return Capsule{}, err
@@ -288,7 +289,7 @@ func LoadCapsule(ac *anna.Client, name string) (Capsule, error) {
 	if !ok {
 		return Capsule{}, fmt.Errorf("traffic: capsule %q is %T, not LWW", name, lat)
 	}
-	v, err := codec.Decode(lww.Value)
+	v, err := cnt.Decode(lww.Value)
 	if err != nil {
 		return Capsule{}, err
 	}

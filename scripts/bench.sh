@@ -5,7 +5,14 @@
 # metrics (ms_median:*, simreq/s_*, pct_anomaly:* stay the reproduction
 # results; ns/op, B/op, allocs/op measure the harness itself).
 #
-# Usage: scripts/bench.sh [-p bench-regex] [-o out.json] [-c count]
+# With -benchtime=1x one iteration is one full figure, so each row's
+# ns/op IS that figure's wall time at the recorded runner width. -w
+# sets the parallel experiment-runner width (internal/parallel) for the
+# run: figures fan independent simulation cells across that many OS
+# threads, with byte-identical tables at every width. The effective
+# width and the suite's total wall seconds land in the JSON header.
+#
+# Usage: scripts/bench.sh [-p bench-regex] [-o out.json] [-c count] [-w width]
 # The seed baseline (scripts/seed_baseline.json), when present, is
 # embedded under "baseline_seed" for direct before/after comparison.
 set -euo pipefail
@@ -15,20 +22,40 @@ cd "$(dirname "$0")/.."
 PATTERN='Fig|Table|Ablation|Codec'
 OUT=BENCH_1.json
 COUNT=1
-while getopts "p:o:c:" opt; do
+WIDTH=""
+while getopts "p:o:c:w:" opt; do
   case $opt in
     p) PATTERN=$OPTARG ;;
     o) OUT=$OPTARG ;;
     c) COUNT=$OPTARG ;;
-    *) echo "usage: $0 [-p bench-regex] [-o out.json] [-c count]" >&2; exit 2 ;;
+    w) WIDTH=$OPTARG ;;
+    *) echo "usage: $0 [-p bench-regex] [-o out.json] [-c count] [-w width]" >&2; exit 2 ;;
   esac
 done
+if [ -n "$WIDTH" ]; then
+  export CLOUDBURST_PARALLEL="$WIDTH"
+fi
+
+# Effective runner width, mirroring internal/parallel.Width():
+# CLOUDBURST_SERIAL=1 forces 1, CLOUDBURST_PARALLEL overrides, else
+# GOMAXPROCS (the processor count).
+if [ "${CLOUDBURST_SERIAL:-}" = "1" ]; then
+  EFFECTIVE_WIDTH=1
+elif [ -n "${CLOUDBURST_PARALLEL:-}" ]; then
+  EFFECTIVE_WIDTH=$CLOUDBURST_PARALLEL
+else
+  EFFECTIVE_WIDTH=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+fi
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
+WALL_START=$(date +%s)
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1x -count "$COUNT" . | tee "$RAW"
+WALL_S=$(( $(date +%s) - WALL_START ))
 
 awk -v go_version="$(go version | awk '{print $3}')" \
+    -v runner_width="$EFFECTIVE_WIDTH" \
+    -v wall_s="$WALL_S" \
     -v baseline_file="scripts/seed_baseline.json" '
 function jsonesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
 BEGIN { n = 0 }
@@ -50,6 +77,8 @@ END {
   print "{"
   print "  \"tool\": \"scripts/bench.sh\","
   print "  \"go\": \"" go_version "\","
+  print "  \"runner_width\": " runner_width ","
+  print "  \"suite_wall_s\": " wall_s ","
   if ((getline line < baseline_file) >= 0) {
     close(baseline_file)
     printf "  \"baseline_seed\": "
@@ -65,4 +94,4 @@ END {
   print "}"
 }' "$RAW" > "$OUT"
 
-echo "wrote $OUT"
+echo "wrote $OUT (runner width $EFFECTIVE_WIDTH, ${WALL_S}s wall)"

@@ -3,7 +3,8 @@
 # Fig5 in PR 3, extended to Fig7/Fig11 in PR 4, to the struct-codec
 # microbench in PR 5, to the state-lifecycle experiment in PR 6, and
 # to the fig13 open-loop saturation sweep in PR 7; the current
-# baseline is BENCH_7.json).
+# baseline is BENCH_8.json, recorded at runner width 1 so parallel CI
+# runs can only beat its ns/op, never trip it spuriously).
 #
 # Compares each gated benchmark's harness-cost metrics (ns/op,
 # allocs/op) of a fresh bench report against the committed baseline and
