@@ -234,6 +234,28 @@ func BenchmarkFig13Saturation(b *testing.B) {
 // BenchmarkAblationLocalityScheduling quantifies the §4.3 design choice:
 // locality-aware executor picks vs random placement on the Figure 5 hot
 // workload.
+// BenchmarkFig14Breakdown runs the critical-path breakdown figure: four
+// traced scenarios (hot/cold reads, the fig10 recovery spike, a fig13
+// past-knee cell) analyzed into per-category p99 shares. The reported
+// metrics are the two gated attributions — both must stay ≥ 0.95 — and
+// the knee's queue share (its diagnosis).
+func BenchmarkFig14Breakdown(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig14(bench.Fig14Quick())
+		for _, row := range r.Rows {
+			switch row.Scenario {
+			case "spike":
+				b.ReportMetric(row.P99.Attributed(), "frac_attr_spike_p99")
+			case "knee":
+				b.ReportMetric(row.P99.Attributed(), "frac_attr_knee_p99")
+				_, share := row.P99.Dominant()
+				b.ReportMetric(share, "frac_queue_knee_p99")
+			}
+		}
+	}
+}
+
 func BenchmarkAblationLocalityScheduling(b *testing.B) {
 	freeMem(b)
 	for i := 0; i < b.N; i++ {

@@ -13,6 +13,7 @@ import (
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/scheduler"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -38,6 +39,10 @@ type Client struct {
 	// pending demultiplexes inbound core.Result messages onto their
 	// futures by request ID.
 	pending map[string]*Future
+	// spans is the cluster's trace collector (nil = tracing off). The
+	// client opens each request's root span at dispatch and closes it
+	// when the terminal Result demuxes.
+	spans *trace.Collector
 	// Timeout bounds every synchronous operation (and is the default
 	// wait bound for futures created without WithTimeout).
 	Timeout time.Duration
@@ -52,6 +57,7 @@ func (c *Cluster) newClient() *Client {
 		k:       c.in.K,
 		vcTick:  make(map[string]uint64),
 		pending: make(map[string]*Future),
+		spans:   c.in.Trace,
 		Timeout: 30 * time.Second,
 	}
 }
@@ -236,6 +242,7 @@ func (cl *Client) Invoke(fn string, args []any, opts ...InvokeOption) *Future {
 	}
 	reqID := cl.nextReq()
 	f := cl.register(reqID, o)
+	cl.spans.Root(reqID, "invoke", cl.k.Now())
 	req := core.InvokeRequest{
 		ReqID:      reqID,
 		Function:   fn,
@@ -276,6 +283,7 @@ func (cl *Client) InvokeDAG(dagName string, args map[string][]any, opts ...Invok
 	}
 	reqID := cl.nextReq()
 	f := cl.register(reqID, o)
+	cl.spans.Root(reqID, "invoke-dag", cl.k.Now())
 	req := scheduler.DAGInvokeReq{
 		ReqID:      reqID,
 		DAG:        dagName,
@@ -348,7 +356,7 @@ func (cl *Client) drain() {
 // demux routes one inbound message; non-Result payloads are dropped.
 func (cl *Client) demux(m simnet.Message) {
 	if res, ok := m.Payload.(core.Result); ok {
-		cl.deliver(res)
+		cl.deliver(res, m)
 	}
 }
 
@@ -356,10 +364,17 @@ func (cl *Client) demux(m simnet.Message) {
 // stale results — a re-executed DAG's second sink reply, a late
 // scheduler failure notice after success — find no pending future and
 // are dropped.
-func (cl *Client) deliver(res core.Result) {
+func (cl *Client) deliver(res core.Result, m simnet.Message) {
 	f, ok := cl.pending[res.ReqID]
 	if !ok {
 		return
+	}
+	// Every branch below is terminal for the request, so close the trace
+	// here: the result's flight is the last network span, and the root
+	// ends at delivery.
+	if ctx := cl.spans.Attach(res.ReqID); ctx.Enabled() {
+		ctx.Record("net/result", trace.Network, m.SentAt, m.ArrivedAt)
+		cl.spans.Finish(res.ReqID, cl.k.Now())
 	}
 	if res.Hops > f.hops {
 		f.hops = res.Hops

@@ -10,6 +10,7 @@ import (
 	"cloudburst/internal/dag"
 	"cloudburst/internal/executor"
 	"cloudburst/internal/scheduler"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -123,6 +124,17 @@ type Config struct {
 	// under the parallel experiment runner. Nil allocates a private
 	// handle internally.
 	CodecCounters *codec.Counters
+
+	// Trace, when set, is this cluster's span collector for the
+	// virtual-time tracing plane: every request's path (client dispatch,
+	// scheduler queue, executor compute, cache and Anna reads, DAG hops,
+	// retries) is recorded as spans on the virtual clock, ready for
+	// critical-path analysis and export. Tracing is CPU-side only — it
+	// never adds wire bytes, sleeps, or random draws, so a traced run's
+	// simulation schedule is byte-identical to an untraced one. Like
+	// CodecCounters the handle is per-cluster for parallel-runner
+	// safety. Nil disables tracing at zero cost.
+	Trace *trace.Collector
 }
 
 // DefaultConfig returns a small LWW-mode deployment.
@@ -208,6 +220,13 @@ func (c *Cluster) internalConfig(mutate func(*cluster.Config)) cluster.Config {
 		icfg.Monitor.Shards = cfg.MonitorShards
 	}
 	icfg.Codec = cfg.CodecCounters
+	icfg.Trace = cfg.Trace
+	if icfg.Trace == nil && traceAll {
+		// The hook allocates a fresh collector per cluster rather than
+		// sharing one: collectors are kernel-local (not locked), and the
+		// parallel runner boots clusters concurrently.
+		icfg.Trace = trace.New()
+	}
 	icfg.Monitor.MinVMs = icfg.InitialVMs
 	if mutate != nil {
 		mutate(&icfg)
@@ -218,6 +237,21 @@ func (c *Cluster) internalConfig(mutate func(*cluster.Config)) cluster.Config {
 // Internal exposes the underlying deployment for benchmarks and tests
 // inside this module that need non-public knobs.
 func (c *Cluster) Internal() *cluster.Cluster { return c.in }
+
+// Trace returns the cluster's span collector (nil when tracing is off).
+func (c *Cluster) Trace() *trace.Collector { return c.in.Trace }
+
+// traceAll, when true, gives every cluster booted without an explicit
+// Config.Trace its own private collector. It exists for the
+// zero-perturbation diff tests: a whole figure can run traced without
+// per-figure config plumbing, and its tables must come out
+// byte-identical either way.
+var traceAll bool
+
+// SetDefaultTracing toggles tracing for clusters booted without an
+// explicit Config.Trace. Not safe to flip while clusters are running;
+// set it before booting, restore it after.
+func SetDefaultTracing(on bool) { traceAll = on }
 
 // Close stops every simulation process; the cluster is unusable
 // afterwards.

@@ -126,6 +126,12 @@ var experiments = []experiment{
 		full:  func() string { return bench.RunFig13(bench.Fig13Paper()).Print() },
 	},
 	{
+		name:  "fig14-breakdown",
+		about: "critical-path latency breakdown from the tracing plane",
+		quick: func() string { return bench.RunFig14(fig14Config(false)).Print() },
+		full:  func() string { return bench.RunFig14(fig14Config(true)).Print() },
+	},
+	{
 		name:  "ablation-locality",
 		about: "locality-aware vs random scheduling (§4.3)",
 		quick: func() string { return bench.RunAblationLocality(bench.AblationQuick()).Print() },
@@ -137,6 +143,21 @@ var experiments = []experiment{
 		quick: func() string { return bench.RunAblationCaching(bench.AblationQuick()).Print() },
 		full:  func() string { return bench.RunAblationCaching(bench.AblationQuick()).Print() },
 	},
+}
+
+// traceOut receives the fig14 knee scenario's Chrome trace-event JSON
+// when -traceout is set (the CI artifact; open in chrome://tracing or
+// Perfetto).
+var traceOut = flag.String("traceout", "", "write fig14's Chrome trace-event JSON to this file")
+
+// fig14Config builds the breakdown figure's config, honoring -traceout.
+func fig14Config(full bool) bench.Fig14Config {
+	cfg := bench.Fig14Quick()
+	if full {
+		cfg = bench.Fig14Paper()
+	}
+	cfg.ChromeOut = *traceOut
+	return cfg
 }
 
 func main() {

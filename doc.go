@@ -275,6 +275,62 @@
 // saturation knee scales with the shard count (§3.2's "many schedulers
 // behind a load balancer").
 //
+// # Tracing a request
+//
+// The tracing plane (internal/trace) reconstructs where each request's
+// virtual-time wall clock went. Hand the cluster a span collector and
+// every Invoke/InvokeDAG is traced end to end — client dispatch,
+// scheduler queue and dispatch work, executor queue and compute, cache
+// and Anna reads, §4.5 retries, simulated network flight:
+//
+//	col := trace.New() // internal/trace
+//	cfg := cloudburst.DefaultConfig()
+//	cfg.Trace = col
+//	cb := cloudburst.NewCluster(cfg)
+//	...
+//	for _, tr := range col.Done() { // retained finished span trees
+//		fmt.Print(trace.TreeString(tr))
+//	}
+//
+// A DAG request's tree (cmd/cb-cluster prints one per run) reads:
+//
+//	invoke-dag  req=client-5-r2  trace=53a81a4ea5b4bc41  wall=3.64ms  attempts=1
+//	├─ net/sched          network      0.22ms [0.00→0.22]
+//	├─ sched/queue        queue        0.00ms [0.22→0.22]
+//	├─ sched/dispatch     dispatch     0.00ms [0.22→0.22]
+//	├─ net/exec           network      0.18ms [0.22→0.41]
+//	├─ exec/invoke        compute      1.34ms [1.02→2.36]
+//	├─ cache/read         cache        0.54ms [1.82→2.36]
+//	│  └─ anna/get           kvs          0.49ms [1.87→2.36]
+//	├─ net/exec           network      0.22ms [2.36→2.59]
+//	├─ exec/invoke        compute      0.80ms [2.59→3.39]
+//	└─ net/result         network      0.25ms [3.39→3.64]
+//
+// Span context propagates across hops by re-attaching to the collector
+// under the request ID every wire struct already carries — the same
+// key the result demuxes use — and within a hop by passing trace.Ctx
+// values down ordinary call paths. That is the zero-perturbation rule:
+// tracing is CPU-side only, so no wire struct gains a field, no
+// message grows a byte, and no component sleeps or draws randomness
+// for the tracer. A traced run's simulation schedule — every service
+// time, every figure table — is byte-identical to an untraced one
+// (enforced by diff tests), and a nil collector disables everything at
+// zero allocations (pinned by a tripwire test).
+//
+// The critical-path analyzer folds each finished tree into a Summary:
+// per elementary interval of the root's window, the deepest covering
+// span wins (ties to the later-opened span, so a cache read opened
+// during a function body shadows the body), and its category — queue,
+// dispatch, kvs, cache, compute, retry, network — is charged the
+// interval. Summaries power Collector.Quantile (the p99 request by
+// wall time), Summary.Dominant (what to blame), Recorder sub-histograms
+// in the traffic plane, and the fig14 breakdown figure (cmd/cb-bench
+// -run fig14-breakdown), whose acceptance gate attributes ≥95% of the
+// p99 wall for the fig10 recovery spike and the fig13 saturation knee.
+// Collector.ChromeJSON exports retained trees as Chrome trace-event
+// JSON (chrome://tracing / Perfetto), deterministic byte-for-byte for
+// a fixed seed.
+//
 // # VM lifecycle: crash, warm replacement, rolling upgrades
 //
 // A VM generation that dies is fully retired, not abandoned. When its

@@ -92,6 +92,7 @@ func (f *Future) Wait() (any, error) {
 			return nil, f.timeoutErr()
 		}
 		if rerouteArmed && !f.notified && rerouteAt.Sub(cl.k.Now()) <= 0 {
+			cl.spans.Reissue(f.reqID, cl.k.Now())
 			cl.ep.Send(cl.c.in.RouteScheduler(f.reqID, 1), f.resend, f.resendSize)
 			f.rerouted = true
 			rerouteArmed = false

@@ -8,6 +8,7 @@ import (
 
 	cb "cloudburst"
 	"cloudburst/internal/fault"
+	"cloudburst/internal/trace"
 )
 
 // Fig10FailureConfig parameterizes the §4.5 performance-under-failure
@@ -24,6 +25,11 @@ type Fig10FailureConfig struct {
 	VMSpinUp time.Duration // replacement boot delay
 	RunFor   time.Duration // total load duration
 	Seed     int64
+	// Trace, when set, is threaded through as the cluster's span
+	// collector — fig14 runs this scenario traced to attribute the
+	// recovery spike. CPU-side only: the timeline and every latency are
+	// byte-identical with it set or nil.
+	Trace *trace.Collector
 }
 
 // Fig10FailureQuick returns CI-friendly parameters.
@@ -120,6 +126,7 @@ func RunFig10Failure(cfg Fig10FailureConfig) Fig10FailureResult {
 	ccfg.Autoscale = true
 	ccfg.MaxVMs = cfg.VMs
 	ccfg.MinPinned = cfg.VMs * 3 // pinned everywhere; see RegisterDAG below
+	ccfg.Trace = cfg.Trace
 	c := cb.NewCluster(ccfg)
 	defer c.Close()
 	in := c.Internal()

@@ -28,6 +28,7 @@ import (
 	"cloudburst/internal/core"
 	"cloudburst/internal/parallel"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/traffic"
 )
 
@@ -52,6 +53,17 @@ type Fig13Config struct {
 	// Codec, when set, receives every cell cluster's codec traffic —
 	// the per-cluster hook behind the zero-gob gate tests.
 	Codec *codec.Counters
+	// Breakdown, when true, traces every request through the tracing
+	// plane and adds a "dominant" column to the table: the
+	// critical-path category holding the largest share of total request
+	// time at each cell (the queue blow-up past the knee, made
+	// attributable). Off by default; the table is byte-identical with
+	// it off because tracing never touches the wire.
+	Breakdown bool
+	// traceInto, when non-nil, threads this collector through the cell
+	// cluster and pool instead of a private one — fig14 reuses the cell
+	// runner and needs the summaries afterwards.
+	traceInto *trace.Collector
 }
 
 // Fig13Quick returns CI-scale parameters. DispatchCost 3ms caps one
@@ -115,6 +127,9 @@ type Fig13Point struct {
 	Done       int64
 	Failed     int64
 	Lost       int64
+	// Dominant is the cell's leading critical-path category ("queue
+	// 87%"); empty unless Fig13Config.Breakdown was set.
+	Dominant string
 }
 
 // Fig13Result is the sweep plus the knee digest.
@@ -126,21 +141,38 @@ type Fig13Result struct {
 	KneeRatio float64 // best sharded knee / single-scheduler knee
 }
 
-// Print renders the sweep table and the knee headline.
+// Print renders the sweep table and the knee headline. The "dominant"
+// column only appears when at least one point carries a breakdown, so
+// a Breakdown-off sweep prints byte-identically to earlier versions.
 func (r Fig13Result) Print() string {
+	breakdown := false
+	for _, p := range r.Points {
+		if p.Dominant != "" {
+			breakdown = true
+			break
+		}
+	}
+	headers := []string{"scheds", "offered req/s", "sustained req/s", "p50(ms)", "p99(ms)", "done/failed/lost"}
+	if breakdown {
+		headers = append(headers, "dominant")
+	}
 	rows := make([][]string, 0, len(r.Points))
 	for _, p := range r.Points {
-		rows = append(rows, []string{
+		row := []string{
 			strconv.Itoa(p.Schedulers),
 			fmt.Sprintf("%.0f", p.Offered),
 			fmt.Sprintf("%.0f", p.Sustained),
 			fmt.Sprintf("%.1f", ms(p.P50)),
 			fmt.Sprintf("%.1f", ms(p.P99)),
 			fmt.Sprintf("%d/%d/%d", p.Done, p.Failed, p.Lost),
-		})
+		}
+		if breakdown {
+			row = append(row, p.Dominant)
+		}
+		rows = append(rows, row)
 	}
 	out := Table("Figure 13: open-loop saturation, offered load × scheduler group",
-		[]string{"scheds", "offered req/s", "sustained req/s", "p50(ms)", "p99(ms)", "done/failed/lost"}, rows)
+		headers, rows)
 	for _, n := range sortedKneeKeys(r.Knees) {
 		out += fmt.Sprintf("knee (%d scheduler%s): %.0f req/s\n", n, plural(n), r.Knees[n])
 	}
@@ -229,6 +261,12 @@ func runFig13Point(cfg Fig13Config, scount int, load float64) Fig13Point {
 	ccfg.MinPinned = threads
 	ccfg.SchedulerDispatchCost = cfg.DispatchCost
 	ccfg.CodecCounters = cfg.Codec
+	if cfg.Breakdown {
+		ccfg.Trace = trace.New()
+	}
+	if cfg.traceInto != nil {
+		ccfg.Trace = cfg.traceInto
+	}
 	if scount > 1 {
 		ccfg.MonitorShards = cfg.MonitorShards
 	}
@@ -283,6 +321,7 @@ func runFig13Point(cfg Fig13Config, scount int, load float64) Fig13Point {
 		RetryAfter:  cfg.Window + cfg.Drain + time.Second,
 		MaxAttempts: 1,
 		Drain:       cfg.Drain,
+		Trace:       c.Trace(), // nil unless Breakdown
 	}
 	eps := make([]*simnet.Endpoint, cfg.Workers)
 	for i := range eps {
@@ -290,9 +329,15 @@ func runFig13Point(cfg Fig13Config, scount int, load float64) Fig13Point {
 	}
 
 	var capsule traffic.Capsule
+	var dominant string
 	c.Run(func(cl *cb.Client) {
 		pool := traffic.NewPool(in.K, in, eps, spec)
 		rec := pool.Run()
+		if cfg.Breakdown {
+			if cat, share := rec.Dominant(); share > 0 {
+				dominant = fmt.Sprintf("%s %.0f%%", cat, 100*share)
+			}
+		}
 		// Persist the window through the wire codec and read it back:
 		// the capsule is the measurement of record, so the struct path
 		// (not gob) carries every figure-13 number.
@@ -317,5 +362,6 @@ func runFig13Point(cfg Fig13Config, scount int, load float64) Fig13Point {
 		Done:       capsule.Done,
 		Failed:     capsule.Failed,
 		Lost:       capsule.Lost,
+		Dominant:   dominant,
 	}
 }

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	cb "cloudburst"
+)
+
+// The zero-perturbation rule, enforced as a diff: every figure table
+// must come out byte-identical with tracing on or off. Tracing rides
+// the request-ID demux and in-process call paths only — no wire
+// struct gains a field, no message grows a byte, no component sleeps
+// or draws randomness for the tracer — so a traced simulation makes
+// exactly the same scheduling decisions as an untraced one. These
+// tests run reduced figures both ways (SetDefaultTracing hands every
+// cluster a private collector without per-figure plumbing) and fail
+// on the first differing byte.
+
+func tracedVsUntraced(t *testing.T, name string, fn func() string) {
+	t.Helper()
+	off := fn()
+	cb.SetDefaultTracing(true)
+	defer cb.SetDefaultTracing(false)
+	on := fn()
+	if off != on {
+		t.Errorf("%s: table changed with tracing on\n--- untraced ---\n%s\n--- traced ---\n%s", name, off, on)
+	}
+	if off == "" {
+		t.Errorf("%s: empty table", name)
+	}
+}
+
+// TestFig5ByteIdenticalTraced covers the closed-loop client path:
+// Invoke roots, cache reads, Anna fetches, result demux.
+func TestFig5ByteIdenticalTraced(t *testing.T) {
+	cfg := Fig5Quick()
+	cfg.Clients, cfg.Trials = 2, 3
+	cfg.Elems = []int{1000, 10000}
+	tracedVsUntraced(t, "fig5", func() string { return RunFig5(cfg).Print() })
+}
+
+// TestFig10ByteIdenticalTraced covers the failure path: §4.5
+// re-executions, client re-routes, the fault injector's timeline.
+func TestFig10ByteIdenticalTraced(t *testing.T) {
+	cfg := Fig10FailureQuick()
+	cfg.VMs, cfg.Clients = 3, 6
+	cfg.RunFor = 40 * time.Second
+	tracedVsUntraced(t, "fig10", func() string { return RunFig10Failure(cfg).Print() })
+}
+
+// TestFig13ByteIdenticalTraced covers the open-loop traffic plane:
+// pool roots, reaper drops, capsule publish through the wire codec.
+func TestFig13ByteIdenticalTraced(t *testing.T) {
+	cfg := Fig13Quick()
+	cfg.Loads = []float64{150, 600}
+	cfg.Window = 2 * time.Second
+	cfg.Drain = time.Second
+	tracedVsUntraced(t, "fig13", func() string { return RunFig13(cfg).Print() })
+}

@@ -25,6 +25,7 @@ import (
 	"cloudburst/internal/core"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	DepFetchRetries int
 	// DepFetchBackoff is the wait between those retries.
 	DepFetchBackoff time.Duration
+	// Trace, when non-nil, records per-request read/write spans (and
+	// the Anna round trips under them) into the cluster's collector.
+	// CPU-side only — nothing on the wire; nil disables at zero cost.
+	Trace *trace.Collector
 }
 
 // DefaultConfig returns calibrated defaults (DESIGN.md §5).
@@ -118,6 +123,9 @@ type Cache struct {
 	wbName     string // precomputed write-back process name
 	stopped    bool   // guards Stop idempotence
 
+	// spans is the cluster's trace collector (nil = tracing off).
+	spans *trace.Collector
+
 	Stats Stats
 }
 
@@ -143,6 +151,7 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, vm string, cfg C
 		removed:   make(map[string]bool),
 		wbq:       vtime.NewChan[wbItem](k, -1),
 		wbName:    string(ep.ID()) + "/wb",
+		spans:     cfg.Trace,
 	}
 	c.disp = simnet.NewDispatcher(ep, string(ep.ID()))
 	simnet.OnMessage(c.disp, c.handlePush)
@@ -442,9 +451,11 @@ func (c *Cache) WarmFill(peer simnet.NodeID, keys []string) (filled int) {
 // cold-read fan-out measurement in the Figure 5 experiment).
 func (c *Cache) KVSStats() anna.ClientStats { return c.anna.Stats }
 
-// fetchFromAnna misses to the KVS and installs the result locally.
-func (c *Cache) fetchFromAnna(key string) (lattice.Lattice, bool, error) {
-	lat, found, err := c.anna.Get(key)
+// fetchFromAnna misses to the KVS and installs the result locally. The
+// Anna round trip lands on rctx as a KVS span (nested under the read
+// that missed), so cold fills and cache hits separate in the breakdown.
+func (c *Cache) fetchFromAnna(rctx trace.Ctx, key string) (lattice.Lattice, bool, error) {
+	lat, found, err := c.anna.GetT(rctx, key)
 	if err != nil || !found {
 		return nil, found, err
 	}
@@ -557,9 +568,11 @@ func (c *Cache) snapshotMapLocked(reqID string) map[string]lattice.Lattice {
 
 // fetchUpstream retrieves a version snapshot from the upstream cache that
 // recorded it.
-func (c *Cache) fetchUpstream(upstream simnet.NodeID, reqID, key string) (lattice.Lattice, error) {
+func (c *Cache) fetchUpstream(rctx trace.Ctx, upstream simnet.NodeID, reqID, key string) (lattice.Lattice, error) {
 	c.Stats.UpstreamFetch++
+	t0 := c.k.Now()
 	resp, err := c.ep.Call(upstream, SnapshotFetchReq{ReqID: reqID, Key: key}, 32+len(key), 500*time.Millisecond)
+	rctx.Record("cache/upstream", trace.Cache, t0, c.k.Now())
 	if err != nil {
 		return nil, fmt.Errorf("cache: upstream %s: %w", upstream, err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"cloudburst/internal/core"
 	"cloudburst/internal/lattice"
+	"cloudburst/internal/trace"
 )
 
 // ErrNotFound is returned when a key exists nowhere (cache or KVS).
@@ -21,28 +22,30 @@ var ErrNotFound = errors.New("cache: key not found")
 // with the cache (and possibly the KVS and other readers) rather than
 // copied; callers must treat it as read-only.
 func (c *Cache) Read(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+	rctx := c.spans.Attach(reqID).Start("cache/read", trace.Cache, c.k.Now())
+	defer func() { rctx.End(c.k.Now()) }()
 	c.k.Sleep(c.cfg.IPC)
 	if meta != nil && meta.Caches != nil {
 		meta.Caches[c.ID()] = true
 	}
 	switch c.cfg.Mode {
 	case core.LWW:
-		return c.readLWW(key)
+		return c.readLWW(rctx, key)
 	case core.DSRR:
-		return c.readRR(reqID, key, meta)
+		return c.readRR(rctx, reqID, key, meta)
 	case core.SK:
-		return c.readSK(key)
+		return c.readSK(rctx, key)
 	case core.MK:
-		return c.readMK(key, meta)
+		return c.readMK(rctx, key, meta)
 	case core.DSC:
-		return c.readDSC(reqID, key, meta)
+		return c.readDSC(rctx, reqID, key, meta)
 	}
 	return nil, core.VersionRef{}, errors.New("cache: unknown mode")
 }
 
 // readLWW is the default path: local value if cached, else fill from
 // Anna. No session metadata.
-func (c *Cache) readLWW(key string) ([]byte, core.VersionRef, error) {
+func (c *Cache) readLWW(rctx trace.Ctx, key string) ([]byte, core.VersionRef, error) {
 	c.mu.Lock()
 	if cur, ok := c.store[key]; ok {
 		l := cur.(*lattice.LWW)
@@ -54,7 +57,7 @@ func (c *Cache) readLWW(key string) ([]byte, core.VersionRef, error) {
 	}
 	c.mu.Unlock()
 	c.Stats.Misses++
-	lat, found, err := c.fetchFromAnna(key)
+	lat, found, err := c.fetchFromAnna(rctx, key)
 	if err != nil {
 		return nil, core.VersionRef{}, err
 	}
@@ -66,7 +69,7 @@ func (c *Cache) readLWW(key string) ([]byte, core.VersionRef, error) {
 }
 
 // readRR implements Algorithm 1 (distributed session repeatable read).
-func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+func (c *Cache) readRR(rctx trace.Ctx, reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
 	if meta != nil {
 		if prior, ok := meta.ReadSet[key]; ok {
 			// Key previously read in this DAG: an exact version match
@@ -84,7 +87,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 			c.mu.Unlock()
 			// Local version missing or different: fetch the snapshot
 			// from the upstream cache that recorded it (line 5).
-			lat, err := c.fetchUpstream(prior.Cache, reqID, key)
+			lat, err := c.fetchUpstream(rctx, prior.Cache, reqID, key)
 			if err != nil {
 				return nil, core.VersionRef{}, err
 			}
@@ -110,7 +113,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 	}
 	c.mu.Unlock()
 	c.Stats.Misses++
-	lat, found, err := c.fetchFromAnna(key)
+	lat, found, err := c.fetchFromAnna(rctx, key)
 	if err != nil {
 		return nil, core.VersionRef{}, err
 	}
@@ -130,7 +133,7 @@ func (c *Cache) readRR(reqID, key string, meta *core.SessionMeta) ([]byte, core.
 
 // readSK is single-key causality: causal capsules with per-key vector
 // clocks (siblings preserved), but no cross-key or cross-node metadata.
-func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
+func (c *Cache) readSK(rctx trace.Ctx, key string) ([]byte, core.VersionRef, error) {
 	c.mu.Lock()
 	if cur, ok := c.store[key]; ok {
 		cap := cur.(*lattice.Causal)
@@ -142,7 +145,7 @@ func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
 	}
 	c.mu.Unlock()
 	c.Stats.Misses++
-	lat, found, err := c.fetchFromAnna(key)
+	lat, found, err := c.fetchFromAnna(rctx, key)
 	if err != nil {
 		return nil, core.VersionRef{}, err
 	}
@@ -157,8 +160,8 @@ func (c *Cache) readSK(key string) ([]byte, core.VersionRef, error) {
 // as a causal cut (fills run ensureCut), and the session's read set is
 // tracked locally so writes can record their dependencies — but nothing
 // is shipped across executors.
-func (c *Cache) readMK(key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
-	val, ver, err := c.readSK(key)
+func (c *Cache) readMK(rctx trace.Ctx, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+	val, ver, err := c.readSK(rctx, key)
 	if err != nil {
 		return nil, ver, err
 	}
@@ -171,7 +174,7 @@ func (c *Cache) readMK(key string, meta *core.SessionMeta) ([]byte, core.Version
 // readDSC implements Algorithm 2 (distributed session causal
 // consistency): reads must not observe versions older than those read by
 // upstream functions (read set) or required by their dependencies.
-func (c *Cache) readDSC(reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
+func (c *Cache) readDSC(rctx trace.Ctx, reqID, key string, meta *core.SessionMeta) ([]byte, core.VersionRef, error) {
 	var cap *lattice.Causal
 	needCheck := func(required core.VersionRef) (*lattice.Causal, error) {
 		c.mu.Lock()
@@ -190,7 +193,7 @@ func (c *Cache) readDSC(reqID, key string, meta *core.SessionMeta) ([]byte, core
 		c.mu.Unlock()
 		// Local version is causally too old (or absent): fetch the
 		// version snapshot from the upstream cache (lines 7-8, 13-14).
-		lat, err := c.fetchUpstream(required.Cache, reqID, key)
+		lat, err := c.fetchUpstream(rctx, required.Cache, reqID, key)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +222,7 @@ func (c *Cache) readDSC(reqID, key string, meta *core.SessionMeta) ([]byte, core
 		} else {
 			c.mu.Unlock()
 			c.Stats.Misses++
-			lat, found, err := c.fetchFromAnna(key)
+			lat, found, err := c.fetchFromAnna(rctx, key)
 			if err != nil {
 				return nil, core.VersionRef{}, err
 			}
@@ -318,6 +321,8 @@ func (c *Cache) WriteWithDeps(reqID, key string, payload []byte, meta *core.Sess
 // write implements Write/WriteWithDeps; depKeys == nil means "all keys
 // the session read".
 func (c *Cache) write(reqID, key string, payload []byte, meta *core.SessionMeta, writerID string, depKeys []string) (core.VersionRef, error) {
+	wctx := c.spans.Attach(reqID).Start("cache/write", trace.Cache, c.k.Now())
+	defer func() { wctx.End(c.k.Now()) }()
 	c.k.Sleep(c.cfg.IPC)
 	if meta != nil && meta.Caches != nil {
 		meta.Caches[c.ID()] = true

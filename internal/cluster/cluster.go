@@ -24,6 +24,7 @@ import (
 	"cloudburst/internal/monitor"
 	"cloudburst/internal/scheduler"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -59,6 +60,12 @@ type Config struct {
 	// traffic; a per-cluster handle keeps the zero-gob gates exact.
 	// Nil allocates a private handle.
 	Codec *codec.Counters
+	// Trace, when set, collects per-request span trees across the whole
+	// request path (client → scheduler → executor → cache → Anna). Like
+	// Codec it is a per-cluster harness observer: it never touches the
+	// wire, so the simulated schedule is byte-identical with or without
+	// it. Nil disables tracing at zero cost.
+	Trace *trace.Collector
 }
 
 // DefaultConfig returns a small deployment in the given consistency
@@ -108,6 +115,7 @@ type Cluster struct {
 	Registry *executor.Registry
 	Monitor  *monitor.Monitor
 	Codec    *codec.Counters
+	Trace    *trace.Collector
 
 	cfg          Config
 	schedulers   []*scheduler.Scheduler
@@ -155,6 +163,7 @@ func New(cfg Config) *Cluster {
 		KV:       anna.NewKVS(k, net, cfg.Anna),
 		Registry: executor.NewRegistry(),
 		Codec:    cfg.Codec,
+		Trace:    cfg.Trace,
 		cfg:      cfg,
 		vms:      make(map[string]*VMHandle),
 		dagCache: make(map[string]*dag.DAG),
@@ -173,7 +182,17 @@ func New(cfg Config) *Cluster {
 	decoded := core.NewDecodeCache(cfg.Codec)
 	cfg.Scheduler.Decoded = decoded
 	cfg.Scheduler.Codec = cfg.Codec
+	cfg.Scheduler.Trace = cfg.Trace
+	cfg.Cache.Trace = cfg.Trace
 	cfg.Monitor.Decoded = decoded
+	// The scheduler group is static for the cluster's lifetime, so the
+	// monitor can validate its cached sched-registry listing against
+	// this exact key set and skip the per-tick listing read.
+	for i := 0; i < cfg.Schedulers; i++ {
+		cfg.Monitor.SchedKeys = append(cfg.Monitor.SchedKeys,
+			core.SchedMetricsKey(fmt.Sprintf("sched-%d", i)))
+	}
+	sort.Strings(cfg.Monitor.SchedKeys)
 	c.cfg = cfg
 
 	for i := 0; i < cfg.InitialVMs; i++ {
@@ -239,6 +258,7 @@ func (c *Cluster) bootVMNamed(name string) *VMHandle {
 			DAGFor:         c.dagFor,
 			InvokeOverhead: c.cfg.ExecOverhead,
 			Codec:          c.Codec,
+			Trace:          c.Trace,
 		})
 		h.Threads = append(h.Threads, t)
 		h.nodeIDs = append(h.nodeIDs, id)

@@ -179,6 +179,11 @@ func (s SessionMeta) Size() int {
 
 // InvokeRequest asks a scheduler (and then an executor) to run a single
 // registered function.
+//
+// ReqID is also the tracing plane's correlation key: components
+// re-attach spans to the collector under it (internal/trace). Wire
+// structs like this one must never grow trace fields — tracing is
+// CPU-side only, so traced and untraced runs stay byte-identical.
 type InvokeRequest struct {
 	ReqID      string
 	Function   string

@@ -12,6 +12,7 @@ import (
 	"cloudburst/internal/dag"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -29,6 +30,7 @@ type Thread struct {
 	annaClient  *anna.Client
 	registry    *Registry
 	tracer      Tracer
+	spans       *trace.Collector // latency tracing; distinct from the consistency audit's tracer
 	alive       func(simnet.NodeID) bool
 	dagFor      func(name string) (*dag.DAG, bool)
 	overhead    time.Duration
@@ -115,6 +117,10 @@ type Deps struct {
 	// Codec receives this thread's codec traffic on the owning
 	// cluster's counters (nil counts only the process aggregate).
 	Codec *codec.Counters
+	// Trace, when non-nil, records per-request latency spans (queue,
+	// overhead, argument resolution, compute) into the cluster's
+	// collector. CPU-side only; nil disables at zero cost.
+	Trace *trace.Collector
 }
 
 // NewThread creates a worker bound to ep.
@@ -128,6 +134,7 @@ func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread 
 		annaClient:  d.Anna,
 		registry:    d.Registry,
 		tracer:      d.Tracer,
+		spans:       d.Trace,
 		alive:       d.Alive,
 		dagFor:      d.DAGFor,
 		overhead:    d.InvokeOverhead,
@@ -139,8 +146,14 @@ func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread 
 		windowStart: k.Now(),
 	}
 	t.disp = simnet.NewDispatcher(ep, string(t.id))
-	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.InvokeRequest) { t.runSingle(b) })
-	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.DAGTrigger) { t.runTrigger(b) })
+	simnet.OnMessage(t.disp, func(m simnet.Message, b core.InvokeRequest) {
+		t.recordArrival(b.ReqID, m)
+		t.runSingle(b)
+	})
+	simnet.OnMessage(t.disp, func(m simnet.Message, b core.DAGTrigger) {
+		t.recordArrival(b.Schedule.ReqID, m)
+		t.runTrigger(b)
+	})
 	simnet.OnMessage(t.disp, func(_ simnet.Message, b core.DirectMessage) {
 		t.mailbox = append(t.mailbox, b)
 	})
@@ -175,6 +188,19 @@ func (t *Thread) Start() { t.k.Go(string(t.id)+"/worker", t.disp.Serve) }
 
 // Stop makes the worker exit after the current message.
 func (t *Thread) Stop() { t.disp.Stop() }
+
+// recordArrival charges a just-dequeued work message's flight and inbox
+// wait to the request's trace: [SentAt, ArrivedAt] is simulated network
+// time, [ArrivedAt, now] is how long this serial worker's inbox held it
+// while an earlier invocation ran.
+func (t *Thread) recordArrival(reqID string, m simnet.Message) {
+	ctx := t.spans.Attach(reqID)
+	if !ctx.Enabled() {
+		return
+	}
+	ctx.Record("net/exec", trace.Network, m.SentAt, m.ArrivedAt)
+	ctx.Record("exec/queue", trace.Queue, m.ArrivedAt, t.k.Now())
+}
 
 // drainNetwork moves queued endpoint messages into the right buckets
 // without blocking; direct messages become mailbox entries, everything
@@ -249,7 +275,9 @@ func (t *Thread) resolveArgs(reqID, dagName, fn string, args []core.Arg, meta *c
 			keys = append(keys, args[i].Ref)
 		}
 		t.keyScratch = keys
+		p0 := t.k.Now()
 		t.cache.Prefetch(keys)
+		t.spans.Attach(reqID).Record("exec/prefetch", trace.KVS, p0, t.k.Now())
 	}
 	readOne := func(i int) {
 		key := args[i].Ref
@@ -535,14 +563,21 @@ func (t *Thread) fail(s *core.DAGSchedule, err error) {
 	t.ep.Send(s.RespondTo, core.Result{ReqID: s.ReqID, Err: err.Error()}, 64)
 }
 
-// invoke resolves arguments, looks up the body, and runs it.
+// invoke resolves arguments, looks up the body, and runs it. The whole
+// invocation is one Compute span; the overhead sleep and the cache's
+// own read spans open later and so shadow it for their windows (the
+// analyzer's stack semantics), leaving the body's remainder as compute.
 func (t *Thread) invoke(reqID, dagName, fn string, args []core.Arg, parentVals []any, meta *core.SessionMeta) (any, error) {
+	ictx := t.spans.Attach(reqID).Start("exec/invoke", trace.Compute, t.k.Now())
+	defer func() { ictx.End(t.k.Now()) }()
 	body, ok := t.registry.Lookup(fn)
 	if !ok {
 		return nil, fmt.Errorf("executor: function %q not registered", fn)
 	}
 	if t.overhead > 0 {
+		o0 := t.k.Now()
 		t.k.Sleep(t.overhead)
+		ictx.Record("exec/overhead", trace.Dispatch, o0, t.k.Now())
 	}
 	resolved, err := t.resolveArgs(reqID, dagName, fn, args, meta)
 	if err != nil {

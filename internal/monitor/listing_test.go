@@ -1,0 +1,58 @@
+package monitor_test
+
+import (
+	"testing"
+	"time"
+
+	cb "cloudburst"
+	"cloudburst/internal/fault"
+)
+
+// TestListingSkipZeroAnnaReads pins the registry-listing optimization:
+// once the monitor's cached exec and sched listings match the CPU-side
+// membership expectation (the compute pool's live threads, the
+// cluster's static scheduler group), an unchanged registry costs ZERO
+// single-key Anna reads per policy tick — the two listing Gets that
+// used to land on shard 0 every 5 seconds disappear. A membership
+// change (a crashed VM) breaks the expectation match and the listing
+// reads must resume until the registry converges again.
+func TestListingSkipZeroAnnaReads(t *testing.T) {
+	cfg := cb.DefaultConfig()
+	cfg.VMs = 3
+	cfg.Autoscale = true
+	cfg.MaxVMs = 3 // no lifecycle noise besides the injected crash
+	c := cb.NewCluster(cfg)
+	defer c.Close()
+	in := c.Internal()
+	mon := in.Monitor
+
+	// Warm up: executors publish their first metrics, the monitor's
+	// caches converge on the listings. No DAG traffic — an idle tick's
+	// only single-key Gets would be the two listing reads.
+	c.Run(func(cl *cb.Client) { cl.Sleep(20 * time.Second) })
+
+	before := mon.KVSStats()
+	c.Run(func(cl *cb.Client) { cl.Sleep(30 * time.Second) }) // ~6 policy ticks
+	after := mon.KVSStats()
+	if got := after.GetRPCs - before.GetRPCs; got != 0 {
+		t.Fatalf("steady state: %d single-key Anna reads over 6 idle ticks, want 0 (listing skip broken)", got)
+	}
+	// The metric payloads themselves must still flow — the skip removes
+	// the listing reads, not the registry fetches.
+	if after.MultiGetRPCs == before.MultiGetRPCs {
+		t.Fatal("no registry multi-gets during idle ticks — monitor not refreshing at all")
+	}
+
+	// Membership change: crash a VM. The pool's live-thread expectation
+	// shrinks immediately while the Anna listing still carries the dead
+	// threads' keys, so the mismatch must put the listing read back on
+	// the wire.
+	victim := in.VMs()[1].Name
+	inj := fault.NewInjector(in)
+	c.Run(func(cl *cb.Client) { inj.Start(fault.NewPlan("listing").At(0, fault.CrashVM{VM: victim})) })
+	c.Run(func(cl *cb.Client) { cl.Sleep(30 * time.Second) })
+	changed := mon.KVSStats()
+	if got := changed.GetRPCs - after.GetRPCs; got == 0 {
+		t.Fatal("after membership change: listing reads never resumed")
+	}
+}

@@ -77,6 +77,13 @@ type Config struct {
 	// NewShardEP allocates shard i's endpoint and KVS client (i >= 1;
 	// shard 0 rides the monitor's own endpoint). Set by the cluster.
 	NewShardEP func(i int) (*simnet.Endpoint, *anna.Client)
+	// SchedKeys is the scheduler-registry key set the deployment is
+	// expected to converge to (sorted). The scheduler group is static
+	// for a cluster's lifetime, so once the cached sched-list matches
+	// this expectation the per-tick listing read is skipped — an
+	// unchanged registry costs zero Anna reads. Empty disables the
+	// skip and every tick reads the listing, as before.
+	SchedKeys []string
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -245,18 +252,14 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 	}
 	fresh := make(map[simnet.NodeID]core.ExecutorMetrics)
 	pins := make(map[string][]simnet.NodeID)
-	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
-		if set, ok := lat.(*lattice.Set); ok {
-			for _, v := range m.fetchRegistry(m.execKeys.get(set)) {
-				em, ok := v.(core.ExecutorMetrics)
-				if !ok || !live[em.Thread] {
-					continue
-				}
-				fresh[em.Thread] = em
-				for _, fn := range em.Pinned {
-					pins[fn] = append(pins[fn], em.Thread)
-				}
-			}
+	for _, v := range m.fetchRegistry(m.listRegistry(&m.execKeys, executor.MetricListKey, m.expectedExecKeys())) {
+		em, ok := v.(core.ExecutorMetrics)
+		if !ok || !live[em.Thread] {
+			continue
+		}
+		fresh[em.Thread] = em
+		for _, fn := range em.Pinned {
+			pins[fn] = append(pins[fn], em.Thread)
 		}
 	}
 	if len(fresh) > 0 {
@@ -267,25 +270,53 @@ func (m *Monitor) refresh() (calls, done map[string]int64) {
 		}
 	}
 
-	if lat, found, err := m.anna.Get(scheduler.SchedListKey); err == nil && found {
-		if set, ok := lat.(*lattice.Set); ok {
-			for _, v := range m.fetchRegistry(m.schedKeys.get(set)) {
-				sm, ok := v.(core.SchedulerMetrics)
-				if !ok {
-					continue
-				}
-				for d, n := range sm.DAGCalls {
-					calls[d] += n
-				}
-				for fn, n := range sm.FnCalls {
-					if len(fn) > 5 && fn[:5] == "done/" {
-						done[fn[5:]] += n
-					}
-				}
+	for _, v := range m.fetchRegistry(m.listRegistry(&m.schedKeys, scheduler.SchedListKey, m.cfg.SchedKeys)) {
+		sm, ok := v.(core.SchedulerMetrics)
+		if !ok {
+			continue
+		}
+		for d, n := range sm.DAGCalls {
+			calls[d] += n
+		}
+		for fn, n := range sm.FnCalls {
+			if len(fn) > 5 && fn[:5] == "done/" {
+				done[fn[5:]] += n
 			}
 		}
 	}
 	return calls, done
+}
+
+// listRegistry returns a metric registry's key list for this tick. When
+// the cached list already equals the CPU-side expectation the Anna
+// listing read is skipped entirely — the steady state after the fleet
+// converges. Any mismatch (cold cache, registrations still propagating,
+// ghost keys awaiting the reaper) keeps the listing read flowing, so
+// the skip can never serve a listing Anna would have disagreed with
+// only while membership is in flux.
+func (m *Monitor) listRegistry(cache *registryKeyCache, listKey string, expected []string) []string {
+	if cache.matches(expected) {
+		return cache.keys
+	}
+	if lat, found, err := m.anna.Get(listKey); err == nil && found {
+		if set, ok := lat.(*lattice.Set); ok {
+			return cache.get(set)
+		}
+	}
+	return nil
+}
+
+// expectedExecKeys derives the executor-registry key set from the
+// compute pool's live thread list — the authoritative membership
+// source, available without touching Anna.
+func (m *Monitor) expectedExecKeys() []string {
+	threads := m.pool.Threads()
+	out := make([]string, len(threads))
+	for i, id := range threads {
+		out[i] = core.ExecMetricsKey(string(id))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // registryKeyCache memoizes one registry Set's sorted key list and its
@@ -316,6 +347,21 @@ func (c *registryKeyCache) get(set *lattice.Set) []string {
 	c.keys = sortedElems(set)
 	c.parts = nil
 	return c.keys
+}
+
+// matches reports whether the cached key list exactly equals the
+// expected (sorted) list. An empty expectation never matches: callers
+// with no CPU-side membership source always read the listing.
+func (c *registryKeyCache) matches(expected []string) bool {
+	if len(expected) == 0 || len(c.keys) != len(expected) {
+		return false
+	}
+	for i, k := range c.keys {
+		if k != expected[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // partitions returns the cached keys hash-split across n shards,
@@ -617,6 +663,11 @@ func (m *Monitor) scaleNodes(calls, done map[string]int64) {
 func (m *Monitor) event(action string) {
 	m.Events = append(m.Events, Event{At: m.k.Now(), Action: action})
 }
+
+// KVSStats reports the monitor's own Anna-client counters (test hook:
+// the listing-skip assertions count Get RPCs across refresh ticks).
+// Sharded monitors' extra scanner clients are not included.
+func (m *Monitor) KVSStats() anna.ClientStats { return m.anna.Stats }
 
 // Pins reports the current replica count for fn (test hook).
 func (m *Monitor) Pins(fn string) int { return len(m.pins[fn]) }

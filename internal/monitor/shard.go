@@ -68,20 +68,16 @@ func (m *Monitor) refreshSharded() (calls, done map[string]int64) {
 		live[id] = true
 	}
 	// Key lists and their partitions come from the membership-keyed
-	// cache: an unchanged fleet reuses last tick's sort and hash-split.
+	// cache: an unchanged fleet reuses last tick's sort and hash-split,
+	// and a cached list that already equals the CPU-side expectation
+	// skips the listing read itself (see listRegistry).
 	n := len(m.shards)
 	var execParts, schedParts [][]string
-	if lat, found, err := m.anna.Get(executor.MetricListKey); err == nil && found {
-		if set, ok := lat.(*lattice.Set); ok {
-			m.execKeys.get(set)
-			execParts = m.execKeys.partitions(n)
-		}
+	if m.listRegistry(&m.execKeys, executor.MetricListKey, m.expectedExecKeys()) != nil {
+		execParts = m.execKeys.partitions(n)
 	}
-	if lat, found, err := m.anna.Get(scheduler.SchedListKey); err == nil && found {
-		if set, ok := lat.(*lattice.Set); ok {
-			m.schedKeys.get(set)
-			schedParts = m.schedKeys.partitions(n)
-		}
+	if m.listRegistry(&m.schedKeys, scheduler.SchedListKey, m.cfg.SchedKeys) != nil {
+		schedParts = m.schedKeys.partitions(n)
 	}
 	if execParts == nil {
 		execParts = make([][]string, n)

@@ -24,6 +24,7 @@ import (
 	"cloudburst/internal/executor"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -108,6 +109,10 @@ type Config struct {
 	// Codec receives the scheduler's codec traffic on the owning
 	// cluster's counters (nil counts only the process aggregate).
 	Codec *codec.Counters
+	// Trace, when set, records per-request spans (network flight, inbox
+	// queueing, dispatch work, §4.5 retries) on the cluster's tracing
+	// plane. CPU-side only; nil disables at zero cost.
+	Trace *trace.Collector
 }
 
 // DefaultConfig returns the §4.3/§4.5 defaults.
@@ -194,6 +199,9 @@ type Scheduler struct {
 	// when Config.Decoded is set.
 	decoded *core.DecodeCache
 	codec   *codec.Counters
+	// spans is the cluster's tracing plane (distinct from the consistency
+	// audit's executor.Tracer); nil when tracing is off.
+	spans *trace.Collector
 
 	// lastAssigned spreads rapid-fire assignments across executors:
 	// utilization reports lag by the metrics interval, so without local
@@ -232,6 +240,7 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		dagDone:      make(map[string]int64),
 		decoded:      cfg.Decoded,
 		codec:        cfg.Codec,
+		spans:        cfg.Trace,
 	}
 	if s.decoded == nil {
 		s.decoded = core.NewDecodeCache(cfg.Codec)
@@ -243,18 +252,19 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 	simnet.OnRequest(s.disp, func(req *simnet.Request, b RegisterDAGReq) {
 		req.Reply(s.registerDAG(b), 16)
 	})
-	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeRequest) {
+	simnet.OnMessage(s.disp, func(m simnet.Message, b core.InvokeRequest) {
 		// Same duplicated-datagram guard as DAGs below: a tracked ReqID
 		// arriving here again can only be a duplicated link delivery.
 		if _, dup := s.singles[b.ReqID]; dup {
 			return
 		}
+		s.recordArrival(b.ReqID, m)
 		s.invokeSingle(b)
 	})
 	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeComplete) {
 		delete(s.singles, b.ReqID)
 	})
-	simnet.OnMessage(s.disp, func(_ simnet.Message, b DAGInvokeReq) {
+	simnet.OnMessage(s.disp, func(m simnet.Message, b DAGInvokeReq) {
 		// Clients mint a fresh ReqID per invocation, so a tracked ReqID
 		// arriving here can only be a duplicated datagram (fault-plan
 		// link duplication) — re-dispatching it would run the whole DAG
@@ -262,6 +272,7 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		if _, dup := s.inflight[b.ReqID]; dup {
 			return
 		}
+		s.recordArrival(b.ReqID, m)
 		s.invokeDAG(b, nil)
 	})
 	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.DAGComplete) {
@@ -441,6 +452,8 @@ func (s *Scheduler) ensureView() bool {
 // executor's InvokeComplete notice clears the entry, and retryTick
 // re-sends expired requests to a different executor.
 func (s *Scheduler) invokeSingle(req core.InvokeRequest) {
+	dctx := s.spans.Attach(req.ReqID).Start("sched/dispatch", trace.Dispatch, s.k.Now())
+	defer func() { dctx.End(s.k.Now()) }()
 	if s.cfg.DispatchCost > 0 {
 		s.k.Sleep(s.cfg.DispatchCost)
 	}
@@ -492,6 +505,8 @@ func (s *Scheduler) dispatchSingle(o *singleFlight, exclude map[simnet.NodeID]bo
 // invokeDAG builds a schedule (one executor per function, §4.3) and
 // triggers the sources. exclude lists executors to avoid (retries).
 func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) {
+	dctx := s.spans.Attach(req.ReqID).Start("sched/dispatch", trace.Dispatch, s.k.Now())
+	defer func() { dctx.End(s.k.Now()) }()
 	if s.cfg.DispatchCost > 0 {
 		s.k.Sleep(s.cfg.DispatchCost)
 	}
@@ -857,6 +872,7 @@ func (s *Scheduler) expireOne(id string) {
 	o.aliveExtends = 0
 	o.deadline = s.k.Now().Add(o.timeout)
 	s.reexecs++
+	s.spans.Reissue(id, s.k.Now())
 	s.invokeDAG(o.req, o.used)
 }
 
@@ -884,6 +900,7 @@ func (s *Scheduler) expireSingle(id string) {
 	o.aliveExtends = 0
 	o.deadline = s.k.Now().Add(o.timeout)
 	s.reexecs++
+	s.spans.Reissue(id, s.k.Now())
 	if !s.dispatchSingle(o, o.used) {
 		delete(s.singles, id)
 	}
@@ -956,6 +973,19 @@ func (s *Scheduler) metricsTick() {
 	}
 	ts := lattice.Timestamp{Clock: int64(s.k.Now()), Node: 2}
 	s.anna.Put(core.SchedMetricsKey(string(s.id)), lattice.NewLWW(ts, s.codec.MustEncode(m)))
+}
+
+// recordArrival charges a just-dequeued request message's flight and
+// inbox wait to the trace: [SentAt, ArrivedAt] is simulated network
+// time, [ArrivedAt, now] is how long the serial dispatcher's inbox
+// held it — the queueing that diverges past the saturation knee.
+func (s *Scheduler) recordArrival(reqID string, m simnet.Message) {
+	ctx := s.spans.Attach(reqID)
+	if !ctx.Enabled() {
+		return
+	}
+	ctx.Record("net/sched", trace.Network, m.SentAt, m.ArrivedAt)
+	ctx.Record("sched/queue", trace.Queue, m.ArrivedAt, s.k.Now())
 }
 
 // sortedSet returns a Set lattice's elements in deterministic order.

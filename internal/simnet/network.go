@@ -36,6 +36,12 @@ type Message struct {
 	Payload  any
 	Size     int // serialized size in bytes, for bandwidth accounting
 	SentAt   vtime.Time
+	// ArrivedAt is stamped when the datagram lands in the destination
+	// inbox. Like SentAt it is CPU-side delivery metadata, not wire
+	// content: the tracing plane reads [SentAt, ArrivedAt] as the
+	// simulated network flight and [ArrivedAt, handler start] as inbox
+	// queueing, without perturbing the byte schedule.
+	ArrivedAt vtime.Time
 }
 
 // Link describes the path between two nodes.
@@ -281,6 +287,7 @@ func (d *delivery) Fire() {
 	case d.reply != nil:
 		d.reply.TrySend(d.resp)
 	default:
+		d.msg.ArrivedAt = n.k.Now()
 		dst.inbox.TrySend(d.msg)
 	}
 	n.releaseDelivery(d)

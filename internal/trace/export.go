@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChromeJSON renders the collector's retained traces as Chrome
+// trace-event JSON (chrome://tracing / Perfetto "X" complete events).
+// Each trace becomes one tid, spans keep their virtual-time stamps in
+// microseconds, and emission order is retention order — fully
+// deterministic for a fixed seed, which the determinism tests diff
+// byte-for-byte across runs and runner widths.
+func (c *Collector) ChromeJSON() []byte {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	for ti, t := range c.Done() {
+		for _, sp := range t.Spans {
+			if !first {
+				b.WriteString(",\n")
+			}
+			first = false
+			fmt.Fprintf(&b,
+				`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"req":%q,"trace_id":"%016x","attempt":%d}}`,
+				sp.Name, sp.Cat.String(),
+				float64(sp.Start)/1e3, float64(sp.End-sp.Start)/1e3,
+				ti+1, t.ReqID, t.ID, t.Attempt)
+		}
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// TreeString renders one trace as an indented span tree with
+// durations and categories — the deterministic text exporter (and the
+// doc.go worked example's format).
+//
+//	invoke  req=cli-0-r1  trace=8f1c…  wall=12.40ms  attempts=1
+//	├─ net/invoke       network   0.52ms [0.00→0.52]
+//	└─ exec/invoke      compute   11.60ms [0.70→12.30]
+//	   └─ cache/read    cache     2.10ms [1.00→3.10]
+func TreeString(t *Trace) string {
+	if t == nil || len(t.Spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	root := t.Spans[0]
+	fmt.Fprintf(&b, "%s  req=%s  trace=%016x  wall=%.2fms  attempts=%d\n",
+		root.Name, t.ReqID, t.ID, float64(root.End-root.Start)/1e6, t.Attempt+1)
+	children := make([][]int32, len(t.Spans))
+	for i := 1; i < len(t.Spans); i++ {
+		p := t.Spans[i].Parent
+		children[p] = append(children[p], int32(i))
+	}
+	var walk func(idx int32, prefix string)
+	walk = func(idx int32, prefix string) {
+		kids := children[idx]
+		for n, k := range kids {
+			sp := t.Spans[k]
+			branch, next := "├─ ", "│  "
+			if n == len(kids)-1 {
+				branch, next = "└─ ", "   "
+			}
+			fmt.Fprintf(&b, "%s%s%-18s %-8s %8.2fms [%.2f→%.2f]\n",
+				prefix, branch, sp.Name, sp.Cat.String(),
+				float64(sp.End-sp.Start)/1e6,
+				float64(sp.Start-root.Start)/1e6, float64(sp.End-root.Start)/1e6)
+			walk(k, prefix+next)
+		}
+	}
+	walk(0, "")
+	return b.String()
+}
+
+// BreakdownRow formats a summary as "cat pct% (ms)" cells in category
+// order, skipping empty categories — the fig14 table's cell renderer.
+func BreakdownRow(s Summary) string {
+	if s.Wall <= 0 {
+		return "-"
+	}
+	parts := make([]string, 0, NumCategories)
+	for c := Category(1); c < NumCategories; c++ {
+		if s.ByCat[c] == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", c, 100*float64(s.ByCat[c])/float64(s.Wall)))
+	}
+	if len(parts) == 0 {
+		return "unattributed 100%"
+	}
+	return strings.Join(parts, ", ")
+}

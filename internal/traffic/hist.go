@@ -16,6 +16,7 @@ import (
 	"cloudburst/internal/anna"
 	"cloudburst/internal/codec"
 	"cloudburst/internal/lattice"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -128,6 +129,16 @@ type Recorder struct {
 	Done   int64 // successful results
 	Failed int64 // system-reported error results
 	Lost   int64 // never completed (attempts exhausted or drain expired)
+
+	// ByCat holds one latency sub-histogram per critical-path category,
+	// fed by the tracing plane's per-request summaries (ObserveTrace):
+	// ByCat[trace.Queue] is the distribution of per-request queue time,
+	// and so on. Allocated lazily on the first traced delivery — a pool
+	// run without tracing leaves every slot nil. CatSum is the summed
+	// per-category time across traced requests, the basis for Dominant.
+	ByCat  [trace.NumCategories]*Histogram
+	CatSum [trace.NumCategories]time.Duration
+	Traced int64 // requests folded into ByCat/CatSum
 }
 
 // NewRecorder starts a recorder at the kernel's current instant. The
@@ -154,6 +165,44 @@ func (r *Recorder) Observe(latency time.Duration, ok bool) {
 		r.PerSec = append(r.PerSec, 0)
 	}
 	r.PerSec[sec]++
+}
+
+// ObserveTrace folds one request's critical-path summary into the
+// per-category sub-histograms.
+func (r *Recorder) ObserveTrace(s trace.Summary) {
+	r.Traced++
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		d := s.ByCat[c]
+		if d == 0 {
+			continue
+		}
+		if r.ByCat[c] == nil {
+			r.ByCat[c] = NewHistogram(100*time.Microsecond, 1.05, 284)
+		}
+		r.ByCat[c].Observe(d)
+		r.CatSum[c] += d
+	}
+}
+
+// Dominant reports the category holding the largest share of total
+// attributed time across traced requests, and that share of the whole
+// (unattributed time included in the denominator). Returns share 0 when
+// nothing was traced.
+func (r *Recorder) Dominant() (trace.Category, float64) {
+	var total time.Duration
+	for _, d := range r.CatSum {
+		total += d
+	}
+	if total == 0 {
+		return trace.Unattributed, 0
+	}
+	best := trace.Category(1)
+	for c := best + 1; c < trace.NumCategories; c++ {
+		if r.CatSum[c] > r.CatSum[best] {
+			best = c
+		}
+	}
+	return best, float64(r.CatSum[best]) / float64(total)
 }
 
 // Sustained reports the successful-completion rate (req/s) over the

@@ -16,6 +16,7 @@ import (
 	"cloudburst/internal/core"
 	"cloudburst/internal/scheduler"
 	"cloudburst/internal/simnet"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/vtime"
 )
 
@@ -49,6 +50,14 @@ type Spec struct {
 	RetryAfter  time.Duration // re-issue a silent request after this long
 	MaxAttempts int           // total sends per request before it counts Lost
 	Drain       time.Duration // post-window grace for in-flight requests
+
+	// Trace, when non-nil, must be the target cluster's collector: the
+	// pool roots each request's trace at issue, folds the critical-path
+	// summary into the recorder's per-category sub-histograms at
+	// delivery, and records re-issues as retry spans. CPU-side only;
+	// nil disables at zero cost and leaves the recorder's category
+	// fields empty.
+	Trace *trace.Collector
 }
 
 // flight tracks one outstanding request.
@@ -88,7 +97,7 @@ func NewPool(k *vtime.Kernel, route Router, eps []*simnet.Endpoint, spec Spec) *
 	p := &Pool{k: k, route: route, spec: spec, eps: eps, pending: make(map[string]*flight)}
 	for i, ep := range eps {
 		d := simnet.NewDispatcher(ep, "traffic/"+spec.Name+"/w"+strconv.Itoa(i))
-		simnet.OnMessage(d, func(m simnet.Message, res core.Result) { p.deliver(res) })
+		simnet.OnMessage(d, func(m simnet.Message, res core.Result) { p.deliver(res, m) })
 		p.disps = append(p.disps, d)
 	}
 	return p
@@ -136,6 +145,7 @@ func (p *Pool) Run() *Recorder {
 	sort.Strings(leftover)
 	for _, id := range leftover {
 		delete(p.pending, id)
+		p.spec.Trace.Drop(id)
 		p.rec.Lost++
 	}
 	for _, d := range p.disps {
@@ -182,17 +192,24 @@ func (p *Pool) issue() {
 	now := p.k.Now()
 	p.pending[reqID] = &flight{ep: ep, payload: payload, size: size, firstAt: now, sentAt: now, attempt: 1}
 	p.rec.Issued++
+	p.spec.Trace.Root(reqID, "invoke", now)
 	ep.Send(p.route.RouteScheduler(reqID, 0), payload, size)
 }
 
 // deliver consumes a result; late duplicates from re-issued requests
 // find no pending entry and are dropped.
-func (p *Pool) deliver(res core.Result) {
+func (p *Pool) deliver(res core.Result, m simnet.Message) {
 	f, ok := p.pending[res.ReqID]
 	if !ok {
 		return
 	}
 	delete(p.pending, res.ReqID)
+	if ctx := p.spec.Trace.Attach(res.ReqID); ctx.Enabled() {
+		ctx.Record("net/result", trace.Network, m.SentAt, m.ArrivedAt)
+		if sum, done := p.spec.Trace.Finish(res.ReqID, p.k.Now()); done {
+			p.rec.ObserveTrace(sum)
+		}
+	}
 	p.rec.Observe(p.k.Now().Sub(f.firstAt), res.OK())
 }
 
@@ -212,11 +229,13 @@ func (p *Pool) reapTick() {
 		f := p.pending[id]
 		if f.attempt >= p.spec.MaxAttempts {
 			delete(p.pending, id)
+			p.spec.Trace.Drop(id)
 			p.rec.Lost++
 			continue
 		}
 		f.attempt++
 		f.sentAt = now
+		p.spec.Trace.Reissue(id, now)
 		f.ep.Send(p.route.RouteScheduler(id, f.attempt-1), f.payload, f.size)
 	}
 }
