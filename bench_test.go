@@ -231,6 +231,28 @@ func BenchmarkFig13Saturation(b *testing.B) {
 	}
 }
 
+// BenchmarkFig15Txn runs the transactional-commit figure: the bank
+// workload across all six consistency modes plus the kill/restart panel
+// in Transactional mode. The headline metrics are the Txn row's commit
+// latency and abort rate and the failure panel's sum drift (atomicity
+// through a coordinator crash — must stay 0) and in-doubt count.
+func BenchmarkFig15Txn(b *testing.B) {
+	freeMem(b)
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig15(bench.Fig15Quick())
+		for _, row := range r.Rows {
+			b.ReportMetric(row.Summary.Median, "ms_median:"+metricName(row.Summary.Name))
+			if row.Summary.Name == "Txn" {
+				b.ReportMetric(row.AbortPct*100, "pct_abort:Txn")
+				b.ReportMetric(float64(row.SumDrift), "sumdrift:Txn")
+			}
+		}
+		b.ReportMetric(float64(r.Failure.SumDrift), "sumdrift:failure")
+		b.ReportMetric(float64(r.Failure.InDoubt), "indoubt:failure")
+		b.ReportMetric(r.Failure.During.P99, "ms_p99:during")
+	}
+}
+
 // BenchmarkAblationLocalityScheduling quantifies the §4.3 design choice:
 // locality-aware executor picks vs random placement on the Figure 5 hot
 // workload.

@@ -191,6 +191,7 @@ type callOpts struct {
 	store    bool          // persist the result in the KVS under the future's Key
 	direct   bool          // carry the value inline in the Result even when storing
 	wantHops bool          // ask the runtime to report executor hop counts
+	txn      bool          // commit the request's writes atomically (Transactional mode)
 }
 
 func buildOpts(opts []InvokeOption) callOpts {
@@ -229,6 +230,16 @@ func WithDirectResponse() InvokeOption { return func(o *callOpts) { o.direct = t
 // normalization of Figure 8).
 func WithHopCount() InvokeOption { return func(o *callOpts) { o.wantHops = true } }
 
+// WithTxn makes the invocation transactional: every Put the request
+// performs (across all of a DAG's functions) is buffered at the
+// executors and committed atomically via two-phase commit when the
+// request finishes — all writes become visible together, or none do.
+// Reads validate at commit, so a conflicting concurrent update aborts
+// the transaction (the future fails with a "txn aborted" error; retry
+// at the application level). Requires the Transactional consistency
+// mode; under any other mode the future fails.
+func WithTxn() InvokeOption { return func(o *callOpts) { o.txn = true } }
+
 // Invoke dispatches a single registered function through a
 // load-balanced scheduler and immediately returns its Future.
 // Arguments may be plain values or Refs. Every error — argument
@@ -251,6 +262,7 @@ func (cl *Client) Invoke(fn string, args []any, opts ...InvokeOption) *Future {
 		StoreInKVS: o.store,
 		Direct:     o.direct,
 		WantHops:   o.wantHops,
+		Txn:        o.txn,
 		ResultKey:  f.Key,
 		Deadline:   o.timeout,
 	}
@@ -292,6 +304,7 @@ func (cl *Client) InvokeDAG(dagName string, args map[string][]any, opts ...Invok
 		StoreInKVS: o.store,
 		Direct:     o.direct,
 		WantHops:   o.wantHops,
+		Txn:        o.txn,
 		ResultKey:  f.Key,
 		Deadline:   o.timeout,
 	}

@@ -17,7 +17,7 @@ import (
 // Consistency selects the cache-consistency level (§5 of the paper).
 type Consistency int
 
-// The five consistency levels evaluated in §6.2.
+// The five consistency levels evaluated in §6.2, plus Transactional.
 const (
 	// LWW is last-writer-wins eventual consistency (the default).
 	LWW Consistency = iota
@@ -30,6 +30,12 @@ const (
 	// Causal is distributed session causal consistency — the strongest
 	// level, holding across every machine a DAG touches.
 	Causal
+	// Transactional layers atomic multi-key commit on LWW: requests
+	// invoked WithTxn buffer their writes and commit them via two-phase
+	// commit across the storage nodes, so either every write lands or
+	// none does — across crashes. Requests without WithTxn behave as in
+	// LWW. See the "Transactions" section in the package docs.
+	Transactional
 )
 
 func (c Consistency) mode() core.Mode {
@@ -42,6 +48,8 @@ func (c Consistency) mode() core.Mode {
 		return core.MK
 	case Causal:
 		return core.DSC
+	case Transactional:
+		return core.TXN
 	default:
 		return core.LWW
 	}
@@ -116,6 +124,12 @@ type Config struct {
 	// across that many concurrent scanner endpoints with incremental
 	// counter aggregation.
 	MonitorShards int
+	// ShadowSingles replicates each scheduler shard's single-invocation
+	// §4.5 tracking entries to a rendezvous-hashed peer shard, so a
+	// single survives the death of the very scheduler that accepted it.
+	// Needs Schedulers ≥ 2; off by default (the shadow messages shift
+	// the event schedule).
+	ShadowSingles bool
 
 	// CodecCounters, when set, receives this cluster's codec traffic
 	// (struct fast path vs gob fallback). The process-wide
@@ -219,6 +233,7 @@ func (c *Cluster) internalConfig(mutate func(*cluster.Config)) cluster.Config {
 	if cfg.MonitorShards > 1 {
 		icfg.Monitor.Shards = cfg.MonitorShards
 	}
+	icfg.Scheduler.ShadowSingles = cfg.ShadowSingles
 	icfg.Codec = cfg.CodecCounters
 	icfg.Trace = cfg.Trace
 	if icfg.Trace == nil && traceAll {

@@ -126,6 +126,12 @@ var experiments = []experiment{
 		full:  func() string { return bench.RunFig13(bench.Fig13Paper()).Print() },
 	},
 	{
+		name:  "fig15-txn",
+		about: "transactional commit: latency, abort rate, atomicity under failure",
+		quick: func() string { return bench.RunFig15(bench.Fig15Quick()).Print() },
+		full:  func() string { return bench.RunFig15(bench.Fig15Paper()).Print() },
+	},
+	{
 		name:  "fig14-breakdown",
 		about: "critical-path latency breakdown from the tracing plane",
 		quick: func() string { return bench.RunFig14(fig14Config(false)).Print() },

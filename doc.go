@@ -72,6 +72,75 @@
 // CallDAGAsync) has been removed after one release as deprecated shims;
 // each was a one-liner over Invoke/InvokeDAG with the options above.
 //
+// # Transactions
+//
+// The sixth consistency mode, Transactional, upgrades a request's
+// writes from independent puts to an atomic multi-key commit. A
+// cluster in that mode accepts WithTxn on any Invoke or InvokeDAG:
+// every Ctx.Put inside the request is buffered in the executor tier
+// (reads see the request's own staged writes; in a DAG the staged set
+// rides the triggers downstream), and when the request finishes, the
+// sink executor runs presumed-abort two-phase commit across the Anna
+// storage nodes that own the written keys. Prepared-but-uncommitted
+// versions are invisible to every other reader, prepare validates
+// against the versions the request read (optimistic concurrency — a
+// conflicting interleaving aborts with AbortError rather than losing
+// an update), and the coordinator logs its commit decision in Anna
+// before releasing any participant, so a coordinator VM that dies
+// mid-protocol is recovered by the participants' sweep: in-doubt
+// prepares resolve from the log, or time out into the presumed abort.
+// A function error discards the staged writes outright — nothing
+// reaches storage.
+//
+// The worked example is a bank transfer, whose balance-sum invariant
+// is exactly what non-transactional modes cannot hold through
+// concurrency or a crash between the debit and the credit:
+//
+//	cfg := cloudburst.DefaultConfig()
+//	cfg.Mode = cloudburst.Transactional
+//	cb := cloudburst.NewCluster(cfg)
+//	defer cb.Close()
+//
+//	cb.RegisterFunction("transfer", func(ctx *cloudburst.Ctx, args []any) (any, error) {
+//		from, to, amount := args[0].(string), args[1].(string), args[2].(int)
+//		fb, _, err := ctx.Get(from)
+//		if err != nil {
+//			return nil, err
+//		}
+//		tb, _, err := ctx.Get(to)
+//		if err != nil {
+//			return nil, err
+//		}
+//		if err := ctx.Put(from, fb.(int)-amount); err != nil {
+//			return nil, err
+//		}
+//		if err := ctx.Put(to, tb.(int)+amount); err != nil { // atomic with the debit
+//			return nil, err
+//		}
+//		return "ok", nil
+//	})
+//
+//	cb.Run(func(cl *cloudburst.Client) {
+//		cl.Put("alice", 100)
+//		cl.Put("bob", 100)
+//		_, err := cl.Invoke("transfer", []any{"alice", "bob", 30}, cloudburst.WithTxn()).Wait()
+//		// err == nil: both balances moved. AbortError: neither did —
+//		// re-invoke. Either way alice+bob == 200 for every observer.
+//	})
+//
+// The figure behind the mode (cmd/cb-bench -run fig15-txn) sweeps this
+// workload across all six modes — the five non-transactional rows
+// drift the balance sum under concurrent transfers, the Txn row holds
+// it at the price of an abort rate and a commit round trip — and the
+// chaos matrix's three txn cells crash the coordinator between
+// prepare and commit, a participant after its ack, and the commit
+// fan-out itself, asserting zero lost funds and zero in-doubt
+// prepares after heal. The audit plane (internal/audit) gains the
+// matching detectors: fractured reads of a committed write set (torn
+// atomicity) and rw-antidependency cycles between committed
+// transactions (serializability), both inert on non-transactional
+// traces.
+//
 // # The zero-copy data plane
 //
 // User values are serialized by internal/codec: a tagged binary fast

@@ -117,6 +117,32 @@ func (c *Client) Put(key string, lat lattice.Lattice) error {
 	return fmt.Errorf("anna: put %q: %w", key, ErrUnavailable)
 }
 
+// PutAny merges lat into key on every owner and reports how many
+// acked; it succeeds when at least one did. Put stops at the first
+// ack and lets gossip heal the rest — PutAny is for records whose
+// *presence on any replica* carries meaning (the transaction commit
+// log: the recovery sweep treats "found anywhere" as committed, so the
+// writer maximizes the record's replica footprint up front).
+func (c *Client) PutAny(key string, lat lattice.Lattice) (int, error) {
+	owners := c.kv.ring.OwnersFor(key)
+	size := 24 + len(key) + lat.ByteSize()
+	acks := 0
+	for _, o := range owners {
+		c.Stats.PutRPCs++
+		resp, err := c.ep.Call(o, PutReq{Key: key, Lat: lat.Clone()}, size, c.timeout)
+		if err != nil {
+			continue
+		}
+		if pr, ok := resp.(PutResp); ok && pr.OK {
+			acks++
+		}
+	}
+	if acks == 0 {
+		return 0, fmt.Errorf("anna: put-any %q: %w", key, ErrUnavailable)
+	}
+	return acks, nil
+}
+
 // MultiGet fetches many keys with one round trip per storage node,
 // grouping keys by their primary owner exactly as PublishKeyset
 // partitions keyset deltas. Keys whose primary answered not-found are

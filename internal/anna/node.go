@@ -4,6 +4,8 @@ import (
 	"sort"
 	"time"
 
+	"cloudburst/internal/codec"
+	"cloudburst/internal/hook"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/vtime"
@@ -35,6 +37,18 @@ type NodeConfig struct {
 	// size, which is what separates cold cache misses from hot hits in
 	// §6.1.2.
 	ServeBandwidth float64
+	// TxnSweepInterval is how often the node tries to resolve in-doubt
+	// prepared transactions from the commit log.
+	TxnSweepInterval time.Duration
+	// TxnPrepareTTL is how long a prepared transaction may wait for its
+	// coordinator's decision before the sweep resolves it itself.
+	TxnPrepareTTL time.Duration
+	// Hooks is the cluster's fault-injection point-cut registry (nil
+	// disables point-cuts at zero cost).
+	Hooks *hook.Registry
+	// Codec receives this node's commit-log decodes on the owning
+	// cluster's counters (nil counts only the process aggregate).
+	Codec *codec.Counters
 }
 
 // DefaultNodeConfig returns the calibrated defaults (see DESIGN.md §5).
@@ -48,6 +62,9 @@ func DefaultNodeConfig() NodeConfig {
 		StatsWindow:    time.Second,
 		HotKeyTopN:     16,
 		ServeBandwidth: 300e6,
+		// TxnSweepInterval/TxnPrepareTTL stay zero (sweep disabled):
+		// the cluster enables them in Transactional mode only, so every
+		// other mode's event schedule is untouched by the txn plane.
 	}
 }
 
@@ -69,6 +86,12 @@ type Node struct {
 	// caching it. Partitioned across nodes with the key space.
 	index map[string]map[simnet.NodeID]bool
 
+	// Transaction participant state (see txn.go): prepared write sets
+	// held outside the store (invisible to readers) and the per-key
+	// prepare locks guarding them.
+	prepared map[string]*preparedTxn
+	locks    map[string]string // key → holding txn id
+
 	ops         int64
 	windowStart vtime.Time
 }
@@ -77,13 +100,15 @@ type Node struct {
 // endpoint.
 func NewNode(k *vtime.Kernel, ep *simnet.Endpoint, ring *Ring, cfg NodeConfig) *Node {
 	n := &Node{
-		id:    ep.ID(),
-		ep:    ep,
-		k:     k,
-		ring:  ring,
-		cfg:   cfg,
-		st:    newTieredStore(cfg.MemCapacity),
-		index: make(map[string]map[simnet.NodeID]bool),
+		id:       ep.ID(),
+		ep:       ep,
+		k:        k,
+		ring:     ring,
+		cfg:      cfg,
+		st:       newTieredStore(cfg.MemCapacity),
+		index:    make(map[string]map[simnet.NodeID]bool),
+		prepared: make(map[string]*preparedTxn),
+		locks:    make(map[string]string),
 	}
 	n.disp = simnet.NewDispatcher(ep, string(n.id))
 	simnet.OnRequest(n.disp, n.handleGet)
@@ -92,6 +117,8 @@ func NewNode(k *vtime.Kernel, ep *simnet.Endpoint, ring *Ring, cfg NodeConfig) *
 	simnet.OnRequest(n.disp, n.handleDelete)
 	simnet.OnRequest(n.disp, n.handleSetRemove)
 	simnet.OnRequest(n.disp, n.handleStats)
+	simnet.OnRequest(n.disp, n.handleTxnPrepare)
+	simnet.OnMessage(n.disp, n.handleTxnDecision)
 	simnet.OnMessage(n.disp, n.handleGossip)
 	simnet.OnMessage(n.disp, n.handleKeyset)
 	simnet.OnMessage(n.disp, n.handleTransfer)
@@ -107,6 +134,9 @@ func (n *Node) Start() {
 	n.disp.Start()
 	n.disp.Every("gossip", n.cfg.GossipInterval, n.gossipTick)
 	n.disp.Every("push", n.cfg.PushInterval, n.pushTick)
+	if n.cfg.TxnSweepInterval > 0 {
+		n.disp.Every("txn-sweep", n.cfg.TxnSweepInterval, n.txnSweepTick)
+	}
 }
 
 // Stop makes the node stop processing after in-flight work; used for

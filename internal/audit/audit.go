@@ -56,6 +56,10 @@ type Recorder struct {
 	order   []*Write
 	reads   []*Read
 	session map[string][]string // reqID → write-ids seen so far
+	// txnCommits marks requests that committed through the 2PC
+	// coordinator (see txn.go); the transactional detectors only look
+	// at those.
+	txnCommits map[string]bool
 	// MaxDepth bounds ancestor traversal (see package comment).
 	MaxDepth int
 }
@@ -150,6 +154,11 @@ type Report struct {
 	DSC  int
 	DSRR int
 
+	// Transactional detectors (txn.go); zero unless the trace contains
+	// 2PC commits.
+	Torn   int // fractured reads of a committed write set
+	Serial int // rw-antidependency cycles between committed txns
+
 	// Extras are the per-level increments (MK = SK + MKExtra, ...).
 	MKExtra  int
 	DSCExtra int
@@ -180,6 +189,8 @@ func (r *Recorder) Analyze() Report {
 	rep.MK = rep.SK + rep.MKExtra
 	rep.DSC = rep.MK + rep.DSCExtra
 	rep.DSRR = r.detectRR()
+	rep.Torn = r.detectTorn()
+	rep.Serial = r.detectSerial()
 	return rep
 }
 

@@ -1,0 +1,175 @@
+// Transactional detectors. Requests that commit through the 2PC
+// coordinator are marked via OnTxnCommit (the executor type-asserts the
+// tracer for it), and two further detectors run over just those
+// histories:
+//
+//   - Torn: a reader invocation observed part of a committed
+//     transaction's write set together with a pre-transaction version of
+//     another key the same transaction wrote — the commit was not
+//     observed atomically;
+//   - Serial: two committed transactions form an rw-antidependency
+//     cycle (each read a version the other overwrote, e.g. write skew),
+//     so no serial order explains both.
+//
+// With no transactional commits in the trace both counts are zero, so
+// the Table 2 numbers for the existing workloads are untouched.
+
+package audit
+
+import "sort"
+
+// OnTxnCommit marks reqID as a transactionally-committed request. The
+// executor calls this (via its TxnMarker interface) right before it
+// emits the commit-time OnWrite events for the transaction's write set.
+func (r *Recorder) OnTxnCommit(reqID string) {
+	if r.txnCommits == nil {
+		r.txnCommits = make(map[string]bool)
+	}
+	r.txnCommits[reqID] = true
+}
+
+// TxnCommits reports how many requests committed transactionally.
+func (r *Recorder) TxnCommits() int { return len(r.txnCommits) }
+
+// versionSeq orders versions of one key: the global sequence number of
+// the write that produced it, 0 for preloaded initial values.
+func (r *Recorder) versionSeq(writeID string) int {
+	if w, ok := r.writes[writeID]; ok {
+		return w.Seq
+	}
+	return 0
+}
+
+// detectTorn counts fractured reads of committed transactions: a single
+// function invocation read transaction T's version of one key and an
+// older-than-T version of another key T wrote. Each (invocation, T)
+// pair counts once.
+func (r *Recorder) detectTorn() int {
+	if len(r.txnCommits) == 0 {
+		return 0
+	}
+	// Per committed txn: key → its write.
+	txnWrites := make(map[string]map[string]*Write)
+	for _, w := range r.order {
+		if !r.txnCommits[w.ReqID] {
+			continue
+		}
+		m := txnWrites[w.ReqID]
+		if m == nil {
+			m = make(map[string]*Write)
+			txnWrites[w.ReqID] = m
+		}
+		m[w.Key] = w
+	}
+	// Per invocation: key → first read of key (MK's single-cache scope).
+	type invKey struct{ req, fn string }
+	invReads := make(map[invKey]map[string]*Read)
+	var invOrder []invKey
+	for _, rd := range r.reads {
+		ik := invKey{rd.ReqID, rd.Fn}
+		m, ok := invReads[ik]
+		if !ok {
+			m = make(map[string]*Read)
+			invReads[ik] = m
+			invOrder = append(invOrder, ik)
+		}
+		if _, seen := m[rd.Key]; !seen {
+			m[rd.Key] = rd
+		}
+	}
+	count := 0
+	for _, ik := range invOrder {
+		reads := invReads[ik]
+		for txn, ws := range txnWrites {
+			if txn == ik.req {
+				continue // a txn trivially reads its own buffered writes
+			}
+			sawTxn, sawOlder := false, false
+			for key, w := range ws {
+				rd, ok := reads[key]
+				if !ok {
+					continue
+				}
+				switch {
+				case rd.WriteID == w.ID:
+					sawTxn = true
+				case r.versionSeq(rd.WriteID) < w.Seq:
+					// An observed version that predates T's write — only a
+					// fracture if some other key showed T's.
+					sawOlder = true
+				}
+			}
+			if sawTxn && sawOlder {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// detectSerial counts unordered pairs of committed transactions joined
+// by rw-antidependency edges in both directions: T1 read a version of
+// some key that T2's commit overwrote, and vice versa. No serial order
+// places both, which is exactly the write-skew shape OCC validation is
+// supposed to abort.
+func (r *Recorder) detectSerial() int {
+	if len(r.txnCommits) < 2 {
+		return 0
+	}
+	txns := make([]string, 0, len(r.txnCommits))
+	for id := range r.txnCommits {
+		txns = append(txns, id)
+	}
+	sort.Strings(txns)
+
+	// Per txn: key → committed write, and key → first-read version.
+	writesBy := make(map[string]map[string]*Write)
+	for _, w := range r.order {
+		if !r.txnCommits[w.ReqID] {
+			continue
+		}
+		m := writesBy[w.ReqID]
+		if m == nil {
+			m = make(map[string]*Write)
+			writesBy[w.ReqID] = m
+		}
+		m[w.Key] = w
+	}
+	readsBy := make(map[string]map[string]*Read)
+	for _, rd := range r.reads {
+		if !r.txnCommits[rd.ReqID] {
+			continue
+		}
+		m := readsBy[rd.ReqID]
+		if m == nil {
+			m = make(map[string]*Read)
+			readsBy[rd.ReqID] = m
+		}
+		if _, seen := m[rd.Key]; !seen {
+			m[rd.Key] = rd
+		}
+	}
+	// rw edge a→b: a read a version of k that b overwrote (a's view of
+	// k predates b's write and is not b's).
+	rw := func(a, b string) bool {
+		for key, w := range writesBy[b] {
+			rd, ok := readsBy[a][key]
+			if !ok {
+				continue
+			}
+			if rd.WriteID != w.ID && r.versionSeq(rd.WriteID) < w.Seq {
+				return true
+			}
+		}
+		return false
+	}
+	count := 0
+	for i := 0; i < len(txns); i++ {
+		for j := i + 1; j < len(txns); j++ {
+			if rw(txns[i], txns[j]) && rw(txns[j], txns[i]) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,87 @@
+package audit
+
+import (
+	"testing"
+
+	"cloudburst/internal/executor"
+)
+
+// TestTornDetectorFlagsFracturedRead: a committed transaction wrote k1
+// and k2; a reader invocation saw the transaction's k1 but a
+// pre-transaction k2. Exactly one fracture.
+func TestTornDetectorFlagsFracturedRead(t *testing.T) {
+	r := NewRecorder()
+	r.OnTxnCommit("t1")
+	r.OnWrite(executor.TraceEvent{ReqID: "t1", Key: "k1", WriteID: "w1"})
+	r.OnWrite(executor.TraceEvent{ReqID: "t1", Key: "k2", WriteID: "w2"})
+	// Reader observed half the commit: t1's k1, preloaded k2.
+	r.OnRead(executor.TraceEvent{ReqID: "r1", Key: "k1", WriteID: "w1"})
+	r.OnRead(executor.TraceEvent{ReqID: "r1", Key: "k2", WriteID: ""})
+	// A second reader saw the whole commit: no fracture.
+	r.OnRead(executor.TraceEvent{ReqID: "r2", Key: "k1", WriteID: "w1"})
+	r.OnRead(executor.TraceEvent{ReqID: "r2", Key: "k2", WriteID: "w2"})
+	rep := r.Analyze()
+	if rep.Torn != 1 {
+		t.Fatalf("Torn = %d, want 1", rep.Torn)
+	}
+	if rep.Serial != 0 {
+		t.Fatalf("Serial = %d, want 0", rep.Serial)
+	}
+}
+
+// TestSerialDetectorFlagsWriteSkew: two committed transactions each
+// read the preloaded version of the key the other wrote — the classic
+// write-skew rw-cycle.
+func TestSerialDetectorFlagsWriteSkew(t *testing.T) {
+	r := NewRecorder()
+	r.OnRead(executor.TraceEvent{ReqID: "t1", Key: "k1", WriteID: ""})
+	r.OnRead(executor.TraceEvent{ReqID: "t1", Key: "k2", WriteID: ""})
+	r.OnRead(executor.TraceEvent{ReqID: "t2", Key: "k1", WriteID: ""})
+	r.OnRead(executor.TraceEvent{ReqID: "t2", Key: "k2", WriteID: ""})
+	r.OnTxnCommit("t1")
+	r.OnWrite(executor.TraceEvent{ReqID: "t1", Key: "k2", WriteID: "w-t1"})
+	r.OnTxnCommit("t2")
+	r.OnWrite(executor.TraceEvent{ReqID: "t2", Key: "k1", WriteID: "w-t2"})
+	rep := r.Analyze()
+	if rep.Serial != 1 {
+		t.Fatalf("Serial = %d, want 1", rep.Serial)
+	}
+	if rep.Torn != 0 {
+		t.Fatalf("Torn = %d, want 0", rep.Torn)
+	}
+}
+
+// TestSerialDetectorAcceptsSerializableHistory: the same two
+// transactions where the second observed the first's write form a
+// one-way dependency, not a cycle.
+func TestSerialDetectorAcceptsSerializableHistory(t *testing.T) {
+	r := NewRecorder()
+	r.OnRead(executor.TraceEvent{ReqID: "t1", Key: "k1", WriteID: ""})
+	r.OnTxnCommit("t1")
+	r.OnWrite(executor.TraceEvent{ReqID: "t1", Key: "k2", WriteID: "w-t1"})
+	// t2 runs after t1 and sees its write.
+	r.OnRead(executor.TraceEvent{ReqID: "t2", Key: "k2", WriteID: "w-t1"})
+	r.OnTxnCommit("t2")
+	r.OnWrite(executor.TraceEvent{ReqID: "t2", Key: "k1", WriteID: "w-t2"})
+	if rep := r.Analyze(); rep.Serial != 0 {
+		t.Fatalf("Serial = %d, want 0 for a serializable history", rep.Serial)
+	}
+}
+
+// TestTxnDetectorsInertWithoutCommits: the same events without
+// OnTxnCommit marks produce zero transactional flags, so every
+// pre-existing table2 trace is untouched.
+func TestTxnDetectorsInertWithoutCommits(t *testing.T) {
+	r := NewRecorder()
+	r.OnWrite(executor.TraceEvent{ReqID: "t1", Key: "k1", WriteID: "w1"})
+	r.OnWrite(executor.TraceEvent{ReqID: "t1", Key: "k2", WriteID: "w2"})
+	r.OnRead(executor.TraceEvent{ReqID: "r1", Key: "k1", WriteID: "w1"})
+	r.OnRead(executor.TraceEvent{ReqID: "r1", Key: "k2", WriteID: ""})
+	rep := r.Analyze()
+	if rep.Torn != 0 || rep.Serial != 0 {
+		t.Fatalf("unmarked trace flagged: torn %d serial %d", rep.Torn, rep.Serial)
+	}
+	if r.TxnCommits() != 0 {
+		t.Fatalf("TxnCommits = %d, want 0", r.TxnCommits())
+	}
+}

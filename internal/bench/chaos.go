@@ -18,6 +18,7 @@ import (
 	"cloudburst/internal/parallel"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/traffic"
+	"cloudburst/internal/txn"
 	"cloudburst/internal/workload"
 )
 
@@ -46,6 +47,14 @@ type ChaosConfig struct {
 	// sharded scheduler group while a split-brain blinds the monitor shard
 	// from a VM the schedulers keep using.
 	Lifecycle bool
+	// Txn appends the three transactional cells: the bank workload in
+	// Transactional mode with a CrashAt armed on each 2PC point-cut —
+	// coordinator death between prepare and commit, participant death
+	// after its prepare ack, and coordinator death after logging but
+	// before any decision is sent (the dropped-commit shape). Each cell
+	// asserts the balance-sum invariant and zero in-doubt leftovers
+	// after heal.
+	Txn bool
 }
 
 // AllModes is the §6.2 sweep.
@@ -57,7 +66,7 @@ func ChaosQuick() ChaosConfig {
 		Workloads: []string{"retwis", "predserve", "gossip"},
 		Modes:     AllModes,
 		Clients:   3, Requests: 5, Window: 20 * time.Second,
-		Faults: 3, Probes: 2, Seed: 97, Lifecycle: true,
+		Faults: 3, Probes: 2, Seed: 97, Lifecycle: true, Txn: true,
 	}
 }
 
@@ -87,6 +96,12 @@ type ChaosCell struct {
 
 	Reads, Writes int // audit-trace sizes (detector sanity)
 	Anomalies     audit.Report
+
+	// Transactional cells (scenario txn-*) only.
+	BankSum    int // balance sum after heal — must equal BankWant
+	BankWant   int // the invariant (accounts × initial); 0 for non-bank cells
+	InDoubt    int // prepared-but-unresolved txns left on Anna — must be 0
+	TxnCommits int // requests that committed through 2PC
 }
 
 // ChaosResult is the full matrix.
@@ -114,6 +129,10 @@ func (r ChaosResult) Print() string {
 	for _, c := range r.Cells {
 		for _, f := range c.Faults {
 			out += fmt.Sprintf("  [%s/%s] %s\n", c.Workload, c.Mode, f)
+		}
+		if c.BankWant > 0 {
+			out += fmt.Sprintf("  [%s/%s] bank sum %d/%d, in-doubt %d, 2pc commits %d\n",
+				c.Workload, c.Mode, c.BankSum, c.BankWant, c.InDoubt, c.TxnCommits)
 		}
 	}
 	return out
@@ -143,6 +162,12 @@ func RunChaosMatrix(cfg ChaosConfig) ChaosResult {
 			cellSpec{"predserve", cb.LWW, cfg.Seed + 7001, "rolling"},
 			cellSpec{"retwis", cb.LWW, cfg.Seed + 7002, "rack"},
 			cellSpec{"openloop", cb.LWW, cfg.Seed + 7003, "traffic"})
+	}
+	if cfg.Txn {
+		cells = append(cells,
+			cellSpec{"bank", cb.Transactional, cfg.Seed + 7004, "txn-coord"},
+			cellSpec{"bank", cb.Transactional, cfg.Seed + 7005, "txn-part"},
+			cellSpec{"bank", cb.Transactional, cfg.Seed + 7006, "txn-commit"})
 	}
 	// Every cell boots its own traced cluster from a precomputed seed, so
 	// the whole matrix fans out on the parallel runner; cell order in the
@@ -192,7 +217,7 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	defer c.Close()
 	in := c.Internal()
 
-	driver := registerChaosWorkload(c, wl, cfg, seed)
+	driver, bank := registerChaosWorkload(c, wl, cfg, seed)
 	c.Run(func(cl *cb.Client) { cl.Sleep(3 * time.Second) })
 
 	// Draw the cell's randomized plan and start it.
@@ -212,6 +237,26 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	case "rack":
 		plan = fault.NewPlan("rack").At(2*time.Second,
 			fault.RackFailure{Count: 2, After: 4 * time.Second, Warm: true})
+	case "txn-coord":
+		// Coordinator VM dies between collecting prepare acks and writing
+		// the commit log: presumed abort must release every lock. Armed
+		// immediately — the trap must be set before the first transfer
+		// reaches its 2PC point-cut, or it would only spring during the
+		// post-heal probes.
+		plan = fault.NewPlan("txn-coord").At(time.Millisecond,
+			fault.CrashAt{Hook: txn.HookPostPrepare, HealAfter: 8 * time.Second, Warm: true})
+	case "txn-part":
+		// A participant storage node goes dark right after acking its
+		// prepare; it must resolve the in-doubt entry from the coordinator
+		// log when it comes back.
+		plan = fault.NewPlan("txn-part").At(time.Millisecond,
+			fault.CrashAt{Hook: txn.HookPostPrepareAck, HealAfter: 8 * time.Second})
+	case "txn-commit":
+		// Coordinator dies after logging the commit but before any
+		// decision message leaves: the dropped-commit shape, recovered by
+		// the participants' sweep finding the log.
+		plan = fault.NewPlan("txn-commit").At(time.Millisecond,
+			fault.CrashAt{Hook: txn.HookPreCommitSend, HealAfter: 8 * time.Second, Warm: true})
 	case "traffic":
 		planRng := rand.New(rand.NewSource(seed * 31))
 		plan = fault.RandomPlan(planRng, fault.RandomOpts{
@@ -234,6 +279,11 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 	}
 	inj := fault.NewInjector(in)
 	c.Run(func(cl *cb.Client) { inj.Start(plan) })
+	if bank != nil {
+		// Let the CrashAt arm land before the load phase: the bank cells'
+		// whole point is a crash inside a loaded 2PC window.
+		c.Run(func(cl *cb.Client) { cl.Sleep(500 * time.Millisecond) })
+	}
 
 	// Chaos phase. The traffic scenario swaps the closed-loop drivers for
 	// the open-loop pool: Poisson arrivals fire at the scheduler group
@@ -307,7 +357,23 @@ func runChaosCell(cfg ChaosConfig, wl string, mode cb.Consistency, seed int64, s
 			}
 		}
 	})
-	return settleChaosCell(cfg, c, in, inj, rec, driver, seed, cell)
+	cell = settleChaosCell(cfg, c, in, inj, rec, driver, seed, cell)
+	if bank != nil {
+		// The transactional invariants: the money is all there, nothing is
+		// stuck in doubt, and at least one transfer actually committed
+		// through 2PC (otherwise the cell proved nothing).
+		cell.BankWant = bank.Total()
+		c.Run(func(cl *cb.Client) {
+			sum, err := bank.Sum(cl)
+			if err != nil {
+				sum = -1
+			}
+			cell.BankSum = sum
+		})
+		cell.InDoubt = in.KV.PreparedTxns()
+		cell.TxnCommits = rec.TxnCommits()
+	}
+	return cell
 }
 
 // settleChaosCell finishes a cell after its chaos phase: waits out the
@@ -389,9 +455,25 @@ func countGhostKeys(in *cluster.Cluster) int {
 }
 
 // registerChaosWorkload installs one workload and returns its request
-// driver.
-func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64) chaosDriver {
+// driver, plus the bank handle when the workload is the transactional
+// bank (nil otherwise).
+func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64) (chaosDriver, *workload.Bank) {
 	switch wl {
+	case "bank":
+		b, err := workload.RegisterBank(c, 8, 100)
+		if err != nil {
+			panic(err)
+		}
+		b.Preload(c)
+		useTxn := c.Internal().Mode() == core.TXN
+		return func(cl *cb.Client, rng *rand.Rand) error {
+			i := rng.Intn(b.Accounts)
+			j := rng.Intn(b.Accounts - 1)
+			if j >= i {
+				j++
+			}
+			return b.Transfer(cl, i, j, 1+rng.Intn(5), useTxn)
+		}, b
 	case "retwis":
 		r := workload.DefaultRetwis()
 		r.Users = 60
@@ -404,7 +486,7 @@ func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64
 		return func(cl *cb.Client, rng *rand.Rand) error {
 			_, err := r.Request(cl, rng, g)
 			return err
-		}
+		}, nil
 	case "predserve":
 		p := workload.DefaultPredServe()
 		p.ModelBytes = 1 << 20 // keep cell transfer cost CI-sized
@@ -416,7 +498,7 @@ func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64
 		return func(cl *cb.Client, rng *rand.Rand) error {
 			_, err := p.Predict(cl)
 			return err
-		}
+		}, nil
 	case "gossip":
 		g := workload.DefaultGossip()
 		g.Actors = 4
@@ -433,7 +515,7 @@ func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64
 			}
 			_, err := g.RunRound(cl, round, values)
 			return err
-		}
+		}, nil
 	case "openloop":
 		fn := func(ctx *cb.Ctx, args []any) (any, error) {
 			key, _ := args[0].(string)
@@ -466,7 +548,7 @@ func registerChaosWorkload(c *cb.Cluster, wl string, cfg ChaosConfig, seed int64
 		return func(cl *cb.Client, rng *rand.Rand) error {
 			_, err := cl.Invoke("tfn", []any{"ck" + strconv.Itoa(rng.Intn(chaosTrafficKeys))}).Wait()
 			return err
-		}
+		}, nil
 	default:
 		panic("bench: unknown chaos workload " + wl)
 	}

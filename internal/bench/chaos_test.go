@@ -27,10 +27,10 @@ func TestChaosMatrix(t *testing.T) {
 	cfg.Codec = new(codec.Counters)
 	r := RunChaosMatrix(cfg)
 	t.Log(r.Print())
-	if len(r.Cells) != 18 {
-		t.Fatalf("cells = %d, want 3 workloads × 5 modes + 3 scenario cells", len(r.Cells))
+	if len(r.Cells) != 21 {
+		t.Fatalf("cells = %d, want 3 workloads × 5 modes + 3 scenario cells + 3 txn cells", len(r.Cells))
 	}
-	var sawRolling, sawRack, sawSplit bool
+	var sawRolling, sawRack, sawSplit, sawCrashAt bool
 	for _, c := range r.Cells {
 		name := c.Workload + "/" + c.Mode
 		if c.Issued == 0 || c.OK == 0 {
@@ -57,6 +57,21 @@ func TestChaosMatrix(t *testing.T) {
 		if a.SK < 0 || a.MK < 0 || a.DSC < 0 || a.DSRR < 0 {
 			t.Errorf("%s: negative anomaly counts: %+v", name, a)
 		}
+		// The transactional cells additionally assert crash-safe
+		// atomicity: no money lost or minted through the 2PC point-cut
+		// crash, nothing left in doubt on the participants, and at least
+		// one transfer actually committed through the protocol.
+		if c.BankWant > 0 {
+			if c.BankSum != c.BankWant {
+				t.Errorf("%s: balance sum %d, want %d — atomicity broken", name, c.BankSum, c.BankWant)
+			}
+			if c.InDoubt != 0 {
+				t.Errorf("%s: %d prepared txns left in doubt after heal", name, c.InDoubt)
+			}
+			if c.TxnCommits == 0 {
+				t.Errorf("%s: no transfer committed through 2PC — cell proved nothing", name)
+			}
+		}
 		for _, f := range c.Faults {
 			if strings.Contains(f, "rolling restart") {
 				sawRolling = true
@@ -67,11 +82,14 @@ func TestChaosMatrix(t *testing.T) {
 			if strings.Contains(f, "split-brain") {
 				sawSplit = true
 			}
+			if strings.Contains(f, "crash-at txn/") {
+				sawCrashAt = true
+			}
 		}
 	}
-	if !sawRolling || !sawRack || !sawSplit {
-		t.Errorf("scenario cells missing from matrix: rolling=%v rack=%v split-brain=%v",
-			sawRolling, sawRack, sawSplit)
+	if !sawRolling || !sawRack || !sawSplit || !sawCrashAt {
+		t.Errorf("scenario cells missing from matrix: rolling=%v rack=%v split-brain=%v crash-at=%v",
+			sawRolling, sawRack, sawSplit, sawCrashAt)
 	}
 	if s := cfg.Codec.Read(); s.GobEncodes != 0 || s.GobDecodes != 0 {
 		t.Errorf("chaos matrix hit the gob fallback: %+v", s)
@@ -86,6 +104,7 @@ func TestChaosMatrixDeterministic(t *testing.T) {
 	cfg.Modes = AllModes[:1]
 	cfg.Requests = 3
 	cfg.Lifecycle = false
+	cfg.Txn = false
 	a := RunChaosMatrix(cfg)
 	b := RunChaosMatrix(cfg)
 	fa, fb := a.Cells[0].Faults, b.Cells[0].Faults

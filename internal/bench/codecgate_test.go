@@ -17,7 +17,11 @@ import (
 // is a regression, caught in CI rather than in an allocation profile.
 // The reduced fig13 sweep covers the open-loop plane: the traffic
 // Capsule is published to and re-read from Anna as the measurement of
-// record, so a capsule quietly riding gob trips the same wire.
+// record, so a capsule quietly riding gob trips the same wire. The
+// reduced fig15 sweep covers the transactional plane: prepare records
+// persist to Anna and decisions fan out as registered struct wire
+// types, so a txn.Record or 2PC message falling back to gob would
+// re-inflate every commit.
 //
 // The assertion reads a per-cluster Counters handle threaded through
 // the figure configs, not the process-wide codec.ReadStats: under the
@@ -51,6 +55,12 @@ func TestSteadyStateFiguresZeroGobFallbacks(t *testing.T) {
 	cfg13.VMs = 3
 	cfg13.Codec = cnt
 	RunFig13(cfg13)
+
+	cfg15 := Fig15Quick()
+	cfg15.Clients, cfg15.Requests = 2, 6
+	cfg15.RunFor = 30 * time.Second
+	cfg15.Codec = cnt
+	RunFig15(cfg15)
 
 	s := cnt.Read()
 	if s.GobEncodes != 0 || s.GobDecodes != 0 {

@@ -78,6 +78,8 @@ func modeLabel(m cb.Consistency) string {
 		return "MK"
 	case cb.Causal:
 		return "DSC"
+	case cb.Transactional:
+		return "Txn"
 	}
 	return m.String()
 }

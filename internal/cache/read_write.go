@@ -29,7 +29,10 @@ func (c *Cache) Read(reqID, key string, meta *core.SessionMeta) ([]byte, core.Ve
 		meta.Caches[c.ID()] = true
 	}
 	switch c.cfg.Mode {
-	case core.LWW:
+	case core.LWW, core.TXN:
+		// TXN's non-transactional traffic (plain invocations, result
+		// storage) is ordinary last-writer-wins; transactional reads
+		// bypass the cache entirely in the executor.
 		return c.readLWW(rctx, key)
 	case core.DSRR:
 		return c.readRR(rctx, reqID, key, meta)
@@ -331,7 +334,7 @@ func (c *Cache) write(reqID, key string, payload []byte, meta *core.SessionMeta,
 	var ver core.VersionRef
 	var wb lattice.Lattice
 	switch c.cfg.Mode {
-	case core.LWW, core.DSRR:
+	case core.LWW, core.DSRR, core.TXN:
 		l := lattice.NewLWW(lattice.Timestamp{Clock: int64(c.k.Now()), Node: nodeHash(writerID)}, payload)
 		ver = core.VersionRef{Cache: c.ID(), TS: l.TS}
 		c.mu.Lock()

@@ -20,6 +20,7 @@ import (
 	"cloudburst/internal/core"
 	"cloudburst/internal/dag"
 	"cloudburst/internal/executor"
+	"cloudburst/internal/hook"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/monitor"
 	"cloudburst/internal/scheduler"
@@ -118,6 +119,7 @@ type Cluster struct {
 	Trace    *trace.Collector
 
 	cfg          Config
+	hooks        *hook.Registry
 	schedulers   []*scheduler.Scheduler
 	routeScratch []schedRank
 	vms          map[string]*VMHandle
@@ -157,6 +159,21 @@ func New(cfg Config) *Cluster {
 	}
 	k := vtime.NewKernel(cfg.Seed)
 	net := simnet.New(k, cfg.Link)
+	hooks := hook.NewRegistry()
+	// The storage nodes participate in 2PC in Transactional mode only;
+	// the sweep daemon stays off everywhere else so no other mode's event
+	// schedule moves. Hooks and Codec are passive (no events of their
+	// own) and are wired unconditionally.
+	cfg.Anna.Node.Hooks = hooks
+	cfg.Anna.Node.Codec = cfg.Codec
+	if cfg.Mode == core.TXN {
+		if cfg.Anna.Node.TxnSweepInterval == 0 {
+			cfg.Anna.Node.TxnSweepInterval = time.Second
+		}
+		if cfg.Anna.Node.TxnPrepareTTL == 0 {
+			cfg.Anna.Node.TxnPrepareTTL = 3 * time.Second
+		}
+	}
 	c := &Cluster{
 		K:        k,
 		Net:      net,
@@ -171,6 +188,7 @@ func New(cfg Config) *Cluster {
 		killed:   make(map[string]bool),
 		gens:     make(map[string]int),
 		deadGens: make(map[string]*VMHandle),
+		hooks:    hooks,
 	}
 	c.dagClient = c.KV.NewClient(net.AddNode("dag-resolver"), 0)
 	c.lifecycleEP = net.AddNode("lifecycle-0")
@@ -204,6 +222,15 @@ func New(cfg Config) *Cluster {
 		s := scheduler.New(k, ep, c.KV.NewClient(ep, 0), cfg.Scheduler)
 		s.Start()
 		c.schedulers = append(c.schedulers, s)
+	}
+	if cfg.Scheduler.ShadowSingles && len(c.schedulers) > 1 {
+		ids := make([]simnet.NodeID, 0, len(c.schedulers))
+		for _, s := range c.schedulers {
+			ids = append(ids, s.ID())
+		}
+		for _, s := range c.schedulers {
+			s.SetPeers(ids)
+		}
 	}
 	if cfg.EnableMonitor {
 		ep := net.AddNode("monitor-0")
@@ -259,6 +286,8 @@ func (c *Cluster) bootVMNamed(name string) *VMHandle {
 			InvokeOverhead: c.cfg.ExecOverhead,
 			Codec:          c.Codec,
 			Trace:          c.Trace,
+			Hooks:          c.hooks,
+			TxnRing:        c.KV.Ring(),
 		})
 		h.Threads = append(h.Threads, t)
 		h.nodeIDs = append(h.nodeIDs, id)
@@ -658,3 +687,8 @@ func (c *Cluster) AnnaClientFor(ep *simnet.Endpoint) *anna.Client {
 
 // Mode returns the cluster's consistency level.
 func (c *Cluster) Mode() core.Mode { return c.cfg.Mode }
+
+// Hooks exposes the cluster's fault-injection point-cut registry (the
+// fault package arms CrashAt actions through it; protocol code fires
+// the named points).
+func (c *Cluster) Hooks() *hook.Registry { return c.hooks }

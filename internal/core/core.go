@@ -31,6 +31,10 @@ const (
 	MK
 	// DSC is distributed session causal consistency (Algorithm 2).
 	DSC
+	// TXN is the transactional mode: LWW capsules plus atomic multi-key
+	// commit for requests invoked with the Txn option (internal/txn's
+	// two-phase commit across Anna owners).
+	TXN
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +50,8 @@ func (m Mode) String() string {
 		return "mk"
 	case DSC:
 		return "dsc"
+	case TXN:
+		return "txn"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -63,6 +69,8 @@ func ParseMode(s string) (Mode, error) {
 		return MK, nil
 	case "dsc", "causal":
 		return DSC, nil
+	case "txn":
+		return TXN, nil
 	}
 	return 0, fmt.Errorf("core: unknown consistency mode %q", s)
 }
@@ -194,8 +202,28 @@ type InvokeRequest struct {
 	StoreInKVS bool          // persist the result in the KVS under ResultKey
 	Direct     bool          // carry the value inline in the Result even when storing
 	WantHops   bool          // report the executor hop count in the Result
+	Txn        bool          // buffer writes and commit atomically (internal/txn)
 	ResultKey  string
 }
+
+// TxnWrite is one entry of a transactional request's buffered write
+// set: the key, its LWW-encapsulated payload, and the base version the
+// transaction observed when it read the key (used for optimistic
+// validation at prepare time). ReadOnly entries carry no payload and
+// only validate; Blind entries were written without a prior read and
+// skip validation.
+type TxnWrite struct {
+	Key         string
+	Payload     []byte
+	ReadOnly    bool
+	Blind       bool
+	BasePresent bool  // the observed base version existed
+	BaseClock   int64 // observed LWW timestamp (when BasePresent)
+	BaseNode    uint64
+}
+
+// WireSize estimates the entry's simulated wire footprint.
+func (w TxnWrite) WireSize() int { return 32 + len(w.Key) + len(w.Payload) }
 
 // DAGSchedule is the per-request execution plan a scheduler builds for a
 // registered DAG: one executor-thread assignment per function (§4.3).
@@ -210,6 +238,7 @@ type DAGSchedule struct {
 	StoreInKVS  bool
 	Direct      bool // carry the value inline in the Result even when storing
 	WantHops    bool // report the executor hop count in the Result
+	Txn         bool // commit the DAG's write set atomically at the sink
 	ResultKey   string
 }
 
@@ -230,6 +259,21 @@ type DAGTrigger struct {
 	// Hops counts executor transitions so far, reported in the Result
 	// for per-depth latency normalization (Figure 8).
 	Hops int
+	// TxnWrites carries a transactional DAG's buffered write set down
+	// the DAG (unioned at fan-in joins, committed at the sink). Empty
+	// unless the request was invoked with the Txn option, so non-txn
+	// runs stay byte-identical.
+	TxnWrites []TxnWrite
+}
+
+// TxnWritesSize sums the simulated wire footprint of a carried write
+// set (zero for non-transactional triggers).
+func TxnWritesSize(ws []TxnWrite) int {
+	n := 0
+	for _, w := range ws {
+		n += w.WireSize()
+	}
+	return n
 }
 
 // Result is the terminal response for an invocation or DAG request.
@@ -396,6 +440,7 @@ func SchedMetricsKey(id string) string    { return "sys/metrics/sched/" + id }
 func SchedMetricsPrefix() string          { return "sys/metrics/sched/" }
 func WarmSeedKey(vm string) string        { return "sys/lifecycle/seed/" + vm }
 func InboxKey(invocationID string) string { return "sys/inbox/" + invocationID }
+func TxnLogKey(reqID string) string       { return "sys/txn/" + reqID }
 
 // SplitInvocationID recovers the executor-thread address from a function
 // invocation ID. IDs have the form "<thread-node-id>#<sequence>"; the

@@ -24,6 +24,12 @@ type Ctx struct {
 	fn   string
 	id   string // this invocation's unique id
 	meta *core.SessionMeta
+	// txn, when non-nil, makes this a transactional invocation: writes
+	// are staged instead of hitting the cache, reads record base
+	// versions and come straight from Anna (a stale cached base would
+	// abort the commit every retry), and nothing is visible anywhere
+	// until the thread's coordinator commits at the end.
+	txn *txnState
 
 	writeSeq int
 	// seenInbox dedups messages consumed from the Anna inbox (the inbox
@@ -52,6 +58,9 @@ func (c *Ctx) Compute(d time.Duration) { c.t.k.Sleep(d) }
 // Get retrieves a key through the cache under the session's consistency
 // level. found is false when the key exists nowhere.
 func (c *Ctx) Get(key string) (val any, found bool, err error) {
+	if c.txn != nil {
+		return c.txnGet(key)
+	}
 	payload, ver, err := c.t.cache.Read(c.req, key, c.meta)
 	if err == cache.ErrNotFound {
 		return nil, false, nil
@@ -134,6 +143,13 @@ func (c *Ctx) put(key string, val any, deps []string) error {
 		writeID = fmt.Sprintf("%s/w%d", c.id, c.writeSeq)
 		payload = tagPayload(writeID, payload)
 	}
+	if c.txn != nil {
+		// Staged, not written: the audit's OnWrite fires at commit time
+		// (the write only ever becomes visible if the commit decides),
+		// recovering the write id from the tagged payload.
+		c.txn.stage(key, payload, val)
+		return nil
+	}
 	var ver core.VersionRef
 	if deps == nil {
 		ver, err = c.t.cache.Write(c.req, key, payload, c.meta, string(c.t.id))
@@ -151,6 +167,57 @@ func (c *Ctx) put(key string, val any, deps []string) error {
 	}
 	return nil
 }
+
+// txnGet is the transactional read path: staged writes are returned
+// directly (read-your-writes), everything else is read from Anna with
+// the observed base version recorded for prepare-time validation.
+func (c *Ctx) txnGet(key string) (any, bool, error) {
+	if sw, ok := c.txn.staged[key]; ok {
+		if !sw.decoded {
+			_, inner := untag(sw.payload)
+			v, err := c.t.codec.Decode(inner)
+			if err != nil {
+				return nil, true, err
+			}
+			sw.val, sw.decoded = v, true
+		}
+		return sw.val, true, nil
+	}
+	lat, found, err := c.t.annaClient.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		c.txn.observeRead(key, false, lattice.Timestamp{})
+		return nil, false, nil
+	}
+	l, ok := lat.(*lattice.LWW)
+	if !ok {
+		return nil, false, fmt.Errorf("executor: txn read of %q: %s capsule", key, lat.TypeName())
+	}
+	c.txn.observeRead(key, true, l.TS)
+	writeID, inner := untag(l.Value)
+	ver := core.VersionRef{TS: l.TS}
+	if c.t.tracer != nil {
+		c.t.tracer.OnRead(TraceEvent{
+			ReqID: c.req, DAG: c.dag, Function: c.fn, Key: key,
+			WriteID: writeID, Ver: ver, At: c.t.k.Now(),
+		})
+	}
+	v, err := c.t.decodeVersioned(key, ver, inner)
+	if err != nil {
+		return nil, true, err
+	}
+	return v, true, nil
+}
+
+// Hook fires the cluster's fault-injection point-cut registry at a
+// named point inside user code, with this VM as the entity. It returns
+// true when a CrashAt point-cut fired — the VM is dead at this exact
+// instruction, and the function should stop (whatever it does next is
+// lost anyway: its endpoints are down). A cluster without armed hooks
+// pays one map lookup.
+func (c *Ctx) Hook(name string) bool { return c.t.hooks.Fire(name, c.t.vm) }
 
 // Delete removes a key from the cache and the KVS.
 func (c *Ctx) Delete(key string) error { return c.t.cache.Delete(key) }

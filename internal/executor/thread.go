@@ -10,9 +10,11 @@ import (
 	"cloudburst/internal/codec"
 	"cloudburst/internal/core"
 	"cloudburst/internal/dag"
+	"cloudburst/internal/hook"
 	"cloudburst/internal/lattice"
 	"cloudburst/internal/simnet"
 	"cloudburst/internal/trace"
+	"cloudburst/internal/txn"
 	"cloudburst/internal/vtime"
 )
 
@@ -37,6 +39,8 @@ type Thread struct {
 	codec       *codec.Counters
 	disp        *simnet.Dispatcher
 	resolveName string // precomputed process name for parallel arg reads
+	hooks       *hook.Registry
+	txnCoord    *txn.Coordinator
 
 	pinned  map[string]bool
 	mailbox []core.DirectMessage
@@ -90,11 +94,12 @@ const memoMax = 512
 // join accumulates a fan-in function's inputs until every parent
 // delivered.
 type join struct {
-	schedule *core.DAGSchedule
-	inputs   []core.DAGInput
-	meta     core.SessionMeta
-	hops     int
-	need     int
+	schedule  *core.DAGSchedule
+	inputs    []core.DAGInput
+	meta      core.SessionMeta
+	hops      int
+	need      int
+	txnWrites []core.TxnWrite // union of the branches' buffered write sets
 }
 
 // Deps bundles a thread's environment, supplied by the cluster.
@@ -121,6 +126,15 @@ type Deps struct {
 	// overhead, argument resolution, compute) into the cluster's
 	// collector. CPU-side only; nil disables at zero cost.
 	Trace *trace.Collector
+	// Hooks is the cluster's fault-injection point-cut registry (nil
+	// disables point-cuts at zero cost).
+	Hooks *hook.Registry
+	// TxnRing resolves key ownership for the thread's 2PC coordinator;
+	// nil disables transactional invocations on this thread.
+	TxnRing txn.Router
+	// TxnPrepareTimeout bounds each participant's prepare round trip
+	// (zero uses txn.DefaultPrepareTimeout).
+	TxnPrepareTimeout time.Duration
 }
 
 // NewThread creates a worker bound to ep.
@@ -144,6 +158,13 @@ func NewThread(k *vtime.Kernel, ep *simnet.Endpoint, vm string, d Deps) *Thread 
 		pending:     make(map[string]*join),
 		memo:        make(map[memoKey]any),
 		windowStart: k.Now(),
+		hooks:       d.Hooks,
+	}
+	if d.TxnRing != nil {
+		t.txnCoord = &txn.Coordinator{
+			K: k, EP: ep, Ring: d.TxnRing, KV: d.Anna, Hooks: d.Hooks,
+			Entity: vm, Codec: d.Codec, PrepareTimeout: d.TxnPrepareTimeout,
+		}
 	}
 	t.disp = simnet.NewDispatcher(ep, string(t.id))
 	simnet.OnMessage(t.disp, func(m simnet.Message, b core.InvokeRequest) {
@@ -231,7 +252,7 @@ func (t *Thread) pin(fn string) {
 }
 
 // newCtx builds the per-invocation context.
-func (t *Thread) newCtx(reqID, dagName, fn string, meta *core.SessionMeta) *Ctx {
+func (t *Thread) newCtx(reqID, dagName, fn string, meta *core.SessionMeta, tx *txnState) *Ctx {
 	t.seq++
 	return &Ctx{
 		t:    t,
@@ -240,6 +261,7 @@ func (t *Thread) newCtx(reqID, dagName, fn string, meta *core.SessionMeta) *Ctx 
 		fn:   fn,
 		id:   core.MakeInvocationID(t.id, t.seq),
 		meta: meta,
+		txn:  tx,
 	}
 }
 
@@ -369,7 +391,18 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 		m := core.NewSessionMeta()
 		metaP = &m
 	}
-	result, err := t.invoke(req.ReqID, "", req.Function, req.Args, nil, metaP)
+	var tx *txnState
+	if req.Txn {
+		if t.cache.Mode() != core.TXN || t.txnCoord == nil {
+			t.completeSingle(req, core.Result{
+				ReqID: req.ReqID,
+				Err:   "executor: WithTxn requires the Transactional consistency mode",
+			}, 64)
+			return
+		}
+		tx = newTxnState()
+	}
+	result, invID, err := t.invoke(req.ReqID, "", req.Function, req.Args, nil, metaP, tx)
 	t.finish(start)
 	res := core.Result{ReqID: req.ReqID}
 	if req.WantHops {
@@ -385,6 +418,18 @@ func (t *Thread) runSingle(req core.InvokeRequest) {
 		res.Err = encErr.Error()
 		t.completeSingle(req, res, 64)
 		return
+	}
+	if tx != nil {
+		committed, cerr := t.commitTxn(req.ReqID, "", req.Function, invID, tx, payload)
+		if cerr == txn.ErrCrashed {
+			return // VM died mid-commit; no reply — §4.5 re-executes
+		}
+		if cerr != nil {
+			res.Err = cerr.Error()
+			t.completeSingle(req, res, 64)
+			return
+		}
+		payload = committed
 	}
 	if req.StoreInKVS {
 		if _, werr := t.cache.Write(req.ReqID, req.ResultKey, payload, metaP, string(t.id)); werr != nil {
@@ -436,6 +481,7 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 		}
 		j.inputs = append(j.inputs, tr.Inputs...)
 		j.meta.Merge(tr.Meta)
+		j.txnWrites = append(j.txnWrites, tr.TxnWrites...)
 		if tr.Hops > j.hops {
 			j.hops = tr.Hops
 		}
@@ -444,6 +490,7 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 		}
 		delete(t.pending, key)
 		inputs, meta, hops = j.inputs, j.meta, j.hops
+		tr.TxnWrites = j.txnWrites
 	}
 
 	start := t.k.Now()
@@ -475,7 +522,17 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 		metaP = nil
 	}
 
-	result, err := t.invoke(tr.Schedule.ReqID, tr.Schedule.DAG, tr.Target, args, parentVals, metaP)
+	var tx *txnState
+	if tr.Schedule.Txn {
+		if t.cache.Mode() != core.TXN || t.txnCoord == nil {
+			t.fail(tr.Schedule, fmt.Errorf("executor: WithTxn requires the Transactional consistency mode"))
+			return
+		}
+		tx = newTxnState()
+		tx.seed(tr.TxnWrites)
+	}
+
+	result, invID, err := t.invoke(tr.Schedule.ReqID, tr.Schedule.DAG, tr.Target, args, parentVals, metaP, tx)
 	t.finish(start)
 	if err != nil {
 		t.fail(tr.Schedule, err)
@@ -489,8 +546,14 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 
 	children := d.Children(tr.Target)
 	if len(children) == 0 {
-		t.finishDAG(tr.Schedule, meta, metaP, payload, hops+1)
+		t.finishDAG(tr.Schedule, meta, metaP, payload, hops+1, tx, invID, tr.Target)
 		return
+	}
+	var outWrites []core.TxnWrite
+	if tx != nil {
+		// The buffered write set rides the trigger downstream; the sink's
+		// coordinator commits the union once.
+		outWrites = tx.items()
 	}
 	outMeta := core.NewSessionMeta()
 	if metaP != nil && (t.cache.Mode() == core.DSRR || t.cache.Mode() == core.DSC) {
@@ -502,25 +565,41 @@ func (t *Thread) runTrigger(tr core.DAGTrigger) {
 			m = outMeta.Clone() // sibling branches must not alias
 		}
 		trigger := core.DAGTrigger{
-			Schedule: tr.Schedule,
-			Target:   child,
-			Inputs:   []core.DAGInput{{From: tr.Target, Val: payload}},
-			Meta:     m,
-			Hops:     hops + 1,
+			Schedule:  tr.Schedule,
+			Target:    child,
+			Inputs:    []core.DAGInput{{From: tr.Target, Val: payload}},
+			Meta:      m,
+			Hops:      hops + 1,
+			TxnWrites: outWrites,
 		}
-		size := 96 + len(payload) + m.Size()
+		size := 96 + len(payload) + m.Size() + core.TxnWritesSize(outWrites)
 		t.ep.Send(tr.Schedule.Assignments[child], trigger, size)
 	}
 }
 
 // finishDAG completes a request at the sink: deliver the result, then
 // notify every touched cache so version snapshots are evicted.
-func (t *Thread) finishDAG(s *core.DAGSchedule, meta core.SessionMeta, metaP *core.SessionMeta, payload []byte, hops int) {
+func (t *Thread) finishDAG(s *core.DAGSchedule, meta core.SessionMeta, metaP *core.SessionMeta, payload []byte, hops int, tx *txnState, txnID, sinkFn string) {
 	res := core.Result{ReqID: s.ReqID}
 	if s.WantHops {
 		res.Hops = hops
 	}
-	if s.StoreInKVS {
+	if tx != nil {
+		committed, cerr := t.commitTxn(s.ReqID, s.DAG, sinkFn, txnID, tx, payload)
+		if cerr == txn.ErrCrashed {
+			return // VM died mid-commit; the scheduler's §4.5 tracking re-executes
+		}
+		if cerr != nil {
+			res.Err = cerr.Error()
+			// An abort is a clean outcome: fall through so the client hears
+			// it and the scheduler clears its re-execution entry.
+		} else {
+			payload = committed
+		}
+	}
+	if res.Err != "" {
+		// skip result storage; the error travels in the Result
+	} else if s.StoreInKVS {
 		if _, err := t.cache.Write(s.ReqID, s.ResultKey, payload, metaP, string(t.id)); err != nil {
 			res.Err = err.Error()
 		} else {
@@ -563,16 +642,61 @@ func (t *Thread) fail(s *core.DAGSchedule, err error) {
 	t.ep.Send(s.RespondTo, core.Result{ReqID: s.ReqID, Err: err.Error()}, 64)
 }
 
+// TxnMarker is an optional Tracer extension: an audit recorder that
+// implements it learns which requests committed transactionally, so the
+// write-atomicity and serializability detectors scope themselves to
+// transactional history and leave every existing fixture untouched.
+type TxnMarker interface {
+	OnTxnCommit(reqID string)
+}
+
+// commitTxn runs two-phase commit for a transactional request's
+// buffered writes and returns the result payload the client should see
+// — the freshly supplied one, or the recorded one when the coordinator
+// log shows a previous attempt already committed (§4.5 re-execution
+// must not commit twice). txn.ErrCrashed means the VM died at an armed
+// crash point: send nothing; recovery owns the request now. Other
+// errors are aborts, reported to the client as the Result error.
+func (t *Thread) commitTxn(reqID, dagName, fn, txnID string, tx *txnState, payload []byte) ([]byte, error) {
+	items := tx.items()
+	recorded, err := t.txnCoord.Commit(reqID, txnID, items, payload)
+	if err != nil {
+		return nil, err
+	}
+	if recorded != nil {
+		return recorded, nil
+	}
+	// Fresh commit: only now do the staged writes exist anywhere a
+	// reader could see them, so only now do they enter the audit.
+	if t.tracer != nil {
+		if tm, ok := t.tracer.(TxnMarker); ok {
+			tm.OnTxnCommit(reqID)
+		}
+		now := t.k.Now()
+		for _, it := range items {
+			if it.ReadOnly {
+				continue
+			}
+			writeID, _ := untag(it.Payload)
+			t.tracer.OnWrite(TraceEvent{
+				ReqID: reqID, DAG: dagName, Function: fn, Key: it.Key,
+				WriteID: writeID, At: now,
+			})
+		}
+	}
+	return payload, nil
+}
+
 // invoke resolves arguments, looks up the body, and runs it. The whole
 // invocation is one Compute span; the overhead sleep and the cache's
 // own read spans open later and so shadow it for their windows (the
 // analyzer's stack semantics), leaving the body's remainder as compute.
-func (t *Thread) invoke(reqID, dagName, fn string, args []core.Arg, parentVals []any, meta *core.SessionMeta) (any, error) {
+func (t *Thread) invoke(reqID, dagName, fn string, args []core.Arg, parentVals []any, meta *core.SessionMeta, tx *txnState) (any, string, error) {
 	ictx := t.spans.Attach(reqID).Start("exec/invoke", trace.Compute, t.k.Now())
 	defer func() { ictx.End(t.k.Now()) }()
 	body, ok := t.registry.Lookup(fn)
 	if !ok {
-		return nil, fmt.Errorf("executor: function %q not registered", fn)
+		return nil, "", fmt.Errorf("executor: function %q not registered", fn)
 	}
 	if t.overhead > 0 {
 		o0 := t.k.Now()
@@ -581,15 +705,15 @@ func (t *Thread) invoke(reqID, dagName, fn string, args []core.Arg, parentVals [
 	}
 	resolved, err := t.resolveArgs(reqID, dagName, fn, args, meta)
 	if err != nil {
-		return nil, fnError(fn, err)
+		return nil, "", fnError(fn, err)
 	}
 	resolved = append(resolved, parentVals...)
-	ctx := t.newCtx(reqID, dagName, fn, meta)
+	ctx := t.newCtx(reqID, dagName, fn, meta, tx)
 	out, err := body(ctx, resolved)
 	if err != nil {
-		return nil, fnError(fn, err)
+		return nil, ctx.id, fnError(fn, err)
 	}
-	return out, nil
+	return out, ctx.id, nil
 }
 
 // finish updates the metrics window after an invocation.

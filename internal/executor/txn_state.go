@@ -1,0 +1,107 @@
+package executor
+
+import (
+	"sort"
+
+	"cloudburst/internal/core"
+	"cloudburst/internal/lattice"
+)
+
+// txnState buffers a transactional invocation's effects in the
+// executor tier: writes are staged here instead of the cache, and
+// every read records the base version it observed so prepare-time
+// validation can reject stale read-modify-writes. In a DAG the state
+// travels downstream as the trigger's TxnWrites and is committed once,
+// at the sink, by the thread's 2PC coordinator.
+type txnState struct {
+	staged map[string]*stagedWrite
+	order  []string // staging order, for deterministic item lists
+	bases  map[string]baseVer
+}
+
+// stagedWrite is one buffered write: the encoded (and possibly
+// audit-tagged) payload plus the decoded value for read-your-writes.
+// val is nil for writes carried in from an upstream DAG hop; Get
+// decodes the payload on demand.
+type stagedWrite struct {
+	payload []byte
+	val     any
+	decoded bool
+}
+
+// baseVer is the version a transactional read observed: the key's LWW
+// timestamp, or its affirmative absence.
+type baseVer struct {
+	present bool
+	ts      lattice.Timestamp
+}
+
+func newTxnState() *txnState {
+	return &txnState{staged: make(map[string]*stagedWrite), bases: make(map[string]baseVer)}
+}
+
+// observeRead records a read's base version; the first observation in
+// the transaction wins (later reads of staged writes never reach here).
+func (tx *txnState) observeRead(key string, present bool, ts lattice.Timestamp) {
+	if _, ok := tx.bases[key]; !ok {
+		tx.bases[key] = baseVer{present: present, ts: ts}
+	}
+}
+
+// stage buffers a write, replacing any earlier write to the same key.
+func (tx *txnState) stage(key string, payload []byte, val any) {
+	if _, ok := tx.staged[key]; !ok {
+		tx.order = append(tx.order, key)
+	}
+	tx.staged[key] = &stagedWrite{payload: payload, val: val, decoded: true}
+}
+
+// seed loads a write set carried in from upstream DAG hops. Write
+// entries overwrite (downstream writes already staged cannot exist —
+// seeding happens before the function runs); base observations keep
+// the first (upstream-most) version.
+func (tx *txnState) seed(ws []core.TxnWrite) {
+	for _, w := range ws {
+		if !w.Blind {
+			tx.observeRead(w.Key, w.BasePresent, lattice.Timestamp{Clock: w.BaseClock, Node: w.BaseNode})
+		}
+		if w.ReadOnly {
+			continue
+		}
+		if _, ok := tx.staged[w.Key]; !ok {
+			tx.order = append(tx.order, w.Key)
+		}
+		tx.staged[w.Key] = &stagedWrite{payload: w.Payload}
+	}
+}
+
+// items flattens the state into the coordinator's (and the carried
+// trigger's) write set: staged writes in staging order, then read-only
+// validation entries for keys read but never written, sorted.
+func (tx *txnState) items() []core.TxnWrite {
+	out := make([]core.TxnWrite, 0, len(tx.order)+len(tx.bases))
+	for _, k := range tx.order {
+		w := core.TxnWrite{Key: k, Payload: tx.staged[k].payload}
+		if b, ok := tx.bases[k]; ok {
+			w.BasePresent, w.BaseClock, w.BaseNode = b.present, b.ts.Clock, b.ts.Node
+		} else {
+			w.Blind = true
+		}
+		out = append(out, w)
+	}
+	ro := make([]string, 0, len(tx.bases))
+	for k := range tx.bases {
+		if _, written := tx.staged[k]; !written {
+			ro = append(ro, k)
+		}
+	}
+	sort.Strings(ro)
+	for _, k := range ro {
+		b := tx.bases[k]
+		out = append(out, core.TxnWrite{
+			Key: k, ReadOnly: true,
+			BasePresent: b.present, BaseClock: b.ts.Clock, BaseNode: b.ts.Node,
+		})
+	}
+	return out
+}

@@ -89,6 +89,92 @@ func (p *Plan) sorted() []Event {
 
 // --- actions -------------------------------------------------------------
 
+// CrashAt arms a one-shot crash on a named protocol point-cut
+// (internal/hook): the next time any entity fires the hook — an
+// executor VM reaching "txn/post-prepare", a storage node acking a
+// prepare, a workload function calling Ctx.Hook — that entity crashes
+// at that exact instruction, and the protocol code past the point never
+// runs. The cut is surgical where a timed CrashVM is a stopwatch guess:
+// "between prepare and commit" is a program point, not an offset to
+// tune. Arming is instantaneous; the crash lands whenever the point is
+// next reached.
+type CrashAt struct {
+	// Hook names the point-cut (e.g. txn.HookPostPrepare).
+	Hook string
+	// Entity, when non-empty, restricts the trigger to one VM name or
+	// storage-node id; other entities pass the point unharmed and the
+	// trap stays armed.
+	Entity string
+	// HealAfter, when positive, revives the crashed entity that long
+	// after the crash: VMs are replaced through the restart lifecycle
+	// (spin-up delay included), storage nodes are simply reconnected.
+	HealAfter time.Duration
+	// Warm selects the warm-handoff restart for VM victims.
+	Warm bool
+}
+
+// Apply implements Action.
+func (a CrashAt) Apply(inj *Injector) string {
+	hookName, entity := a.Hook, a.Entity
+	heal, warm := a.HealAfter, a.Warm
+	inj.c.Hooks().Arm(hookName, func(who string) bool {
+		if entity != "" && who != entity {
+			return false
+		}
+		inj.crashEntity(who, hookName, heal, warm)
+		return true
+	})
+	if entity == "" {
+		return "arm crash-at " + hookName
+	}
+	return fmt.Sprintf("arm crash-at %s (entity %s)", hookName, entity)
+}
+
+// crashEntity is CrashAt's firing half: kill the named VM (or partition
+// the named endpoint) right now, and schedule the heal if requested.
+func (inj *Injector) crashEntity(entity, hookName string, healAfter time.Duration, warm bool) {
+	now := inj.c.K.Now()
+	if inj.liveVM(entity) {
+		inj.c.KillVM(entity)
+		inj.crashed = append(inj.crashed, entity)
+		inj.Timeline = append(inj.Timeline, Entry{At: now, Desc: "crash-at " + hookName + ": crash " + entity})
+		if healAfter > 0 {
+			// The heal counts as plan work: the plan's arm event is long done
+			// by the time the trap springs, and anything waiting on Running()
+			// must not settle between the crash and its scheduled revival.
+			inj.running++
+			inj.disp.Go("crash-at-heal", func() {
+				defer func() { inj.running-- }()
+				inj.c.K.Sleep(healAfter)
+				var repl string
+				if warm {
+					repl = inj.c.WarmRestartVM(entity)
+				} else {
+					repl = inj.c.RestartVM(entity)
+				}
+				inj.Timeline = append(inj.Timeline, Entry{
+					At:   inj.c.K.Now(),
+					Desc: fmt.Sprintf("crash-at %s: restart %s -> %s", hookName, entity, repl),
+				})
+			})
+		}
+		return
+	}
+	// Not a VM: a storage node (or other bare endpoint) — partition it.
+	id := simnet.NodeID(entity)
+	inj.c.Net.SetDown(id, true)
+	inj.Timeline = append(inj.Timeline, Entry{At: now, Desc: "crash-at " + hookName + ": partition " + entity})
+	if healAfter > 0 {
+		inj.running++
+		inj.disp.Go("crash-at-heal", func() {
+			defer func() { inj.running-- }()
+			inj.c.K.Sleep(healAfter)
+			inj.c.Net.SetDown(id, false)
+			inj.Timeline = append(inj.Timeline, Entry{At: inj.c.K.Now(), Desc: "crash-at " + hookName + ": revive " + entity})
+		})
+	}
+}
+
 // CrashVM abruptly partitions a VM away (Cluster.KillVM): its processes
 // keep running but every message to or from its endpoints is dropped.
 // An empty VM picks a random live victim (never the last VM standing).

@@ -1,0 +1,54 @@
+package hook
+
+import "testing"
+
+func TestFireDisarmsOnce(t *testing.T) {
+	r := NewRegistry()
+	fired := 0
+	r.Arm("p/cut", func(entity string) bool {
+		fired++
+		return true
+	})
+	if r.Armed("p/cut") != 1 {
+		t.Fatal("not armed")
+	}
+	if !r.Fire("p/cut", "vm0") {
+		t.Fatal("first fire should trigger")
+	}
+	if r.Fire("p/cut", "vm0") {
+		t.Fatal("second fire should be a no-op (one-shot)")
+	}
+	if fired != 1 {
+		t.Fatalf("callback ran %d times, want 1", fired)
+	}
+	if got := r.Fired(); len(got) != 1 || got[0] != "p/cut@vm0" {
+		t.Fatalf("Fired() = %v", got)
+	}
+}
+
+func TestEntityFilterKeepsArmed(t *testing.T) {
+	r := NewRegistry()
+	r.Arm("p/cut", func(entity string) bool { return entity == "vm1" })
+	if r.Fire("p/cut", "vm0") {
+		t.Fatal("filtered entity must not trigger")
+	}
+	if r.Armed("p/cut") != 1 {
+		t.Fatal("non-matching fire must keep the trap armed")
+	}
+	if !r.Fire("p/cut", "vm1") {
+		t.Fatal("matching entity must trigger")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	if r.Fire("p/cut", "vm0") {
+		t.Fatal("nil registry must never trigger")
+	}
+	if r.Armed("p/cut") != 0 {
+		t.Fatal("nil registry is never armed")
+	}
+	if got := r.Fired(); got != nil {
+		t.Fatalf("nil registry Fired() = %v", got)
+	}
+}

@@ -57,6 +57,7 @@ type DAGInvokeReq struct {
 	StoreInKVS bool // persist the sink's result in the KVS under ResultKey
 	Direct     bool // carry the value inline in the Result even when storing
 	WantHops   bool // report the executor hop count in the Result
+	Txn        bool // commit the request's writes atomically (Transactional mode)
 	ResultKey  string
 	// Deadline, when positive and shorter than the scheduler's global
 	// DAGTimeout, replaces it as this request's §4.5 re-execution
@@ -65,6 +66,35 @@ type DAGInvokeReq struct {
 	// longer Deadline never delays recovery. Clients set it from
 	// WithTimeout.
 	Deadline time.Duration
+}
+
+// ShadowSingle replicates a tracked single invocation's §4.5 entry to a
+// peer scheduler shard, so a single whose owning shard dies while the
+// request is in flight is still re-executed (DAGs survive scheduler
+// death through the client's own resend; singles needed a server-side
+// backstop).
+type ShadowSingle struct {
+	Req     core.InvokeRequest
+	Owner   simnet.NodeID
+	Timeout time.Duration
+}
+
+// UnshadowSingle clears a replicated entry after the owner saw the
+// invocation complete.
+type UnshadowSingle struct {
+	ReqID string
+}
+
+// ShadowProbe asks a shard whether it still tracks a single invocation;
+// a peer holding an expired shadow probes before adopting, so a merely
+// slow owner keeps its request.
+type ShadowProbe struct {
+	ReqID string
+}
+
+// ShadowProbeResp answers a ShadowProbe.
+type ShadowProbeResp struct {
+	Tracking bool
 }
 
 // Config carries scheduler policy constants.
@@ -95,6 +125,12 @@ type Config struct {
 	MaxAliveExtensions int
 	// RandomPolicy disables the locality heuristic (ablation).
 	RandomPolicy bool
+	// ShadowSingles replicates each tracked single invocation to one
+	// rendezvous-hashed peer shard, which adopts and re-executes it if
+	// this shard dies mid-request. Off by default: the extra messages
+	// shift the event schedule, so the cluster only wires peers when the
+	// deployment asks for it.
+	ShadowSingles bool
 	// DispatchCost models the scheduler's per-request CPU time (policy
 	// evaluation, schedule construction). The dispatcher serves requests
 	// serially, so a positive cost caps one scheduler at ~1/DispatchCost
@@ -148,6 +184,16 @@ type outstanding struct {
 	current map[simnet.NodeID]bool
 }
 
+// shadowEntry is a peer shard's replicated single-invocation tracking
+// entry: if the owner shard dies before the invocation completes, the
+// holder adopts the request and re-executes it.
+type shadowEntry struct {
+	req      core.InvokeRequest
+	owner    simnet.NodeID
+	timeout  time.Duration
+	deadline vtime.Time
+}
+
 // singleFlight tracks an in-flight single-function invocation for §4.5
 // re-execution — the single-function analogue of outstanding. DAGs got
 // this tracking first; a lost InvokeRequest (executor VM died holding
@@ -183,6 +229,12 @@ type Scheduler struct {
 
 	inflight map[string]*outstanding
 	singles  map[string]*singleFlight
+	// peers are the other shards in the scheduler group (shadow-single
+	// replication targets); shadows holds entries replicated here by
+	// peers, adopted if the owner dies.
+	peers        []simnet.NodeID
+	shadows      map[string]*shadowEntry
+	shadowAdopts int64
 
 	// pickScratch holds pickExecutor's candidate slices, reused across
 	// calls: pickExecutor never blocks, so no two invocations overlap.
@@ -234,6 +286,7 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		pins:         make(map[string][]simnet.NodeID),
 		inflight:     make(map[string]*outstanding),
 		singles:      make(map[string]*singleFlight),
+		shadows:      make(map[string]*shadowEntry),
 		lastAssigned: make(map[simnet.NodeID]int64),
 		dagCalls:     make(map[string]int64),
 		fnCalls:      make(map[string]int64),
@@ -262,7 +315,30 @@ func New(k *vtime.Kernel, ep *simnet.Endpoint, ac *anna.Client, cfg Config) *Sch
 		s.invokeSingle(b)
 	})
 	simnet.OnMessage(s.disp, func(_ simnet.Message, b core.InvokeComplete) {
+		if _, tracked := s.singles[b.ReqID]; tracked {
+			if p := s.shadowPeer(b.ReqID); p != "" {
+				s.ep.Send(p, UnshadowSingle{ReqID: b.ReqID}, 32)
+			}
+		}
 		delete(s.singles, b.ReqID)
+	})
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b ShadowSingle) {
+		if _, own := s.singles[b.Req.ReqID]; own {
+			return
+		}
+		// The owner gets the whole first re-execution window to itself;
+		// the shadow only wakes after twice the request's timeout.
+		s.shadows[b.Req.ReqID] = &shadowEntry{
+			req: b.Req, owner: b.Owner, timeout: b.Timeout,
+			deadline: s.k.Now().Add(2 * b.Timeout),
+		}
+	})
+	simnet.OnMessage(s.disp, func(_ simnet.Message, b UnshadowSingle) {
+		delete(s.shadows, b.ReqID)
+	})
+	simnet.OnRequest(s.disp, func(req *simnet.Request, b ShadowProbe) {
+		_, tracking := s.singles[b.ReqID]
+		req.Reply(ShadowProbeResp{Tracking: tracking}, 16)
 	})
 	simnet.OnMessage(s.disp, func(m simnet.Message, b DAGInvokeReq) {
 		// Clients mint a fresh ReqID per invocation, so a tracked ReqID
@@ -474,10 +550,61 @@ func (s *Scheduler) invokeSingle(req core.InvokeRequest) {
 		return
 	}
 	s.singles[req.ReqID] = o
+	if p := s.shadowPeer(req.ReqID); p != "" {
+		size := 112
+		for _, a := range o.req.Args {
+			size += len(a.Val) + len(a.Ref)
+		}
+		s.ep.Send(p, ShadowSingle{Req: o.req, Owner: s.id, Timeout: o.timeout}, size)
+	}
 	if req.Deadline > 0 && req.Deadline < s.cfg.DAGTimeout {
 		id := req.ReqID
 		s.disp.Go("deadline", func() { s.watchSingleDeadline(id) })
 	}
+}
+
+// SetPeers tells the scheduler about the other shards in its group —
+// the shadow-single replication targets. The cluster wires it only when
+// shadowing is enabled, so default deployments send no shadow traffic.
+func (s *Scheduler) SetPeers(ids []simnet.NodeID) {
+	s.peers = s.peers[:0]
+	for _, id := range ids {
+		if id != s.id {
+			s.peers = append(s.peers, id)
+		}
+	}
+	sort.Slice(s.peers, func(i, j int) bool { return s.peers[i] < s.peers[j] })
+}
+
+// shadowPeer picks the rendezvous-hashed peer shard holding (or to
+// hold) a request's shadow entry; "" when shadowing is off.
+func (s *Scheduler) shadowPeer(reqID string) simnet.NodeID {
+	if !s.cfg.ShadowSingles || len(s.peers) == 0 {
+		return ""
+	}
+	best, bestScore := s.peers[0], uint64(0)
+	for i, p := range s.peers {
+		score := shadowScore(reqID, p)
+		if i == 0 || score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// shadowScore is FNV-1a over "<reqID>|<shard>" (the same rendezvous
+// form the cluster's request router uses).
+func shadowScore(reqID string, id simnet.NodeID) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(reqID); i++ {
+		h = (h ^ uint64(reqID[i])) * prime
+	}
+	h = (h ^ '|') * prime
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * prime
+	}
+	return h
 }
 
 // dispatchSingle sends one attempt of a tracked single invocation,
@@ -568,6 +695,7 @@ func (s *Scheduler) invokeDAG(req DAGInvokeReq, exclude map[simnet.NodeID]bool) 
 		StoreInKVS:  req.StoreInKVS,
 		Direct:      req.Direct,
 		WantHops:    req.WantHops,
+		Txn:         req.Txn,
 		ResultKey:   req.ResultKey,
 	}
 	for _, src := range d.Sources() {
@@ -816,7 +944,7 @@ func (s *Scheduler) decodeCached(key string, lat lattice.Lattice) (any, bool) {
 // fresh executors (§4.5).
 func (s *Scheduler) retryTick() {
 	now := s.k.Now()
-	var expired, expiredSingles []string
+	var expired, expiredSingles, expiredShadows []string
 	for id, o := range s.inflight {
 		if now >= o.deadline {
 			expired = append(expired, id)
@@ -827,9 +955,15 @@ func (s *Scheduler) retryTick() {
 			expiredSingles = append(expiredSingles, id)
 		}
 	}
+	for id, sh := range s.shadows {
+		if now >= sh.deadline {
+			expiredShadows = append(expiredShadows, id)
+		}
+	}
 	sort.Strings(expired)
 	sort.Strings(expiredSingles)
-	if len(expired)+len(expiredSingles) > 0 {
+	sort.Strings(expiredShadows)
+	if len(expired)+len(expiredSingles)+len(expiredShadows) > 0 {
 		s.refreshView()
 	}
 	for _, id := range expired {
@@ -837,6 +971,49 @@ func (s *Scheduler) retryTick() {
 	}
 	for _, id := range expiredSingles {
 		s.expireSingle(id)
+	}
+	for _, id := range expiredShadows {
+		s.adoptShadow(id)
+	}
+}
+
+// adoptShadow decides an expired shadow entry's fate: probe the owner
+// first — a live owner that still tracks the request keeps it (the
+// shadow re-arms); a live owner that no longer tracks it means the
+// request completed and the unshadow was lost (drop the shadow); an
+// unreachable owner is dead, and this shard adopts the request and
+// re-executes it.
+func (s *Scheduler) adoptShadow(id string) {
+	sh, ok := s.shadows[id]
+	if !ok || s.k.Now() < sh.deadline {
+		return
+	}
+	delete(s.shadows, id)
+	if _, own := s.singles[id]; own {
+		return
+	}
+	resp, err := s.ep.Call(sh.owner, ShadowProbe{ReqID: id}, 24+len(id), 200*time.Millisecond)
+	if err == nil {
+		if r, ok := resp.(ShadowProbeResp); ok && r.Tracking {
+			sh.deadline = s.k.Now().Add(sh.timeout)
+			s.shadows[id] = sh
+		}
+		return
+	}
+	s.shadowAdopts++
+	s.reexecs++
+	req := sh.req
+	req.Scheduler = s.id // completion notice now routes here
+	o := &singleFlight{
+		req:      req,
+		timeout:  sh.timeout,
+		deadline: s.k.Now().Add(sh.timeout),
+		used:     make(map[simnet.NodeID]bool),
+	}
+	s.spans.Reissue(id, s.k.Now())
+	s.ensureView()
+	if s.dispatchSingle(o, nil) {
+		s.singles[id] = o
 	}
 }
 
@@ -1011,6 +1188,13 @@ func (s *Scheduler) Inflight() int { return len(s.inflight) }
 
 // InflightSingles reports tracked single invocations (test hook).
 func (s *Scheduler) InflightSingles() int { return len(s.singles) }
+
+// ShadowedSingles reports peer entries replicated here (test hook).
+func (s *Scheduler) ShadowedSingles() int { return len(s.shadows) }
+
+// ShadowAdoptions reports how many singles this shard adopted from dead
+// peers and re-executed.
+func (s *Scheduler) ShadowAdoptions() int64 { return s.shadowAdopts }
 
 // Reexecutions reports how many §4.5 re-executions this scheduler has
 // issued (failure experiments align it with their latency timelines).

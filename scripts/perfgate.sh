@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # perfgate.sh — the perf-regression tripwire (ROADMAP item, armed for
 # Fig5 in PR 3, extended to Fig7/Fig11 in PR 4, to the struct-codec
-# microbench in PR 5, to the state-lifecycle experiment in PR 6, and
-# to the fig13 open-loop saturation sweep in PR 7; the current
-# baseline is BENCH_8.json, recorded at runner width 1 so parallel CI
-# runs can only beat its ns/op, never trip it spuriously).
+# microbench in PR 5, to the state-lifecycle experiment in PR 6, to
+# the fig13 open-loop saturation sweep in PR 7, and to the fig15
+# transactional-commit figure in PR 10; the current baseline is
+# BENCH_10.json, recorded at runner width 1 so parallel CI runs can
+# only beat its ns/op, never trip it spuriously. The BENCH_10 note
+# explains each simulated figure that shifted in that re-record).
 #
 # Compares each gated benchmark's harness-cost metrics (ns/op,
 # allocs/op) of a fresh bench report against the committed baseline and
@@ -26,7 +28,7 @@ set -euo pipefail
 
 CUR=${1:?usage: perfgate.sh <current.json> <baseline.json>}
 BASE=${2:?usage: perfgate.sh <current.json> <baseline.json>}
-BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig10Lifecycle BenchmarkFig11Retwis BenchmarkFig13Saturation BenchmarkCodecStructRoundTrip"
+BENCHES="BenchmarkFig5DataLocality BenchmarkFig7Autoscaling BenchmarkFig10Lifecycle BenchmarkFig11Retwis BenchmarkFig13Saturation BenchmarkFig15Txn BenchmarkCodecStructRoundTrip"
 LIMIT=1.25
 
 # min_metric <file> <bench> <metric>: minimum value of metric across the
